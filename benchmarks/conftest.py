@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures.  The generation
+scale defaults to ``0.004`` (designs of roughly 0.5K-6.4K movable cells)
+and can be overridden with the ``REPRO_SCALE`` environment variable; all
+printed artifacts are also written under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchgen import env_scale
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return env_scale(default=0.004)
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return OUT_DIR
+
+
+def save_artifact(out_dir: str, name: str, text: str) -> None:
+    """Persist a printed artifact next to the benchmark outputs."""
+    with open(os.path.join(out_dir, name), "w") as f:
+        f.write(text + "\n")

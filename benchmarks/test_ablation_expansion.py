@@ -1,0 +1,81 @@
+"""A3 — ablation: detour-imitating demand expansion on/off.
+
+With the expansion disabled the congestion estimate concentrates demand
+into the clustered stripes, which both misestimates the eventual routing
+and mistargets the padding.  This bench compares (a) estimation accuracy
+against the router and (b) end-to-end PUFFER quality, with and without
+the expansion.
+"""
+
+import numpy as np
+
+from repro.benchgen import make_design
+from repro.core import CongestionEstimator, EstimatorParams, PufferPlacer, rudy_maps
+from repro.placer import GlobalPlacer, PlacementParams
+from repro.router import GlobalRouter
+
+from conftest import save_artifact
+
+
+def _estimation_correlations(design) -> dict:
+    """Correlation of three estimators against the router's demand."""
+    report = GlobalRouter(design).run()
+    real = (report.demand.dmd_h + report.demand.dmd_v).ravel()
+    out = {}
+    for label, expand in (("no expansion", False), ("with expansion", True)):
+        estimator = CongestionEstimator(design, EstimatorParams(expand=expand))
+        cmap, _, _ = estimator.estimate()
+        est = (cmap.dmd_h + cmap.dmd_v).ravel()
+        out[label] = float(np.corrcoef(est, real)[0, 1])
+    rudy_h, rudy_v, _ = rudy_maps(design)
+    out["RUDY [2]"] = float(np.corrcoef((rudy_h + rudy_v).ravel(), real)[0, 1])
+    return out
+
+
+def test_ablation_expansion(benchmark, scale, out_dir):
+    placement = PlacementParams(max_iters=900)
+
+    def run_all():
+        # (a) estimation accuracy at a mid-placement snapshot, including
+        # the classic RUDY estimator as the prior-work baseline.
+        probe = make_design("MEDIA_SUBSYS", scale)
+        GlobalPlacer(probe, PlacementParams(max_iters=250)).run()
+        correlations = _estimation_correlations(probe)
+
+        # (b) end-to-end quality.
+        reports = {}
+        for expand in (False, True):
+            design = make_design("MEDIA_SUBSYS", scale)
+            PufferPlacer(
+                design,
+                placement=placement,
+                estimator_params=EstimatorParams(expand=expand),
+            ).run()
+            reports[expand] = GlobalRouter(design).run()
+        return correlations, reports
+
+    correlations, reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    corr_off = correlations["no expansion"]
+    corr_on = correlations["with expansion"]
+
+    lines = ["ABLATION A3  detour-imitating demand expansion",
+             "estimator-vs-router demand correlation:"]
+    for label, corr in correlations.items():
+        lines.append(f"  {label:<16}{corr:.4f}")
+    lines += [
+        f"{'variant':<16}{'HOF(%)':>9}{'VOF(%)':>9}{'total':>9}",
+        f"{'no expansion':<16}{reports[False].hof:>9.3f}{reports[False].vof:>9.3f}"
+        f"{reports[False].total_overflow:>9.3f}",
+        f"{'with expansion':<16}{reports[True].hof:>9.3f}{reports[True].vof:>9.3f}"
+        f"{reports[True].total_overflow:>9.3f}",
+    ]
+    text = "\n".join(lines)
+    print()
+    print(text)
+    save_artifact(out_dir, "ablation_expansion.txt", text)
+
+    assert corr_on > 0.5 and corr_off > 0.5
+    # The topology-based estimator must beat the bbox-only RUDY.
+    assert corr_on > correlations["RUDY [2]"]
+    # The expansion must not make the end result clearly worse.
+    assert reports[True].total_overflow <= reports[False].total_overflow * 1.5 + 0.5

@@ -1,0 +1,60 @@
+"""A1 — ablation: padding feature classes.
+
+The paper motivates three feature classes (local, CNN-inspired
+surrounding, GNN-inspired pin congestion).  This ablation runs PUFFER
+with (a) local features only — the prior-work configuration, (b) local +
+CNN, and (c) all features, on a congested design, and compares routed
+overflow.
+"""
+
+from repro.benchgen import make_design
+from repro.core import FeatureParams, PufferPlacer
+from repro.placer import PlacementParams
+from repro.router import GlobalRouter
+
+from conftest import save_artifact
+
+VARIANTS = [
+    ("local only", FeatureParams(use_cnn=False, use_gnn=False)),
+    ("local + CNN", FeatureParams(use_cnn=True, use_gnn=False)),
+    ("all features", FeatureParams(use_cnn=True, use_gnn=True)),
+]
+
+DESIGNS = ["OR1200", "MEDIA_SUBSYS"]
+
+
+def test_ablation_feature_classes(benchmark, scale, out_dir):
+    placement = PlacementParams(max_iters=900)
+
+    def run_all():
+        results = {}
+        for design_name in DESIGNS:
+            for variant, feature_params in VARIANTS:
+                design = make_design(design_name, scale)
+                PufferPlacer(
+                    design, placement=placement, feature_params=feature_params
+                ).run()
+                results[(design_name, variant)] = GlobalRouter(design).run()
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "ABLATION A1  feature classes",
+        f"{'design':<16}{'variant':<16}{'HOF(%)':>9}{'VOF(%)':>9}{'total':>9}",
+    ]
+    for (design_name, variant), report in results.items():
+        lines.append(
+            f"{design_name:<16}{variant:<16}{report.hof:>9.3f}"
+            f"{report.vof:>9.3f}{report.total_overflow:>9.3f}"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    save_artifact(out_dir, "ablation_features.txt", text)
+
+    # Expected shape: richer features never lose badly to local-only on
+    # the congested design, and all variants finish.
+    media_local = results[("MEDIA_SUBSYS", "local only")].total_overflow
+    media_all = results[("MEDIA_SUBSYS", "all features")].total_overflow
+    assert media_all <= media_local * 1.5 + 0.5

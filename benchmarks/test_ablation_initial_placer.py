@@ -1,0 +1,53 @@
+"""A5 — ablation: initial placement algorithm (star vs quadratic).
+
+The engine supports two seeds: the damped star-model fixed point and the
+sparse-CG quadratic solve.  Both are run through the full wirelength-
+driven flow on two designs; the ablation reports seed HPWL, final HPWL,
+and engine iterations to convergence.
+"""
+
+from repro.benchgen import make_design
+from repro.legalizer import legalize_abacus
+from repro.placer import GlobalPlacer, PlacementParams
+
+from conftest import save_artifact
+
+DESIGNS = ["OR1200", "CT_TOP"]
+SEEDS = ["star", "quadratic"]
+
+
+def test_ablation_initial_placer(benchmark, scale, out_dir):
+    def run_all():
+        results = {}
+        for name in DESIGNS:
+            for seed in SEEDS:
+                design = make_design(name, scale)
+                params = PlacementParams(max_iters=900, initial_placer=seed)
+                gp = GlobalPlacer(design, params).run()
+                legalize_abacus(design)
+                results[(name, seed)] = (gp, design.hpwl())
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "ABLATION A5  initial placement seed",
+        f"{'design':<12}{'seed':<12}{'iters':>7}{'final HPWL':>13}{'converged':>11}",
+    ]
+    for (name, seed), (gp, hpwl) in results.items():
+        lines.append(
+            f"{name:<12}{seed:<12}{gp.iterations:>7}{hpwl:>13.4g}"
+            f"{str(gp.converged):>11}"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    save_artifact(out_dir, "ablation_initial_placer.txt", text)
+
+    for key, (gp, _) in results.items():
+        assert gp.converged, key
+    # Both seeds must land within 10% of each other in final quality.
+    for name in DESIGNS:
+        star = results[(name, "star")][1]
+        quad = results[(name, "quadratic")][1]
+        assert abs(star - quad) / max(star, quad) < 0.10

@@ -1,0 +1,64 @@
+"""A2 — ablation: padding recycling, utilization control, and padding
+inheritance (the consistency argument of Sec. III-B3/III-D).
+
+Variants:
+
+* ``full``       — PUFFER as published.
+* ``no recycle`` — recycling disabled (``zeta`` huge makes the recycle
+  rate negligible; history padding is never withdrawn).
+* ``no schedule``— utilization control flat at ``pu_high`` from round 1
+  (no ramp; the over-padding-early failure mode the paper guards
+  against).
+* ``no inherit`` — padding dropped at legalization (``theta = 0``), the
+  RePlAce-style inconsistency.
+"""
+
+from repro.benchgen import make_design
+from repro.core import PufferPlacer, StrategyParams
+from repro.placer import PlacementParams
+from repro.router import GlobalRouter
+
+from conftest import save_artifact
+
+BASE = StrategyParams()
+VARIANTS = [
+    ("full", BASE),
+    ("no recycle", BASE.replaced(zeta=1e9)),
+    ("no schedule", BASE.replaced(pu_low=BASE.pu_high)),
+    ("no inherit", BASE.replaced(theta=0.0)),
+]
+
+
+def test_ablation_recycling_and_control(benchmark, scale, out_dir):
+    placement = PlacementParams(max_iters=900)
+
+    def run_all():
+        results = {}
+        for variant, strategy in VARIANTS:
+            design = make_design("MEDIA_SUBSYS", scale)
+            run = PufferPlacer(design, strategy=strategy, placement=placement).run()
+            results[variant] = (GlobalRouter(design).run(), run)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "ABLATION A2  recycling / utilization control / inheritance",
+        f"{'variant':<14}{'HOF(%)':>9}{'VOF(%)':>9}{'HPWL':>12}{'pad area':>10}",
+    ]
+    for variant, (report, run) in results.items():
+        lines.append(
+            f"{variant:<14}{report.hof:>9.3f}{report.vof:>9.3f}"
+            f"{run.hpwl:>12.4g}{run.total_padding_area:>10.1f}"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    save_artifact(out_dir, "ablation_recycling.txt", text)
+
+    full_report, full_run = results["full"]
+    no_inherit_report, _ = results["no inherit"]
+    # Dropping the padding at legalization must not *improve* congestion:
+    # consistency is the paper's headline claim.
+    assert full_report.total_overflow <= no_inherit_report.total_overflow + 1.0
+    assert full_run.total_padding_area > 0

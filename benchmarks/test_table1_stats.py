@@ -1,0 +1,31 @@
+"""E1 — Table I: statistics of the benchmarks.
+
+Regenerates all ten suite designs and prints the paper's Table I next to
+the statistics of the regenerated (scaled) designs.
+"""
+
+from repro.benchgen import make_design, suite_names
+from repro.evalkit import format_table1
+
+from conftest import save_artifact
+
+
+def test_table1_stats(benchmark, scale, out_dir):
+    designs = benchmark.pedantic(
+        lambda: [make_design(name, scale) for name in suite_names()],
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table1(scale, designs=designs)
+    print()
+    print(table)
+    save_artifact(out_dir, "table1.txt", table)
+    assert len(designs) == 10
+    # Ratio fidelity: pins-per-net of each regenerated design must track
+    # the paper's Table-I ratio.
+    from repro.benchgen import SUITE_BY_NAME
+
+    for design in designs:
+        entry = SUITE_BY_NAME[design.name]
+        measured = design.num_pins / design.num_nets
+        assert abs(measured - entry.pins_per_net) / entry.pins_per_net < 0.2

@@ -1,0 +1,68 @@
+"""Inspect PUFFER's padding process on one design, round by round.
+
+Runs the full flow, then uses the analysis utilities to show where the
+padding went (summary + histogram), how each round contributed, and
+renders the final placement with a congestion overlay as an SVG file.
+
+Run:
+    python examples/padding_deep_dive.py [design] [scale] [out.svg]
+"""
+
+import sys
+
+from repro.benchgen import make_design, suite_names
+from repro.core import (
+    PufferPlacer,
+    padding_histogram,
+    round_trajectory,
+    summarize_padding,
+)
+from repro.evalkit import save_placement_svg, utilization_maps
+from repro.placer import PlacementParams
+from repro.router import GlobalRouter
+
+
+def main() -> None:
+    design_name = sys.argv[1] if len(sys.argv) > 1 else "MEDIA_SUBSYS"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.003
+    svg_path = sys.argv[3] if len(sys.argv) > 3 else "padding_deep_dive.svg"
+    if design_name not in suite_names():
+        raise SystemExit(f"unknown design {design_name!r}")
+
+    design = make_design(design_name, scale)
+    placer = PufferPlacer(design, placement=PlacementParams(max_iters=900))
+    result = placer.run()
+    print(f"placed {design} in {result.runtime:.1f}s, "
+          f"{result.padding_rounds} padding rounds\n")
+
+    print("== round trajectory (Algorithm 1 bookkeeping) ==")
+    print(f"{'round':>5}{'added':>10}{'total':>10}{'util':>8}{'padded':>8}{'recycled':>9}{'scaled':>8}")
+    for row in round_trajectory(placer.optimizer.padding):
+        print(
+            f"{row['round']:>5}{row['added_area']:>10.1f}{row['total_area']:>10.1f}"
+            f"{row['utilization']:>8.3f}{row['num_padded']:>8}{row['num_recycled']:>9}"
+            f"{str(row['scaled']):>8}"
+        )
+
+    print("\n== final padding summary ==")
+    summary = summarize_padding(placer.optimizer.padding, placer.optimizer.last_map)
+    print(f"padded cells           : {summary.num_padded}")
+    print(f"total padded area      : {summary.total_area:.1f}")
+    print(f"white-space utilization: {summary.utilization:.3f}")
+    print(f"mean / max pad width   : {summary.mean_pad:.2f} / {summary.max_pad:.2f}")
+    print(f"padding-vs-congestion r: {summary.congestion_correlation:.3f}")
+
+    print("\n== padding width histogram ==")
+    for lo, hi, count in padding_histogram(placer.optimizer.padding, bins=8):
+        bar = "#" * max(count * 40 // max(summary.num_padded, 1), 1)
+        print(f"  [{lo:6.2f}, {hi:6.2f})  {count:5d}  {bar}")
+
+    report = GlobalRouter(design).run()
+    print(f"\nrouted: {report.summary()}")
+    _, util_v = utilization_maps(report)
+    save_placement_svg(design, svg_path, congestion=util_v, congestion_vmax=1.3)
+    print(f"wrote placement + V-congestion overlay to {svg_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""PUFFER: a routability-driven placement framework via cell padding with
+multiple features and strategy exploration (DAC 2023 reproduction).
+
+Public entry points:
+
+* :class:`repro.core.PufferPlacer` — the full PUFFER flow.
+* :class:`repro.core.StrategyParams` / :func:`repro.core.exploration.strategy_exploration`
+  — strategy parameters and their Bayesian exploration.
+* :mod:`repro.benchgen` — the synthetic Table-I benchmark suite.
+* :mod:`repro.evalkit` — Table/figure reproduction harness.
+"""
+
+from .core import PufferPlacer, PufferResult, StrategyParams
+
+__version__ = "1.0.0"
+
+__all__ = ["PufferPlacer", "PufferResult", "StrategyParams", "__version__"]

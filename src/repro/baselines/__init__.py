@@ -1,0 +1,15 @@
+"""Comparison flows: WL-driven, RePlAce-style, commercial substitute."""
+
+from .commercial_like import CommercialLikeParams, place_commercial_like
+from .common import BaselineResult
+from .replace_like import ReplaceLikeParams, place_replace_like
+from .wirelength_driven import place_wirelength_driven
+
+__all__ = [
+    "BaselineResult",
+    "CommercialLikeParams",
+    "ReplaceLikeParams",
+    "place_commercial_like",
+    "place_replace_like",
+    "place_wirelength_driven",
+]

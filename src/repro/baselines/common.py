@@ -1,0 +1,28 @@
+"""Shared result type for the baseline placement flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..placer import GlobalPlaceResult
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline placement flow.
+
+    Attributes:
+        placer: flow name ("wirelength", "replace_like", ...).
+        hpwl: legalized half-perimeter wirelength.
+        runtime: end-to-end seconds.
+        global_place: the engine's convergence record.
+        inflation_rounds: congestion-driven size adjustments applied.
+        notes: free-form per-flow diagnostics.
+    """
+
+    placer: str
+    hpwl: float
+    runtime: float
+    global_place: GlobalPlaceResult
+    inflation_rounds: int = 0
+    notes: dict = field(default_factory=dict)

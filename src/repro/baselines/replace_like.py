@@ -1,0 +1,141 @@
+"""A RePlAce-style routability-driven baseline [5].
+
+RePlAce's routability mode estimates congestion once cells have spread,
+inflates cells in congested regions by a super-linear function of the
+routing utilization, and resumes placement with the inflated areas.
+Unlike PUFFER there is no incremental multi-round padding with recycling,
+no multi-feature formula, and — crucially — the inflation is *dropped at
+legalization*: cells legalize at their native widths, so the spreading
+effect partially collapses back (the inconsistency PUFFER's Sec. III-D
+fixes).
+
+This reimplementation runs on the same engine, estimator, and legalizer
+as PUFFER so the comparison isolates the algorithmic differences.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.congestion import CongestionEstimator, EstimatorParams
+from ..legalizer import legalize_abacus
+from ..netlist.design import Design
+from ..placer import GlobalPlacer, PlacementParams
+from ..placer.engine import PlacerState
+from .common import BaselineResult
+
+
+class ReplaceLikeParams:
+    """Knobs of the RePlAce-style flow.
+
+    Attributes:
+        trigger_overflow: density overflow at which inflation happens.
+        exponent: utilization exponent of the inflation ratio (RePlAce
+            uses ~2.33).
+        max_ratio: per-round cap on the cell-area inflation ratio.
+        rounds: inflation rounds (RePlAce applies a small number of
+            estimate-inflate-replace iterations).
+        min_gap: engine iterations between rounds.
+        area_budget: per-round inflation area budget as a fraction of
+            the white space (RePlAce bounds its inflation per iteration).
+    """
+
+    def __init__(
+        self,
+        trigger_overflow: float = 0.20,
+        exponent: float = 2.33,
+        max_ratio: float = 2.5,
+        rounds: int = 3,
+        min_gap: int = 20,
+        area_budget: float = 0.10,
+    ) -> None:
+        self.trigger_overflow = trigger_overflow
+        self.exponent = exponent
+        self.max_ratio = max_ratio
+        self.rounds = rounds
+        self.min_gap = min_gap
+        self.area_budget = area_budget
+
+
+class _InflationHook:
+    """Engine hook applying RePlAce-style one-shot cell inflation."""
+
+    def __init__(self, design: Design, params: ReplaceLikeParams) -> None:
+        self.design = design
+        self.params = params
+        # RePlAce's estimator has no detour expansion; disable ours.
+        self.estimator = CongestionEstimator(
+            design, EstimatorParams(expand=False)
+        )
+        self.calls = 0
+        self.last_iteration = -10**9
+        self.ratio = np.ones(design.num_cells)
+        self._movable = design.movable & ~design.is_macro
+
+    def _whitespace(self) -> float:
+        design = self.design
+        fixed = ~design.movable
+        fixed_area = float((design.w[fixed] * design.h[fixed]).sum())
+        return max(design.die.area - fixed_area - design.movable_area, 1e-9)
+
+    def __call__(self, state: PlacerState) -> bool:
+        if self.calls >= self.params.rounds:
+            return False
+        if state.overflow >= self.params.trigger_overflow:
+            return False
+        if state.iteration - self.last_iteration < self.params.min_gap:
+            return False
+        self.calls += 1
+        self.last_iteration = state.iteration
+
+        cmap, _topologies, _demand = self.estimator.estimate()
+        grid = cmap.grid
+        gx, gy = grid.gcell_of(self.design.x, self.design.y)
+        # Per-cell routing utilization: worst direction, >= 0.
+        util_h = cmap.dmd_h / np.maximum(grid.cap_h, 1.0)
+        util_v = cmap.dmd_v / np.maximum(grid.cap_v, 1.0)
+        util = np.maximum(util_h[gx, gy], util_v[gx, gy])
+        round_ratio = np.clip(
+            np.maximum(util, 1.0) ** self.params.exponent,
+            1.0,
+            self.params.max_ratio,
+        )
+        # Per-round inflation budget (fraction of the white space).
+        extra = (round_ratio - 1.0) * self.design.w * self.design.h
+        extra[~self._movable] = 0.0
+        whitespace = self._whitespace()
+        budget = self.params.area_budget * whitespace
+        total_extra = float(extra.sum())
+        if total_extra > budget and total_extra > 0:
+            round_ratio = 1.0 + (round_ratio - 1.0) * (budget / total_extra)
+        self.ratio = np.where(self._movable, self.ratio * round_ratio, 1.0)
+        w_eff = self.design.w * np.where(self._movable, self.ratio, 1.0)
+        state.set_density_sizes(w_eff, self.design.h.copy())
+        return True
+
+
+def place_replace_like(
+    design: Design,
+    placement: PlacementParams | None = None,
+    params: ReplaceLikeParams | None = None,
+) -> BaselineResult:
+    """RePlAce-style routability-driven placement + plain legalization."""
+    start = time.time()
+    params = params or ReplaceLikeParams()
+    hook = _InflationHook(design, params)
+    gp = GlobalPlacer(design, placement or PlacementParams(), hooks=[hook]).run()
+    # Inflation is not inherited: legalize at native widths.
+    legal = legalize_abacus(design)
+    return BaselineResult(
+        placer="replace_like",
+        hpwl=design.hpwl(),
+        runtime=time.time() - start,
+        global_place=gp,
+        inflation_rounds=hook.calls,
+        notes={
+            "legal_displacement": legal.total_displacement,
+            "mean_inflation": float(hook.ratio[hook._movable].mean()),
+        },
+    )

@@ -1,0 +1,31 @@
+"""Plain wirelength-driven flow (no routability optimization).
+
+The ablation baseline: the same ePlace engine and Abacus legalizer as
+PUFFER, with the routability optimizer disabled.  Any routability gain of
+the other flows is measured against this.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..legalizer import legalize_abacus
+from ..netlist.design import Design
+from ..placer import GlobalPlacer, PlacementParams
+from .common import BaselineResult
+
+
+def place_wirelength_driven(
+    design: Design, placement: PlacementParams | None = None
+) -> BaselineResult:
+    """Global placement + legalization, wirelength-only objective."""
+    start = time.time()
+    gp = GlobalPlacer(design, placement or PlacementParams()).run()
+    legal = legalize_abacus(design)
+    return BaselineResult(
+        placer="wirelength",
+        hpwl=design.hpwl(),
+        runtime=time.time() - start,
+        global_place=gp,
+        notes={"legal_displacement": legal.total_displacement},
+    )

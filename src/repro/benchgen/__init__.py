@@ -1,0 +1,32 @@
+"""Synthetic benchmark generation and the Table-I suite."""
+
+from .generator import GeneratorSpec, generate_design
+from .stats import NetlistStats, rent_exponent, wirelength_distribution
+from .suite import (
+    DEFAULT_SCALE,
+    EXPLORATION_DESIGN,
+    SUITE,
+    SUITE_BY_NAME,
+    SuiteEntry,
+    env_scale,
+    make_design,
+    spec_for,
+    suite_names,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "EXPLORATION_DESIGN",
+    "GeneratorSpec",
+    "NetlistStats",
+    "SUITE",
+    "SUITE_BY_NAME",
+    "SuiteEntry",
+    "env_scale",
+    "generate_design",
+    "make_design",
+    "rent_exponent",
+    "spec_for",
+    "suite_names",
+    "wirelength_distribution",
+]

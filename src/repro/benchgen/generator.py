@@ -1,0 +1,283 @@
+"""Synthetic industrial-like benchmark generation.
+
+The PUFFER paper evaluates on ten proprietary industrial designs that are
+not available, so this module synthesizes designs with matching *shape*:
+macro counts, pins-per-net and pins-per-cell ratios from Table I, plus a
+controllable congestion character (metal-stack budget, power-grid density,
+netlist locality).  Netlist connectivity follows the standard clustered
+model: cells are leaves of an implicit hierarchy over their index space,
+and each net picks its pins inside a window whose size follows a power
+law, yielding Rent's-rule-like locality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist import (
+    DesignBuilder,
+    Rect,
+    Technology,
+    default_metal_stack,
+    reduced_metal_stack,
+)
+from ..netlist.design import Design
+
+
+@dataclass
+class GeneratorSpec:
+    """Parameters controlling one synthetic design.
+
+    Attributes:
+        name: design name.
+        num_cells: movable standard-cell count.
+        num_nets: net count.
+        pins_per_net: mean net degree (Table I: ``#Pins / #Nets``).
+        num_macros: fixed macro count.
+        num_io: fixed boundary IO pads.
+        utilization: movable-area / free-area target; higher is denser.
+        locality: in (0, 1]; larger means more local nets (stronger
+            clustering, heavier local congestion).
+        window_exponent: power-law exponent of the net window size;
+            larger concentrates nets into smaller windows.
+        macro_area_fraction: die-area fraction covered by macros.
+        pg_density: power-grid strap density multiplier (0 disables).
+        reduced_stack: route on a tighter 4-layer stack (congested designs).
+        seed: RNG seed; generation is fully deterministic.
+    """
+
+    name: str
+    num_cells: int
+    num_nets: int
+    pins_per_net: float
+    num_macros: int = 0
+    num_io: int = 32
+    utilization: float = 0.7
+    locality: float = 0.94
+    window_exponent: float = 2.2
+    macro_area_fraction: float = 0.08
+    pg_density: float = 1.0
+    reduced_stack: bool = False
+    seed: int = 0
+
+
+def generate_design(spec: GeneratorSpec) -> Design:
+    """Build a :class:`Design` from ``spec`` (deterministic in the seed)."""
+    rng = np.random.default_rng(spec.seed)
+    tech = _make_technology(spec)
+    cell_w, cell_h = _cell_sizes(spec, rng, tech)
+    die = _die_for(spec, tech, cell_w, cell_h)
+    builder = DesignBuilder(spec.name, tech, die)
+
+    macro_rects = _place_macros(spec, rng, die, tech)
+    macro_ids = []
+    for k, rect in enumerate(macro_rects):
+        macro_ids.append(
+            builder.add_cell(
+                f"MACRO_{k}",
+                rect.width,
+                rect.height,
+                x=rect.center.x,
+                y=rect.center.y,
+                movable=False,
+                macro=True,
+            )
+        )
+        # Macros obstruct the two lowest routing layers over their outline.
+        for layer in range(
+            tech.routing_layers_start,
+            min(tech.routing_layers_start + 2, len(tech.layers)),
+        ):
+            builder.add_blockage(rect, layer)
+
+    io_ids = _place_ios(spec, rng, die, tech, builder)
+
+    for i in range(spec.num_cells):
+        builder.add_cell(f"c{i}", float(cell_w[i]), float(cell_h[i]))
+    first_cell = len(macro_ids) + len(io_ids)
+
+    _build_nets(spec, rng, builder, first_cell, cell_w, cell_h, macro_ids, io_ids)
+    _add_power_grid(spec, die, tech, builder)
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Pieces
+# ----------------------------------------------------------------------
+
+
+def _make_technology(spec: GeneratorSpec) -> Technology:
+    layers = reduced_metal_stack() if spec.reduced_stack else default_metal_stack()
+    return Technology(layers=layers)
+
+
+def _cell_sizes(spec: GeneratorSpec, rng, tech: Technology):
+    """Standard-cell widths in sites (1-16, geometric-ish) at row height."""
+    widths = 1 + rng.geometric(p=0.45, size=spec.num_cells)
+    widths = np.minimum(widths, 16) * tech.site_width
+    heights = np.full(spec.num_cells, tech.row_height)
+    return widths.astype(np.float64), heights
+
+
+def _die_for(spec: GeneratorSpec, tech: Technology, cell_w, cell_h) -> Rect:
+    """Square-ish die sized so movable area / free area hits utilization."""
+    movable_area = float((cell_w * cell_h).sum())
+    free_needed = movable_area / spec.utilization
+    total = free_needed / max(1.0 - spec.macro_area_fraction, 0.05)
+    side = math.sqrt(total)
+    # Round to whole rows and whole Gcells for clean grids.
+    height = math.ceil(side / tech.row_height) * tech.row_height
+    width = math.ceil(side / tech.gcell_size) * tech.gcell_size
+    height = math.ceil(height / tech.gcell_size) * tech.gcell_size
+    return Rect(0.0, 0.0, float(width), float(height))
+
+
+def _place_macros(spec: GeneratorSpec, rng, die: Rect, tech: Technology):
+    """Non-overlapping fixed macro rectangles inside the die."""
+    if spec.num_macros == 0:
+        return []
+    target_area = die.area * spec.macro_area_fraction
+    mean_area = target_area / spec.num_macros
+    rects = []
+    attempts = 0
+    while len(rects) < spec.num_macros and attempts < spec.num_macros * 200:
+        attempts += 1
+        aspect = rng.uniform(0.5, 2.0)
+        area = mean_area * rng.uniform(0.6, 1.5)
+        w = math.sqrt(area * aspect)
+        h = area / w
+        # Snap to rows/sites so macros respect the fabric.
+        w = max(tech.site_width * 4, round(w / tech.site_width) * tech.site_width)
+        h = max(tech.row_height, round(h / tech.row_height) * tech.row_height)
+        if w >= die.width / 2 or h >= die.height / 2:
+            continue
+        x = rng.uniform(die.xlo, die.xhi - w)
+        y = die.ylo + round(rng.uniform(0, (die.height - h) / tech.row_height)) * tech.row_height
+        x = die.xlo + round((x - die.xlo) / tech.site_width) * tech.site_width
+        cand = Rect(x, y, x + w, y + h)
+        margin = cand.expanded(tech.gcell_size / 2)
+        if any(margin.intersects(r) for r in rects):
+            continue
+        rects.append(cand)
+    return rects
+
+
+def _place_ios(spec: GeneratorSpec, rng, die: Rect, tech: Technology, builder) -> list:
+    """Fixed unit-size IO pads spread around the die boundary."""
+    ids = []
+    for k in range(spec.num_io):
+        side = k % 4
+        t = (k // 4 + 0.5) / max(spec.num_io // 4, 1)
+        w = h = tech.site_width
+        if side == 0:
+            x, y = die.xlo + w / 2, die.ylo + t * die.height
+        elif side == 1:
+            x, y = die.xhi - w / 2, die.ylo + t * die.height
+        elif side == 2:
+            x, y = die.xlo + t * die.width, die.ylo + h / 2
+        else:
+            x, y = die.xlo + t * die.width, die.yhi - h / 2
+        y = min(max(y, die.ylo + h / 2), die.yhi - h / 2)
+        x = min(max(x, die.xlo + w / 2), die.xhi - w / 2)
+        ids.append(builder.add_cell(f"IO_{k}", w, h, x=x, y=y, movable=False))
+    return ids
+
+
+def _degree_distribution(spec: GeneratorSpec, rng) -> np.ndarray:
+    """Net degrees with the requested mean; mostly 2-4 pins, a long tail."""
+    mean_extra = max(spec.pins_per_net - 2.0, 0.05)
+    # geometric(p) has mean 1/p, so shift by one to give extras mean
+    # ``mean_extra`` and degrees mean ``pins_per_net``.
+    extras = rng.geometric(p=1.0 / (mean_extra + 1.0), size=spec.num_nets) - 1
+    degrees = 2 + np.minimum(extras, 24)
+    # A few high-fanout nets (clock/reset-like).
+    num_fanout = max(spec.num_nets // 500, 1)
+    idx = rng.choice(spec.num_nets, size=num_fanout, replace=False)
+    degrees[idx] = rng.integers(32, 96, size=num_fanout)
+    return degrees
+
+
+def _build_nets(
+    spec: GeneratorSpec,
+    rng,
+    builder: DesignBuilder,
+    first_cell: int,
+    cell_w,
+    cell_h,
+    macro_ids,
+    io_ids,
+) -> None:
+    """Clustered nets over the cell index space (power-law windows)."""
+    n = spec.num_cells
+    degrees = _degree_distribution(spec, rng)
+    min_window, max_window = 12, n
+    for nid in range(spec.num_nets):
+        net = builder.add_net(f"n{nid}")
+        d = int(degrees[nid])
+        if rng.random() < spec.locality:
+            u = rng.random()
+            window = int(
+                min_window
+                * (max_window / min_window) ** (u ** spec.window_exponent)
+            )
+        else:
+            window = max_window
+        window = max(window, d + 1)
+        start = int(rng.integers(0, max(n - window, 1)))
+        members = rng.choice(
+            np.arange(start, min(start + window, n)),
+            size=min(d, min(window, n)),
+            replace=False,
+        )
+        for cell in members:
+            gid = first_cell + int(cell)
+            dx = rng.uniform(-0.4, 0.4) * cell_w[cell]
+            dy = rng.uniform(-0.4, 0.4) * cell_h[cell]
+            builder.add_pin(gid, net, dx, dy)
+        # Occasionally tie the net to a macro or an IO pad.
+        if macro_ids and rng.random() < 0.02:
+            builder.add_pin(int(rng.choice(macro_ids)), net)
+        elif io_ids and rng.random() < 0.02:
+            builder.add_pin(int(rng.choice(io_ids)), net)
+
+
+def _add_power_grid(spec: GeneratorSpec, die: Rect, tech: Technology, builder) -> None:
+    """Power straps as blockages on the top routing layers.
+
+    Vertical straps are denser and wider than horizontal ones (they also
+    land on the top *two* vertical layers), so heavy power grids starve
+    vertical routing first — giving high-``pg_density`` designs the
+    VOF-dominated congestion profile of the paper's hard benchmarks.
+    """
+    if spec.pg_density <= 0:
+        return
+    h_layers = [
+        i
+        for i, l in enumerate(tech.layers)
+        if i >= tech.routing_layers_start and l.direction == "H"
+    ]
+    v_layers = [
+        i
+        for i, l in enumerate(tech.layers)
+        if i >= tech.routing_layers_start and l.direction == "V"
+    ]
+    strap_w = 3.0 * spec.pg_density
+    pitch = max(tech.gcell_size * 3 / spec.pg_density, strap_w * 3)
+    if h_layers:
+        layer = h_layers[-1]
+        y = die.ylo + pitch / 2
+        while y + strap_w * 0.7 < die.yhi:
+            builder.add_blockage(
+                Rect(die.xlo, y, die.xhi, y + strap_w * 0.7), layer
+            )
+            y += pitch
+    for layer in v_layers[-2:]:
+        x = die.xlo + pitch / 2
+        while x + strap_w * 1.4 < die.xhi:
+            builder.add_blockage(
+                Rect(x, die.ylo, x + strap_w * 1.4, die.yhi), layer
+            )
+            x += pitch

@@ -1,0 +1,109 @@
+"""The ten Table-I industrial designs, regenerated synthetically.
+
+Each entry records the full-scale statistics from Table I of the paper
+(used verbatim when printing the Table-I reproduction) plus the congestion
+character inferred from Table II: designs whose global-routing overflow is
+high in the paper (``MEDIA_SUBSYS``, ``A53_ADB_WRAP``) get a reduced metal
+stack, a denser power grid, and stronger netlist locality, while easy
+designs get generous routing budgets.  ``MEDIA_PG_MODIFY`` shares the
+netlist seed of ``MEDIA_SUBSYS`` but relaxes the power grid, mirroring the
+paper's modified-PG variant.
+
+Designs are produced at a configurable ``scale`` because full-size
+(10^6-cell) placement is outside pure-Python reach; PUFFER's mechanisms
+operate on scale-free Gcell statistics, so placer *ranking* is preserved.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from .generator import GeneratorSpec, generate_design
+from ..netlist.design import Design
+
+DEFAULT_SCALE = 0.01
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """Full-scale Table-I statistics plus synthesis knobs for one design."""
+
+    name: str
+    cells: int
+    nets: int
+    pins: int
+    macros: int
+    utilization: float
+    locality: float
+    reduced_stack: bool
+    pg_density: float
+    seed: int
+
+    @property
+    def pins_per_net(self) -> float:
+        return self.pins / self.nets
+
+
+SUITE = (
+    SuiteEntry("OR1200", 122_000, 193_000, 660_000, 22, 0.75, 0.96, False, 1.0, 101),
+    SuiteEntry("ASIC_ENTITY", 149_000, 155_000, 630_000, 45, 0.68, 0.93, False, 0.8, 102),
+    SuiteEntry("BIT_COIN", 760_000, 760_000, 3_151_000, 43, 0.65, 0.94, False, 0.7, 103),
+    SuiteEntry("MEDIA_SUBSYS", 1_228_000, 1_296_000, 5_235_000, 70, 0.60, 0.96, True, 1.5, 104),
+    SuiteEntry("MEDIA_PG_MODIFY", 1_228_000, 1_296_000, 5_235_000, 70, 0.62, 0.95, False, 0.6, 104),
+    SuiteEntry("A53_ADB_WRAP", 1_232_000, 1_300_000, 5_242_000, 7, 0.60, 0.96, True, 1.4, 106),
+    SuiteEntry("CT_SCAN", 1_249_000, 1_317_000, 5_282_000, 39, 0.64, 0.94, False, 0.7, 107),
+    SuiteEntry("CT_TOP", 1_270_000, 1_272_000, 4_091_000, 38, 0.64, 0.94, False, 0.7, 108),
+    SuiteEntry("E31_ECOREPLEX", 1_533_000, 1_537_000, 6_303_000, 56, 0.64, 0.94, False, 0.8, 109),
+    SuiteEntry("OPENC910", 1_590_000, 1_741_000, 7_276_000, 332, 0.58, 0.95, False, 0.9, 110),
+)
+
+SUITE_BY_NAME = {entry.name: entry for entry in SUITE}
+
+#: The paper tunes strategy parameters on "a small design with the
+#: routability problem" and transfers them; OR1200 is the smallest
+#: congested design and plays that role here.
+EXPLORATION_DESIGN = "OR1200"
+
+
+def suite_names() -> list:
+    """Benchmark names in Table-I order."""
+    return [entry.name for entry in SUITE]
+
+
+def spec_for(name: str, scale: float = DEFAULT_SCALE) -> GeneratorSpec:
+    """Generator spec for suite design ``name`` at ``scale``."""
+    entry = SUITE_BY_NAME[name]
+    num_cells = max(int(round(entry.cells * scale)), 64)
+    num_nets = max(int(round(entry.nets * scale)), 64)
+    # Keep macro counts recognizable but bounded at small scale.
+    num_macros = max(2, min(entry.macros, int(round(entry.macros * (scale * 40))))) if entry.macros else 0
+    return GeneratorSpec(
+        name=name,
+        num_cells=num_cells,
+        num_nets=num_nets,
+        pins_per_net=entry.pins_per_net,
+        num_macros=num_macros,
+        num_io=max(16, int(32 * (scale / DEFAULT_SCALE) ** 0.5)),
+        utilization=entry.utilization,
+        locality=entry.locality,
+        reduced_stack=entry.reduced_stack,
+        pg_density=entry.pg_density,
+        seed=entry.seed,
+    )
+
+
+def make_design(name: str, scale: float = DEFAULT_SCALE) -> Design:
+    """Generate suite design ``name`` at ``scale``."""
+    return generate_design(spec_for(name, scale))
+
+
+def env_scale(default: float = DEFAULT_SCALE) -> float:
+    """Benchmark scale from the ``REPRO_SCALE`` environment variable."""
+    raw = os.environ.get("REPRO_SCALE")
+    if not raw:
+        return default
+    scale = float(raw)
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"REPRO_SCALE out of range: {scale}")
+    return scale

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate``  — synthesize a suite benchmark and save it (Bookshelf).
+* ``place``     — place a design (puffer / wirelength / replace /
+  commercial flows) and save the result.
+* ``route``     — route a placed design and report HOF/VOF/WL.
+* ``explore``   — run the strategy exploration on a small design.
+* ``suite``     — the Table-II comparison across the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .baselines import (
+    place_commercial_like,
+    place_replace_like,
+    place_wirelength_driven,
+)
+from .benchgen import make_design, suite_names
+from .core import PufferPlacer
+from .netlist import check_legal, load_design, save_design
+from .placer import PlacementParams
+from .router import GlobalRouter
+
+FLOWS = {
+    "puffer": lambda design, placement: PufferPlacer(
+        design, placement=placement
+    ).run(),
+    "wirelength": place_wirelength_driven,
+    "replace": place_replace_like,
+    "commercial": place_commercial_like,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PUFFER routability-driven placement (DAC 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="synthesize a suite benchmark")
+    generate.add_argument("design", choices=suite_names())
+    generate.add_argument("--scale", type=float, default=0.004)
+    generate.add_argument("--out", required=True, help="output directory")
+
+    place = sub.add_parser("place", help="place a design")
+    place.add_argument("design", choices=suite_names())
+    place.add_argument("--scale", type=float, default=0.004)
+    place.add_argument("--flow", choices=sorted(FLOWS), default="puffer")
+    place.add_argument("--max-iters", type=int, default=900)
+    place.add_argument("--out", help="directory to save the placed design")
+    place.add_argument("--route", action="store_true", help="evaluate with the router")
+
+    route = sub.add_parser("route", help="route a saved placement")
+    route.add_argument("directory")
+    route.add_argument("name")
+
+    explore = sub.add_parser("explore", help="strategy exploration (Sec. III-C)")
+    explore.add_argument("--design", default="OR1200", choices=suite_names())
+    explore.add_argument("--scale", type=float, default=0.008)
+    explore.add_argument("--budget", type=int, default=12)
+    explore.add_argument("--out", help="write the explored parameters as JSON")
+
+    suite = sub.add_parser("suite", help="Table-II comparison")
+    suite.add_argument("--scale", type=float, default=0.004)
+    suite.add_argument(
+        "--designs", nargs="*", default=None, help="subset of benchmarks"
+    )
+    return parser
+
+
+def cmd_generate(args) -> int:
+    design = make_design(args.design, args.scale)
+    save_design(design, args.out)
+    print(f"wrote {design} to {args.out}")
+    return 0
+
+
+def cmd_place(args) -> int:
+    design = make_design(args.design, args.scale)
+    placement = PlacementParams(max_iters=args.max_iters)
+    result = FLOWS[args.flow](design, placement)
+    legality = check_legal(design)
+    print(f"{args.flow}: HPWL {design.hpwl():.6g}, legal={legality.ok}")
+    if args.route:
+        report = GlobalRouter(design).run()
+        print(report.summary())
+    if args.out:
+        save_design(design, args.out)
+        print(f"saved to {args.out}")
+    return 0 if legality.ok else 1
+
+
+def cmd_route(args) -> int:
+    design = load_design(args.directory, args.name)
+    report = GlobalRouter(design).run()
+    print(report.summary())
+    return 0
+
+
+def cmd_explore(args) -> int:
+    from .core.exploration import make_placement_objective, strategy_exploration
+
+    objective = make_placement_objective(
+        lambda: make_design(args.design, args.scale)
+    )
+
+    report = strategy_exploration(
+        objective,
+        global_evals=args.budget,
+        group_evals=max(args.budget // 3, 3),
+        patience=max(args.budget // 3, 3),
+        max_group_rounds=1,
+        rng=7,
+    )
+    print(
+        f"explored {report.evaluations} configurations; "
+        f"best objective {report.best_loss:.3f}%"
+    )
+    values = {
+        name: getattr(report.params, name)
+        for name in (
+            "alpha_local_cg", "alpha_local_pin", "alpha_around_cg",
+            "alpha_around_pin", "alpha_pin_cg", "beta", "mu", "zeta",
+            "pu_low", "pu_high", "xi", "tau", "eta", "theta",
+            "kernel_size", "legalizer",
+        )
+    }
+    print(json.dumps(values, indent=2))
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(values, f, indent=2)
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from .evalkit import SuiteRunConfig, format_table2, run_suite
+
+    config = SuiteRunConfig(scale=args.scale, benchmarks=args.designs)
+    rows = run_suite(
+        config,
+        progress=lambda r: print(
+            f"  {r.benchmark:16s} {r.placer:16s} HOF {r.hof:6.2f} VOF {r.vof:6.2f}"
+        ),
+    )
+    print(format_table2(rows))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "place": cmd_place,
+        "route": cmd_route,
+        "explore": cmd_explore,
+        "suite": cmd_suite,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

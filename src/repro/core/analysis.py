@@ -1,0 +1,104 @@
+"""Diagnostics for the padding process.
+
+Answers the questions a user of the framework asks after a run: where
+did the padding go, did it track congestion, and how did each round
+contribute?  Consumed by the ``congestion_analysis`` example and the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist.design import Design
+from .congestion import CongestionMap
+from .padding import PaddingEngine
+
+
+@dataclass
+class PaddingSummary:
+    """Aggregate view of a finished padding state.
+
+    Attributes:
+        num_padded: cells carrying positive padding.
+        total_area: padded area in database units squared.
+        utilization: padded area over available white space.
+        mean_pad / max_pad: width statistics over padded cells.
+        congestion_correlation: Pearson correlation between per-cell
+            padding and local combined congestion — positive means the
+            padding targeted the congested regions.
+        rounds: padding rounds executed.
+    """
+
+    num_padded: int
+    total_area: float
+    utilization: float
+    mean_pad: float
+    max_pad: float
+    congestion_correlation: float
+    rounds: int
+
+
+def summarize_padding(
+    engine: PaddingEngine, cmap: CongestionMap | None = None
+) -> PaddingSummary:
+    """Summarize ``engine``'s accumulated state.
+
+    Args:
+        engine: the padding engine after a run.
+        cmap: congestion map for the correlation diagnostic (skipped when
+            omitted).
+    """
+    design = engine.design
+    movable = design.movable & ~design.is_macro
+    pad = engine.pad[movable]
+    padded = pad > 0
+    correlation = float("nan")
+    if cmap is not None and padded.sum() >= 2:
+        gx, gy = cmap.grid.gcell_of(design.x[movable], design.y[movable])
+        local = cmap.cg[gx, gy]
+        if np.std(pad) > 0 and np.std(local) > 0:
+            correlation = float(np.corrcoef(pad, local)[0, 1])
+    return PaddingSummary(
+        num_padded=int(padded.sum()),
+        total_area=engine.total_padding_area,
+        utilization=engine.total_padding_area / engine.available_area,
+        mean_pad=float(pad[padded].mean()) if padded.any() else 0.0,
+        max_pad=float(pad.max()) if len(pad) else 0.0,
+        congestion_correlation=correlation,
+        rounds=engine.round_index,
+    )
+
+
+def padding_histogram(engine: PaddingEngine, bins: int = 10) -> "list[tuple]":
+    """Histogram of positive padding widths: ``(lo, hi, count)`` rows."""
+    design = engine.design
+    movable = design.movable & ~design.is_macro
+    pad = engine.pad[movable]
+    pad = pad[pad > 0]
+    if len(pad) == 0:
+        return []
+    counts, edges = np.histogram(pad, bins=bins)
+    return [
+        (float(edges[i]), float(edges[i + 1]), int(counts[i]))
+        for i in range(len(counts))
+    ]
+
+
+def round_trajectory(engine: PaddingEngine) -> "list[dict]":
+    """Per-round records as plain dicts (for tables / JSON export)."""
+    return [
+        {
+            "round": r.round_index,
+            "added_area": r.added_area,
+            "added_fraction": r.added_fraction,
+            "total_area": r.total_area,
+            "utilization": r.utilization,
+            "scaled": r.scaled,
+            "num_padded": r.num_padded,
+            "num_recycled": r.num_recycled,
+        }
+        for r in engine.history
+    ]

@@ -1,0 +1,34 @@
+"""Blockage-aware routing capacity assessment (paper Sec. III-A1).
+
+PUFFER evaluates capacity with the same Gcell-based resource model as the
+router (paper Eq. 8): the basic per-direction track count from the metal
+stack minus tracks consumed by blockages (macro keep-outs, power straps,
+pin obstructions).  The computation is shared with
+:func:`repro.router.grid.build_grid` so estimator and evaluator agree on
+resources; this module adds caching, since capacity depends only on fixed
+objects and never changes across padding rounds.
+"""
+
+from __future__ import annotations
+
+from ..netlist.design import Design
+from ..router.grid import RoutingGrid, build_grid
+
+
+class CapacityModel:
+    """Caches the blockage-aware capacity grid for one design."""
+
+    def __init__(self, design: Design) -> None:
+        self._design = design
+        self._grid: RoutingGrid | None = None
+
+    @property
+    def grid(self) -> RoutingGrid:
+        """The capacity grid, built on first access (Eq. 8)."""
+        if self._grid is None:
+            self._grid = build_grid(self._design)
+        return self._grid
+
+    def invalidate(self) -> None:
+        """Drop the cache (call when blockages change)."""
+        self._grid = None

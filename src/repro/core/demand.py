@@ -1,0 +1,170 @@
+"""Topology-based probabilistic routing demand (paper Sec. III-A2).
+
+Every net is decomposed by RSMT into two-point nets over Gcell
+coordinates.  I-shaped two-point nets consume a unit of directional
+demand in every Gcell they pass; L-shaped ones spread an *average* demand
+over their bounding box (each Gcell gets ``1/(dy+1)`` horizontal and
+``1/(dx+1)`` vertical demand, the expectation over the two L routes).  A
+pin penalty captures the demand of local nets whose pins share a Gcell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist.design import Design
+from ..router.grid import RoutingGrid
+from ..rsmt import build_rsmt
+
+
+@dataclass
+class NetTopology:
+    """RSMT decomposition of one net on the Gcell grid.
+
+    Attributes:
+        net: net index in the design.
+        gx, gy: integer Gcell coordinates of the tree points.
+        is_pin: per-point flag (``False`` for Steiner points).
+        edges: ``(k, 2)`` point-index pairs (the two-point nets).
+        point_of: map from a pin Gcell ``(gx, gy)`` to its point index.
+    """
+
+    net: int
+    gx: np.ndarray
+    gy: np.ndarray
+    is_pin: np.ndarray
+    edges: np.ndarray
+    point_of: dict = field(default_factory=dict)
+
+
+@dataclass
+class ISegment:
+    """A straight two-point net, the unit the detour expansion acts on.
+
+    ``horizontal`` runs along x at row ``fixed``; endpoints at
+    ``lo <= hi``.  ``lo_is_pin`` / ``hi_is_pin`` record the endpoint kinds
+    (Steiner endpoints receive extra perpendicular detour demand when the
+    segment is expanded; pins do not, because cells can move).
+    """
+
+    horizontal: bool
+    fixed: int
+    lo: int
+    hi: int
+    lo_is_pin: bool
+    hi_is_pin: bool
+
+
+def build_topologies(
+    design: Design, grid: RoutingGrid, cache: dict | None = None
+) -> list:
+    """Per-net RSMT topologies at the current placement.
+
+    Args:
+        design: the placed design.
+        grid: the Gcell grid.
+        cache: optional per-net memo ``net -> (key, NetTopology)``.  Nets
+            whose pin Gcells did not move since the cached round reuse
+            their topology — between consecutive padding rounds most
+            nets qualify, which makes repeated estimation cheap.
+    """
+    px, py = design.pin_positions()
+    pgx, pgy = grid.gcell_of(px, py)
+    flat = pgx * grid.ny + pgy
+    topologies = []
+    for net in range(design.num_nets):
+        pins = design.pins_of_net(net)
+        if len(pins) < 2:
+            continue
+        cells = np.unique(flat[pins])
+        if len(cells) < 2:
+            # All pins share one Gcell: a local net, pin penalty only.
+            continue
+        key = cells.tobytes()
+        if cache is not None:
+            hit = cache.get(net)
+            if hit is not None and hit[0] == key:
+                topologies.append(hit[1])
+                continue
+        gx_pts = cells // grid.ny
+        gy_pts = cells % grid.ny
+        topo = build_rsmt(gx_pts.astype(float), gy_pts.astype(float))
+        gx = np.round(topo.x).astype(np.int64)
+        gy = np.round(topo.y).astype(np.int64)
+        point_of = {
+            (int(gx[i]), int(gy[i])): i
+            for i in range(len(gx))
+            if topo.is_pin[i]
+        }
+        net_topo = NetTopology(
+            net, gx, gy, topo.is_pin.copy(), topo.edges.copy(), point_of
+        )
+        if cache is not None:
+            cache[net] = (key, net_topo)
+        topologies.append(net_topo)
+    return topologies
+
+
+@dataclass
+class DemandResult:
+    """Demand maps plus the I-segment inventory used by the expansion."""
+
+    dmd_h: np.ndarray
+    dmd_v: np.ndarray
+    pin_count: np.ndarray
+    i_segments: list
+
+
+def accumulate_demand(
+    design: Design,
+    grid: RoutingGrid,
+    topologies: list,
+    pin_penalty: float = 0.05,
+) -> DemandResult:
+    """Probabilistic demand maps for the given topologies.
+
+    Args:
+        design: provides pin positions for the pin penalty.
+        grid: the Gcell grid.
+        topologies: output of :func:`build_topologies`.
+        pin_penalty: demand added to both directions of each pin's Gcell.
+
+    Returns:
+        A :class:`DemandResult`; ``pin_count`` is the raw per-Gcell pin
+        count (reused by the pin-density features).
+    """
+    dmd_h = np.zeros((grid.nx, grid.ny))
+    dmd_v = np.zeros((grid.nx, grid.ny))
+    i_segments = []
+    for topo in topologies:
+        gx, gy, is_pin = topo.gx, topo.gy, topo.is_pin
+        for a, b in topo.edges:
+            ax, ay, bx, by = int(gx[a]), int(gy[a]), int(gx[b]), int(gy[b])
+            if ay == by and ax != bx:
+                lo, hi = (ax, bx) if ax < bx else (bx, ax)
+                dmd_h[lo : hi + 1, ay] += 1.0
+                lo_pin, hi_pin = (is_pin[a], is_pin[b]) if ax < bx else (is_pin[b], is_pin[a])
+                i_segments.append(ISegment(True, ay, lo, hi, bool(lo_pin), bool(hi_pin)))
+            elif ax == bx and ay != by:
+                lo, hi = (ay, by) if ay < by else (by, ay)
+                dmd_v[ax, lo : hi + 1] += 1.0
+                lo_pin, hi_pin = (is_pin[a], is_pin[b]) if ay < by else (is_pin[b], is_pin[a])
+                i_segments.append(ISegment(False, ax, lo, hi, bool(lo_pin), bool(hi_pin)))
+            elif ax != bx and ay != by:
+                xlo, xhi = (ax, bx) if ax < bx else (bx, ax)
+                ylo, yhi = (ay, by) if ay < by else (by, ay)
+                dx = xhi - xlo
+                dy = yhi - ylo
+                dmd_h[xlo : xhi + 1, ylo : yhi + 1] += 1.0 / (dy + 1)
+                dmd_v[xlo : xhi + 1, ylo : yhi + 1] += 1.0 / (dx + 1)
+    pin_count = np.zeros((grid.nx, grid.ny))
+    if design.num_pins:
+        px, py = design.pin_positions()
+        pgx, pgy = grid.gcell_of(px, py)
+        np.add.at(pin_count, (pgx, pgy), 1.0)
+        if pin_penalty > 0:
+            dmd_h += pin_penalty * pin_count
+            dmd_v += pin_penalty * pin_count
+    return DemandResult(dmd_h, dmd_v, pin_count, i_segments)

@@ -1,0 +1,112 @@
+"""Detour-imitating routing demand expansion (paper Sec. III-A3).
+
+Clustered cells concentrate the probabilistic demand into narrow stripes;
+a real router (and the eventual cell spreading) would instead detour
+through neighbouring Gcell rows/columns.  Rather than perturb the
+electrostatic system by spreading cells directly, PUFFER rewrites the
+demand map: every *congested I-shaped* two-point net redistributes its
+unit demand over the neighbouring rows (columns) in proportion to their
+remaining capacity.  A Steiner endpoint additionally receives
+perpendicular demand connecting the displaced run back to the tree — a
+routing detour — while a pin endpoint does not, because the owning cell
+itself can move (cell spreading).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..router.grid import RoutingGrid
+from .demand import DemandResult, ISegment
+
+
+@dataclass
+class ExpansionParams:
+    """Knobs of the demand expansion.
+
+    Attributes:
+        radius: how many rows/columns on each side receive demand.
+        keep_weight: minimum weight retained by the original row even
+            when it has no spare capacity (keeps the map smooth).
+    """
+
+    radius: int = 2
+    keep_weight: float = 0.25
+
+
+def expand_demand(
+    grid: RoutingGrid,
+    demand: DemandResult,
+    params: ExpansionParams | None = None,
+) -> None:
+    """Expand congested I-segments in place (paper Fig. 3c).
+
+    Congestion is judged against the *current* maps, so earlier
+    expansions relieve later ones — imitating routers negotiating
+    resources one net at a time.
+    """
+    params = params or ExpansionParams()
+    for seg in demand.i_segments:
+        if seg.horizontal:
+            _expand_one(
+                grid.cap_h, demand.dmd_h, demand.dmd_v, grid.ny, seg, params
+            )
+        else:
+            # The transposed views make the vertical case identical.
+            _expand_one(
+                grid.cap_v.T, demand.dmd_v.T, demand.dmd_h.T, grid.nx, seg, params
+            )
+
+
+def _expand_one(
+    cap: np.ndarray,
+    dmd: np.ndarray,
+    dmd_perp: np.ndarray,
+    num_rows: int,
+    seg: ISegment,
+    params: ExpansionParams,
+) -> None:
+    """Redistribute one horizontal-convention I-segment.
+
+    ``cap``/``dmd`` are indexed ``[along, across]``: for a horizontal
+    segment that is ``[gx, gy]``; the vertical case passes transposed
+    views so the same code applies.
+    """
+    row = seg.fixed
+    span = slice(seg.lo, seg.hi + 1)
+    length = seg.hi - seg.lo + 1
+    over = dmd[span, row] - cap[span, row]
+    if over.max() <= 0.0:
+        return
+    lo_k = max(row - params.radius, 0) - row
+    hi_k = min(row + params.radius, num_rows - 1) - row
+    offsets = np.arange(lo_k, hi_k + 1)
+    avail = np.empty(len(offsets))
+    for i, k in enumerate(offsets):
+        spare = cap[span, row + k] - dmd[span, row + k]
+        avail[i] = max(float(spare.sum()), 0.0)
+    weights = avail.copy()
+    weights[offsets == 0] += params.keep_weight * max(length, 1)
+    total = weights.sum()
+    if total <= 0.0:
+        return
+    weights /= total
+
+    # Redistribute the unit demand across the neighbouring rows.
+    dmd[span, row] -= 1.0
+    for k, w in zip(offsets, weights):
+        if w <= 0.0:
+            continue
+        dmd[span, row + k] += w
+        if k == 0:
+            continue
+        # Detour connection at Steiner endpoints only (paper Fig. 3c):
+        # perpendicular demand between the original and displaced rows.
+        step = 1 if k > 0 else -1
+        across = slice(min(row + step, row + k), max(row + step, row + k) + 1)
+        if not seg.lo_is_pin:
+            dmd_perp[seg.lo, across] += w
+        if not seg.hi_is_pin:
+            dmd_perp[seg.hi, across] += w

@@ -1,0 +1,211 @@
+"""Multi-feature extraction for cell padding (paper Sec. III-B1).
+
+Three feature classes, each covering a blind spot of the previous one:
+
+* **Local** features — the signed congestion (Eq. 9) and pin density of
+  the Gcells a cell overlaps.  Clipped views used by prior work cannot
+  tell clustered cells apart; keeping the sign preserves the deviation
+  between the estimate and the eventual routing result.
+* **CNN-inspired** features — a mean-filter "convolution" over an
+  expanded bounding box captures the surrounding region, like a CNN
+  kernel aggregating neighbouring elements.
+* **GNN-inspired** features — pin congestion (Eqs. 12-13) aggregates
+  congestion along the *netlist topology*: for every pin, the best
+  (minimum over candidate L/Z paths) of the worst (maximum along the
+  path) congestion of its two-point nets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.ndimage import uniform_filter
+
+from ..netlist.design import Design
+from .congestion import CongestionMap
+
+
+FEATURE_NAMES = (
+    "local_cg",
+    "local_pin",
+    "around_cg",
+    "around_pin",
+    "pin_cg",
+)
+
+
+@dataclass
+class FeatureParams:
+    """Feature-extraction knobs.
+
+    Attributes:
+        kernel_size: mean-filter size (Gcells) of the CNN-inspired
+            features — the convolution-kernel analogue.
+        z_samples: interior Z-path positions sampled per direction when
+            enumerating candidate paths for pin congestion.
+        use_cnn / use_gnn: feature-class switches (ablation A1).
+    """
+
+    kernel_size: int = 3
+    z_samples: int = 2
+    use_cnn: bool = True
+    use_gnn: bool = True
+
+
+@dataclass
+class FeatureSet:
+    """Per-cell feature arrays, in :data:`FEATURE_NAMES` order."""
+
+    values: dict
+
+    def matrix(self, names=FEATURE_NAMES) -> np.ndarray:
+        """``(num_cells, num_features)`` matrix in the given name order."""
+        return np.stack([self.values[n] for n in names], axis=1)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.values[name]
+
+
+class FeatureExtractor:
+    """Computes the padding features for one design."""
+
+    def __init__(self, design: Design, params: FeatureParams | None = None) -> None:
+        self.design = design
+        self.params = params or FeatureParams()
+
+    def extract(self, cmap: CongestionMap, topologies: list) -> FeatureSet:
+        """All features at the design's current placement.
+
+        Fixed cells and macros receive zero features (they are never
+        padded).
+        """
+        design = self.design
+        n = design.num_cells
+        grid = cmap.grid
+        movable = design.movable & ~design.is_macro
+        values = {name: np.zeros(n) for name in FEATURE_NAMES}
+
+        idx = np.flatnonzero(movable)
+        if len(idx) == 0:
+            return FeatureSet(values)
+        xlo = design.x[idx] - design.w[idx] / 2
+        xhi = design.x[idx] + design.w[idx] / 2
+        ylo = design.y[idx] - design.h[idx] / 2
+        yhi = design.y[idx] + design.h[idx] / 2
+
+        # Local features: max over the (up to four) overlapped Gcells.
+        values["local_cg"][idx] = _corner_max(grid, cmap.cg, xlo, ylo, xhi, yhi)
+        values["local_pin"][idx] = _corner_max(
+            grid, cmap.pin_density, xlo, ylo, xhi, yhi
+        )
+
+        if self.params.use_cnn:
+            k = max(int(self.params.kernel_size), 1)
+            around_cg = uniform_filter(cmap.cg, size=k, mode="nearest")
+            around_pin = uniform_filter(cmap.pin_density, size=k, mode="nearest")
+            gx, gy = grid.gcell_of(design.x[idx], design.y[idx])
+            values["around_cg"][idx] = around_cg[gx, gy]
+            values["around_pin"][idx] = around_pin[gx, gy]
+
+        if self.params.use_gnn:
+            values["pin_cg"] = self._pin_congestion(cmap, topologies)
+            values["pin_cg"][~movable] = 0.0
+        return FeatureSet(values)
+
+    # ------------------------------------------------------------------
+    # GNN-inspired pin congestion (Eqs. 12-13)
+    # ------------------------------------------------------------------
+
+    def _pin_congestion(self, cmap: CongestionMap, topologies: list) -> np.ndarray:
+        design = self.design
+        grid = cmap.grid
+        cg = cmap.cg
+        px, py = design.pin_positions()
+        pgx, pgy = grid.gcell_of(px, py)
+
+        # Best (min over candidate paths) worst-Gcell congestion per
+        # topology point, for pin points of every net.
+        point_values = []
+        for topo in topologies:
+            best = np.full(len(topo.gx), np.inf)
+            for a, b in topo.edges:
+                value = self._segment_path_congestion(
+                    cg, int(topo.gx[a]), int(topo.gy[a]), int(topo.gx[b]), int(topo.gy[b])
+                )
+                best[a] = min(best[a], value)
+                best[b] = min(best[b], value)
+            point_values.append(best)
+
+        pin_cg_cell = np.zeros(design.num_cells)
+        for topo, best in zip(topologies, point_values):
+            pins = design.pins_of_net(topo.net)
+            for p in pins:
+                key = (int(pgx[p]), int(pgy[p]))
+                point = topo.point_of.get(key)
+                if point is None or not np.isfinite(best[point]):
+                    continue
+                pin_cg_cell[design.pin_cell[p]] += best[point]
+        return pin_cg_cell
+
+    def _segment_path_congestion(
+        self, cg: np.ndarray, ax: int, ay: int, bx: int, by: int
+    ) -> float:
+        """Min over L/Z candidate paths of the max Gcell congestion."""
+        if ax == bx and ay == by:
+            return float(cg[ax, ay])
+        if ax == bx:
+            lo, hi = sorted((ay, by))
+            return float(cg[ax, lo : hi + 1].max())
+        if ay == by:
+            lo, hi = sorted((ax, bx))
+            return float(cg[lo : hi + 1, ay].max())
+        xlo, xhi = sorted((ax, bx))
+        ylo, yhi = sorted((ay, by))
+        best = min(
+            # L with corner at (bx, ay): H run at ay, V run at bx.
+            max(cg[xlo : xhi + 1, ay].max(), cg[bx, ylo : yhi + 1].max()),
+            # L with corner at (ax, by).
+            max(cg[xlo : xhi + 1, by].max(), cg[ax, ylo : yhi + 1].max()),
+        )
+        for mid in _interior_samples(xlo, xhi, self.params.z_samples):
+            value = max(
+                cg[min(ax, mid) : max(ax, mid) + 1, ay].max(),
+                cg[mid, ylo : yhi + 1].max(),
+                cg[min(mid, bx) : max(mid, bx) + 1, by].max(),
+            )
+            best = min(best, value)
+        for mid in _interior_samples(ylo, yhi, self.params.z_samples):
+            value = max(
+                cg[ax, min(ay, mid) : max(ay, mid) + 1].max(),
+                cg[xlo : xhi + 1, mid].max(),
+                cg[bx, min(mid, by) : max(mid, by) + 1].max(),
+            )
+            best = min(best, value)
+        return float(best)
+
+
+def _interior_samples(lo: int, hi: int, count: int) -> list:
+    interior = range(lo + 1, hi)
+    if len(interior) <= count:
+        return list(interior)
+    step = len(interior) / (count + 1)
+    return [interior[int(step * (i + 1))] for i in range(count)]
+
+
+def _corner_max(grid, grid_map, xlo, ylo, xhi, yhi) -> np.ndarray:
+    """Max of a Gcell map over the rectangle corners of each cell.
+
+    Standard cells rarely span more than 2x2 Gcells, so sampling the four
+    corner Gcells realizes Eq. (9)'s max over overlapped Gcells.
+    """
+    gx0, gy0 = grid.gcell_of(xlo, ylo)
+    gx1, gy1 = grid.gcell_of(xhi, yhi)
+    return np.maximum.reduce(
+        [
+            grid_map[gx0, gy0],
+            grid_map[gx1, gy0],
+            grid_map[gx0, gy1],
+            grid_map[gx1, gy1],
+        ]
+    )

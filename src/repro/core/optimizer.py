@@ -1,0 +1,120 @@
+"""The routability optimizer: PUFFER's global-placement hook.
+
+Ties together congestion estimation, feature extraction, and the padding
+engine (paper Fig. 2, middle box).  Registered as an iteration hook on
+:class:`repro.placer.engine.GlobalPlacer`, it fires when the paper's
+three trigger conditions hold:
+
+1. the density overflow is below ``tau`` (cells have spread enough for
+   the congestion estimate to be meaningful),
+2. the padding utilization of the preceding round is below ``eta`` —
+   the padding is converging rather than still growing violently, and
+3. fewer than ``xi`` rounds have run.
+
+Each firing rewrites the effective cell sizes in the electrostatic
+system, so the subsequent placement iterations spread padded cells apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist.design import Design
+from ..placer.engine import PlacerState
+from .congestion import CongestionEstimator, CongestionMap, EstimatorParams
+from .expansion import ExpansionParams
+from .features import FeatureExtractor, FeatureParams
+from .padding import PaddingEngine
+from .strategy import StrategyParams
+
+
+@dataclass
+class RoundEvent:
+    """Trace record of one routability-optimization firing."""
+
+    gp_iteration: int
+    round_index: int
+    est_hof: float
+    est_vof: float
+    padding_area: float
+    utilization: float
+
+
+class RoutabilityOptimizer:
+    """Congestion-driven cell-padding hook for the global placer."""
+
+    def __init__(
+        self,
+        design: Design,
+        strategy: StrategyParams | None = None,
+        estimator_params: EstimatorParams | None = None,
+        feature_params: FeatureParams | None = None,
+        min_gap: int = 5,
+    ) -> None:
+        self.design = design
+        self.strategy = strategy or StrategyParams()
+        est = estimator_params or EstimatorParams(
+            expansion=ExpansionParams()
+        )
+        self.estimator = CongestionEstimator(design, est)
+        if feature_params is None:
+            feature_params = FeatureParams(kernel_size=self.strategy.kernel_size)
+        self.extractor = FeatureExtractor(design, feature_params)
+        self.padding = PaddingEngine(design, self.strategy)
+        self.min_gap = min_gap
+        self.calls = 0
+        self.last_call_iteration = -10**9
+        self.last_map: CongestionMap | None = None
+        self.events: list = []
+
+    # ------------------------------------------------------------------
+    # Trigger logic
+    # ------------------------------------------------------------------
+
+    def should_fire(self, state: PlacerState) -> bool:
+        """The paper's three trigger conditions plus an iteration gap."""
+        if self.calls >= self.strategy.xi:
+            return False
+        if state.overflow >= self.strategy.tau:
+            return False
+        if self.padding.history:
+            # Padding-convergence condition: the preceding round must not
+            # still be adding large amounts of padding (utilization of
+            # the newly generated padding below eta).
+            if self.padding.history[-1].added_fraction >= self.strategy.eta:
+                return False
+        if state.iteration - self.last_call_iteration < self.min_gap:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Hook protocol
+    # ------------------------------------------------------------------
+
+    def __call__(self, state: PlacerState) -> bool:
+        if not self.should_fire(state):
+            return False
+        self.calls += 1
+        self.last_call_iteration = state.iteration
+
+        cmap, topologies, _demand = self.estimator.estimate()
+        self.last_map = cmap
+        features = self.extractor.extract(cmap, topologies)
+        record = self.padding.run_round(features)
+        w_eff, h_eff = self.padding.padded_sizes()
+        state.set_density_sizes(w_eff, h_eff)
+
+        est_hof, est_vof = cmap.overflow_ratio()
+        self.events.append(
+            RoundEvent(
+                gp_iteration=state.iteration,
+                round_index=record.round_index,
+                est_hof=est_hof,
+                est_vof=est_vof,
+                padding_area=record.total_area,
+                utilization=record.utilization,
+            )
+        )
+        return True

@@ -1,0 +1,160 @@
+"""Multi-feature cell padding with recycling and utilization control.
+
+Implements paper Sec. III-B2/B3 (Eqs. 14-16 and Algorithm 1).  Padding is
+*incremental*: each routability round adds the newly computed padding on
+top of the accumulated state, cells that have drifted away from congested
+regions are recycled (their historical padding partially withdrawn), and
+the total padded area follows a rising utilization schedule so early
+rounds cannot over-pad and trap the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist.design import Design
+from .features import FEATURE_NAMES, FeatureSet
+from .strategy import StrategyParams
+
+
+@dataclass
+class PaddingRound:
+    """Bookkeeping of one padding round.
+
+    Attributes:
+        round_index: 1-based round counter ``i``.
+        added_area: raw padded area requested this round (before
+            recycling and scaling).
+        added_fraction: net change of the *applied* padding area this
+            round over the available area — the padding convergence
+            measure the eta trigger condition reads: a small value means
+            the padding has stabilized.
+        total_area: padded area after recycling/scaling.
+        utilization: ``total_area / available_area``.
+        budget_fraction: ``total_area / (pu_i * available_area)``.
+        scaled: whether the utilization cap forced a rescale.
+        num_padded: cells receiving positive padding this round.
+        num_recycled: cells whose history was withdrawn this round.
+    """
+
+    round_index: int
+    added_area: float
+    added_fraction: float
+    total_area: float
+    utilization: float
+    budget_fraction: float
+    scaled: bool
+    num_padded: int
+    num_recycled: int
+
+
+class PaddingEngine:
+    """Accumulates per-cell padding widths across routability rounds."""
+
+    def __init__(self, design: Design, params: StrategyParams) -> None:
+        self.design = design
+        self.params = params
+        n = design.num_cells
+        self.pad = np.zeros(n)  # accumulated padding width per cell
+        self.pad_times = np.zeros(n, dtype=np.int64)  # pt(c)
+        self.round_index = 0
+        self.history: list = []
+        self._movable = design.movable & ~design.is_macro
+        self.available_area = self._available_area()
+
+    def _available_area(self) -> float:
+        """White space: free die area minus movable cell area."""
+        design = self.design
+        fixed = ~design.movable
+        fixed_area = float((design.w[fixed] * design.h[fixed]).sum())
+        free = design.die.area - fixed_area
+        return max(free - design.movable_area, 1e-9)
+
+    # ------------------------------------------------------------------
+    # One round (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def compute_padding(self, features: FeatureSet) -> np.ndarray:
+        """Paper Eq. (14): per-cell padding from the weighted features."""
+        params = self.params
+        score = np.full(self.design.num_cells, params.beta)
+        for alpha, name in zip(params.alphas(), FEATURE_NAMES):
+            score += alpha * features[name]
+        pad = np.log(np.maximum(score, 1.0)) * params.mu
+        pad[~self._movable] = 0.0
+        return pad
+
+    def recycle_rate(self) -> np.ndarray:
+        """Paper Eq. (15): per-cell recycle rate for the current round."""
+        i = self.round_index
+        rate = (i - self.pad_times) / (i + self.params.zeta)
+        return np.clip(rate, 0.0, 1.0)
+
+    def target_utilization(self) -> float:
+        """Paper Eq. (16): padding utilization allowed this round."""
+        params = self.params
+        i = min(self.round_index, params.xi)
+        if params.xi <= 1:
+            return params.pu_high
+        frac = (i - 1) / (params.xi - 1)
+        return params.pu_low + frac * (params.pu_high - params.pu_low)
+
+    def run_round(self, features: FeatureSet) -> PaddingRound:
+        """Execute Algorithm 1 once; mutates the accumulated state."""
+        self.round_index += 1
+        design = self.design
+        total_before = self.total_padding_area
+        new_pad = self.compute_padding(features)
+        positive = new_pad > 0.0
+
+        # Incremental padding on positively scored cells.
+        self.pad[positive] += new_pad[positive]
+        self.pad_times[positive] += 1
+        added_area = float((new_pad[positive] * design.h[positive]).sum())
+
+        # Recycling of the rest (Eq. 15): withdraw part of the history.
+        recycle_mask = self._movable & ~positive & (self.pad > 0.0)
+        rate = self.recycle_rate()
+        self.pad[recycle_mask] *= 1.0 - rate[recycle_mask]
+
+        # Utilization control (Algorithm 1 lines 5-9).
+        pu = self.target_utilization()
+        budget = pu * self.available_area
+        total_area = float((self.pad[self._movable] * design.h[self._movable]).sum())
+        scaled = False
+        if total_area > budget:
+            self.pad[self._movable] *= budget / total_area
+            total_area = budget
+            scaled = True
+
+        record = PaddingRound(
+            round_index=self.round_index,
+            added_area=added_area,
+            added_fraction=abs(total_area - total_before) / self.available_area,
+            total_area=total_area,
+            utilization=total_area / self.available_area,
+            budget_fraction=total_area / max(budget, 1e-12),
+            scaled=scaled,
+            num_padded=int(positive.sum()),
+            num_recycled=int(recycle_mask.sum()),
+        )
+        self.history.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Consumers
+    # ------------------------------------------------------------------
+
+    def padded_sizes(self) -> tuple:
+        """Effective ``(w, h)`` for the electrostatic density system."""
+        w_eff = self.design.w.copy()
+        w_eff[self._movable] += self.pad[self._movable]
+        return w_eff, self.design.h.copy()
+
+    @property
+    def total_padding_area(self) -> float:
+        return float(
+            (self.pad[self._movable] * self.design.h[self._movable]).sum()
+        )

@@ -1,0 +1,133 @@
+"""Strategy parameters of the routability optimizer (paper Sec. III-B/C/D).
+
+Every knob the paper marks as a *strategy parameter* lives here, together
+with the exploration search space and the relevance groups used by the
+grouped exploration of Algorithm 3.  Instead of manual tuning, these are
+meant to be explored with :mod:`repro.core.exploration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from ..tpe import Choice, QUniform, Space, Uniform
+
+
+@dataclass
+class StrategyParams:
+    """All strategy parameters of PUFFER.
+
+    Padding formula (Eq. 14): ``Pad(c) = log(max(sum_i alpha_i f_i + beta,
+    1)) * mu`` over the five features of
+    :data:`repro.core.features.FEATURE_NAMES`.
+
+    Attributes:
+        alpha_local_cg..alpha_pin_cg: feature weights ``alpha_i``.
+        beta: affine offset in Eq. (14).
+        mu: padding magnitude (database units per unit log-score).
+        zeta: recycling-effort parameter of Eq. (15).
+        pu_low, pu_high: padding-utilization schedule bounds of Eq. (16).
+        xi: maximum routability-optimization rounds.
+        tau: density-overflow trigger threshold.
+        eta: budget-saturation threshold; once the padding area fills
+            ``eta`` of the allowed budget the padding has converged and
+            no further rounds fire.
+        theta: legalization staircase parameter of Eq. (17).
+        kernel_size: CNN-inspired mean-filter size (Gcells).
+        legal_area_cap: padded-area cap in legalization (Sec. III-D: 5 %).
+        legalizer: which legalization algorithm consumes the padding — an
+            example of a *discrete* strategy choice.
+    """
+
+    alpha_local_cg: float = 2.0
+    alpha_local_pin: float = 0.5
+    alpha_around_cg: float = 2.0
+    alpha_around_pin: float = 0.5
+    alpha_pin_cg: float = 0.3
+    beta: float = -1.0
+    mu: float = 1.5
+    zeta: float = 2.0
+    pu_low: float = 0.10
+    pu_high: float = 0.35
+    xi: int = 6
+    tau: float = 0.25
+    eta: float = 0.95
+    theta: float = 4.0
+    kernel_size: int = 3
+    legal_area_cap: float = 0.05
+    legalizer: str = "abacus"
+
+    def alphas(self) -> list:
+        """Feature weights in :data:`FEATURE_NAMES` order."""
+        return [
+            self.alpha_local_cg,
+            self.alpha_local_pin,
+            self.alpha_around_cg,
+            self.alpha_around_pin,
+            self.alpha_pin_cg,
+        ]
+
+    def replaced(self, **kwargs) -> "StrategyParams":
+        """A copy with the given fields replaced."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values.update(kwargs)
+        return StrategyParams(**values)
+
+    @classmethod
+    def from_dict(cls, values: dict) -> "StrategyParams":
+        """Build params from an exploration configuration dict.
+
+        Unknown keys raise; missing keys keep their defaults.  ``xi`` and
+        ``kernel_size`` are coerced to int.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(values) - known
+        if unknown:
+            raise KeyError(f"unknown strategy parameters: {sorted(unknown)}")
+        params = cls(**values)
+        params.xi = int(round(params.xi))
+        params.kernel_size = int(round(params.kernel_size))
+        return params
+
+
+def default_space() -> Space:
+    """The initial exploration ranges (Algorithm 3 line 1)."""
+    return Space(
+        [
+            Uniform("alpha_local_cg", 0.0, 4.0),
+            Uniform("alpha_local_pin", 0.0, 4.0),
+            Uniform("alpha_around_cg", 0.0, 4.0),
+            Uniform("alpha_around_pin", 0.0, 4.0),
+            Uniform("alpha_pin_cg", 0.0, 2.0),
+            Uniform("beta", -3.0, 1.0),
+            Uniform("mu", 0.5, 4.0),
+            Uniform("zeta", 0.5, 8.0),
+            Uniform("pu_low", 0.02, 0.3),
+            Uniform("pu_high", 0.15, 0.6),
+            QUniform("xi", 3, 10, q=1),
+            Uniform("tau", 0.15, 0.4),
+            Uniform("eta", 0.7, 1.0),
+            QUniform("theta", 2, 8, q=1),
+            QUniform("kernel_size", 1, 7, q=1),
+            Choice("legalizer", ("abacus", "tetris")),
+        ]
+    )
+
+
+#: Parameter groups by relevance (Algorithm 3 line 3).  Parameters with
+#: strong interactions share a group and are explored together while the
+#: others stay fixed at their range midpoints.
+PARAM_GROUPS = {
+    "formula": [
+        "alpha_local_cg",
+        "alpha_local_pin",
+        "alpha_around_cg",
+        "alpha_around_pin",
+        "alpha_pin_cg",
+        "beta",
+        "mu",
+    ],
+    "schedule": ["tau", "eta", "xi", "pu_low", "pu_high"],
+    "smoothing": ["zeta", "kernel_size"],
+    "legalization": ["theta", "legalizer"],
+}

@@ -1,0 +1,17 @@
+"""Detailed placement: legality-preserving wirelength refinement."""
+
+from .detailed import DetailedPlaceResult, DetailedPlacer
+from .incremental import IncrementalHpwl
+from .reorder import local_reorder_pass
+from .rows import RowLayout
+from .swap import global_swap_pass, optimal_position
+
+__all__ = [
+    "DetailedPlaceResult",
+    "DetailedPlacer",
+    "IncrementalHpwl",
+    "RowLayout",
+    "global_swap_pass",
+    "local_reorder_pass",
+    "optimal_position",
+]

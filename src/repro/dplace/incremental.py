@@ -1,0 +1,92 @@
+"""Incremental HPWL evaluation for detailed placement.
+
+Detailed placement evaluates thousands of tentative moves; recomputing
+the full wirelength each time would dominate the runtime.  This
+evaluator caches per-net bounding boxes and recomputes only the nets
+touched by a move.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist.design import Design
+
+
+class IncrementalHpwl:
+    """Cached per-net bounding boxes with tentative-move deltas."""
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        self._px, self._py = design.pin_positions()
+        self._bbox = {}
+        self._total = 0.0
+        for net in range(design.num_nets):
+            pins = design.pins_of_net(net)
+            if len(pins) == 0:
+                continue
+            box = self._net_box(net, {})
+            self._bbox[net] = box
+            self._total += (box[1] - box[0]) + (box[3] - box[2])
+
+    @property
+    def total(self) -> float:
+        """Current total HPWL."""
+        return self._total
+
+    def _net_box(self, net: int, overrides: dict) -> tuple:
+        """Net bbox with per-cell position overrides applied."""
+        design = self.design
+        pins = design.pins_of_net(net)
+        xs = np.empty(len(pins))
+        ys = np.empty(len(pins))
+        for i, p in enumerate(pins):
+            cell = int(design.pin_cell[p])
+            if cell in overrides:
+                cx, cy = overrides[cell]
+            else:
+                cx, cy = design.x[cell], design.y[cell]
+            xs[i] = cx + design.pin_dx[p]
+            ys[i] = cy + design.pin_dy[p]
+        return (float(xs.min()), float(xs.max()), float(ys.min()), float(ys.max()))
+
+    def _affected_nets(self, cells) -> set:
+        nets = set()
+        for cell in cells:
+            for p in self.design.pins_of_cell(int(cell)):
+                nets.add(int(self.design.pin_net[p]))
+        return nets
+
+    def delta(self, moves: dict) -> float:
+        """HPWL change if each ``cell -> (x, y)`` in ``moves`` applied."""
+        delta = 0.0
+        for net in self._affected_nets(moves.keys()):
+            old = self._bbox.get(net)
+            if old is None:
+                continue
+            new = self._net_box(net, moves)
+            delta += ((new[1] - new[0]) + (new[3] - new[2])) - (
+                (old[1] - old[0]) + (old[3] - old[2])
+            )
+        return delta
+
+    def commit(self, moves: dict) -> None:
+        """Apply ``moves`` to the design and refresh the touched nets."""
+        for cell, (x, y) in moves.items():
+            self.design.x[int(cell)] = x
+            self.design.y[int(cell)] = y
+        for net in self._affected_nets(moves.keys()):
+            old = self._bbox.get(net)
+            if old is None:
+                continue
+            new = self._net_box(net, {})
+            self._bbox[net] = new
+            self._total += ((new[1] - new[0]) + (new[3] - new[2])) - (
+                (old[1] - old[0]) + (old[3] - old[2])
+            )
+
+    def verify(self, tolerance: float = 1e-6) -> bool:
+        """Cross-check the cache against a fresh HPWL computation."""
+        return abs(self._total - self.design.hpwl()) <= tolerance * max(
+            self._total, 1.0
+        )

@@ -1,0 +1,77 @@
+"""Intra-row local reordering.
+
+Slides a window of ``k`` consecutive cells along every row and tries all
+permutations of the window members inside their combined span, keeping
+footprints abutted from the left.  Since footprints are site multiples
+and the span start is site-aligned, every permutation stays legal.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import numpy as np
+
+from ..netlist.design import Design
+from .incremental import IncrementalHpwl
+from .rows import RowLayout
+
+
+def local_reorder_pass(
+    design: Design,
+    layout: RowLayout,
+    evaluator: IncrementalHpwl,
+    window: int = 3,
+) -> int:
+    """One left-to-right reordering sweep over all rows.
+
+    Args:
+        design: the legally placed design (positions mutate).
+        layout: current row layout (kept in sync with accepted moves).
+        evaluator: incremental HPWL cache (kept in sync).
+        window: cells per permutation window (3 keeps it cheap).
+
+    Returns:
+        Number of accepted window permutations.
+    """
+    accepted = 0
+    for row_cells in layout.rows():
+        if len(row_cells) < 2:
+            continue
+        for start in range(0, len(row_cells) - 1):
+            members = row_cells[start : start + window]
+            if len(members) < 2:
+                continue
+            if not layout.contiguous(members):
+                continue
+            best = _best_permutation(design, layout, evaluator, members)
+            if best is not None:
+                order, moves = best
+                evaluator.commit(moves)
+                layout.reorder(members, order)
+                accepted += 1
+    return accepted
+
+
+def _best_permutation(design, layout, evaluator, members):
+    """The best improving permutation of ``members``, if any."""
+    span_start = layout.left_edge(members[0])
+    widths = [layout.footprint(c) for c in members]
+    best_delta = -1e-9
+    best = None
+    for order in permutations(range(len(members))):
+        if order == tuple(range(len(members))):
+            continue
+        moves = {}
+        cursor = span_start
+        for idx in order:
+            cell = members[idx]
+            moves[cell] = (
+                cursor + layout.cell_offset(cell) , design.y[cell],
+            )
+            cursor += widths[idx]
+        delta = evaluator.delta(moves)
+        if delta < best_delta:
+            best_delta = delta
+            best = (order, moves)
+    return best

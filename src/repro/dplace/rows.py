@@ -1,0 +1,109 @@
+"""Row layout bookkeeping for detailed placement.
+
+Tracks, for every movable standard cell of a *legalized* design, its row,
+its footprint width (native width plus any inherited padding), and its
+position within the row — the invariants the move generators rely on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..netlist.design import Design
+
+
+class RowLayout:
+    """Per-row ordered cell lists with footprint geometry."""
+
+    def __init__(self, design: Design, widths: np.ndarray | None = None) -> None:
+        self.design = design
+        site = design.technology.site_width
+        widths = design.w if widths is None else np.asarray(widths, dtype=np.float64)
+        self._site = site
+        self._footprint = {}
+        self._offset = {}
+        movable = np.flatnonzero(design.movable & ~design.is_macro)
+        for cell in movable:
+            cell = int(cell)
+            width = max(
+                int(math.ceil(widths[cell] / site - 1e-9)), 1
+            ) * site
+            slack = width - design.w[cell]
+            left_pad = math.floor(slack / 2.0 / site + 1e-9) * site
+            self._footprint[cell] = width
+            self._offset[cell] = left_pad + design.w[cell] / 2.0
+        row_height = design.technology.row_height
+        self._rows = {}
+        self._cell_row = {}
+        for cell in movable:
+            cell = int(cell)
+            row = int(round((design.y[cell] - design.h[cell] / 2 - design.die.ylo) / row_height))
+            self._rows.setdefault(row, []).append(cell)
+            self._cell_row[cell] = row
+        for cells in self._rows.values():
+            cells.sort(key=lambda c: design.x[c])
+
+    def rows(self) -> list:
+        """Cell lists per row, each ordered left to right."""
+        return [self._rows[r] for r in sorted(self._rows)]
+
+    def footprint(self, cell: int) -> float:
+        """Footprint width of ``cell`` (padding included)."""
+        return self._footprint[cell]
+
+    def cell_offset(self, cell: int) -> float:
+        """Offset from the footprint's left edge to the cell center."""
+        return self._offset[cell]
+
+    def left_edge(self, cell: int) -> float:
+        """Left edge of the cell's footprint."""
+        return self.design.x[cell] - self._offset[cell]
+
+    def right_edge(self, cell: int) -> float:
+        """Right edge of the cell's footprint."""
+        return self.left_edge(cell) + self._footprint[cell]
+
+    def contiguous(self, members: list) -> bool:
+        """Whether the members' footprints abut without gaps."""
+        for a, b in zip(members[:-1], members[1:]):
+            if abs(self.right_edge(a) - self.left_edge(b)) > 1e-6:
+                return False
+        return True
+
+    def reorder(self, members: list, order: tuple) -> None:
+        """Reflect an accepted window permutation in the row ordering."""
+        row = self._cell_row[members[0]]
+        cells = self._rows[row]
+        start = cells.index(members[0])
+        cells[start : start + len(members)] = [members[i] for i in order]
+
+    def swap(self, a: int, b: int) -> None:
+        """Reflect an accepted position swap of two cells.
+
+        Call *after* committing the move; rows are tracked explicitly so
+        the already-updated coordinates do not confuse the bookkeeping.
+        """
+        row_a = self._cell_row[a]
+        row_b = self._cell_row[b]
+        ia = self._rows[row_a].index(a)
+        ib = self._rows[row_b].index(b)
+        self._rows[row_a][ia] = b
+        self._rows[row_b][ib] = a
+        self._cell_row[a], self._cell_row[b] = row_b, row_a
+        if row_a == row_b:
+            self._rows[row_a].sort(key=lambda c: self.design.x[c])
+
+    def row_of(self, cell: int) -> int:
+        """Row index currently holding ``cell``."""
+        return self._cell_row[cell]
+
+    def check(self) -> bool:
+        """Invariant check: per-row ordering matches x coordinates and
+        footprints do not overlap."""
+        for cells in self.rows():
+            for a, b in zip(cells[:-1], cells[1:]):
+                if self.right_edge(a) > self.left_edge(b) + 1e-6:
+                    return False
+        return True

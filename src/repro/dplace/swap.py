@@ -1,0 +1,123 @@
+"""Global cell swapping toward optimal regions.
+
+For every cell, the wirelength-optimal location is (approximately) the
+median of the bounding boxes of its nets computed without the cell — the
+classic optimal-region argument.  A swap partner with the *same
+footprint width* near that location is searched; the swap is accepted
+when the incremental HPWL delta is negative.  Equal-footprint swaps keep
+the placement trivially legal, padding included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist.design import Design
+from .incremental import IncrementalHpwl
+from .rows import RowLayout
+
+
+def optimal_position(design: Design, cell: int) -> tuple:
+    """Median-of-net-boxes optimal position for ``cell``."""
+    xs = []
+    ys = []
+    for p in design.pins_of_cell(cell):
+        net = int(design.pin_net[p])
+        pins = design.pins_of_net(net)
+        ox = []
+        oy = []
+        for q in pins:
+            other = int(design.pin_cell[q])
+            if other == cell:
+                continue
+            ox.append(design.x[other] + design.pin_dx[q])
+            oy.append(design.y[other] + design.pin_dy[q])
+        if ox:
+            xs.extend([min(ox), max(ox)])
+            ys.extend([min(oy), max(oy)])
+    if not xs:
+        return float(design.x[cell]), float(design.y[cell])
+    return float(np.median(xs)), float(np.median(ys))
+
+
+def global_swap_pass(
+    design: Design,
+    layout: RowLayout,
+    evaluator: IncrementalHpwl,
+    max_candidates: int = 8,
+    sample: int | None = None,
+    rng=None,
+) -> int:
+    """One global-swap sweep.
+
+    Args:
+        design: legally placed design (positions mutate).
+        layout: row layout, kept in sync.
+        evaluator: incremental HPWL cache, kept in sync.
+        max_candidates: nearest equal-width partners tried per cell.
+        sample: optionally restrict the sweep to this many cells
+            (the ones farthest from their optimal regions first).
+        rng: unused hook for future randomized variants.
+
+    Returns:
+        Number of accepted swaps.
+    """
+    movable = np.flatnonzero(design.movable & ~design.is_macro)
+    buckets = {}
+    for cell in movable:
+        cell = int(cell)
+        buckets.setdefault(layout.footprint(cell), []).append(cell)
+    bucket_arrays = {
+        w: np.asarray(cells, dtype=np.int64) for w, cells in buckets.items()
+    }
+
+    # Order candidates: cells farthest from their optimal region first.
+    displacement = []
+    optima = {}
+    for cell in movable:
+        cell = int(cell)
+        ox, oy = optimal_position(design, cell)
+        optima[cell] = (ox, oy)
+        displacement.append(
+            (abs(design.x[cell] - ox) + abs(design.y[cell] - oy), cell)
+        )
+    displacement.sort(reverse=True)
+    work = [cell for _, cell in displacement]
+    if sample is not None:
+        work = work[:sample]
+
+    accepted = 0
+    for cell in work:
+        width = layout.footprint(cell)
+        bucket = bucket_arrays[width]
+        if len(bucket) < 2:
+            continue
+        ox, oy = optima[cell]
+        distance = np.abs(design.x[bucket] - ox) + np.abs(design.y[bucket] - oy)
+        nearest = bucket[np.argsort(distance)[: max_candidates + 1]]
+        best = None
+        for partner in nearest:
+            partner = int(partner)
+            if partner == cell:
+                continue
+            moves = {
+                cell: (
+                    design.x[partner] - layout.cell_offset(partner)
+                    + layout.cell_offset(cell),
+                    design.y[partner] - design.h[partner] / 2 + design.h[cell] / 2,
+                ),
+                partner: (
+                    design.x[cell] - layout.cell_offset(cell)
+                    + layout.cell_offset(partner),
+                    design.y[cell] - design.h[cell] / 2 + design.h[partner] / 2,
+                ),
+            }
+            delta = evaluator.delta(moves)
+            if delta < -1e-9 and (best is None or delta < best[0]):
+                best = (delta, partner, moves)
+        if best is not None:
+            _, partner, moves = best
+            evaluator.commit(moves)
+            layout.swap(cell, partner)
+            accepted += 1
+    return accepted

@@ -1,0 +1,94 @@
+"""Congestion-map rendering: text heatmaps and PGM images.
+
+Regenerates the artifacts of paper Fig. 5 (per-direction congestion maps
+of placement results, as reported by the evaluation router) without any
+plotting dependency: maps render as ASCII heatmaps for terminals and as
+binary PGM images for files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_RAMP = " .:-=+*#%@"
+
+
+def utilization_maps(report) -> tuple:
+    """Per-direction routing utilization from a
+    :class:`repro.router.router.RouteReport`."""
+    grid = report.grid
+    util_h = report.demand.dmd_h / np.maximum(grid.cap_h, 1e-9)
+    util_v = report.demand.dmd_v / np.maximum(grid.cap_v, 1e-9)
+    return util_h, util_v
+
+
+def ascii_heatmap(values: np.ndarray, vmax: float | None = None, width: int = 64) -> str:
+    """Render a 2D map as an ASCII heatmap (origin bottom-left).
+
+    Args:
+        values: map indexed ``[x, y]``.
+        vmax: saturation value (defaults to the 99th percentile).
+        width: maximum output columns; the map is downsampled beyond it.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 2:
+        raise ValueError("heatmap expects a 2D array")
+    step = max(int(np.ceil(v.shape[0] / width)), 1)
+    if step > 1:
+        nx = v.shape[0] // step * step
+        ny = v.shape[1] // step * step
+        v = v[:nx, :ny].reshape(nx // step, step, ny // step, step).mean(axis=(1, 3))
+    if vmax is None:
+        vmax = float(np.percentile(v, 99)) or 1.0
+    vmax = max(vmax, 1e-12)
+    scaled = np.clip(v / vmax, 0.0, 1.0)
+    idx = np.minimum((scaled * len(_RAMP)).astype(int), len(_RAMP) - 1)
+    rows = []
+    for j in range(v.shape[1] - 1, -1, -1):  # top row first
+        rows.append("".join(_RAMP[idx[i, j]] for i in range(v.shape[0])))
+    return "\n".join(rows)
+
+
+def write_pgm(path: str, values: np.ndarray, vmax: float | None = None) -> None:
+    """Write a 2D map as a binary PGM (P5) grayscale image.
+
+    High values render bright.  The image is oriented with the die
+    origin at the bottom-left.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if vmax is None:
+        vmax = float(np.percentile(v, 99)) or 1.0
+    vmax = max(vmax, 1e-12)
+    img = np.clip(v / vmax * 255.0, 0.0, 255.0).astype(np.uint8)
+    img = img.T[::-1, :]  # rows top-to-bottom
+    with open(path, "wb") as f:
+        f.write(f"P5\n{img.shape[1]} {img.shape[0]}\n255\n".encode())
+        f.write(img.tobytes())
+
+
+def side_by_side(maps: dict, vmax: float | None = None, width: int = 40) -> str:
+    """Render several maps next to each other with titles.
+
+    Args:
+        maps: ordered ``title -> 2D array``.
+        vmax: shared saturation value (default: global 99th percentile).
+        width: per-map column budget.
+    """
+    if vmax is None:
+        vmax = max(
+            float(np.percentile(np.asarray(m), 99)) for m in maps.values()
+        )
+    blocks = {
+        title: ascii_heatmap(m, vmax=vmax, width=width).split("\n")
+        for title, m in maps.items()
+    }
+    height = max(len(b) for b in blocks.values())
+    widths = {title: len(b[0]) for title, b in blocks.items()}
+    for b in blocks.values():
+        while len(b) < height:
+            b.insert(0, " " * len(b[0]))
+    titles = "   ".join(f"{t[:widths[t]]:<{widths[t]}}" for t in blocks)
+    lines = [titles]
+    for i in range(height):
+        lines.append("   ".join(blocks[t][i] for t in blocks))
+    return "\n".join(lines)

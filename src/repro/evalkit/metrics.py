@@ -1,0 +1,94 @@
+"""Metric records and Table-II-style aggregation.
+
+The paper reports, per benchmark and placer: the horizontal/vertical
+routing overflow ratios (HOF/VOF, in percent, from the global router),
+the routed wirelength, and the runtime.  Averages follow the paper's
+conventions: HOF/VOF are averaged as *values* (they are small), while WL
+and RT are averaged as ratios against a reference placer.  A benchmark
+*passes* a direction when its overflow is at most 1 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PASS_THRESHOLD = 1.0  # percent, the paper's industrial pass criterion
+
+
+@dataclass
+class PlacerMetrics:
+    """One (benchmark, placer) evaluation row."""
+
+    benchmark: str
+    placer: str
+    hof: float
+    vof: float
+    wirelength: float
+    runtime: float
+    hpwl: float = 0.0
+
+    @property
+    def passes_h(self) -> bool:
+        return self.hof <= PASS_THRESHOLD
+
+    @property
+    def passes_v(self) -> bool:
+        return self.vof <= PASS_THRESHOLD
+
+
+@dataclass
+class PlacerAverages:
+    """Aggregate row for one placer over a benchmark suite."""
+
+    placer: str
+    hof_mean: float
+    vof_mean: float
+    wl_ratio: float
+    rt_ratio: float
+    pass_h: int
+    pass_v: int
+
+
+def aggregate(rows: list, reference_placer: str) -> list:
+    """Per-placer averages with WL/RT normalized to ``reference_placer``.
+
+    Args:
+        rows: :class:`PlacerMetrics` covering a full suite.
+        reference_placer: the placer whose WL and RT define ratio 1.0
+            (the paper normalizes to PUFFER).
+
+    Returns:
+        One :class:`PlacerAverages` per placer, in first-seen order.
+    """
+    placers = []
+    for row in rows:
+        if row.placer not in placers:
+            placers.append(row.placer)
+    reference = {
+        row.benchmark: row for row in rows if row.placer == reference_placer
+    }
+    if not reference:
+        raise ValueError(f"no rows for reference placer {reference_placer!r}")
+    averages = []
+    for placer in placers:
+        mine = [r for r in rows if r.placer == placer]
+        wl_ratios = []
+        rt_ratios = []
+        for r in mine:
+            ref = reference.get(r.benchmark)
+            if ref is None:
+                continue
+            wl_ratios.append(r.wirelength / max(ref.wirelength, 1e-12))
+            rt_ratios.append(r.runtime / max(ref.runtime, 1e-12))
+        averages.append(
+            PlacerAverages(
+                placer=placer,
+                hof_mean=sum(r.hof for r in mine) / len(mine),
+                vof_mean=sum(r.vof for r in mine) / len(mine),
+                wl_ratio=sum(wl_ratios) / max(len(wl_ratios), 1),
+                rt_ratio=sum(rt_ratios) / max(len(rt_ratios), 1),
+                pass_h=sum(r.passes_h for r in mine),
+                pass_v=sum(r.passes_v for r in mine),
+            )
+        )
+    return averages

@@ -1,0 +1,151 @@
+"""The paper's published numbers, as data.
+
+Table II of the paper, kept verbatim so benchmarks and documentation can
+compare measured shapes (who wins, by what factor) against the original.
+Index: ``PAPER_TABLE2[benchmark][placer] = (hof, vof, wl, rt_seconds)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PAPER_PLACERS = ("Commercial_Inn", "RePlAce", "PUFFER")
+
+PAPER_TABLE2 = {
+    "OR1200": {
+        "Commercial_Inn": (0.88, 0.21, 3_724_999, 1006),
+        "RePlAce": (0.92, 1.33, 3_238_951, 449),
+        "PUFFER": (0.79, 0.96, 3_145_834, 243),
+    },
+    "ASIC_ENTITY": {
+        "Commercial_Inn": (0.27, 0.07, 16_562_470, 804),
+        "RePlAce": (0.40, 0.08, 17_699_450, 487),
+        "PUFFER": (0.25, 0.04, 17_237_170, 364),
+    },
+    "BIT_COIN": {
+        "Commercial_Inn": (0.03, 0.07, 10_216_500, 3551),
+        "RePlAce": (0.01, 0.04, 12_756_620, 2400),
+        "PUFFER": (0.00, 0.05, 12_136_850, 1471),
+    },
+    "MEDIA_SUBSYS": {
+        "Commercial_Inn": (0.67, 5.83, 30_304_690, 8005),
+        "RePlAce": (4.44, 14.84, 33_373_000, 3350),
+        "PUFFER": (0.38, 3.03, 31_900_040, 3195),
+    },
+    "MEDIA_PG_MODIFY": {
+        "Commercial_Inn": (0.15, 0.39, 30_524_130, 7643),
+        "RePlAce": (0.88, 2.21, 33_768_920, 2884),
+        "PUFFER": (0.07, 0.54, 34_008_440, 1630),
+    },
+    "A53_ADB_WRAP": {
+        "Commercial_Inn": (0.59, 2.40, 30_438_870, 7074),
+        "RePlAce": (3.34, 14.44, 33_464_500, 3388),
+        "PUFFER": (0.43, 3.70, 32_607_770, 3119),
+    },
+    "CT_SCAN": {
+        "Commercial_Inn": (0.00, 0.10, 32_966_640, 5316),
+        "RePlAce": (0.57, 0.25, 34_120_310, 3017),
+        "PUFFER": (0.01, 0.01, 33_743_970, 1917),
+    },
+    "CT_TOP": {
+        "Commercial_Inn": (0.00, 0.07, 27_003_190, 3887),
+        "RePlAce": (0.00, 0.04, 27_632_000, 1988),
+        "PUFFER": (0.00, 0.03, 27_222_070, 1350),
+    },
+    "E31_ECOREPLEX": {
+        "Commercial_Inn": (0.01, 0.14, 22_108_530, 6641),
+        "RePlAce": (0.00, 0.30, 27_342_060, 6581),
+        "PUFFER": (0.00, 0.15, 25_436_660, 4932),
+    },
+    "OPENC910": {
+        "Commercial_Inn": (0.81, 0.14, 45_595_670, 9491),
+        "RePlAce": (1.74, 0.15, 52_682_470, 6086),
+        "PUFFER": (0.96, 0.11, 49_007_690, 5354),
+    },
+}
+
+#: The paper's Average row (HOF/VOF means; WL/RT ratios vs PUFFER).
+PAPER_AVERAGES = {
+    "Commercial_Inn": (0.341, 0.942, 0.954, 2.699),
+    "RePlAce": (1.230, 3.368, 1.035, 1.424),
+    "PUFFER": (0.289, 0.862, 1.000, 1.000),
+}
+
+#: The paper's Pass Count row (H passes, V passes at the 1% criterion).
+PAPER_PASS_COUNTS = {
+    "Commercial_Inn": (10, 8),
+    "RePlAce": (7, 6),
+    "PUFFER": (10, 8),
+}
+
+#: Mapping between this repo's flow names and the paper's columns.
+FLOW_TO_PAPER = {
+    "Commercial_Inn*": "Commercial_Inn",
+    "RePlAce-like": "RePlAce",
+    "PUFFER": "PUFFER",
+}
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative agreement check between measured and paper data."""
+
+    name: str
+    paper: str
+    measured: str
+    agrees: bool
+
+
+def shape_checks(averages: list) -> list:
+    """Qualitative Table-II shape comparison.
+
+    Args:
+        averages: :class:`repro.evalkit.metrics.PlacerAverages` rows
+            (reference placer PUFFER).
+
+    Returns:
+        A list of :class:`ShapeCheck` covering the paper's headline
+        claims: PUFFER has the best mean HOF/VOF and pass counts, and
+        the commercial tool is the slowest flow.
+    """
+    by_name = {FLOW_TO_PAPER.get(a.placer, a.placer): a for a in averages}
+    puffer = by_name["PUFFER"]
+    commercial = by_name["Commercial_Inn"]
+    replace = by_name["RePlAce"]
+    checks = [
+        ShapeCheck(
+            "PUFFER best mean HOF",
+            "0.289 vs 0.341 / 1.230",
+            f"{puffer.hof_mean:.3f} vs {commercial.hof_mean:.3f} / {replace.hof_mean:.3f}",
+            puffer.hof_mean <= commercial.hof_mean
+            and puffer.hof_mean <= replace.hof_mean,
+        ),
+        ShapeCheck(
+            "PUFFER best mean VOF",
+            "0.862 vs 0.942 / 3.368",
+            f"{puffer.vof_mean:.3f} vs {commercial.vof_mean:.3f} / {replace.vof_mean:.3f}",
+            puffer.vof_mean <= commercial.vof_mean + 1e-9
+            and puffer.vof_mean <= replace.vof_mean + 1e-9,
+        ),
+        ShapeCheck(
+            "RePlAce worst mean VOF",
+            "3.368 highest",
+            f"{replace.vof_mean:.3f}",
+            replace.vof_mean >= max(puffer.vof_mean, commercial.vof_mean) - 1e-9,
+        ),
+        ShapeCheck(
+            "commercial slowest",
+            "RT ratio 2.70",
+            f"RT ratio {commercial.rt_ratio:.2f}",
+            commercial.rt_ratio
+            >= max(replace.rt_ratio, 1.0),
+        ),
+        ShapeCheck(
+            "PUFFER ties best pass count",
+            "10/8",
+            f"{puffer.pass_h}/{puffer.pass_v}",
+            puffer.pass_h >= max(commercial.pass_h, replace.pass_h)
+            and puffer.pass_v >= max(commercial.pass_v, replace.pass_v),
+        ),
+    ]
+    return checks

@@ -1,0 +1,104 @@
+"""Suite runner: place each benchmark with each flow, route, and score.
+
+This drives the Table-II reproduction: every flow places a freshly
+generated copy of each benchmark (so flows never see each other's
+positions), the evaluation router scores the legalized result, and the
+rows feed :func:`repro.evalkit.tables.format_table2`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..baselines import (
+    place_commercial_like,
+    place_replace_like,
+    place_wirelength_driven,
+)
+from ..benchgen import make_design
+from ..core import PufferPlacer, StrategyParams
+from ..placer import PlacementParams
+from ..router import GlobalRouter, RouterParams
+from .metrics import PlacerMetrics
+
+
+def place_puffer(design, placement=None, strategy: StrategyParams | None = None):
+    """PUFFER flow adapter matching the baseline signature."""
+    return PufferPlacer(design, strategy=strategy, placement=placement).run()
+
+
+def default_flows(strategy: StrategyParams | None = None) -> dict:
+    """The three Table-II flows, in the paper's column order."""
+    return {
+        "Commercial_Inn*": lambda d, p: place_commercial_like(d, p),
+        "RePlAce-like": lambda d, p: place_replace_like(d, p),
+        "PUFFER": lambda d, p: place_puffer(d, p, strategy),
+    }
+
+
+@dataclass
+class SuiteRunConfig:
+    """Configuration of a suite evaluation run.
+
+    Attributes:
+        scale: benchmark generation scale.
+        placement: engine parameters shared by all flows.
+        router: evaluation-router parameters.
+        benchmarks: names to run (defaults to the full Table-I suite).
+    """
+
+    scale: float = 0.004
+    placement: PlacementParams = field(default_factory=PlacementParams)
+    router: RouterParams = field(default_factory=RouterParams)
+    benchmarks: list | None = None
+
+
+def run_benchmark(name: str, flow, config: SuiteRunConfig, flow_name: str) -> PlacerMetrics:
+    """Place + route one benchmark with one flow."""
+    design = make_design(name, config.scale)
+    start = time.time()
+    flow(design, config.placement)
+    place_time = time.time() - start
+    report = GlobalRouter(design, config.router).run()
+    return PlacerMetrics(
+        benchmark=name,
+        placer=flow_name,
+        hof=report.hof,
+        vof=report.vof,
+        wirelength=report.wirelength,
+        runtime=place_time,
+        hpwl=design.hpwl(),
+    )
+
+
+def run_suite(
+    config: SuiteRunConfig | None = None,
+    flows: dict | None = None,
+    progress=None,
+) -> list:
+    """Evaluate every flow on every benchmark.
+
+    Args:
+        config: run configuration.
+        flows: ``name -> flow(design, placement_params)`` mapping
+            (defaults to :func:`default_flows`).
+        progress: optional callable receiving each finished
+            :class:`PlacerMetrics` row.
+
+    Returns:
+        All metric rows, benchmark-major in flow order.
+    """
+    from ..benchgen import suite_names
+
+    config = config or SuiteRunConfig()
+    flows = flows or default_flows()
+    names = config.benchmarks or suite_names()
+    rows = []
+    for name in names:
+        for flow_name, flow in flows.items():
+            row = run_benchmark(name, flow, config, flow_name)
+            rows.append(row)
+            if progress is not None:
+                progress(row)
+    return rows

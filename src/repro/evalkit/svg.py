@@ -1,0 +1,115 @@
+"""SVG rendering of placements and congestion overlays.
+
+Dependency-free plotting for an open-source release: die outline, fixed
+macros, movable cells, and an optional per-Gcell congestion overlay are
+emitted as a standalone SVG file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist.design import Design
+
+_SVG_HEADER = (
+    '<?xml version="1.0" encoding="UTF-8"?>\n'
+    '<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" '
+    'viewBox="{vb}">\n'
+)
+
+
+def placement_svg(
+    design: Design,
+    width: int = 800,
+    congestion: np.ndarray | None = None,
+    congestion_vmax: float | None = None,
+    max_cells: int = 50_000,
+) -> str:
+    """Render ``design`` as an SVG string.
+
+    Args:
+        design: the placed design.
+        width: output pixel width (height follows the die aspect).
+        congestion: optional per-Gcell map (``[gx, gy]``) drawn as a red
+            overlay behind the cells.
+        congestion_vmax: overlay saturation (default: 99th percentile).
+        max_cells: cap on drawn movable cells (uniform subsample beyond).
+
+    Returns:
+        The SVG document as a string.
+    """
+    die = design.die
+    scale = width / die.width
+    height = int(round(die.height * scale))
+
+    def sx(x: float) -> float:
+        return (x - die.xlo) * scale
+
+    def sy(y: float) -> float:
+        # SVG y grows downward; flip so the die origin is bottom-left.
+        return height - (y - die.ylo) * scale
+
+    parts = [_SVG_HEADER.format(w=width, h=height, vb=f"0 0 {width} {height}")]
+    parts.append(
+        f'<rect x="0" y="0" width="{width}" height="{height}" '
+        'fill="#fafafa" stroke="#222" stroke-width="1"/>\n'
+    )
+
+    if congestion is not None:
+        parts.append(_congestion_overlay(congestion, congestion_vmax, width, height))
+
+    # Fixed objects (macros dark, IO pads medium).
+    for cell in np.flatnonzero(~design.movable):
+        cell = int(cell)
+        rect = design.cell_rect(cell)
+        color = "#555566" if design.is_macro[cell] else "#8888aa"
+        parts.append(
+            f'<rect x="{sx(rect.xlo):.2f}" y="{sy(rect.yhi):.2f}" '
+            f'width="{rect.width * scale:.2f}" height="{rect.height * scale:.2f}" '
+            f'fill="{color}" stroke="none"/>\n'
+        )
+
+    movable = np.flatnonzero(design.movable & ~design.is_macro)
+    step = max(len(movable) // max_cells, 1)
+    for cell in movable[::step]:
+        cell = int(cell)
+        rect = design.cell_rect(cell)
+        parts.append(
+            f'<rect x="{sx(rect.xlo):.2f}" y="{sy(rect.yhi):.2f}" '
+            f'width="{max(rect.width * scale, 0.5):.2f}" '
+            f'height="{max(rect.height * scale, 0.5):.2f}" '
+            'fill="#3b6fb6" fill-opacity="0.75" stroke="none"/>\n'
+        )
+
+    parts.append("</svg>\n")
+    return "".join(parts)
+
+
+def _congestion_overlay(congestion, vmax, width, height) -> str:
+    values = np.asarray(congestion, dtype=np.float64)
+    if vmax is None:
+        vmax = float(np.percentile(values, 99)) or 1.0
+    vmax = max(vmax, 1e-12)
+    nx, ny = values.shape
+    cell_w = width / nx
+    cell_h = height / ny
+    parts = []
+    for i in range(nx):
+        for j in range(ny):
+            alpha = min(values[i, j] / vmax, 1.0)
+            if alpha < 0.05:
+                continue
+            x = i * cell_w
+            y = height - (j + 1) * cell_h
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y:.2f}" width="{cell_w:.2f}" '
+                f'height="{cell_h:.2f}" fill="#cc2222" '
+                f'fill-opacity="{alpha * 0.6:.3f}" stroke="none"/>\n'
+            )
+    return "".join(parts)
+
+
+def save_placement_svg(design: Design, path: str, **kwargs) -> None:
+    """Write :func:`placement_svg` output to ``path``."""
+    with open(path, "w") as f:
+        f.write(placement_svg(design, **kwargs))

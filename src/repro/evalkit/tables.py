@@ -1,0 +1,104 @@
+"""ASCII renderings of the paper's tables."""
+
+from __future__ import annotations
+
+from ..benchgen import SUITE, make_design
+from ..netlist.design import Design
+from .metrics import PlacerMetrics, aggregate
+
+
+def format_table1(scale: float, designs: "list[Design] | None" = None) -> str:
+    """Reproduce Table I: benchmark statistics.
+
+    Shows the paper's full-scale numbers next to the statistics of the
+    regenerated designs at ``scale``.
+
+    Args:
+        scale: generation scale for the regenerated columns.
+        designs: pre-generated designs (regenerated when omitted).
+    """
+    if designs is None:
+        designs = [make_design(entry.name, scale) for entry in SUITE]
+    by_name = {d.name: d for d in designs}
+    header = (
+        f"{'Benchmark':<17}{'#Macros':>8}{'#Cells':>9}{'#Nets':>9}{'#Pins':>9}"
+        f"  |{'gen #Macros':>12}{'gen #Cells':>11}{'gen #Nets':>10}{'gen #Pins':>10}"
+    )
+    lines = [
+        f"TABLE I  statistics of the benchmarks (paper full scale | regenerated at scale={scale:g})",
+        header,
+        "-" * len(header),
+    ]
+    for entry in SUITE:
+        d = by_name[entry.name]
+        movable = d.num_movable - 0  # all movable cells
+        lines.append(
+            f"{entry.name:<17}{entry.macros:>8}{_k(entry.cells):>9}{_k(entry.nets):>9}"
+            f"{_k(entry.pins):>9}  |{d.num_macros:>12}{movable:>11}{d.num_nets:>10}"
+            f"{d.num_pins:>10}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(rows: list, reference_placer: str = "PUFFER") -> str:
+    """Reproduce Table II: HOF/VOF/WL/RT per benchmark and placer.
+
+    Args:
+        rows: :class:`PlacerMetrics` for every (benchmark, placer) pair.
+        reference_placer: placer defining the WL/RT ratio baseline.
+    """
+    placers = []
+    benchmarks = []
+    for r in rows:
+        if r.placer not in placers:
+            placers.append(r.placer)
+        if r.benchmark not in benchmarks:
+            benchmarks.append(r.benchmark)
+    index = {(r.benchmark, r.placer): r for r in rows}
+
+    cols = "".join(
+        f"|{p:^38}" for p in placers
+    )
+    header = f"{'Benchmark':<17}" + cols
+    sub = f"{'':<17}" + "".join(
+        f"|{'HOF(%)':>9}{'VOF(%)':>9}{'WL':>12}{'RT(s)':>8}" for _ in placers
+    )
+    lines = [
+        "TABLE II  comparison of HOF, VOF, WL, and RT",
+        header,
+        sub,
+        "-" * len(sub),
+    ]
+    for b in benchmarks:
+        cells = []
+        for p in placers:
+            r = index.get((b, p))
+            if r is None:
+                cells.append(f"|{'-':>9}{'-':>9}{'-':>12}{'-':>8}")
+            else:
+                cells.append(
+                    f"|{r.hof:>9.2f}{r.vof:>9.2f}{r.wirelength:>12.4g}{r.runtime:>8.1f}"
+                )
+        lines.append(f"{b:<17}" + "".join(cells))
+
+    lines.append("-" * len(sub))
+    averages = aggregate(rows, reference_placer)
+    avg_cells = []
+    pass_cells = []
+    for p in placers:
+        a = next(x for x in averages if x.placer == p)
+        avg_cells.append(
+            f"|{a.hof_mean:>9.3f}{a.vof_mean:>9.3f}{a.wl_ratio:>12.3f}{a.rt_ratio:>8.3f}"
+        )
+        pass_cells.append(f"|{a.pass_h:>9d}{a.pass_v:>9d}{'-':>12}{'-':>8}")
+    lines.append(f"{'Average':<17}" + "".join(avg_cells))
+    lines.append(f"{'Pass Count':<17}" + "".join(pass_cells))
+    lines.append(
+        f"(WL and RT averages are ratios normalized to {reference_placer}; "
+        "pass threshold 1%)"
+    )
+    return "\n".join(lines)
+
+
+def _k(value: int) -> str:
+    return f"{value // 1000}K"

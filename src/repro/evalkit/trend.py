@@ -1,0 +1,52 @@
+"""ASCII trend charts for engine convergence histories.
+
+Renders the per-iteration records of a global-placement run (HPWL,
+density overflow, penalty factor) as terminal-friendly sparkline charts
+so convergence behaviour can be inspected without plotting libraries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """A one-line unicode sparkline of ``values`` (downsampled)."""
+    v = np.asarray(list(values), dtype=np.float64)
+    if len(v) == 0:
+        return ""
+    if len(v) > width:
+        step = len(v) / width
+        v = np.asarray([v[int(i * step)] for i in range(width)])
+    lo, hi = float(v.min()), float(v.max())
+    if hi - lo < 1e-15:
+        return _BARS[0] * len(v)
+    idx = ((v - lo) / (hi - lo) * (len(_BARS) - 1)).astype(int)
+    return "".join(_BARS[i] for i in idx)
+
+
+def convergence_chart(history, width: int = 60) -> str:
+    """Multi-line chart of a GlobalPlaceResult history.
+
+    Args:
+        history: list of :class:`repro.placer.engine.IterationRecord`.
+        width: chart width in characters.
+    """
+    if not history:
+        return "(empty history)"
+    hpwl = [h.hpwl for h in history]
+    overflow = [h.overflow for h in history]
+    penalty = [h.penalty_factor for h in history]
+    lines = [
+        f"iterations: {len(history)}",
+        f"hpwl      {sparkline(hpwl, width)}  "
+        f"[{min(hpwl):.3g} .. {max(hpwl):.3g}]",
+        f"overflow  {sparkline(overflow, width)}  "
+        f"[{min(overflow):.3f} .. {max(overflow):.3f}]",
+        f"penalty   {sparkline(np.log10(np.maximum(penalty, 1e-30)), width)}  "
+        f"[log10 {np.log10(max(min(penalty), 1e-30)):.1f} .. "
+        f"{np.log10(max(max(penalty), 1e-30)):.1f}]",
+    ]
+    return "\n".join(lines)

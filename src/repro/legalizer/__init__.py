@@ -1,0 +1,24 @@
+"""Legalization: Abacus, Tetris fallback, and discrete padding."""
+
+from .abacus import LegalizeResult, legalize_abacus
+from .padding import (
+    DEFAULT_AREA_CAP,
+    cap_padding_area,
+    discretize_padding,
+    padded_widths,
+)
+from .rows import RowSegment, SegmentIndex, build_segments
+from .tetris import legalize_tetris
+
+__all__ = [
+    "DEFAULT_AREA_CAP",
+    "LegalizeResult",
+    "RowSegment",
+    "SegmentIndex",
+    "build_segments",
+    "cap_padding_area",
+    "discretize_padding",
+    "legalize_abacus",
+    "legalize_tetris",
+    "padded_widths",
+]

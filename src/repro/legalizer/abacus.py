@@ -1,0 +1,216 @@
+"""Abacus standard-cell legalization [20].
+
+Cells are processed left to right; each cell is tried in the rows nearest
+its global-placement position, where the classic cluster dynamic program
+(``AddCell`` / ``AddCluster`` / ``Collapse``) yields the minimal quadratic
+displacement placement of the row under the no-overlap constraint.  The
+row with the cheapest insertion wins.
+
+PUFFER's white-space-assisted legalization passes *padded* cell widths
+(paper Eq. 17); cells are placed centered in their padded footprint, so
+the extra width becomes distributed white space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist.design import Design
+from .rows import SegmentIndex
+
+
+@dataclass
+class _Cluster:
+    """An Abacus cluster: maximal run of abutting cells in a segment."""
+
+    e: float  # total weight
+    q: float  # sum of e_i * (target_i - offset_i)
+    w: float  # total width
+    x: float  # optimal (clamped) start position
+    cells: list = field(default_factory=list)  # (cell, width, target_x)
+
+
+class _SegmentState:
+    def __init__(self, segment) -> None:
+        self.segment = segment
+        self.clusters: list = []
+        self.used = 0.0
+
+    def free(self) -> float:
+        return self.segment.width - self.used
+
+
+@dataclass
+class LegalizeResult:
+    """Outcome of a legalization run."""
+
+    total_displacement: float
+    max_displacement: float
+    num_cells: int
+    failed: int
+
+
+def legalize_abacus(
+    design: Design,
+    widths: np.ndarray | None = None,
+    max_row_search: int | None = None,
+) -> LegalizeResult:
+    """Legalize all movable standard cells of ``design`` in place.
+
+    Args:
+        design: the placed design; positions are overwritten.
+        widths: per-cell *footprint* widths (defaults to ``design.w``);
+            PUFFER passes padded widths here.  Cells are centered in
+            their footprint.
+        max_row_search: cap on the row-distance search radius (defaults
+            to the full row count).
+
+    Returns:
+        Displacement statistics.  Raises ``RuntimeError`` when a cell
+        fits in no segment at all.
+    """
+    widths = design.w if widths is None else np.asarray(widths, dtype=np.float64)
+    index = SegmentIndex.build(design)
+    if index.num_rows == 0:
+        raise RuntimeError("design has no rows")
+    states = {}
+    for row, segs in index.by_row.items():
+        states[row] = [_SegmentState(s) for s in segs]
+    site = design.technology.site_width
+    row_height = design.technology.row_height
+    max_row_search = max_row_search or index.num_rows
+
+    cells = np.flatnonzero(design.movable & ~design.is_macro)
+    order = cells[np.argsort(design.x[cells], kind="stable")]
+    target_x = design.x.copy()
+    target_y = design.y.copy()
+    placements = {}
+    failed = 0
+
+    for cell in order:
+        cell = int(cell)
+        width = float(widths[cell])
+        w_sites = max(int(math.ceil(width / site - 1e-9)), 1) * site
+        tx = target_x[cell] - w_sites / 2.0  # left edge target
+        ty = target_y[cell] - design.h[cell] / 2.0
+        home = index.nearest_row(ty)
+        best = None  # (cost, state, trial_tuple)
+        for radius in range(index.num_rows):
+            if radius > max_row_search:
+                break
+            rows = {home - radius, home + radius}
+            y_cost = (radius * row_height) ** 2 if radius else 0.0
+            if best is not None and y_cost >= best[0]:
+                break
+            for row in rows:
+                if not 0 <= row < index.num_rows:
+                    continue
+                dy = index.row_ys[row] - ty
+                for state in states.get(row, []):
+                    if state.free() < w_sites - 1e-9:
+                        continue
+                    trial = _trial_insert(state, w_sites, _weight(design, cell), tx, site)
+                    if trial is None:
+                        continue
+                    x_final = trial
+                    cost = (x_final - tx) ** 2 + dy * dy
+                    if best is None or cost < best[0]:
+                        best = (cost, state, row, x_final)
+        if best is None:
+            failed += 1
+            continue
+        _, state, row, _ = best
+        _commit_insert(state, cell, w_sites, _weight(design, cell), tx)
+        state.used += w_sites
+        placements[cell] = (state, row)
+
+    disp_total, disp_max = _finalize(design, states, index, widths, site)
+    if failed:
+        raise RuntimeError(f"legalization failed for {failed} cells")
+    return LegalizeResult(
+        total_displacement=disp_total,
+        max_displacement=disp_max,
+        num_cells=len(order),
+        failed=failed,
+    )
+
+
+def _weight(design: Design, cell: int) -> float:
+    return float(design.w[cell] * design.h[cell])
+
+
+def _trial_insert(state: _SegmentState, width, weight, target_x, site) -> "float | None":
+    """Final left-edge position the new cell would get, or ``None``."""
+    seg = state.segment
+    if width > seg.width + 1e-9:
+        return None
+    x = min(max(target_x, seg.xlo), seg.xhi - width)
+    e, q, w = weight, weight * x, width
+    i = len(state.clusters) - 1
+    while True:
+        xc = min(max(q / e, seg.xlo), seg.xhi - w)
+        if i < 0:
+            break
+        prev = state.clusters[i]
+        if prev.x + prev.w <= xc + 1e-9:
+            break
+        e_new = prev.e + e
+        q_new = prev.q + q - e * prev.w
+        w_new = prev.w + w
+        if w_new > seg.width + 1e-9:
+            return None
+        e, q, w = e_new, q_new, w_new
+        i -= 1
+    xc = min(max(q / e, seg.xlo), seg.xhi - w)
+    return xc + w - width  # left edge of the inserted (last) cell
+
+
+def _commit_insert(state: _SegmentState, cell, width, weight, target_x) -> None:
+    """Mutating version of the Abacus AddCell / Collapse step."""
+    seg = state.segment
+    x = min(max(target_x, seg.xlo), seg.xhi - width)
+    cluster = _Cluster(e=weight, q=weight * x, w=width, x=x, cells=[(cell, width, target_x)])
+    cluster.x = min(max(cluster.q / cluster.e, seg.xlo), seg.xhi - cluster.w)
+    state.clusters.append(cluster)
+    while len(state.clusters) >= 2:
+        last = state.clusters[-1]
+        prev = state.clusters[-2]
+        if prev.x + prev.w <= last.x + 1e-9:
+            break
+        prev.e += last.e
+        prev.q += last.q - last.e * prev.w
+        prev.w += last.w
+        prev.cells.extend(last.cells)
+        state.clusters.pop()
+        prev.x = min(max(prev.q / prev.e, seg.xlo), seg.xhi - prev.w)
+
+
+def _finalize(design: Design, states, index: SegmentIndex, widths, site) -> tuple:
+    """Snap clusters to sites and write cell centers back to the design."""
+    disp_total = 0.0
+    disp_max = 0.0
+    row_height = design.technology.row_height
+    for row, seg_states in states.items():
+        y = index.row_ys[row]
+        for state in seg_states:
+            for cluster in state.clusters:
+                xs = state.segment.xlo + math.floor(
+                    (cluster.x - state.segment.xlo) / site + 1e-9
+                ) * site
+                cursor = xs
+                for cell, width, _target in cluster.cells:
+                    old_x, old_y = design.x[cell], design.y[cell]
+                    # Center the actual cell in its (possibly padded)
+                    # footprint, snapped so the cell edge stays on a site.
+                    slack = width - design.w[cell]
+                    left_pad = math.floor(slack / 2.0 / site + 1e-9) * site
+                    design.x[cell] = cursor + left_pad + design.w[cell] / 2.0
+                    design.y[cell] = y + design.h[cell] / 2.0
+                    d = math.hypot(design.x[cell] - old_x, design.y[cell] - old_y)
+                    disp_total += d
+                    disp_max = max(disp_max, d)
+                    cursor += width
+    return disp_total, disp_max

@@ -1,0 +1,121 @@
+"""Discrete cell padding for white-space-assisted legalization.
+
+Global placement carries continuous padding; legalization requires cell
+footprints to be whole site multiples.  Paper Eq. (17) discretizes the
+padding with a staircase function
+
+``DisPad(c) = floor(theta * (Pad(c)/mp + 1/2))``
+
+where ``mp`` is the maximum padding over all cells and ``theta`` is a
+strategy parameter.  The total padded area is capped (the paper uses 5 %
+of the movable area): while over budget, the cells with the *smallest*
+padding inside each discrete level are relegated one level down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist.design import Design
+
+DEFAULT_AREA_CAP = 0.05
+
+
+def discretize_padding(
+    pad: np.ndarray,
+    theta: float,
+    site_width: float,
+) -> np.ndarray:
+    """Paper Eq. (17): continuous padding to whole-site padding levels.
+
+    Args:
+        pad: per-cell continuous padding (>= 0; zeros stay zero).
+        theta: staircase strategy parameter (number of levels).
+        site_width: one padding level equals one site.
+
+    Returns:
+        Per-cell discrete padding *width* in database units.
+    """
+    pad = np.maximum(np.asarray(pad, dtype=np.float64), 0.0)
+    mp = pad.max()
+    if mp <= 0.0:
+        return np.zeros_like(pad)
+    levels = np.floor(theta * (pad / mp + 0.5)).astype(np.int64)
+    levels[pad <= 0.0] = 0
+    return levels * site_width
+
+
+def cap_padding_area(
+    design: Design,
+    dis_pad: np.ndarray,
+    area_cap: float = DEFAULT_AREA_CAP,
+) -> np.ndarray:
+    """Enforce the total-padding-area budget of Sec. III-D.
+
+    While the padded area exceeds ``area_cap`` times the movable cell
+    area, pick the cells with the smallest continuous padding in each
+    occupied discrete level and relegate them one level down.  Here the
+    per-level orderings use the discrete pad itself as the tie-break
+    carrier, so relegation removes one site from the currently weakest
+    padded cells level by level.
+
+    Args:
+        design: provides cell heights and the movable mask.
+        dis_pad: per-cell discrete padding widths (modified copy returned).
+        area_cap: maximum padded area as a fraction of movable area.
+
+    Returns:
+        The capped per-cell discrete padding widths.
+    """
+    dis_pad = np.asarray(dis_pad, dtype=np.float64).copy()
+    movable = design.movable & ~design.is_macro
+    budget = area_cap * design.movable_area
+    site = design.technology.site_width
+
+    def padded_area() -> float:
+        return float((dis_pad[movable] * design.h[movable]).sum())
+
+    guard = 0
+    while padded_area() > budget and guard < 10_000:
+        guard += 1
+        levels = np.unique(dis_pad[movable & (dis_pad > 0)])
+        if len(levels) == 0:
+            break
+        removed = False
+        for level in levels:
+            mask = movable & (np.abs(dis_pad - level) < 1e-9)
+            idx = np.flatnonzero(mask)
+            if len(idx) == 0:
+                continue
+            # Relegate the smallest-height (cheapest) half of the level,
+            # at least one cell, by one site.
+            count = max(len(idx) // 4, 1)
+            chosen = idx[np.argsort(design.h[idx])[:count]]
+            dis_pad[chosen] = np.maximum(dis_pad[chosen] - site, 0.0)
+            removed = True
+            if padded_area() <= budget:
+                break
+        if not removed:
+            break
+    return dis_pad
+
+
+def padded_widths(
+    design: Design,
+    pad: np.ndarray,
+    theta: float,
+    area_cap: float = DEFAULT_AREA_CAP,
+) -> np.ndarray:
+    """Per-cell legalization footprint widths from continuous padding.
+
+    Combines Eq. (17) discretization with the area cap and returns
+    ``design.w + DisPad`` for movable standard cells (fixed cells and
+    macros keep their native width).
+    """
+    site = design.technology.site_width
+    dis = discretize_padding(pad, theta, site)
+    dis = cap_padding_area(design, dis, area_cap)
+    widths = design.w.copy()
+    movable = design.movable & ~design.is_macro
+    widths[movable] += dis[movable]
+    return widths

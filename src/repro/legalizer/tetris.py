@@ -1,0 +1,73 @@
+"""Greedy (Tetris-style) legalization fallback.
+
+Cells are processed left to right and dropped into the nearest row
+position whose remaining gap fits, scanning rows outward from the cell's
+global-placement row.  Quality is worse than Abacus but the algorithm is
+simple and never benefits from cluster pathologies — useful both as a
+fallback and as a baseline in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..netlist.design import Design
+from .abacus import LegalizeResult
+from .rows import SegmentIndex
+
+
+def legalize_tetris(design: Design, widths: np.ndarray | None = None) -> LegalizeResult:
+    """Greedy row-fill legalization of all movable standard cells.
+
+    Args:
+        design: the placed design; positions are overwritten.
+        widths: per-cell footprint widths (defaults to ``design.w``).
+    """
+    widths = design.w if widths is None else np.asarray(widths, dtype=np.float64)
+    index = SegmentIndex.build(design)
+    if index.num_rows == 0:
+        raise RuntimeError("design has no rows")
+    site = design.technology.site_width
+    # Per segment: the next free x cursor.
+    cursors = {}
+    for row, segs in index.by_row.items():
+        cursors[row] = [[seg, seg.xlo] for seg in segs]
+
+    cells = np.flatnonzero(design.movable & ~design.is_macro)
+    order = cells[np.argsort(design.x[cells], kind="stable")]
+    disp_total = 0.0
+    disp_max = 0.0
+    failed = 0
+    for cell in order:
+        cell = int(cell)
+        width = max(int(math.ceil(widths[cell] / site - 1e-9)), 1) * site
+        ty = design.y[cell] - design.h[cell] / 2.0
+        home = index.nearest_row(ty)
+        placed = False
+        for radius in range(index.num_rows):
+            for row in {home - radius, home + radius}:
+                if not 0 <= row < index.num_rows or placed:
+                    continue
+                for entry in cursors.get(row, []):
+                    seg, cursor = entry
+                    if cursor + width <= seg.xhi + 1e-9:
+                        slack = width - design.w[cell]
+                        left_pad = math.floor(slack / 2.0 / site + 1e-9) * site
+                        old_x, old_y = design.x[cell], design.y[cell]
+                        design.x[cell] = cursor + left_pad + design.w[cell] / 2.0
+                        design.y[cell] = index.row_ys[row] + design.h[cell] / 2.0
+                        entry[1] = cursor + width
+                        d = math.hypot(design.x[cell] - old_x, design.y[cell] - old_y)
+                        disp_total += d
+                        disp_max = max(disp_max, d)
+                        placed = True
+                        break
+            if placed:
+                break
+        if not placed:
+            failed += 1
+    if failed:
+        raise RuntimeError(f"tetris legalization failed for {failed} cells")
+    return LegalizeResult(disp_total, disp_max, len(order), failed)

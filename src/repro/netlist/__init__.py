@@ -1,0 +1,40 @@
+"""Circuit database: geometry, technology, netlist, serialization."""
+
+from .builder import DesignBuilder
+from .design import Blockage, Design
+from .geometry import Point, Rect, bounding_box, clamp
+from .technology import (
+    HORIZONTAL,
+    VERTICAL,
+    MetalLayer,
+    Technology,
+    default_metal_stack,
+    reduced_metal_stack,
+)
+from .bookshelf import load_design, save_design
+from .transform import clone_design, extract_window, mirror_horizontal
+from .validate import ValidationReport, check_legal, validate_design
+
+__all__ = [
+    "Blockage",
+    "Design",
+    "DesignBuilder",
+    "HORIZONTAL",
+    "MetalLayer",
+    "Point",
+    "Rect",
+    "Technology",
+    "VERTICAL",
+    "ValidationReport",
+    "bounding_box",
+    "check_legal",
+    "clamp",
+    "clone_design",
+    "default_metal_stack",
+    "extract_window",
+    "load_design",
+    "mirror_horizontal",
+    "reduced_metal_stack",
+    "save_design",
+    "validate_design",
+]

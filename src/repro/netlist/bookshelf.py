@@ -1,0 +1,212 @@
+"""Bookshelf-flavoured serialization for designs.
+
+The format follows the classic GSRC Bookshelf split (``.nodes``, ``.nets``,
+``.pl``) with a small ``.scl``-replacement header carrying die, technology,
+and blockage information, so a design round-trips exactly.  Files live in
+one directory named after the design:
+
+``<name>.aux``    — manifest
+``<name>.nodes``  — cells: name width height [terminal] [macro]
+``<name>.nets``   — nets: NetDegree + pin lines ``name dx dy``
+``<name>.pl``     — placements: name x y (cell centers)
+``<name>.tech``   — die, rows, Gcells, metal stack, blockages
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .builder import DesignBuilder
+from .design import Design
+from .geometry import Rect
+from .technology import MetalLayer, Technology
+
+
+def save_design(design: Design, directory: str) -> None:
+    """Write ``design`` into ``directory`` in Bookshelf-flavoured files."""
+    os.makedirs(directory, exist_ok=True)
+    base = os.path.join(directory, design.name)
+    _write_aux(design, base)
+    _write_nodes(design, base)
+    _write_nets(design, base)
+    _write_pl(design, base)
+    _write_tech(design, base)
+
+
+def load_design(directory: str, name: str) -> Design:
+    """Load the design called ``name`` from ``directory``."""
+    base = os.path.join(directory, name)
+    technology, die, blockages = _read_tech(base + ".tech")
+    builder = DesignBuilder(name, technology, die)
+    _read_nodes(base + ".nodes", builder)
+    _read_nets(base + ".nets", builder)
+    for rect, layer in blockages:
+        builder.add_blockage(rect, layer)
+    design = builder.build()
+    _read_pl(base + ".pl", design)
+    return design
+
+
+# ----------------------------------------------------------------------
+# Writers
+# ----------------------------------------------------------------------
+
+
+def _write_aux(design: Design, base: str) -> None:
+    with open(base + ".aux", "w") as f:
+        name = os.path.basename(base)
+        f.write(
+            f"RowBasedPlacement : {name}.nodes {name}.nets {name}.pl {name}.tech\n"
+        )
+
+
+def _write_nodes(design: Design, base: str) -> None:
+    with open(base + ".nodes", "w") as f:
+        f.write(f"NumNodes : {design.num_cells}\n")
+        for i, name in enumerate(design.cell_names):
+            flags = []
+            if not design.movable[i]:
+                flags.append("terminal")
+            if design.is_macro[i]:
+                flags.append("macro")
+            suffix = (" " + " ".join(flags)) if flags else ""
+            f.write(f"{name} {design.w[i]:.6g} {design.h[i]:.6g}{suffix}\n")
+
+
+def _write_nets(design: Design, base: str) -> None:
+    with open(base + ".nets", "w") as f:
+        f.write(f"NumNets : {design.num_nets}\n")
+        f.write(f"NumPins : {design.num_pins}\n")
+        for n, net_name in enumerate(design.net_names):
+            pins = design.pins_of_net(n)
+            f.write(f"NetDegree : {len(pins)} {net_name}\n")
+            for p in pins:
+                cell = design.cell_names[design.pin_cell[p]]
+                f.write(f"  {cell} {design.pin_dx[p]:.6g} {design.pin_dy[p]:.6g}\n")
+
+
+def _write_pl(design: Design, base: str) -> None:
+    with open(base + ".pl", "w") as f:
+        f.write(f"NumNodes : {design.num_cells}\n")
+        for i, name in enumerate(design.cell_names):
+            f.write(f"{name} {design.x[i]:.8g} {design.y[i]:.8g}\n")
+
+
+def _write_tech(design: Design, base: str) -> None:
+    tech = design.technology
+    die = design.die
+    with open(base + ".tech", "w") as f:
+        f.write(f"Die : {die.xlo:.6g} {die.ylo:.6g} {die.xhi:.6g} {die.yhi:.6g}\n")
+        f.write(
+            f"Sites : {tech.site_width:.6g} {tech.row_height:.6g} "
+            f"{tech.gcell_size:.6g}\n"
+        )
+        f.write(f"RoutingLayersStart : {tech.routing_layers_start}\n")
+        f.write(f"NumLayers : {len(tech.layers)}\n")
+        for layer in tech.layers:
+            f.write(
+                f"Layer {layer.name} {layer.direction} "
+                f"{layer.wire_width:.6g} {layer.wire_spacing:.6g}\n"
+            )
+        f.write(f"NumBlockages : {len(design.blockages)}\n")
+        for blk in design.blockages:
+            r = blk.rect
+            f.write(
+                f"Blockage {blk.layer} {r.xlo:.6g} {r.ylo:.6g} "
+                f"{r.xhi:.6g} {r.yhi:.6g}\n"
+            )
+
+
+# ----------------------------------------------------------------------
+# Readers
+# ----------------------------------------------------------------------
+
+
+def _data_lines(path: str):
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if line and not line.startswith("#"):
+                yield line
+
+
+def _read_tech(path: str):
+    layers = []
+    blockages = []
+    die = None
+    site_width = row_height = gcell = None
+    routing_start = 1
+    for line in _data_lines(path):
+        tokens = line.split()
+        if tokens[0] == "Die":
+            die = Rect(*(float(t) for t in tokens[2:6]))
+        elif tokens[0] == "Sites":
+            site_width, row_height, gcell = (float(t) for t in tokens[2:5])
+        elif tokens[0] == "RoutingLayersStart":
+            routing_start = int(tokens[2])
+        elif tokens[0] == "Layer":
+            layers.append(
+                MetalLayer(tokens[1], tokens[2], float(tokens[3]), float(tokens[4]))
+            )
+        elif tokens[0] == "Blockage":
+            layer = int(tokens[1])
+            rect = Rect(*(float(t) for t in tokens[2:6]))
+            blockages.append((rect, layer))
+    if die is None or site_width is None:
+        raise ValueError(f"{path}: missing Die or Sites line")
+    technology = Technology(
+        site_width=site_width,
+        row_height=row_height,
+        gcell_size=gcell,
+        layers=tuple(layers),
+        routing_layers_start=routing_start,
+    )
+    return technology, die, blockages
+
+
+def _read_nodes(path: str, builder: DesignBuilder) -> None:
+    for line in _data_lines(path):
+        if line.startswith("NumNodes"):
+            continue
+        tokens = line.split()
+        name, width, height = tokens[0], float(tokens[1]), float(tokens[2])
+        flags = tokens[3:]
+        builder.add_cell(
+            name,
+            width,
+            height,
+            movable="terminal" not in flags,
+            macro="macro" in flags,
+        )
+
+
+def _read_nets(path: str, builder: DesignBuilder) -> None:
+    current_net = None
+    for line in _data_lines(path):
+        if line.startswith(("NumNets", "NumPins")):
+            continue
+        tokens = line.split()
+        if tokens[0] == "NetDegree":
+            current_net = builder.add_net(tokens[3])
+        else:
+            if current_net is None:
+                raise ValueError(f"{path}: pin line before any NetDegree")
+            cell = builder.cell_id(tokens[0])
+            builder.add_pin(cell, current_net, float(tokens[1]), float(tokens[2]))
+
+
+def _read_pl(path: str, design: Design) -> None:
+    index = {name: i for i, name in enumerate(design.cell_names)}
+    x = design.x.copy()
+    y = design.y.copy()
+    for line in _data_lines(path):
+        if line.startswith("NumNodes"):
+            continue
+        tokens = line.split()
+        i = index[tokens[0]]
+        x[i] = float(tokens[1])
+        y[i] = float(tokens[2])
+    design.x[:] = np.asarray(x)
+    design.y[:] = np.asarray(y)

@@ -1,0 +1,153 @@
+"""Incremental construction of :class:`repro.netlist.design.Design`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .design import Blockage, Design
+from .geometry import Rect
+from .technology import Technology
+
+
+class DesignBuilder:
+    """Accumulates cells, nets, pins, and blockages, then freezes a Design.
+
+    Example:
+        >>> from repro.netlist import DesignBuilder, Technology, Rect
+        >>> b = DesignBuilder("tiny", Technology(), Rect(0, 0, 100, 100))
+        >>> a = b.add_cell("a", 2, 8, x=10, y=10)
+        >>> c = b.add_cell("c", 2, 8, x=20, y=20)
+        >>> n = b.add_net("n0")
+        >>> _ = b.add_pin(a, n)
+        >>> _ = b.add_pin(c, n)
+        >>> design = b.build()
+        >>> design.num_cells, design.num_nets, design.num_pins
+        (2, 1, 2)
+    """
+
+    def __init__(self, name: str, technology: Technology, die: Rect) -> None:
+        self.name = name
+        self.technology = technology
+        self.die = die
+        self._cell_names: list = []
+        self._cell_index: dict = {}
+        self._w: list = []
+        self._h: list = []
+        self._x: list = []
+        self._y: list = []
+        self._movable: list = []
+        self._is_macro: list = []
+        self._net_names: list = []
+        self._net_index: dict = {}
+        self._pin_cell: list = []
+        self._pin_net: list = []
+        self._pin_dx: list = []
+        self._pin_dy: list = []
+        self._blockages: list = []
+
+    def add_cell(
+        self,
+        name: str,
+        width: float,
+        height: float,
+        x: float | None = None,
+        y: float | None = None,
+        movable: bool = True,
+        macro: bool = False,
+    ) -> int:
+        """Register a cell; returns its index.
+
+        ``x``/``y`` are the cell *center*; they default to the die center
+        so unplaced designs are still well-formed.
+        """
+        if name in self._cell_index:
+            raise ValueError(f"duplicate cell name {name!r}")
+        if width <= 0 or height <= 0:
+            raise ValueError(f"cell {name!r}: non-positive size {width}x{height}")
+        idx = len(self._cell_names)
+        self._cell_index[name] = idx
+        self._cell_names.append(name)
+        self._w.append(float(width))
+        self._h.append(float(height))
+        center = self.die.center
+        self._x.append(center.x if x is None else float(x))
+        self._y.append(center.y if y is None else float(y))
+        self._movable.append(bool(movable))
+        self._is_macro.append(bool(macro))
+        return idx
+
+    def add_net(self, name: str) -> int:
+        """Register a net; returns its index."""
+        if name in self._net_index:
+            raise ValueError(f"duplicate net name {name!r}")
+        idx = len(self._net_names)
+        self._net_index[name] = idx
+        self._net_names.append(name)
+        return idx
+
+    def add_pin(self, cell: int, net: int, dx: float = 0.0, dy: float = 0.0) -> int:
+        """Attach a pin of ``cell`` to ``net`` at offset ``(dx, dy)``.
+
+        The offset is measured from the cell center and must stay inside
+        the cell outline.
+        """
+        if not 0 <= cell < len(self._cell_names):
+            raise IndexError(f"cell index {cell} out of range")
+        if not 0 <= net < len(self._net_names):
+            raise IndexError(f"net index {net} out of range")
+        if abs(dx) > self._w[cell] / 2 + 1e-9 or abs(dy) > self._h[cell] / 2 + 1e-9:
+            raise ValueError(
+                f"pin offset ({dx}, {dy}) outside cell "
+                f"{self._cell_names[cell]!r} of size {self._w[cell]}x{self._h[cell]}"
+            )
+        idx = len(self._pin_cell)
+        self._pin_cell.append(cell)
+        self._pin_net.append(net)
+        self._pin_dx.append(float(dx))
+        self._pin_dy.append(float(dy))
+        return idx
+
+    def add_blockage(self, rect: Rect, layer: int) -> None:
+        """Register a routing obstruction on metal layer index ``layer``."""
+        if not 0 <= layer < len(self.technology.layers):
+            raise IndexError(f"layer {layer} out of range")
+        self._blockages.append(Blockage(rect, layer))
+
+    def cell_id(self, name: str) -> int:
+        """Index of the cell called ``name``."""
+        return self._cell_index[name]
+
+    def net_id(self, name: str) -> int:
+        """Index of the net called ``name``."""
+        return self._net_index[name]
+
+    def build(self) -> Design:
+        """Freeze the accumulated netlist into a :class:`Design`."""
+        pin_net = np.asarray(self._pin_net, dtype=np.int64)
+        num_nets = len(self._net_names)
+        order = np.argsort(pin_net, kind="stable") if len(pin_net) else np.zeros(0, np.int64)
+        counts = np.bincount(pin_net, minlength=num_nets) if len(pin_net) else np.zeros(
+            num_nets, np.int64
+        )
+        net_start = np.zeros(num_nets + 1, dtype=np.int64)
+        np.cumsum(counts, out=net_start[1:])
+        return Design(
+            name=self.name,
+            technology=self.technology,
+            die=self.die,
+            cell_names=self._cell_names,
+            w=np.asarray(self._w, dtype=np.float64),
+            h=np.asarray(self._h, dtype=np.float64),
+            x=np.asarray(self._x, dtype=np.float64),
+            y=np.asarray(self._y, dtype=np.float64),
+            movable=np.asarray(self._movable, dtype=bool),
+            is_macro=np.asarray(self._is_macro, dtype=bool),
+            net_names=self._net_names,
+            net_start=net_start,
+            net_pins=order,
+            pin_cell=np.asarray(self._pin_cell, dtype=np.int64),
+            pin_net=pin_net,
+            pin_dx=np.asarray(self._pin_dx, dtype=np.float64),
+            pin_dy=np.asarray(self._pin_dy, dtype=np.float64),
+            blockages=self._blockages,
+        )

@@ -1,0 +1,131 @@
+"""Planar geometry primitives shared by every subsystem.
+
+All coordinates are floats in database units (one unit equals one
+placement-site width; row height and Gcell size are expressed in the same
+units by :class:`repro.netlist.technology.Technology`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the plane."""
+
+    x: float
+    y: float
+
+    def manhattan(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean(self, other: "Point") -> float:
+        """Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle ``[xlo, xhi] x [ylo, yhi]``."""
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xhi < self.xlo or self.yhi < self.ylo:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xlo + self.xhi) / 2.0, (self.ylo + self.yhi) / 2.0)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True when ``(x, y)`` lies inside or on the boundary."""
+        return self.xlo <= x <= self.xhi and self.ylo <= y <= self.yhi
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and other.xhi <= self.xhi
+            and other.yhi <= self.yhi
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rectangles share interior area."""
+        return (
+            self.xlo < other.xhi
+            and other.xlo < self.xhi
+            and self.ylo < other.yhi
+            and other.ylo < self.yhi
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping rectangle, or ``None`` for disjoint inputs."""
+        xlo = max(self.xlo, other.xlo)
+        ylo = max(self.ylo, other.ylo)
+        xhi = min(self.xhi, other.xhi)
+        yhi = min(self.yhi, other.yhi)
+        if xhi <= xlo or yhi <= ylo:
+            return None
+        return Rect(xlo, ylo, xhi, yhi)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area shared with ``other`` (zero for disjoint rectangles)."""
+        w = min(self.xhi, other.xhi) - max(self.xlo, other.xlo)
+        h = min(self.yhi, other.yhi) - max(self.ylo, other.ylo)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+    def expanded(self, margin_x: float, margin_y: float | None = None) -> "Rect":
+        """A copy grown by ``margin_x`` / ``margin_y`` on every side."""
+        if margin_y is None:
+            margin_y = margin_x
+        return Rect(
+            self.xlo - margin_x,
+            self.ylo - margin_y,
+            self.xhi + margin_x,
+            self.yhi + margin_y,
+        )
+
+    def clipped_to(self, bounds: "Rect") -> "Rect":
+        """This rectangle clipped to ``bounds`` (must overlap)."""
+        clipped = self.intersection(bounds)
+        if clipped is None:
+            raise ValueError(f"{self} does not overlap clip bounds {bounds}")
+        return clipped
+
+
+def bounding_box(points: "list[Point]") -> Rect:
+    """The smallest rectangle enclosing ``points`` (non-empty)."""
+    if not points:
+        raise ValueError("bounding_box of an empty point set")
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    return Rect(min(xs), min(ys), max(xs), max(ys))
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """``value`` limited to the closed interval ``[lo, hi]``."""
+    if lo > hi:
+        raise ValueError(f"empty clamp interval [{lo}, {hi}]")
+    return lo if value < lo else hi if value > hi else value

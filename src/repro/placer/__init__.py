@@ -1,0 +1,25 @@
+"""Electrostatics-based (ePlace) global placement engine."""
+
+from .density import ElectrostaticDensity, auto_grid_dim
+from .engine import GlobalPlaceResult, GlobalPlacer, IterationRecord, PlacerState
+from .initial import clamp_to_die, initial_place
+from .nesterov import NesterovOptimizer
+from .params import PlacementParams
+from .quadratic import initial_place_quadratic
+from .wirelength import WirelengthModel, gamma_schedule
+
+__all__ = [
+    "ElectrostaticDensity",
+    "GlobalPlaceResult",
+    "GlobalPlacer",
+    "IterationRecord",
+    "NesterovOptimizer",
+    "PlacementParams",
+    "PlacerState",
+    "WirelengthModel",
+    "auto_grid_dim",
+    "clamp_to_die",
+    "gamma_schedule",
+    "initial_place",
+    "initial_place_quadratic",
+]

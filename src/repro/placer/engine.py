@@ -1,0 +1,253 @@
+"""The ePlace-style global placement engine.
+
+Minimizes ``f = W_WA + lambda * D`` (paper Eq. 1) with Nesterov's method.
+The engine exposes an iteration *hook* interface: after every iteration
+each registered hook receives a :class:`PlacerState` and may mutate the
+effective (padded) cell sizes through
+:meth:`GlobalPlacer.set_density_sizes` — this is the seam PUFFER's
+routability optimizer plugs into.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist.design import Design
+from .density import ElectrostaticDensity
+from .initial import clamp_to_die, initial_place
+from .nesterov import NesterovOptimizer
+from .params import PlacementParams
+from .wirelength import WirelengthModel, gamma_schedule
+
+
+@dataclass
+class IterationRecord:
+    """Progress snapshot of one engine iteration."""
+
+    iteration: int
+    hpwl: float
+    overflow: float
+    penalty_factor: float
+    gamma: float
+
+
+@dataclass
+class GlobalPlaceResult:
+    """Outcome of :meth:`GlobalPlacer.run`."""
+
+    hpwl: float
+    overflow: float
+    iterations: int
+    runtime: float
+    grad_evals: int
+    converged: bool
+    history: list = field(default_factory=list)
+
+
+class PlacerState:
+    """Read-mostly view of the running engine handed to iteration hooks."""
+
+    def __init__(self, placer: "GlobalPlacer") -> None:
+        self.placer = placer
+        self.design = placer.design
+        self.density = placer.density
+
+    @property
+    def iteration(self) -> int:
+        return self.placer.iteration
+
+    @property
+    def overflow(self) -> float:
+        return self.placer.overflow
+
+    @property
+    def hpwl(self) -> float:
+        return self.placer.hpwl
+
+    @property
+    def penalty_factor(self) -> float:
+        return self.placer.penalty_factor
+
+    def set_density_sizes(self, w_eff: np.ndarray, h_eff: np.ndarray) -> None:
+        """Replace effective cell extents (PUFFER padding entry point)."""
+        self.placer.set_density_sizes(w_eff, h_eff)
+
+
+class GlobalPlacer:
+    """Analytical global placement with pluggable routability hooks.
+
+    Args:
+        design: design to place; positions are updated in place.
+        params: engine parameters.
+        hooks: callables ``hook(state) -> bool``; a ``True`` return means
+            the hook changed the objective (e.g. applied padding) and the
+            optimizer momentum must be reset.
+        seed_positions: when ``True``, run the star-model initial
+            placement first; otherwise start from the current positions.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        params: PlacementParams | None = None,
+        hooks: list | None = None,
+        seed_positions: bool = True,
+    ) -> None:
+        self.design = design
+        self.params = params or PlacementParams()
+        self.params.validate()
+        self.hooks = list(hooks or [])
+        self._seed_positions = seed_positions
+        self.density = ElectrostaticDensity(design, self.params)
+        self.wirelength = WirelengthModel(design)
+        self._mov = np.flatnonzero(design.movable)
+        self._pin_counts = np.bincount(design.pin_cell, minlength=design.num_cells)
+        self.iteration = 0
+        self.overflow = 1.0
+        self.hpwl = 0.0
+        self.penalty_factor = 0.0
+        self.gamma = 1.0
+        self._objective_changed = False
+
+    # ------------------------------------------------------------------
+    # Hook support
+    # ------------------------------------------------------------------
+
+    def set_density_sizes(self, w_eff: np.ndarray, h_eff: np.ndarray) -> None:
+        """Install padded cell extents into the electrostatic system."""
+        self.density.set_sizes(w_eff, h_eff)
+        self._objective_changed = True
+
+    # ------------------------------------------------------------------
+    # Gradient plumbing
+    # ------------------------------------------------------------------
+
+    def _unpack(self, z: np.ndarray) -> tuple:
+        x = self.design.x.copy()
+        y = self.design.y.copy()
+        n = len(self._mov)
+        x[self._mov] = z[:n]
+        y[self._mov] = z[n:]
+        return x, y
+
+    def _pack(self) -> np.ndarray:
+        return np.concatenate(
+            [self.design.x[self._mov], self.design.y[self._mov]]
+        )
+
+    def _project(self, z: np.ndarray) -> np.ndarray:
+        die = self.design.die
+        n = len(self._mov)
+        half_w = self.design.w[self._mov] / 2
+        half_h = self.design.h[self._mov] / 2
+        z = z.copy()
+        z[:n] = np.clip(z[:n], die.xlo + half_w, die.xhi - half_w)
+        z[n:] = np.clip(z[n:], die.ylo + half_h, die.yhi - half_h)
+        return z
+
+    def _gradient(self, z: np.ndarray) -> np.ndarray:
+        x, y = self._unpack(z)
+        _, gwx, gwy = self.wirelength.wa_and_grad(x, y, self.gamma)
+        _, gdx, gdy, ovf = self.density.penalty_and_grad(x, y)
+        self._eval_overflow = ovf
+        lam = self.penalty_factor
+        charge = np.zeros(self.design.num_cells)
+        charge[self.density.movable_indices] = self.density.charge
+        precond = np.maximum(self._pin_counts + lam * charge, 1.0)
+        gx = (gwx + lam * gdx) / precond
+        gy = (gwy + lam * gdy) / precond
+        return np.concatenate([gx[self._mov], gy[self._mov]])
+
+    def _initial_penalty_factor(self, z: np.ndarray) -> float:
+        x, y = self._unpack(z)
+        _, gwx, gwy = self.wirelength.wa_and_grad(x, y, self.gamma)
+        _, gdx, gdy, _ = self.density.penalty_and_grad(x, y)
+        wl_norm = float(np.abs(gwx[self._mov]).sum() + np.abs(gwy[self._mov]).sum())
+        d_norm = float(np.abs(gdx[self._mov]).sum() + np.abs(gdy[self._mov]).sum())
+        return wl_norm / max(d_norm, 1e-12)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> GlobalPlaceResult:
+        """Place the design; returns the convergence record."""
+        start = time.time()
+        params = self.params
+        design = self.design
+        if self._seed_positions:
+            if params.initial_placer == "quadratic":
+                from .quadratic import initial_place_quadratic
+
+                initial_place_quadratic(design, params)
+            else:
+                initial_place(design, params)
+        clamp_to_die(design)
+
+        base_gamma = params.gamma_scale * max(self.density.bin_w, self.density.bin_h)
+        self.overflow = self.density.overflow(design.x, design.y)
+        self.gamma = gamma_schedule(base_gamma, self.overflow)
+        z = self._project(self._pack())
+        self.penalty_factor = self._initial_penalty_factor(z)
+        self._eval_overflow = self.overflow
+
+        g0 = self._gradient(z)
+        g_inf = float(np.abs(g0).max()) if len(g0) else 1.0
+        initial_step = 0.1 * self.density.bin_w / max(g_inf, 1e-12)
+        optimizer = NesterovOptimizer(self._gradient, self._project, z, initial_step)
+
+        hpwl_prev = self.wirelength.hpwl(design.x, design.y)
+        hpwl_ref = max(params.delta_hpwl_ref_frac * max(hpwl_prev, 1.0), 1e-9)
+        history = []
+        converged = False
+        state = PlacerState(self)
+
+        for k in range(params.max_iters):
+            self.iteration = k
+            z = optimizer.step()
+            x, y = self._unpack(z)
+            design.x[:] = x
+            design.y[:] = y
+            self.overflow = self._eval_overflow
+            self.hpwl = self.wirelength.hpwl(x, y)
+
+            # Penalty-factor schedule (ePlace): reward HPWL reduction.
+            delta = self.hpwl - hpwl_prev
+            mu = params.lambda_mu_max ** (1.0 - delta / hpwl_ref)
+            mu = float(np.clip(mu, params.lambda_mu_min, params.lambda_mu_max))
+            self.penalty_factor *= mu
+            hpwl_prev = self.hpwl
+            self.gamma = gamma_schedule(base_gamma, self.overflow)
+
+            history.append(
+                IterationRecord(k, self.hpwl, self.overflow, self.penalty_factor, self.gamma)
+            )
+            if params.verbose and k % 25 == 0:
+                print(
+                    f"  iter {k:4d}  hpwl {self.hpwl:.4g}  ovf {self.overflow:.4f}"
+                    f"  lambda {self.penalty_factor:.3g}"
+                )
+
+            self._objective_changed = False
+            for hook in self.hooks:
+                if hook(state):
+                    self._objective_changed = True
+            if self._objective_changed:
+                optimizer.reset_momentum()
+
+            if self.overflow < params.target_overflow and k >= params.min_iters:
+                converged = True
+                break
+
+        return GlobalPlaceResult(
+            hpwl=self.hpwl,
+            overflow=self.overflow,
+            iterations=self.iteration + 1,
+            runtime=time.time() - start,
+            grad_evals=optimizer.grad_evals,
+            converged=converged,
+            history=history,
+        )

@@ -1,0 +1,87 @@
+"""Initial placement for the global placer.
+
+A damped fixed-point iteration of the star-model quadratic program: each
+net pulls its pins toward the net centroid and each movable cell moves
+toward the average centroid of its nets.  Fixed cells (macros, IO pads)
+act as anchors.  A small jitter breaks the symmetry of fully-floating
+designs so the electrostatic spreading has a gradient to follow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist.design import Design
+from .params import PlacementParams
+
+
+def initial_place(
+    design: Design,
+    params: PlacementParams | None = None,
+    iterations: int = 60,
+    damping: float = 0.5,
+) -> None:
+    """Overwrite movable-cell positions with a quadratic-style seed.
+
+    Args:
+        design: the design to place (positions mutate in place).
+        params: placement parameters (seed and jitter come from here).
+        iterations: fixed-point iterations of the star model.
+        damping: fraction of the old position retained per iteration.
+    """
+    params = params or PlacementParams()
+    rng = np.random.default_rng(params.seed)
+    die = design.die
+    movable = design.movable
+
+    # Start every movable cell at the die center.
+    design.x[movable] = die.center.x
+    design.y[movable] = die.center.y
+
+    if design.num_pins:
+        _star_model_iterations(design, iterations, damping)
+
+    bin_w = die.width / 64.0
+    n_mov = int(movable.sum())
+    design.x[movable] += rng.uniform(-1, 1, n_mov) * params.initial_noise * bin_w
+    design.y[movable] += rng.uniform(-1, 1, n_mov) * params.initial_noise * bin_w
+    clamp_to_die(design)
+
+
+def _star_model_iterations(design: Design, iterations: int, damping: float) -> None:
+    net_start = design.net_start
+    net_pins = design.net_pins
+    pin_cell = design.pin_cell[net_pins]
+    degrees = np.diff(net_start)
+    nonempty = degrees > 0
+    starts = net_start[:-1][nonempty]
+    repeat = degrees[nonempty]
+    movable = design.movable
+    counts = np.zeros(design.num_cells)
+    np.add.at(counts, pin_cell, 1.0)
+    counts = np.maximum(counts, 1.0)
+
+    for _ in range(iterations):
+        px = design.x[pin_cell]
+        py = design.y[pin_cell]
+        cx = np.add.reduceat(px, starts) / repeat
+        cy = np.add.reduceat(py, starts) / repeat
+        # Scatter each net centroid back onto its member cells.
+        tgt_x = np.zeros(design.num_cells)
+        tgt_y = np.zeros(design.num_cells)
+        np.add.at(tgt_x, pin_cell, np.repeat(cx, repeat))
+        np.add.at(tgt_y, pin_cell, np.repeat(cy, repeat))
+        tgt_x /= counts
+        tgt_y /= counts
+        design.x[movable] = damping * design.x[movable] + (1 - damping) * tgt_x[movable]
+        design.y[movable] = damping * design.y[movable] + (1 - damping) * tgt_y[movable]
+
+
+def clamp_to_die(design: Design) -> None:
+    """Clamp movable cell centers so outlines stay inside the die."""
+    movable = design.movable
+    die = design.die
+    half_w = design.w[movable] / 2
+    half_h = design.h[movable] / 2
+    design.x[movable] = np.clip(design.x[movable], die.xlo + half_w, die.xhi - half_w)
+    design.y[movable] = np.clip(design.y[movable], die.ylo + half_h, die.yhi - half_h)

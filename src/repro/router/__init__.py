@@ -1,0 +1,34 @@
+"""Global-routing evaluator on a Gcell grid."""
+
+from .cost import CostModel, CostParams
+from .grid import DemandMaps, RoutingGrid, build_grid
+from .layers import LayerUsage, assign_layers, format_layer_table
+from .maze import maze_route
+from .pattern import (
+    best_pattern_route,
+    l_route,
+    route_cost,
+    straight_route,
+    z_route,
+)
+from .router import GlobalRouter, RouteReport, RouterParams
+
+__all__ = [
+    "CostModel",
+    "CostParams",
+    "DemandMaps",
+    "GlobalRouter",
+    "LayerUsage",
+    "RouteReport",
+    "RouterParams",
+    "RoutingGrid",
+    "assign_layers",
+    "best_pattern_route",
+    "build_grid",
+    "format_layer_table",
+    "l_route",
+    "maze_route",
+    "route_cost",
+    "straight_route",
+    "z_route",
+]

@@ -1,0 +1,66 @@
+"""Congestion cost model shared by pattern and maze routing.
+
+The router negotiates congestion PathFinder-style: the cost of occupying
+a Gcell in a direction is a base length cost plus a penalty growing with
+the overflow the extra wire would cause, plus an accumulated history cost
+on persistently congested Gcells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .grid import DemandMaps, RoutingGrid
+
+
+@dataclass
+class CostParams:
+    """Routing-cost knobs.
+
+    Attributes:
+        congestion_weight: multiplier on per-Gcell prospective overflow.
+        history_increment: history added per overflowed Gcell per round.
+        slack: capacity fraction at which the soft penalty starts.
+    """
+
+    congestion_weight: float = 16.0
+    history_increment: float = 1.0
+    slack: float = 0.9
+
+
+class CostModel:
+    """Live per-direction cost maps over a routing grid."""
+
+    def __init__(self, grid: RoutingGrid, demand: DemandMaps, params: CostParams) -> None:
+        self.grid = grid
+        self.demand = demand
+        self.params = params
+        self.hist_h = np.zeros((grid.nx, grid.ny))
+        self.hist_v = np.zeros((grid.nx, grid.ny))
+        self._capn_h = np.maximum(grid.cap_h, 1.0)
+        self._capn_v = np.maximum(grid.cap_v, 1.0)
+
+    def cost_maps(self) -> tuple:
+        """Full ``(cost_h, cost_v)`` maps for the current demand.
+
+        ``cost = 1 + w * relu(dmd + 1 - slack*cap) / max(cap, 1) + hist``;
+        the ``+1`` prices the wire about to be added.
+        """
+        p = self.params
+        over_h = np.maximum(
+            self.demand.dmd_h + 1.0 - p.slack * self.grid.cap_h, 0.0
+        ) / self._capn_h
+        over_v = np.maximum(
+            self.demand.dmd_v + 1.0 - p.slack * self.grid.cap_v, 0.0
+        ) / self._capn_v
+        cost_h = 1.0 + p.congestion_weight * over_h + self.hist_h
+        cost_v = 1.0 + p.congestion_weight * over_v + self.hist_v
+        return cost_h, cost_v
+
+    def bump_history(self) -> None:
+        """Accumulate history cost on currently overflowed Gcells."""
+        over_h, over_v = self.demand.overflow_maps(self.grid)
+        self.hist_h += self.params.history_increment * (over_h > 0)
+        self.hist_v += self.params.history_increment * (over_v > 0)

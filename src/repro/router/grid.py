@@ -1,0 +1,154 @@
+"""The Gcell routing grid and its blockage-aware capacity model.
+
+The routing region is a 2D array of square Gcells (paper Fig. 1 collapses
+the layer dimension into per-direction capacities).  Capacity follows the
+Gcell-based resource model of paper Eq. (8): per direction, the basic
+track count from the metal stack minus the tracks consumed by blockages
+(macro keep-outs, power straps, pin obstructions).
+
+Both the global router and PUFFER's congestion estimator build their maps
+on this grid, which is what makes the estimator's output commensurable
+with the router's report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist.design import Design
+from ..netlist.geometry import Rect
+from ..netlist.technology import HORIZONTAL, VERTICAL
+
+
+@dataclass
+class RoutingGrid:
+    """Gcell geometry plus per-direction capacity maps.
+
+    Attributes:
+        nx, ny: Gcell counts along x and y.
+        gcell_w, gcell_h: Gcell dimensions in database units.
+        xlo, ylo: die origin.
+        cap_h, cap_v: per-Gcell horizontal/vertical capacities (tracks),
+            shape ``(nx, ny)``.
+    """
+
+    nx: int
+    ny: int
+    gcell_w: float
+    gcell_h: float
+    xlo: float
+    ylo: float
+    cap_h: np.ndarray
+    cap_v: np.ndarray
+
+    def gcell_of(self, x, y) -> tuple:
+        """Gcell indices containing point(s) ``(x, y)`` (clamped)."""
+        gx = np.clip(((np.asarray(x) - self.xlo) / self.gcell_w).astype(np.int64), 0, self.nx - 1)
+        gy = np.clip(((np.asarray(y) - self.ylo) / self.gcell_h).astype(np.int64), 0, self.ny - 1)
+        return gx, gy
+
+    def center_of(self, gx, gy) -> tuple:
+        """Center coordinates of Gcell(s) ``(gx, gy)``."""
+        x = self.xlo + (np.asarray(gx) + 0.5) * self.gcell_w
+        y = self.ylo + (np.asarray(gy) + 0.5) * self.gcell_h
+        return x, y
+
+    @property
+    def num_gcells(self) -> int:
+        return self.nx * self.ny
+
+
+def build_grid(design: Design) -> RoutingGrid:
+    """Construct the routing grid for ``design`` per paper Eq. (8)."""
+    tech = design.technology
+    die = design.die
+    nx = max(int(math.ceil(die.width / tech.gcell_size)), 1)
+    ny = max(int(math.ceil(die.height / tech.gcell_size)), 1)
+    gcell_w = die.width / nx
+    gcell_h = die.height / ny
+
+    # layers_in_direction already restricts to routing layers.
+    base_h = sum(gcell_w / l.pitch for l in tech.layers_in_direction(HORIZONTAL))
+    base_v = sum(gcell_h / l.pitch for l in tech.layers_in_direction(VERTICAL))
+    cap_h = np.full((nx, ny), base_h, dtype=np.float64)
+    cap_v = np.full((nx, ny), base_v, dtype=np.float64)
+
+    grid = RoutingGrid(nx, ny, gcell_w, gcell_h, die.xlo, die.ylo, cap_h, cap_v)
+    for blk in design.blockages:
+        _deduct_blockage(design, grid, blk.rect, blk.layer)
+    np.maximum(cap_h, 0.0, out=cap_h)
+    np.maximum(cap_v, 0.0, out=cap_v)
+    return grid
+
+
+def _deduct_blockage(design: Design, grid: RoutingGrid, rect: Rect, layer: int) -> None:
+    """Subtract the tracks a blockage consumes from the affected Gcells.
+
+    For a layer preferring direction H, tracks are stacked vertically at
+    the layer pitch: a blockage spanning ``oy`` vertically blocks
+    ``oy / pitch`` tracks over the fraction ``ox / gcell_w`` of the Gcell
+    span — the ``OL_{H/V}(b, g) / (MetalWidth + WireSpacing)`` term of
+    Eq. (8), with the overlap normalized to the Gcell length.
+    """
+    tech = design.technology
+    metal = tech.layers[layer]
+    clipped = rect.intersection(design.die)
+    if clipped is None:
+        return
+    ix0 = max(int((clipped.xlo - grid.xlo) / grid.gcell_w), 0)
+    ix1 = min(int(math.ceil((clipped.xhi - grid.xlo) / grid.gcell_w)), grid.nx)
+    iy0 = max(int((clipped.ylo - grid.ylo) / grid.gcell_h), 0)
+    iy1 = min(int(math.ceil((clipped.yhi - grid.ylo) / grid.gcell_h)), grid.ny)
+    if ix1 <= ix0 or iy1 <= iy0:
+        return
+    # Vectorized overlap extents per Gcell row/column in the window.
+    gx = np.arange(ix0, ix1)
+    gy = np.arange(iy0, iy1)
+    ox = np.minimum(clipped.xhi, grid.xlo + (gx + 1) * grid.gcell_w) - np.maximum(
+        clipped.xlo, grid.xlo + gx * grid.gcell_w
+    )
+    oy = np.minimum(clipped.yhi, grid.ylo + (gy + 1) * grid.gcell_h) - np.maximum(
+        clipped.ylo, grid.ylo + gy * grid.gcell_h
+    )
+    ox = np.clip(ox, 0.0, None)
+    oy = np.clip(oy, 0.0, None)
+    if metal.direction == HORIZONTAL:
+        blocked = (oy[None, :] / metal.pitch) * (ox[:, None] / grid.gcell_w)
+        grid.cap_h[ix0:ix1, iy0:iy1] -= blocked
+    else:
+        blocked = (ox[:, None] / metal.pitch) * (oy[None, :] / grid.gcell_h)
+        grid.cap_v[ix0:ix1, iy0:iy1] -= blocked
+
+
+@dataclass
+class DemandMaps:
+    """Mutable per-direction routing-demand maps on a :class:`RoutingGrid`."""
+
+    dmd_h: np.ndarray
+    dmd_v: np.ndarray
+
+    @classmethod
+    def zeros(cls, grid: RoutingGrid) -> "DemandMaps":
+        return cls(
+            np.zeros((grid.nx, grid.ny)),
+            np.zeros((grid.nx, grid.ny)),
+        )
+
+    def overflow_ratio(self, grid: RoutingGrid) -> tuple:
+        """``(hof, vof)`` in percent: total clipped excess over capacity,
+        normalized by total capacity per direction."""
+        over_h = np.maximum(self.dmd_h - grid.cap_h, 0.0).sum()
+        over_v = np.maximum(self.dmd_v - grid.cap_v, 0.0).sum()
+        hof = 100.0 * over_h / max(grid.cap_h.sum(), 1e-12)
+        vof = 100.0 * over_v / max(grid.cap_v.sum(), 1e-12)
+        return float(hof), float(vof)
+
+    def overflow_maps(self, grid: RoutingGrid) -> tuple:
+        """Per-Gcell clipped overflow (demand minus capacity, >= 0)."""
+        return (
+            np.maximum(self.dmd_h - grid.cap_h, 0.0),
+            np.maximum(self.dmd_v - grid.cap_v, 0.0),
+        )

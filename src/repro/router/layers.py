@@ -1,0 +1,94 @@
+"""Post-routing layer assignment and per-layer utilization.
+
+The router works on collapsed per-direction capacities (paper Fig. 1);
+this module redistributes the routed demand back onto the metal stack —
+each Gcell's directional demand is split across the same-direction
+layers in proportion to their track share, bottom-up with overflow
+spilling upward, which approximates how a layer assigner fills cheap
+lower layers first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist.design import Design
+from ..netlist.technology import HORIZONTAL
+from .grid import RoutingGrid
+from .router import RouteReport
+
+
+@dataclass
+class LayerUsage:
+    """Utilization of one metal layer.
+
+    Attributes:
+        name: layer name.
+        direction: preferred direction.
+        tracks: per-Gcell track capacity of this layer.
+        utilization: mean demand / capacity over the grid.
+        peak: maximum per-Gcell utilization.
+        overflow_gcells: Gcells whose assigned demand exceeds the layer.
+    """
+
+    name: str
+    direction: str
+    tracks: float
+    utilization: float
+    peak: float
+    overflow_gcells: int
+
+
+def assign_layers(design: Design, report: RouteReport) -> list:
+    """Per-layer usage from a routing report.
+
+    Returns:
+        One :class:`LayerUsage` per routing layer, bottom-up.
+    """
+    tech = design.technology
+    grid = report.grid
+    usages = []
+    for direction, demand, gcell_len in (
+        (HORIZONTAL, report.demand.dmd_h, grid.gcell_w),
+        ("V", report.demand.dmd_v, grid.gcell_h),
+    ):
+        layers = tech.layers_in_direction(direction)
+        if not layers:
+            continue
+        remaining = demand.copy()
+        for layer in layers:
+            tracks = gcell_len / layer.pitch
+            assigned = np.minimum(remaining, tracks)
+            is_last = layer is layers[-1]
+            if is_last:
+                assigned = remaining.copy()
+            remaining = remaining - assigned
+            util = assigned / max(tracks, 1e-12)
+            usages.append(
+                LayerUsage(
+                    name=layer.name,
+                    direction=direction if direction == HORIZONTAL else "V",
+                    tracks=tracks,
+                    utilization=float(util.mean()),
+                    peak=float(util.max()),
+                    overflow_gcells=int((assigned > tracks + 1e-9).sum()),
+                )
+            )
+    order = {l.name: i for i, l in enumerate(tech.layers)}
+    usages.sort(key=lambda u: order[u.name])
+    return usages
+
+
+def format_layer_table(usages: list) -> str:
+    """ASCII table of per-layer usage."""
+    lines = [
+        f"{'layer':<6}{'dir':<5}{'tracks':>8}{'mean util':>11}{'peak':>8}{'overflow':>10}"
+    ]
+    for u in usages:
+        lines.append(
+            f"{u.name:<6}{u.direction:<5}{u.tracks:>8.1f}{u.utilization:>11.3f}"
+            f"{u.peak:>8.2f}{u.overflow_gcells:>10d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Pattern routing: straight and L-shaped routes on the Gcell grid.
+
+Routes are represented as a pair of flat Gcell index arrays
+``(h_cells, v_cells)`` — the Gcells whose horizontal / vertical demand the
+route consumes.  A corner Gcell appears in both arrays, matching the
+run-based accounting used throughout the router.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+Route = tuple  # (h_cells, v_cells), flat int64 arrays
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def straight_route(gx0: int, gy0: int, gx1: int, gy1: int, ny: int) -> Route:
+    """Route an I-shaped segment (endpoints aligned in x or y)."""
+    if gy0 == gy1:
+        lo, hi = sorted((gx0, gx1))
+        cells = np.arange(lo, hi + 1, dtype=np.int64) * ny + gy0
+        if lo == hi:
+            return _EMPTY, _EMPTY
+        return cells, _EMPTY
+    if gx0 == gx1:
+        lo, hi = sorted((gy0, gy1))
+        cells = gx0 * ny + np.arange(lo, hi + 1, dtype=np.int64)
+        return _EMPTY, cells
+    raise ValueError("straight_route called on a non-aligned segment")
+
+
+def l_route(gx0: int, gy0: int, gx1: int, gy1: int, ny: int, corner_first: bool) -> Route:
+    """An L-shaped route; ``corner_first`` picks the corner at
+    ``(gx1, gy0)`` (horizontal run first) versus ``(gx0, gy1)``."""
+    xlo, xhi = sorted((gx0, gx1))
+    ylo, yhi = sorted((gy0, gy1))
+    if corner_first:
+        h_y, v_x = gy0, gx1
+    else:
+        h_y, v_x = gy1, gx0
+    h_cells = np.arange(xlo, xhi + 1, dtype=np.int64) * ny + h_y
+    v_cells = v_x * ny + np.arange(ylo, yhi + 1, dtype=np.int64)
+    return h_cells, v_cells
+
+
+def z_route(
+    gx0: int, gy0: int, gx1: int, gy1: int, ny: int, mid: int, horizontal_first: bool
+) -> Route:
+    """A Z-shaped route with two corners.
+
+    ``horizontal_first`` routes H at ``gy0`` to column ``mid``, V along
+    ``mid``, then H at ``gy1``; otherwise the transposed pattern with
+    ``mid`` as the intermediate row.
+    """
+    if horizontal_first:
+        xa, xb = sorted((gx0, mid))
+        xc, xd = sorted((mid, gx1))
+        ylo, yhi = sorted((gy0, gy1))
+        h_cells = np.concatenate(
+            [
+                np.arange(xa, xb + 1, dtype=np.int64) * ny + gy0,
+                np.arange(xc, xd + 1, dtype=np.int64) * ny + gy1,
+            ]
+        )
+        v_cells = mid * ny + np.arange(ylo, yhi + 1, dtype=np.int64)
+        return h_cells, v_cells
+    ya, yb = sorted((gy0, mid))
+    yc, yd = sorted((mid, gy1))
+    xlo, xhi = sorted((gx0, gx1))
+    v_cells = np.concatenate(
+        [
+            gx0 * ny + np.arange(ya, yb + 1, dtype=np.int64),
+            gx1 * ny + np.arange(yc, yd + 1, dtype=np.int64),
+        ]
+    )
+    h_cells = np.arange(xlo, xhi + 1, dtype=np.int64) * ny + mid
+    return h_cells, v_cells
+
+
+def route_cost(route: Route, cost_h_flat: np.ndarray, cost_v_flat: np.ndarray) -> float:
+    """Total cost of a route under the given flat cost maps."""
+    h_cells, v_cells = route
+    total = 0.0
+    if len(h_cells):
+        total += float(cost_h_flat[h_cells].sum())
+    if len(v_cells):
+        total += float(cost_v_flat[v_cells].sum())
+    return total
+
+
+def best_pattern_route(
+    gx0: int,
+    gy0: int,
+    gx1: int,
+    gy1: int,
+    ny: int,
+    cost_h_flat: np.ndarray,
+    cost_v_flat: np.ndarray,
+    use_z: bool = False,
+) -> Route:
+    """The cheapest straight/L (optionally Z) route for a segment."""
+    if gx0 == gx1 and gy0 == gy1:
+        return _EMPTY, _EMPTY
+    if gx0 == gx1 or gy0 == gy1:
+        return straight_route(gx0, gy0, gx1, gy1, ny)
+    candidates = [
+        l_route(gx0, gy0, gx1, gy1, ny, corner_first=True),
+        l_route(gx0, gy0, gx1, gy1, ny, corner_first=False),
+    ]
+    if use_z:
+        xlo, xhi = sorted((gx0, gx1))
+        ylo, yhi = sorted((gy0, gy1))
+        for mid in _midpoints(xlo, xhi):
+            candidates.append(z_route(gx0, gy0, gx1, gy1, ny, mid, True))
+        for mid in _midpoints(ylo, yhi):
+            candidates.append(z_route(gx0, gy0, gx1, gy1, ny, mid, False))
+    costs = [route_cost(r, cost_h_flat, cost_v_flat) for r in candidates]
+    return candidates[int(np.argmin(costs))]
+
+
+def _midpoints(lo: int, hi: int, count: int = 3) -> list:
+    """Up to ``count`` interior split positions between ``lo`` and ``hi``."""
+    interior = range(lo + 1, hi)
+    if len(interior) <= count:
+        return list(interior)
+    step = len(interior) / (count + 1)
+    return [interior[int(step * (i + 1))] for i in range(count)]

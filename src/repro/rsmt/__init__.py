@@ -1,0 +1,13 @@
+"""Rectilinear Steiner minimal tree engine (FLUTE substitute)."""
+
+from .rmst import manhattan_matrix, rmst_edges, tree_length
+from .steiner import build_rsmt
+from .topology import Topology
+
+__all__ = [
+    "Topology",
+    "build_rsmt",
+    "manhattan_matrix",
+    "rmst_edges",
+    "tree_length",
+]

@@ -1,0 +1,52 @@
+"""Rectilinear minimum spanning trees (Prim's algorithm).
+
+Net degrees in placement are small (2-100 pins), so the dense O(n^2)
+Prim with a numpy distance matrix is both simple and fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def manhattan_matrix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Pairwise Manhattan distances of the points ``(x_i, y_i)``."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    return np.abs(x[:, None] - x[None, :]) + np.abs(y[:, None] - y[None, :])
+
+
+def rmst_edges(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Edges ``(k, 2)`` of a rectilinear MST over the given points.
+
+    Duplicate points are connected with zero-length edges, keeping the
+    result a spanning tree.
+    """
+    n = len(x)
+    if n < 2:
+        return np.zeros((0, 2), dtype=np.int64)
+    dist_matrix = manhattan_matrix(x, y)
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best = dist_matrix[0].copy()
+    parent = np.zeros(n, dtype=np.int64)
+    edges = np.zeros((n - 1, 2), dtype=np.int64)
+    for k in range(n - 1):
+        best_masked = np.where(in_tree, np.inf, best)
+        j = int(np.argmin(best_masked))
+        edges[k, 0] = parent[j]
+        edges[k, 1] = j
+        in_tree[j] = True
+        closer = dist_matrix[j] < best
+        parent[closer] = j
+        best = np.minimum(best, dist_matrix[j])
+    return edges
+
+
+def tree_length(x: np.ndarray, y: np.ndarray, edges: np.ndarray) -> float:
+    """Total Manhattan length of the tree ``edges``."""
+    if len(edges) == 0:
+        return 0.0
+    a = edges[:, 0]
+    b = edges[:, 1]
+    return float(np.abs(x[a] - x[b]).sum() + np.abs(y[a] - y[b]).sum())

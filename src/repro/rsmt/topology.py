@@ -1,0 +1,69 @@
+"""Net routing topologies: point sets plus two-point segments.
+
+PUFFER's congestion estimation decomposes every net into two-point nets
+whose endpoints are either cell pins or Steiner points (Sec. III-A2); the
+detour-imitating expansion treats the two endpoint kinds differently
+(Sec. III-A3).  :class:`Topology` is that decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Topology:
+    """A routing tree for one net.
+
+    Attributes:
+        x, y: point coordinates (pins first, then Steiner points).
+        is_pin: per-point flag; ``True`` for cell pins.
+        edges: ``(k, 2)`` array of point-index pairs (the two-point nets).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    is_pin: np.ndarray
+    edges: np.ndarray
+
+    @property
+    def num_points(self) -> int:
+        return len(self.x)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.edges)
+
+    def wirelength(self) -> float:
+        """Total Manhattan length of all segments."""
+        if len(self.edges) == 0:
+            return 0.0
+        a, b = self.edges[:, 0], self.edges[:, 1]
+        return float(np.abs(self.x[a] - self.x[b]).sum() + np.abs(self.y[a] - self.y[b]).sum())
+
+    def segment_kinds(self) -> np.ndarray:
+        """Per-segment classification: 0 = I-shaped, 1 = L-shaped.
+
+        A segment is I-shaped when its endpoints align in x or y.
+        """
+        a, b = self.edges[:, 0], self.edges[:, 1]
+        dx = np.abs(self.x[a] - self.x[b])
+        dy = np.abs(self.y[a] - self.y[b])
+        return np.where((dx < 1e-9) | (dy < 1e-9), 0, 1)
+
+    def degree_of(self, point: int) -> int:
+        """Tree degree of point index ``point``."""
+        return int((self.edges == point).sum())
+
+    def validate(self) -> None:
+        """Raise on malformed structures (bad indices, self loops)."""
+        n = self.num_points
+        if len(self.is_pin) != n or len(self.y) != n:
+            raise ValueError("point array length mismatch")
+        if len(self.edges):
+            if self.edges.min() < 0 or self.edges.max() >= n:
+                raise ValueError("edge endpoint out of range")
+            if (self.edges[:, 0] == self.edges[:, 1]).any():
+                raise ValueError("self-loop segment")

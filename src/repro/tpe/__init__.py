@@ -1,0 +1,17 @@
+"""SMBO with the tree-structured Parzen estimator (Bergstra et al.)."""
+
+from .smbo import SMBOResult, Trial, minimize
+from .space import Choice, LogUniform, QUniform, Space, Uniform
+from .tpe import TPESampler
+
+__all__ = [
+    "Choice",
+    "LogUniform",
+    "QUniform",
+    "SMBOResult",
+    "Space",
+    "TPESampler",
+    "Trial",
+    "Uniform",
+    "minimize",
+]

@@ -1,0 +1,95 @@
+"""Sequential model-based global optimization (SMBO) loop.
+
+Drives a :class:`repro.tpe.tpe.TPESampler` against an expensive black-box
+objective, with the two termination criteria of paper Algorithm 2: a hard
+evaluation budget and an early-stop patience on non-improving results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .space import Space
+from .tpe import TPESampler
+
+
+@dataclass
+class Trial:
+    """One objective evaluation."""
+
+    params: dict
+    loss: float
+    index: int
+
+
+@dataclass
+class SMBOResult:
+    """Outcome of :func:`minimize`.
+
+    Attributes:
+        best: the lowest-loss trial.
+        trials: every trial in evaluation order.
+        stopped_early: ``True`` when the patience criterion fired (the
+            return flag of paper Algorithm 2).
+    """
+
+    best: Trial
+    trials: list = field(default_factory=list)
+    stopped_early: bool = False
+
+    def observations(self) -> list:
+        """``(params, loss)`` pairs for feeding back into a sampler."""
+        return [(t.params, t.loss) for t in self.trials]
+
+
+def minimize(
+    objective,
+    space: Space,
+    max_evals: int = 40,
+    patience: int = 10,
+    sampler: TPESampler | None = None,
+    rng=None,
+    warm_start: list | None = None,
+) -> SMBOResult:
+    """Minimize ``objective`` over ``space`` with TPE suggestions.
+
+    Args:
+        objective: callable ``params_dict -> float`` (lower is better).
+        space: search space.
+        max_evals: evaluation budget (``TC`` in Algorithm 2).
+        patience: stop after this many non-improving evaluations
+            (``EC`` in Algorithm 2).
+        sampler: TPE sampler (default-configured when omitted).
+        rng: ``numpy.random.Generator`` or seed.
+        warm_start: prior ``(params, loss)`` observations to seed the
+            sampler without re-evaluating them.
+
+    Returns:
+        An :class:`SMBOResult`; raises ``ValueError`` on an empty budget.
+    """
+    if max_evals < 1:
+        raise ValueError("max_evals must be positive")
+    sampler = sampler or TPESampler()
+    rng = np.random.default_rng(rng)
+    observations = list(warm_start or [])
+    trials = []
+    best = None
+    since_best = 0
+    stopped_early = False
+    for i in range(max_evals):
+        params = sampler.suggest(space, observations, rng)
+        loss = float(objective(params))
+        trial = Trial(params=params, loss=loss, index=i)
+        trials.append(trial)
+        observations.append((params, loss))
+        if best is None or loss < best.loss - 1e-15:
+            best = trial
+            since_best = 0
+        else:
+            since_best += 1
+        if since_best >= patience:
+            stopped_early = True
+            break
+    return SMBOResult(best=best, trials=trials, stopped_early=stopped_early)

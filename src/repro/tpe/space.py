@@ -1,0 +1,147 @@
+"""Search-space definitions for SMBO / TPE.
+
+A space is an ordered collection of named dimensions.  Dimensions know
+how to sample themselves uniformly, how to clip values into range, and —
+for the strategy-exploration protocol of paper Sec. III-C — how to shrink
+their range around observed good values and report their midpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """A continuous parameter uniform on ``[lo, hi]``."""
+
+    name: str
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"{self.name}: empty range [{self.lo}, {self.hi}]")
+
+    def sample(self, rng) -> float:
+        return float(rng.uniform(self.lo, self.hi))
+
+    def clip(self, value: float) -> float:
+        return float(np.clip(value, self.lo, self.hi))
+
+    def midpoint(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    def shrunk(self, values: np.ndarray, keep: float = 0.6) -> "Uniform":
+        """Range shrunk toward the spread of good observed ``values``."""
+        if len(values) == 0:
+            return self
+        lo = float(np.min(values))
+        hi = float(np.max(values))
+        margin = keep * (hi - lo) / 2.0 + 1e-12
+        return replace(
+            self,
+            lo=max(self.lo, lo - margin),
+            hi=min(self.hi, hi + margin),
+        )
+
+
+@dataclass(frozen=True)
+class QUniform(Uniform):
+    """A quantized uniform parameter (step ``q``), e.g. iteration counts."""
+
+    q: float = 1.0
+
+    def sample(self, rng) -> float:
+        return self.clip(rng.uniform(self.lo, self.hi))
+
+    def clip(self, value: float) -> float:
+        snapped = np.round(value / self.q) * self.q
+        return float(np.clip(snapped, self.lo, self.hi))
+
+    def midpoint(self) -> float:
+        return self.clip((self.lo + self.hi) / 2.0)
+
+
+@dataclass(frozen=True)
+class LogUniform(Uniform):
+    """A positive parameter uniform in log space on ``[lo, hi]``."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.lo <= 0:
+            raise ValueError(f"{self.name}: log-uniform needs lo > 0")
+
+    def sample(self, rng) -> float:
+        return float(np.exp(rng.uniform(np.log(self.lo), np.log(self.hi))))
+
+    def midpoint(self) -> float:
+        return float(np.exp((np.log(self.lo) + np.log(self.hi)) / 2.0))
+
+
+@dataclass(frozen=True)
+class Choice:
+    """A categorical parameter over ``options`` (used for discrete
+    strategy selection, e.g. which legalizer to run)."""
+
+    name: str
+    options: tuple
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise ValueError(f"{self.name}: empty choice")
+
+    def sample(self, rng):
+        return self.options[int(rng.integers(len(self.options)))]
+
+    def clip(self, value):
+        return value if value in self.options else self.options[0]
+
+    def midpoint(self):
+        return self.options[len(self.options) // 2]
+
+    def shrunk(self, values, keep: float = 0.6) -> "Choice":
+        return self
+
+
+class Space:
+    """An ordered set of dimensions addressed by name."""
+
+    def __init__(self, dims: list) -> None:
+        names = [d.name for d in dims]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate dimension names")
+        self.dims = list(dims)
+
+    def __iter__(self):
+        return iter(self.dims)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def names(self) -> list:
+        return [d.name for d in self.dims]
+
+    def dim(self, name: str):
+        for d in self.dims:
+            if d.name == name:
+                return d
+        raise KeyError(name)
+
+    def sample(self, rng) -> dict:
+        """One uniformly random configuration."""
+        return {d.name: d.sample(rng) for d in self.dims}
+
+    def midpoint(self) -> dict:
+        """The range-midpoint configuration (the paper's final pick)."""
+        return {d.name: d.midpoint() for d in self.dims}
+
+    def subspace(self, names: list) -> "Space":
+        """The sub-space holding only the named dimensions."""
+        return Space([self.dim(n) for n in names])
+
+    def replaced(self, new_dim) -> "Space":
+        """A copy with the same-named dimension replaced."""
+        return Space([new_dim if d.name == new_dim.name else d for d in self.dims])

@@ -1,0 +1,73 @@
+"""Shared fixtures: small hand-built and generated designs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchgen import GeneratorSpec, generate_design
+from repro.netlist import DesignBuilder, Rect, Technology
+
+
+def build_tiny_design(name: str = "tiny", num_cells: int = 8, die: float = 64.0):
+    """A deterministic hand-built design: a chain of cells plus one IO."""
+    tech = Technology()
+    builder = DesignBuilder(name, tech, Rect(0, 0, die, die))
+    io = builder.add_cell("io", 1, 1, x=0.5, y=die / 2, movable=False)
+    cells = [
+        builder.add_cell(f"c{i}", 2 + (i % 3), tech.row_height)
+        for i in range(num_cells)
+    ]
+    previous = io
+    for i, cell in enumerate(cells):
+        net = builder.add_net(f"n{i}")
+        builder.add_pin(previous, net)
+        builder.add_pin(cell, net, dx=0.5)
+        previous = cell
+    return builder.build()
+
+
+@pytest.fixture
+def tiny_design():
+    return build_tiny_design()
+
+
+@pytest.fixture(scope="session")
+def small_spec():
+    return GeneratorSpec(
+        name="small",
+        num_cells=300,
+        num_nets=450,
+        pins_per_net=3.4,
+        num_macros=3,
+        num_io=8,
+        utilization=0.7,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_design_template(small_spec):
+    """Session-cached generated design; use ``small_design`` for a copy."""
+    return generate_design(small_spec)
+
+
+@pytest.fixture
+def small_design(small_spec):
+    """A fresh generated design (positions safe to mutate)."""
+    return generate_design(small_spec)
+
+
+@pytest.fixture(scope="session")
+def placed_small_design(small_spec):
+    """A session-cached globally-placed copy (read-only for tests)."""
+    from repro.placer import GlobalPlacer, PlacementParams
+
+    design = generate_design(small_spec)
+    GlobalPlacer(design, PlacementParams(max_iters=300)).run()
+    return design
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(123)

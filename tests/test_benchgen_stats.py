@@ -1,0 +1,56 @@
+"""Tests for the netlist-statistics module."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import (
+    NetlistStats,
+    rent_exponent,
+    wirelength_distribution,
+)
+from repro.placer import GlobalPlacer, PlacementParams
+
+
+class TestNetlistStats:
+    def test_counts_match_design(self, small_design):
+        stats = NetlistStats.of(small_design)
+        assert stats.num_cells == small_design.num_cells
+        assert stats.num_nets == small_design.num_nets
+        assert stats.num_pins == small_design.num_pins
+
+    def test_histogram_sums_to_net_count(self, small_design):
+        stats = NetlistStats.of(small_design)
+        assert sum(stats.degree_histogram.values()) == stats.num_nets
+
+    def test_mean_degree_consistent(self, small_design):
+        stats = NetlistStats.of(small_design)
+        assert stats.mean_degree == pytest.approx(
+            stats.num_pins / stats.num_nets
+        )
+
+
+class TestWirelengthDistribution:
+    def test_percentiles_ordered(self, placed_small_design):
+        dist = wirelength_distribution(placed_small_design)
+        assert dist["p50"] <= dist["p90"] <= dist["p99"] <= dist["max"]
+        assert dist["mean"] > 0
+
+
+class TestRentExponent:
+    def test_placed_design_in_industrial_range(self, placed_small_design):
+        p = rent_exponent(placed_small_design)
+        assert 0.3 < p < 0.9
+
+    def test_random_placement_scores_higher(self, placed_small_design, rng):
+        p_placed = rent_exponent(placed_small_design)
+        x0, y0 = placed_small_design.snapshot_positions()
+        mov = placed_small_design.movable
+        die = placed_small_design.die
+        placed_small_design.x[mov] = rng.uniform(die.xlo, die.xhi, int(mov.sum()))
+        placed_small_design.y[mov] = rng.uniform(die.ylo, die.yhi, int(mov.sum()))
+        p_random = rent_exponent(placed_small_design)
+        placed_small_design.restore_positions(x0, y0)
+        assert p_random > p_placed
+
+    def test_tiny_design_returns_nan(self, tiny_design):
+        assert np.isnan(rent_exponent(tiny_design))

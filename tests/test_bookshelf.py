@@ -1,0 +1,63 @@
+"""Round-trip tests for the Bookshelf-flavoured serialization."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import load_design, save_design
+
+
+def assert_designs_equal(a, b):
+    assert a.name == b.name
+    assert a.cell_names == b.cell_names
+    assert a.net_names == b.net_names
+    assert np.allclose(a.w, b.w)
+    assert np.allclose(a.h, b.h)
+    assert np.allclose(a.x, b.x)
+    assert np.allclose(a.y, b.y)
+    assert np.array_equal(a.movable, b.movable)
+    assert np.array_equal(a.is_macro, b.is_macro)
+    assert np.array_equal(a.net_start, b.net_start)
+    assert np.array_equal(a.pin_cell[a.net_pins], b.pin_cell[b.net_pins])
+    assert np.allclose(a.pin_dx[a.net_pins], b.pin_dx[b.net_pins])
+    assert len(a.blockages) == len(b.blockages)
+
+
+class TestRoundTrip:
+    def test_tiny_round_trip(self, tiny_design, tmp_path):
+        save_design(tiny_design, str(tmp_path))
+        loaded = load_design(str(tmp_path), tiny_design.name)
+        assert_designs_equal(tiny_design, loaded)
+
+    def test_generated_round_trip(self, small_design, tmp_path):
+        save_design(small_design, str(tmp_path))
+        loaded = load_design(str(tmp_path), small_design.name)
+        assert_designs_equal(small_design, loaded)
+
+    def test_hpwl_preserved(self, small_design, tmp_path):
+        save_design(small_design, str(tmp_path))
+        loaded = load_design(str(tmp_path), small_design.name)
+        assert loaded.hpwl() == pytest.approx(small_design.hpwl(), rel=1e-6)
+
+    def test_technology_preserved(self, small_design, tmp_path):
+        save_design(small_design, str(tmp_path))
+        loaded = load_design(str(tmp_path), small_design.name)
+        a, b = small_design.technology, loaded.technology
+        assert a.site_width == b.site_width
+        assert a.row_height == b.row_height
+        assert a.gcell_size == b.gcell_size
+        assert len(a.layers) == len(b.layers)
+        for la, lb in zip(a.layers, b.layers):
+            assert la.name == lb.name
+            assert la.direction == lb.direction
+            assert la.pitch == pytest.approx(lb.pitch)
+
+    def test_positions_preserved_after_move(self, tiny_design, tmp_path):
+        tiny_design.x[tiny_design.movable] += 7.25
+        save_design(tiny_design, str(tmp_path))
+        loaded = load_design(str(tmp_path), tiny_design.name)
+        assert np.allclose(loaded.x, tiny_design.x)
+
+    def test_files_created(self, tiny_design, tmp_path):
+        save_design(tiny_design, str(tmp_path))
+        for ext in (".aux", ".nodes", ".nets", ".pl", ".tech"):
+            assert (tmp_path / f"{tiny_design.name}{ext}").exists()

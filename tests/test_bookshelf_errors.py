@@ -1,0 +1,72 @@
+"""Failure-injection tests for serialization and loading."""
+
+import os
+
+import pytest
+
+from repro.netlist import load_design, save_design
+
+
+@pytest.fixture
+def saved(tiny_design, tmp_path):
+    save_design(tiny_design, str(tmp_path))
+    return tiny_design, tmp_path
+
+
+class TestLoadFailures:
+    def test_missing_design_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_design(str(tmp_path), "nothing")
+
+    def test_truncated_tech_raises(self, saved, tmp_path):
+        design, _ = saved
+        path = tmp_path / f"{design.name}.tech"
+        path.write_text("NumLayers : 0\n")
+        with pytest.raises(ValueError):
+            load_design(str(tmp_path), design.name)
+
+    def test_pin_before_netdegree_raises(self, saved, tmp_path):
+        design, _ = saved
+        path = tmp_path / f"{design.name}.nets"
+        path.write_text("NumNets : 1\nNumPins : 1\n  c0 0 0\n")
+        with pytest.raises(ValueError):
+            load_design(str(tmp_path), design.name)
+
+    def test_unknown_cell_in_nets_raises(self, saved, tmp_path):
+        design, _ = saved
+        path = tmp_path / f"{design.name}.nets"
+        path.write_text(
+            "NumNets : 1\nNumPins : 1\nNetDegree : 1 n0\n  GHOST 0 0\n"
+        )
+        with pytest.raises(KeyError):
+            load_design(str(tmp_path), design.name)
+
+    def test_unknown_cell_in_pl_raises(self, saved, tmp_path):
+        design, _ = saved
+        path = tmp_path / f"{design.name}.pl"
+        original = path.read_text()
+        path.write_text(original + "GHOST 1 1\n")
+        with pytest.raises(KeyError):
+            load_design(str(tmp_path), design.name)
+
+    def test_comments_and_blank_lines_ignored(self, saved, tmp_path):
+        design, _ = saved
+        path = tmp_path / f"{design.name}.pl"
+        original = path.read_text()
+        path.write_text("# comment line\n\n" + original)
+        loaded = load_design(str(tmp_path), design.name)
+        assert loaded.num_cells == design.num_cells
+
+
+class TestSaveBehaviour:
+    def test_save_creates_directory(self, tiny_design, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        save_design(tiny_design, str(target))
+        assert (target / f"{tiny_design.name}.nodes").exists()
+
+    def test_overwrite_is_clean(self, saved, tmp_path):
+        design, _ = saved
+        design.x[design.movable] += 1.0
+        save_design(design, str(tmp_path))
+        loaded = load_design(str(tmp_path), design.name)
+        assert loaded.hpwl() == pytest.approx(design.hpwl(), rel=1e-9)

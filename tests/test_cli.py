@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*args):
+    return main(list(args))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "OR1200", "--scale", "0.002", "--out", "/tmp/x"]
+        )
+        assert args.design == "OR1200"
+        assert args.scale == 0.002
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "NOPE", "--out", "/tmp/x"])
+
+
+class TestCommands:
+    def test_generate_and_route(self, tmp_path, capsys):
+        assert run_cli("generate", "OR1200", "--scale", "0.002", "--out", str(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert run_cli("route", str(tmp_path), "OR1200") == 0
+        out = capsys.readouterr().out
+        assert "HOF" in out
+
+    def test_place_puffer_and_save(self, tmp_path, capsys):
+        code = run_cli(
+            "place", "OR1200", "--scale", "0.002", "--flow", "puffer",
+            "--max-iters", "300", "--out", str(tmp_path), "--route",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legal=True" in out
+        assert "HOF" in out
+
+    def test_place_baseline_flow(self, capsys):
+        code = run_cli(
+            "place", "ASIC_ENTITY", "--scale", "0.002",
+            "--flow", "wirelength", "--max-iters", "300",
+        )
+        assert code == 0
+
+    def test_suite_subset(self, capsys):
+        code = run_cli("suite", "--scale", "0.002", "--designs", "OR1200")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TABLE II" in out
+        assert "PUFFER" in out
+
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "PUFFER" in result.stdout
+
+    def test_explore_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "params.json"
+        code = run_cli(
+            "explore", "--design", "OR1200", "--scale", "0.0015",
+            "--budget", "3", "--out", str(out_file),
+        )
+        assert code == 0
+        params = json.loads(out_file.read_text())
+        assert "mu" in params and "legalizer" in params

@@ -1,0 +1,64 @@
+"""Tests for the router's negotiation cost model."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import DesignBuilder, Rect, Technology
+from repro.router import CostModel, CostParams, DemandMaps, build_grid
+
+
+@pytest.fixture
+def grid_and_model():
+    tech = Technology()
+    b = DesignBuilder("c", tech, Rect(0, 0, 64, 64))
+    b.add_cell("x", 2, tech.row_height, x=32, y=32)
+    grid = build_grid(b.build())
+    demand = DemandMaps.zeros(grid)
+    model = CostModel(grid, demand, CostParams())
+    return grid, demand, model
+
+
+class TestCostModel:
+    def test_base_cost_is_one_when_idle(self, grid_and_model):
+        _, _, model = grid_and_model
+        cost_h, cost_v = model.cost_maps()
+        assert np.allclose(cost_h, 1.0)
+        assert np.allclose(cost_v, 1.0)
+
+    def test_cost_grows_with_demand(self, grid_and_model):
+        grid, demand, model = grid_and_model
+        demand.dmd_h[1, 1] = grid.cap_h[1, 1]  # at capacity
+        cost_h, _ = model.cost_maps()
+        assert cost_h[1, 1] > 1.0
+        assert cost_h[0, 0] == pytest.approx(1.0)
+
+    def test_slack_delays_penalty(self, grid_and_model):
+        grid, demand, model = grid_and_model
+        # Below slack * capacity the penalty is zero.
+        demand.dmd_h[2, 2] = 0.5 * grid.cap_h[2, 2]
+        cost_h, _ = model.cost_maps()
+        assert cost_h[2, 2] == pytest.approx(1.0)
+
+    def test_history_accumulates_only_on_overflow(self, grid_and_model):
+        grid, demand, model = grid_and_model
+        demand.dmd_v[3, 3] = grid.cap_v[3, 3] + 5.0
+        model.bump_history()
+        model.bump_history()
+        assert model.hist_v[3, 3] == pytest.approx(2.0)
+        assert model.hist_v[0, 0] == 0.0
+        assert model.hist_h[3, 3] == 0.0
+
+    def test_history_enters_cost(self, grid_and_model):
+        grid, demand, model = grid_and_model
+        demand.dmd_v[3, 3] = grid.cap_v[3, 3] + 5.0
+        model.bump_history()
+        demand.dmd_v[3, 3] = 0.0  # congestion resolved, history remains
+        _, cost_v = model.cost_maps()
+        assert cost_v[3, 3] == pytest.approx(2.0)
+
+    def test_congestion_weight_scales_penalty(self, grid_and_model):
+        grid, demand, _ = grid_and_model
+        demand.dmd_h[1, 1] = grid.cap_h[1, 1] + 3.0
+        weak = CostModel(grid, demand, CostParams(congestion_weight=1.0))
+        strong = CostModel(grid, demand, CostParams(congestion_weight=50.0))
+        assert strong.cost_maps()[0][1, 1] > weak.cost_maps()[0][1, 1]

@@ -1,0 +1,128 @@
+"""Tests for the design database and builder."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import DesignBuilder, Rect, Technology
+
+
+@pytest.fixture
+def builder():
+    return DesignBuilder("t", Technology(), Rect(0, 0, 100, 100))
+
+
+class TestBuilder:
+    def test_duplicate_cell_name_raises(self, builder):
+        builder.add_cell("a", 2, 8)
+        with pytest.raises(ValueError):
+            builder.add_cell("a", 2, 8)
+
+    def test_duplicate_net_name_raises(self, builder):
+        builder.add_net("n")
+        with pytest.raises(ValueError):
+            builder.add_net("n")
+
+    def test_non_positive_size_raises(self, builder):
+        with pytest.raises(ValueError):
+            builder.add_cell("a", 0, 8)
+
+    def test_pin_outside_cell_raises(self, builder):
+        c = builder.add_cell("a", 2, 8)
+        n = builder.add_net("n")
+        with pytest.raises(ValueError):
+            builder.add_pin(c, n, dx=5.0)
+
+    def test_pin_bad_indices_raise(self, builder):
+        c = builder.add_cell("a", 2, 8)
+        n = builder.add_net("n")
+        with pytest.raises(IndexError):
+            builder.add_pin(c + 1, n)
+        with pytest.raises(IndexError):
+            builder.add_pin(c, n + 1)
+
+    def test_default_position_is_die_center(self, builder):
+        c = builder.add_cell("a", 2, 8)
+        design = builder.build()
+        assert design.x[c] == 50.0
+        assert design.y[c] == 50.0
+
+    def test_lookup_by_name(self, builder):
+        c = builder.add_cell("a", 2, 8)
+        n = builder.add_net("n")
+        assert builder.cell_id("a") == c
+        assert builder.net_id("n") == n
+
+    def test_blockage_layer_bounds(self, builder):
+        with pytest.raises(IndexError):
+            builder.add_blockage(Rect(0, 0, 1, 1), 99)
+
+
+class TestDesign:
+    def test_csr_groups_pins_by_net(self, tiny_design):
+        d = tiny_design
+        for net in range(d.num_nets):
+            pins = d.pins_of_net(net)
+            assert all(d.pin_net[p] == net for p in pins)
+
+    def test_pins_of_cell_inverse(self, tiny_design):
+        d = tiny_design
+        for cell in range(d.num_cells):
+            for p in d.pins_of_cell(cell):
+                assert d.pin_cell[p] == cell
+
+    def test_hpwl_matches_manual(self):
+        b = DesignBuilder("t", Technology(), Rect(0, 0, 100, 100))
+        a = b.add_cell("a", 2, 8, x=10, y=10)
+        c = b.add_cell("c", 2, 8, x=30, y=50)
+        n = b.add_net("n")
+        b.add_pin(a, n)
+        b.add_pin(c, n)
+        d = b.build()
+        assert d.hpwl() == pytest.approx(20 + 40)
+
+    def test_hpwl_with_pin_offsets(self):
+        b = DesignBuilder("t", Technology(), Rect(0, 0, 100, 100))
+        a = b.add_cell("a", 4, 8, x=10, y=10)
+        c = b.add_cell("c", 4, 8, x=30, y=10)
+        n = b.add_net("n")
+        b.add_pin(a, n, dx=2.0)
+        b.add_pin(c, n, dx=-2.0)
+        d = b.build()
+        assert d.hpwl() == pytest.approx(16.0)
+
+    def test_net_bboxes_match_hpwl(self, small_design):
+        xlo, ylo, xhi, yhi = small_design.net_bboxes()
+        total = float(((xhi - xlo) + (yhi - ylo)).sum())
+        assert total == pytest.approx(small_design.hpwl(), rel=1e-9)
+
+    def test_snapshot_restore(self, small_design):
+        x, y = small_design.snapshot_positions()
+        small_design.x += 1.0
+        small_design.restore_positions(x, y)
+        assert np.array_equal(small_design.x, x)
+
+    def test_restore_size_mismatch_raises(self, small_design):
+        with pytest.raises(ValueError):
+            small_design.restore_positions(np.zeros(3), np.zeros(3))
+
+    def test_cell_rect(self, tiny_design):
+        r = tiny_design.cell_rect(1)
+        c = 1
+        assert r.width == tiny_design.w[c]
+        assert r.height == tiny_design.h[c]
+        assert r.center.x == pytest.approx(tiny_design.x[c])
+
+    def test_net_degrees(self, tiny_design):
+        assert (tiny_design.net_degrees() == 2).all()
+
+    def test_movable_area_excludes_fixed(self, tiny_design):
+        total = float((tiny_design.w * tiny_design.h).sum())
+        fixed = float(
+            (tiny_design.w[~tiny_design.movable] * tiny_design.h[~tiny_design.movable]).sum()
+        )
+        assert tiny_design.movable_area == pytest.approx(total - fixed)
+
+    def test_row_ys_inside_die(self, small_design):
+        ys = small_design.row_ys()
+        assert (ys >= small_design.die.ylo).all()
+        assert (ys + small_design.technology.row_height <= small_design.die.yhi + 1e-9).all()

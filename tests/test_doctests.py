@@ -1,0 +1,17 @@
+"""Executes the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.puffer
+import repro.netlist.builder
+
+MODULES = [repro.netlist.builder, repro.core.puffer]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

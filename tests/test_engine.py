@@ -1,0 +1,115 @@
+"""Integration tests for the global placement engine."""
+
+import numpy as np
+import pytest
+
+from repro.placer import GlobalPlacer, PlacementParams, initial_place
+from repro.placer.initial import clamp_to_die
+
+
+class TestInitialPlace:
+    def test_positions_inside_die(self, small_design):
+        initial_place(small_design, PlacementParams())
+        die = small_design.die
+        mov = small_design.movable
+        assert (small_design.x[mov] - small_design.w[mov] / 2 >= die.xlo - 1e-9).all()
+        assert (small_design.x[mov] + small_design.w[mov] / 2 <= die.xhi + 1e-9).all()
+
+    def test_fixed_cells_untouched(self, small_design):
+        fixed = ~small_design.movable
+        x0 = small_design.x[fixed].copy()
+        initial_place(small_design, PlacementParams())
+        assert np.array_equal(small_design.x[fixed], x0)
+
+    def test_reduces_hpwl_vs_random(self, small_design, rng):
+        die = small_design.die
+        mov = small_design.movable
+        small_design.x[mov] = rng.uniform(die.xlo, die.xhi, int(mov.sum()))
+        small_design.y[mov] = rng.uniform(die.ylo, die.yhi, int(mov.sum()))
+        random_hpwl = small_design.hpwl()
+        initial_place(small_design, PlacementParams())
+        assert small_design.hpwl() < random_hpwl
+
+    def test_deterministic_given_seed(self, small_design):
+        initial_place(small_design, PlacementParams(seed=9))
+        x1 = small_design.x.copy()
+        initial_place(small_design, PlacementParams(seed=9))
+        assert np.array_equal(small_design.x, x1)
+
+    def test_clamp_to_die(self, small_design):
+        mov = small_design.movable
+        small_design.x[mov] = small_design.die.xhi + 100
+        clamp_to_die(small_design)
+        assert (
+            small_design.x[mov] + small_design.w[mov] / 2
+            <= small_design.die.xhi + 1e-9
+        ).all()
+
+
+class TestGlobalPlacer:
+    def test_converges_on_small_design(self, small_design):
+        result = GlobalPlacer(small_design, PlacementParams(max_iters=600)).run()
+        assert result.converged
+        assert result.overflow < PlacementParams().target_overflow
+
+    def test_beats_random_placement_hpwl(self, small_design, rng):
+        result = GlobalPlacer(small_design, PlacementParams(max_iters=600)).run()
+        die = small_design.die
+        n = small_design.num_cells
+        x_rand = rng.uniform(die.xlo, die.xhi, n)
+        y_rand = rng.uniform(die.ylo, die.yhi, n)
+        x0, y0 = small_design.snapshot_positions()
+        small_design.x[small_design.movable] = x_rand[small_design.movable]
+        small_design.y[small_design.movable] = y_rand[small_design.movable]
+        random_hpwl = small_design.hpwl()
+        small_design.restore_positions(x0, y0)
+        assert result.hpwl < 0.6 * random_hpwl
+
+    def test_history_recorded(self, small_design):
+        result = GlobalPlacer(small_design, PlacementParams(max_iters=100)).run()
+        assert len(result.history) == result.iterations
+        assert result.history[0].iteration == 0
+
+    def test_params_validation(self, small_design):
+        with pytest.raises(ValueError):
+            GlobalPlacer(small_design, PlacementParams(target_density=5.0))
+
+    def test_positions_stay_inside_die(self, small_design):
+        GlobalPlacer(small_design, PlacementParams(max_iters=150)).run()
+        die = small_design.die
+        mov = small_design.movable
+        assert (small_design.x[mov] - small_design.w[mov] / 2 >= die.xlo - 1e-6).all()
+        assert (small_design.y[mov] + small_design.h[mov] / 2 <= die.yhi + 1e-6).all()
+
+    def test_hook_called_and_momentum_reset(self, small_design):
+        calls = []
+
+        def hook(state):
+            calls.append(state.iteration)
+            if len(calls) == 5:
+                # Apply a size change once.
+                state.set_density_sizes(
+                    small_design.w * 1.2, small_design.h.copy()
+                )
+                return True
+            return False
+
+        result = GlobalPlacer(
+            small_design, PlacementParams(max_iters=50), hooks=[hook]
+        ).run()
+        assert len(calls) == result.iterations
+
+    def test_seed_positions_false_uses_current(self, small_design):
+        initial_place(small_design, PlacementParams())
+        small_design.x[small_design.movable] += 0.123
+        x_before = small_design.x.copy()
+        placer = GlobalPlacer(
+            small_design,
+            PlacementParams(max_iters=1, min_iters=1),
+            seed_positions=False,
+        )
+        placer.run()
+        # One iteration moves cells, but it must have started from our
+        # positions, not re-seeded: displacement should be small.
+        moved = np.abs(small_design.x - x_before).max()
+        assert moved < small_design.die.width * 0.2

@@ -1,0 +1,68 @@
+"""Behavioural tests of the engine's internal schedules."""
+
+import numpy as np
+import pytest
+
+from repro.placer import GlobalPlacer, PlacementParams
+
+
+@pytest.fixture(scope="module")
+def history(small_spec):
+    from repro.benchgen import generate_design
+
+    design = generate_design(small_spec)
+    result = GlobalPlacer(design, PlacementParams(max_iters=500)).run()
+    assert result.converged
+    return result.history
+
+
+class TestSchedules:
+    def test_overflow_trends_down(self, history):
+        first = np.mean([h.overflow for h in history[:10]])
+        last = np.mean([h.overflow for h in history[-10:]])
+        assert last < first
+
+    def test_gamma_tracks_overflow(self, history):
+        # log10(gamma) is affine in overflow by the schedule definition.
+        overflow = np.array([h.overflow for h in history])
+        log_gamma = np.log10([h.gamma for h in history])
+        corr = np.corrcoef(overflow, log_gamma)[0, 1]
+        assert corr > 0.999
+
+    def test_penalty_factor_grows_overall(self, history):
+        assert history[-1].penalty_factor > history[0].penalty_factor
+
+    def test_iterations_indexed_sequentially(self, history):
+        assert [h.iteration for h in history] == list(range(len(history)))
+
+    def test_hpwl_grows_from_collapsed_seed(self, history):
+        # The seed collapses cells; spreading must raise HPWL overall.
+        assert history[-1].hpwl > history[0].hpwl * 0.8
+
+
+class TestRouterNegotiation:
+    def test_rrr_reduces_overflow_under_pressure(self, small_design):
+        """With capacity artificially halved, rip-up and reroute must
+        recover some of the overflow of the initial pattern pass."""
+        from repro.legalizer import legalize_abacus
+        from repro.placer import GlobalPlacer
+        from repro.router import GlobalRouter, RouterParams
+        from repro.router.grid import build_grid
+
+        GlobalPlacer(small_design, PlacementParams(max_iters=300)).run()
+        legalize_abacus(small_design)
+
+        no_rrr = GlobalRouter(small_design, RouterParams(rrr_rounds=0)).run()
+        with_rrr = GlobalRouter(small_design, RouterParams(rrr_rounds=4)).run()
+        assert with_rrr.total_overflow <= no_rrr.total_overflow + 1e-9
+
+    def test_z_patterns_never_worse(self, placed_small_design):
+        from repro.router import GlobalRouter, RouterParams
+
+        plain = GlobalRouter(
+            placed_small_design, RouterParams(rrr_rounds=0, use_z_patterns=False)
+        ).run()
+        with_z = GlobalRouter(
+            placed_small_design, RouterParams(rrr_rounds=0, use_z_patterns=True)
+        ).run()
+        assert with_z.total_overflow <= plain.total_overflow + 0.5

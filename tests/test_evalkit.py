@@ -1,0 +1,111 @@
+"""Tests for the evaluation harness: metrics, tables, maps, runner."""
+
+import numpy as np
+import pytest
+
+from repro.evalkit import (
+    PlacerMetrics,
+    aggregate,
+    ascii_heatmap,
+    format_table1,
+    format_table2,
+    side_by_side,
+    utilization_maps,
+    write_pgm,
+)
+
+
+def rows_fixture():
+    return [
+        PlacerMetrics("D1", "A", hof=0.5, vof=2.0, wirelength=100.0, runtime=10.0),
+        PlacerMetrics("D1", "B", hof=1.5, vof=0.5, wirelength=110.0, runtime=5.0),
+        PlacerMetrics("D2", "A", hof=0.0, vof=0.0, wirelength=200.0, runtime=20.0),
+        PlacerMetrics("D2", "B", hof=0.2, vof=0.1, wirelength=190.0, runtime=10.0),
+    ]
+
+
+class TestMetrics:
+    def test_pass_criterion(self):
+        row = PlacerMetrics("D", "P", hof=1.0, vof=1.01, wirelength=1, runtime=1)
+        assert row.passes_h
+        assert not row.passes_v
+
+    def test_aggregate_means(self):
+        averages = aggregate(rows_fixture(), reference_placer="A")
+        a = next(x for x in averages if x.placer == "A")
+        b = next(x for x in averages if x.placer == "B")
+        assert a.hof_mean == pytest.approx(0.25)
+        assert a.wl_ratio == pytest.approx(1.0)
+        assert a.rt_ratio == pytest.approx(1.0)
+        assert b.rt_ratio == pytest.approx((5 / 10 + 10 / 20) / 2)
+        assert b.pass_h == 1
+        assert a.pass_h == 2
+
+    def test_aggregate_missing_reference_raises(self):
+        with pytest.raises(ValueError):
+            aggregate(rows_fixture(), reference_placer="Z")
+
+
+class TestTables:
+    def test_table2_contains_all_rows(self):
+        text = format_table2(rows_fixture(), reference_placer="A")
+        assert "D1" in text and "D2" in text
+        assert "Average" in text and "Pass Count" in text
+
+    def test_table1_renders(self):
+        from repro.benchgen import make_design, suite_names
+
+        designs = [make_design(n, scale=0.001) for n in suite_names()]
+        text = format_table1(0.001, designs=designs)
+        assert "OR1200" in text
+        assert "OPENC910" in text
+        assert "TABLE I" in text
+
+
+class TestMaps:
+    def test_ascii_heatmap_shape(self):
+        values = np.linspace(0, 1, 64).reshape(8, 8)
+        text = ascii_heatmap(values, width=8)
+        lines = text.split("\n")
+        assert len(lines) == 8
+        assert all(len(l) == 8 for l in lines)
+
+    def test_heatmap_hot_cells_darker(self):
+        values = np.zeros((4, 4))
+        values[2, 3] = 10.0
+        text = ascii_heatmap(values, vmax=10.0, width=4)
+        lines = text.split("\n")
+        # Origin bottom-left: row index 0 of text = top (y=3).
+        assert lines[0][2] == "@"
+        assert lines[3][0] == " "
+
+    def test_heatmap_downsampling(self):
+        values = np.random.default_rng(0).random((128, 128))
+        text = ascii_heatmap(values, width=32)
+        assert len(text.split("\n")[0]) <= 64
+
+    def test_heatmap_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(5))
+
+    def test_write_pgm(self, tmp_path):
+        values = np.linspace(0, 2, 12).reshape(3, 4)
+        path = tmp_path / "map.pgm"
+        write_pgm(str(path), values)
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n3 4\n255\n")
+        assert len(data) == len(b"P5\n3 4\n255\n") + 12
+
+    def test_side_by_side_titles(self):
+        maps = {"left": np.ones((8, 8)), "right": np.zeros((8, 8))}
+        text = side_by_side(maps, width=8)
+        assert "left" in text.split("\n")[0]
+        assert "right" in text.split("\n")[0]
+
+    def test_utilization_maps(self, placed_small_design):
+        from repro.router import GlobalRouter
+
+        report = GlobalRouter(placed_small_design).run()
+        util_h, util_v = utilization_maps(report)
+        assert util_h.shape == (report.grid.nx, report.grid.ny)
+        assert (util_h >= 0).all()

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs end to end at a tiny scale."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "0.002")
+        assert "PUFFER" in out
+        assert "legal: True" in out
+        assert "overflow" in out
+
+    def test_compare_placers(self):
+        out = run_example("compare_placers.py", "OR1200", "0.002")
+        assert "Commercial_Inn*" in out
+        assert "RePlAce-like" in out
+        assert "PUFFER" in out
+        assert "vertical routing utilization" in out
+
+    def test_congestion_analysis(self):
+        out = run_example("congestion_analysis.py", "OR1200", "0.002")
+        assert "correlation with router demand" in out
+        assert "padding features" in out
+
+    def test_compare_placers_rejects_unknown_design(self):
+        result = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES, "compare_placers.py"), "NOPE"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode != 0
+
+    def test_padding_deep_dive(self, tmp_path):
+        svg = tmp_path / "dd.svg"
+        out = run_example("padding_deep_dive.py", "OR1200", "0.002", str(svg))
+        assert "round trajectory" in out
+        assert "final padding summary" in out
+        assert svg.exists()
+
+    def test_strategy_exploration(self):
+        out = run_example("strategy_exploration.py", "4")
+        assert "exploration done" in out
+        assert "transfer to larger designs" in out

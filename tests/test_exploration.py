@@ -1,0 +1,92 @@
+"""Tests for the strategy exploration (Algorithms 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import StrategyParams, default_space
+from repro.core.exploration import (
+    ExplorationReport,
+    parameter_exploration,
+    strategy_exploration,
+)
+from repro.tpe import Space, Uniform
+
+
+def bowl_objective(params: dict) -> float:
+    """Quadratic bowl over two strategy dimensions, rest ignored."""
+    return (params.get("mu", 0) - 2.0) ** 2 + (params.get("tau", 0) - 0.3) ** 2
+
+
+class TestParameterExploration:
+    def test_shrinks_ranges(self, rng):
+        space = Space([Uniform("mu", 0.0, 8.0), Uniform("tau", 0.0, 1.0)])
+        new_space, early, result = parameter_exploration(
+            bowl_objective, space, ["mu", "tau"], {}, max_evals=30, patience=30, rng=rng
+        )
+        mu = new_space.dim("mu")
+        assert mu.hi - mu.lo < 8.0
+        assert mu.lo <= 2.0 + 2.0 and mu.hi >= 2.0 - 2.0
+
+    def test_fixed_params_passed_through(self, rng):
+        space = Space([Uniform("mu", 0.0, 8.0), Uniform("tau", 0.0, 1.0)])
+        seen = []
+
+        def objective(params):
+            seen.append(params)
+            return bowl_objective(params)
+
+        parameter_exploration(
+            objective, space, ["mu"], {"tau": 0.5}, max_evals=5, patience=5, rng=rng
+        )
+        assert all(p["tau"] == 0.5 for p in seen)
+        assert all("mu" in p for p in seen)
+
+    def test_early_stop_flag(self, rng):
+        space = Space([Uniform("mu", 0.0, 8.0)])
+        _, early, result = parameter_exploration(
+            lambda p: 1.0, space, ["mu"], {}, max_evals=50, patience=4, rng=rng
+        )
+        assert early
+        assert len(result.trials) <= 10
+
+
+class TestStrategyExploration:
+    def test_full_protocol_on_cheap_objective(self):
+        report = strategy_exploration(
+            bowl_objective,
+            global_evals=12,
+            group_evals=6,
+            patience=4,
+            max_group_rounds=2,
+            rng=0,
+        )
+        assert isinstance(report, ExplorationReport)
+        assert isinstance(report.params, StrategyParams)
+        assert report.evaluations > 12
+        # Best-seen loss must be a meaningful optimum of the bowl.
+        assert report.best_loss < 1.0
+        assert report.group_rounds >= 1
+        # And the final midpoint configuration must be near the optimum
+        # along the explored dimensions (ranges shrank around it).
+        final = bowl_objective(
+            {"mu": report.params.mu, "tau": report.params.tau}
+        )
+        assert final < bowl_objective(default_space().midpoint()) + 1.0
+
+    def test_final_params_valid(self):
+        report = strategy_exploration(
+            bowl_objective, global_evals=8, group_evals=4, patience=3, rng=1
+        )
+        params = report.params
+        assert params.pu_low <= params.pu_high + 1e-9
+        assert 1 <= params.xi <= 10
+        assert params.legalizer in ("abacus", "tetris")
+
+    def test_history_covers_groups(self):
+        report = strategy_exploration(
+            bowl_objective, global_evals=8, group_evals=4, patience=3, rng=2
+        )
+        stages = [h[0] for h in report.history]
+        assert stages[0] == "global"
+        assert "formula" in stages
+        assert "schedule" in stages

@@ -1,0 +1,117 @@
+"""Tests for multi-feature extraction (local / CNN / GNN features)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FEATURE_NAMES,
+    CongestionEstimator,
+    FeatureExtractor,
+    FeatureParams,
+)
+
+
+@pytest.fixture(scope="module")
+def extraction(placed_small_design):
+    est = CongestionEstimator(placed_small_design)
+    cmap, topologies, _ = est.estimate()
+    extractor = FeatureExtractor(placed_small_design, FeatureParams(kernel_size=3))
+    return placed_small_design, cmap, topologies, extractor.extract(cmap, topologies)
+
+
+class TestFeatureSet:
+    def test_all_features_present(self, extraction):
+        design, _, _, features = extraction
+        for name in FEATURE_NAMES:
+            assert len(features[name]) == design.num_cells
+
+    def test_matrix_shape(self, extraction):
+        design, _, _, features = extraction
+        m = features.matrix()
+        assert m.shape == (design.num_cells, len(FEATURE_NAMES))
+
+    def test_fixed_cells_zero(self, extraction):
+        design, _, _, features = extraction
+        fixed = ~design.movable | design.is_macro
+        for name in FEATURE_NAMES:
+            assert np.allclose(features[name][fixed], 0.0)
+
+    def test_local_cg_matches_map(self, extraction):
+        design, cmap, _, features = extraction
+        grid = cmap.grid
+        movable = np.flatnonzero(design.movable & ~design.is_macro)
+        probe = movable[:20]
+        gx, gy = grid.gcell_of(design.x[probe], design.y[probe])
+        # Cells smaller than a Gcell: local congestion >= the value at
+        # the center Gcell (it's a max over overlapped Gcells).
+        assert (features["local_cg"][probe] >= cmap.cg[gx, gy] - 1e-9).all()
+
+    def test_pin_density_nonnegative(self, extraction):
+        _, _, _, features = extraction
+        assert (features["local_pin"] >= 0).all()
+        assert (features["around_pin"] >= 0).all()
+
+    def test_surrounding_smoother_than_local(self, extraction):
+        design, _, _, features = extraction
+        movable = design.movable & ~design.is_macro
+        assert (
+            features["around_cg"][movable].std()
+            <= features["local_cg"][movable].std() + 1e-9
+        )
+
+
+class TestFeatureSwitches:
+    def test_cnn_disabled(self, placed_small_design):
+        est = CongestionEstimator(placed_small_design)
+        cmap, topologies, _ = est.estimate()
+        extractor = FeatureExtractor(
+            placed_small_design, FeatureParams(use_cnn=False)
+        )
+        features = extractor.extract(cmap, topologies)
+        assert np.allclose(features["around_cg"], 0.0)
+        assert not np.allclose(features["local_cg"], 0.0)
+
+    def test_gnn_disabled(self, placed_small_design):
+        est = CongestionEstimator(placed_small_design)
+        cmap, topologies, _ = est.estimate()
+        extractor = FeatureExtractor(
+            placed_small_design, FeatureParams(use_gnn=False)
+        )
+        features = extractor.extract(cmap, topologies)
+        assert np.allclose(features["pin_cg"], 0.0)
+
+    def test_kernel_size_changes_surrounding(self, placed_small_design):
+        est = CongestionEstimator(placed_small_design)
+        cmap, topologies, _ = est.estimate()
+        small = FeatureExtractor(
+            placed_small_design, FeatureParams(kernel_size=1)
+        ).extract(cmap, topologies)
+        large = FeatureExtractor(
+            placed_small_design, FeatureParams(kernel_size=7)
+        ).extract(cmap, topologies)
+        assert not np.allclose(small["around_cg"], large["around_cg"])
+
+
+class TestPinCongestion:
+    def test_path_congestion_straight(self, placed_small_design):
+        extractor = FeatureExtractor(placed_small_design)
+        cg = np.zeros((10, 10))
+        cg[3, 5] = 2.0
+        # Straight path through the hot cell must see it.
+        value = extractor._segment_path_congestion(cg, 1, 5, 6, 5)
+        assert value == pytest.approx(2.0)
+
+    def test_path_congestion_picks_min_candidate(self, placed_small_design):
+        extractor = FeatureExtractor(placed_small_design)
+        cg = np.zeros((10, 10))
+        # Make the corner (bx, ay) L expensive.
+        cg[6, 1] = 5.0
+        value = extractor._segment_path_congestion(cg, 1, 1, 6, 6)
+        assert value < 5.0  # the other L or a Z avoids the hot corner
+
+    def test_pin_cg_aggregates_over_cell_pins(self, extraction):
+        design, _, _, features = extraction
+        movable = design.movable & ~design.is_macro
+        # Cells with more pins tend to have larger |pin_cg|; at minimum
+        # the feature must be finite everywhere.
+        assert np.isfinite(features["pin_cg"]).all()

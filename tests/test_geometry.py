@@ -1,0 +1,113 @@
+"""Unit and property tests for geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netlist import Point, Rect, bounding_box, clamp
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+def rects():
+    return st.tuples(coords, coords, coords, coords).map(
+        lambda t: Rect(min(t[0], t[2]), min(t[1], t[3]), max(t[0], t[2]), max(t[1], t[3]))
+    )
+
+
+class TestPoint:
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7
+
+    def test_euclidean(self):
+        assert Point(0, 0).euclidean(Point(3, 4)) == pytest.approx(5.0)
+
+    @given(coords, coords)
+    def test_distance_to_self_is_zero(self, x, y):
+        p = Point(x, y)
+        assert p.manhattan(p) == 0
+        assert p.euclidean(p) == 0
+
+    @given(coords, coords, coords, coords)
+    def test_euclidean_le_manhattan(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.euclidean(b) <= a.manhattan(b) + 1e-6
+
+
+class TestRect:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+
+    def test_basic_properties(self):
+        r = Rect(1, 2, 4, 8)
+        assert r.width == 3
+        assert r.height == 6
+        assert r.area == 18
+        assert r.center == Point(2.5, 5.0)
+
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(2, 2)
+        assert not r.contains_point(2.001, 1)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 11, 9))
+
+    def test_intersection_disjoint(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_intersection_overlapping(self):
+        r = Rect(0, 0, 4, 4).intersection(Rect(2, 1, 6, 3))
+        assert r == Rect(2, 1, 4, 3)
+
+    def test_touching_edges_do_not_intersect(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(1, 0, 2, 1)) == 0.0
+
+    def test_expanded(self):
+        r = Rect(2, 2, 4, 4).expanded(1, 2)
+        assert r == Rect(1, 0, 5, 6)
+
+    def test_clipped_to_raises_when_disjoint(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).clipped_to(Rect(5, 5, 6, 6))
+
+    @given(rects(), rects())
+    def test_overlap_area_symmetric(self, a, b):
+        assert a.overlap_area(b) == pytest.approx(b.overlap_area(a))
+
+    @given(rects(), rects())
+    def test_overlap_area_bounded(self, a, b):
+        overlap = a.overlap_area(b)
+        assert 0.0 <= overlap <= min(a.area, b.area) + 1e-6
+
+    @given(rects())
+    def test_intersection_with_self(self, r):
+        if r.area > 0:
+            assert r.intersection(r) == r
+
+
+class TestHelpers:
+    def test_bounding_box(self):
+        box = bounding_box([Point(0, 5), Point(3, 1), Point(-2, 2)])
+        assert box == Rect(-2, 1, 3, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_clamp(self):
+        assert clamp(5, 0, 3) == 3
+        assert clamp(-1, 0, 3) == 0
+        assert clamp(2, 0, 3) == 2
+
+    def test_clamp_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(1, 3, 0)

@@ -1,0 +1,51 @@
+"""Tests for post-routing layer assignment."""
+
+import numpy as np
+import pytest
+
+from repro.router import GlobalRouter, assign_layers, format_layer_table
+
+
+@pytest.fixture(scope="module")
+def usage(placed_small_design):
+    report = GlobalRouter(placed_small_design).run()
+    return placed_small_design, report, assign_layers(placed_small_design, report)
+
+
+class TestLayerAssignment:
+    def test_covers_all_routing_layers(self, usage):
+        design, _, usages = usage
+        expected = {l.name for l in design.technology.routing_layers}
+        assert {u.name for u in usages} == expected
+
+    def test_demand_conserved(self, usage):
+        design, report, usages = usage
+        grid = report.grid
+        # Sum of assigned demand over H layers equals the H demand map
+        # total (in track-fraction terms, weighted by layer tracks).
+        total_h_tracks = sum(
+            u.utilization * u.tracks * grid.num_gcells
+            for u in usages
+            if u.direction == "H"
+        )
+        assert total_h_tracks == pytest.approx(report.demand.dmd_h.sum(), rel=1e-6)
+
+    def test_lower_layers_fill_first(self, usage):
+        _, _, usages = usage
+        h_layers = [u for u in usages if u.direction == "H"]
+        # Bottom-up spill: mean utilization never increases upward.
+        utils = [u.utilization for u in h_layers]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_overflow_only_on_top_layer(self, usage):
+        _, _, usages = usage
+        for direction in ("H", "V"):
+            layers = [u for u in usages if u.direction == direction]
+            for u in layers[:-1]:
+                assert u.overflow_gcells == 0
+
+    def test_table_renders(self, usage):
+        _, _, usages = usage
+        text = format_layer_table(usages)
+        assert "layer" in text
+        assert "M2" in text

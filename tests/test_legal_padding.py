@@ -1,0 +1,92 @@
+"""Tests for discrete padding (Eq. 17) and the legalization area cap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.legalizer import cap_padding_area, discretize_padding, padded_widths
+
+
+class TestDiscretize:
+    def test_zero_padding_stays_zero(self):
+        out = discretize_padding(np.zeros(5), theta=4.0, site_width=1.0)
+        assert (out == 0).all()
+
+    def test_max_pad_gets_top_level(self):
+        pad = np.array([0.0, 1.0, 2.0, 4.0])
+        out = discretize_padding(pad, theta=4.0, site_width=1.0)
+        # DisPad(max) = floor(theta * (1 + 1/2)) = 6 sites.
+        assert out[-1] == 6.0
+        assert out[0] == 0.0
+
+    def test_monotone_in_pad(self):
+        pad = np.linspace(0, 10, 50)
+        out = discretize_padding(pad, theta=5.0, site_width=1.0)
+        assert (np.diff(out) >= 0).all()
+
+    def test_site_width_scales(self):
+        pad = np.array([1.0, 2.0])
+        a = discretize_padding(pad, theta=4.0, site_width=1.0)
+        b = discretize_padding(pad, theta=4.0, site_width=2.0)
+        assert np.allclose(b, 2 * a)
+
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=30),
+        st.floats(1.0, 8.0),
+    )
+    @settings(max_examples=50)
+    def test_output_is_whole_sites(self, pads, theta):
+        out = discretize_padding(np.asarray(pads), theta=theta, site_width=1.0)
+        assert np.allclose(out, np.round(out))
+        assert (out >= 0).all()
+
+
+class TestAreaCap:
+    def test_within_budget_unchanged(self, small_design):
+        movable = small_design.movable & ~small_design.is_macro
+        dis = np.zeros(small_design.num_cells)
+        dis[np.flatnonzero(movable)[:3]] = 1.0
+        capped = cap_padding_area(small_design, dis, area_cap=0.05)
+        assert np.allclose(capped, dis)
+
+    def test_over_budget_reduced(self, small_design):
+        movable = small_design.movable & ~small_design.is_macro
+        dis = np.where(movable, 8.0, 0.0)
+        capped = cap_padding_area(small_design, dis, area_cap=0.05)
+        padded_area = float((capped[movable] * small_design.h[movable]).sum())
+        budget = 0.05 * small_design.movable_area
+        assert padded_area <= budget * 1.001
+
+    def test_never_negative(self, small_design):
+        movable = small_design.movable & ~small_design.is_macro
+        dis = np.where(movable, 3.0, 0.0)
+        capped = cap_padding_area(small_design, dis, area_cap=0.001)
+        assert (capped >= 0).all()
+
+    def test_input_not_mutated(self, small_design):
+        movable = small_design.movable & ~small_design.is_macro
+        dis = np.where(movable, 8.0, 0.0)
+        original = dis.copy()
+        cap_padding_area(small_design, dis, area_cap=0.01)
+        assert np.array_equal(dis, original)
+
+
+class TestPaddedWidths:
+    def test_fixed_cells_keep_width(self, small_design):
+        pad = np.full(small_design.num_cells, 2.0)
+        widths = padded_widths(small_design, pad, theta=4.0)
+        fixed = ~small_design.movable
+        assert np.allclose(widths[fixed], small_design.w[fixed])
+
+    def test_widths_at_least_native(self, small_design):
+        pad = np.abs(np.sin(np.arange(small_design.num_cells)))
+        widths = padded_widths(small_design, pad, theta=4.0)
+        assert (widths >= small_design.w - 1e-9).all()
+
+    def test_respects_five_percent_cap(self, small_design):
+        pad = np.full(small_design.num_cells, 50.0)
+        widths = padded_widths(small_design, pad, theta=8.0, area_cap=0.05)
+        movable = small_design.movable & ~small_design.is_macro
+        extra = ((widths - small_design.w)[movable] * small_design.h[movable]).sum()
+        assert extra <= 0.05 * small_design.movable_area * 1.001

@@ -1,0 +1,121 @@
+"""Tests for row management, Abacus, and Tetris legalization."""
+
+import numpy as np
+import pytest
+
+from repro.legalizer import (
+    SegmentIndex,
+    build_segments,
+    legalize_abacus,
+    legalize_tetris,
+)
+from repro.netlist import DesignBuilder, Rect, Technology, check_legal
+from repro.placer import GlobalPlacer, PlacementParams
+
+
+class TestRowSegments:
+    def test_full_rows_without_blockers(self):
+        tech = Technology()
+        b = DesignBuilder("r", tech, Rect(0, 0, 64, 64))
+        b.add_cell("c", 2, tech.row_height, x=32, y=32)
+        d = b.build()
+        segments = build_segments(d)
+        assert len(segments) == 8  # 64 / 8 rows
+        assert all(s.xlo == 0 and s.xhi == 64 for s in segments)
+
+    def test_macro_splits_rows(self):
+        tech = Technology()
+        b = DesignBuilder("r", tech, Rect(0, 0, 64, 64))
+        b.add_cell("c", 2, tech.row_height, x=5, y=4)
+        b.add_cell("m", 16, 16, x=32, y=16, movable=False, macro=True)
+        d = b.build()
+        segments = build_segments(d)
+        # Rows 1 and 2 (y in [8, 24)) are split into two segments each.
+        split_rows = [s for s in segments if s.y in (8.0, 16.0)]
+        assert len(split_rows) == 4
+        assert all(s.xhi <= 24 or s.xlo >= 40 for s in split_rows)
+
+    def test_segment_index_nearest_row(self, small_design):
+        index = SegmentIndex.build(small_design)
+        assert index.nearest_row(small_design.die.ylo) == 0
+        assert index.nearest_row(small_design.die.yhi + 100) == index.num_rows - 1
+
+
+@pytest.fixture
+def placed(small_design):
+    GlobalPlacer(small_design, PlacementParams(max_iters=300)).run()
+    return small_design
+
+
+class TestAbacus:
+    def test_produces_legal_placement(self, placed):
+        legalize_abacus(placed)
+        assert check_legal(placed).ok
+
+    def test_small_hpwl_degradation(self, placed):
+        before = placed.hpwl()
+        legalize_abacus(placed)
+        assert placed.hpwl() < before * 1.25
+
+    def test_displacement_reported(self, placed):
+        result = legalize_abacus(placed)
+        assert result.total_displacement > 0
+        assert result.max_displacement <= result.total_displacement
+        assert result.num_cells == int(
+            (placed.movable & ~placed.is_macro).sum()
+        )
+
+    def test_padded_widths_respected(self, placed):
+        widths = placed.w.copy()
+        movable = placed.movable & ~placed.is_macro
+        padded = np.flatnonzero(movable)[::3]  # pad a third of the cells
+        widths[padded] += 2.0
+        legalize_abacus(placed, widths=widths)
+        assert check_legal(placed).ok
+        # A padded cell's footprint must not overlap any neighbour: its
+        # neighbours in the same row stay at least 2 units of air away
+        # from the padded outline on the two sides combined.
+        idx = np.flatnonzero(movable)
+        ylo = placed.y[idx] - placed.h[idx] / 2
+        order = np.lexsort((placed.x[idx], ylo))
+        padded_set = set(padded.tolist())
+        for a, b in zip(order[:-1], order[1:]):
+            if ylo[a] != ylo[b]:
+                continue
+            gap = (placed.x[idx[b]] - placed.w[idx[b]] / 2) - (
+                placed.x[idx[a]] + placed.w[idx[a]] / 2
+            )
+            both_padded = int(idx[a] in padded_set) + int(idx[b] in padded_set)
+            assert gap >= both_padded * 1.0 - 1e-6
+
+    def test_impossible_padding_raises(self, placed):
+        widths = placed.w + placed.die.width  # cannot fit anywhere
+        with pytest.raises(RuntimeError):
+            legalize_abacus(placed, widths=widths)
+
+    def test_fixed_cells_not_moved(self, placed):
+        fixed = ~placed.movable
+        x0 = placed.x[fixed].copy()
+        legalize_abacus(placed)
+        assert np.array_equal(placed.x[fixed], x0)
+
+
+class TestTetris:
+    def test_produces_legal_placement(self, placed):
+        legalize_tetris(placed)
+        assert check_legal(placed).ok
+
+    def test_worse_or_equal_to_abacus(self, small_design):
+        GlobalPlacer(small_design, PlacementParams(max_iters=300)).run()
+        snapshot = small_design.snapshot_positions()
+        abacus = legalize_abacus(small_design)
+        small_design.restore_positions(*snapshot)
+        tetris = legalize_tetris(small_design)
+        assert tetris.total_displacement >= abacus.total_displacement * 0.5
+
+    def test_padded_widths(self, placed):
+        widths = placed.w.copy()
+        movable = placed.movable & ~placed.is_macro
+        widths[movable] += 1.0
+        legalize_tetris(placed, widths=widths)
+        assert check_legal(placed).ok

@@ -1,0 +1,67 @@
+"""Tests for the bounded A* maze router."""
+
+import numpy as np
+import pytest
+
+from repro.router import maze_route
+
+
+def uniform(n=12):
+    return np.ones((n, n)), np.ones((n, n))
+
+
+class TestMaze:
+    def test_straight_path_on_uniform_costs(self):
+        ch, cv = uniform()
+        route = maze_route(1, 5, 8, 5, ch, cv, margin=2)
+        h, v = route
+        assert len(v) == 0
+        assert len(h) == 8  # cells 1..8 at gy 5
+
+    def test_same_cell(self):
+        ch, cv = uniform()
+        h, v = maze_route(3, 3, 3, 3, ch, cv, margin=2)
+        assert len(h) == 0 and len(v) == 0
+
+    def test_detours_around_wall(self):
+        ch, cv = uniform()
+        # Build an expensive horizontal wall at gy=5 between x=3..8.
+        for gx in range(3, 9):
+            ch[gx, 5] = 1000.0
+            cv[gx, 5] = 1000.0
+        route = maze_route(1, 5, 10, 5, ch, cv, margin=4)
+        h, v = route
+        cost = ch.ravel()[h].sum() + cv.ravel()[v].sum() if len(h) or len(v) else 0
+        assert cost < 1000.0  # never crosses the wall
+        assert len(v) > 0  # had to leave the row
+
+    def test_route_cheaper_or_equal_to_l(self):
+        rng = np.random.default_rng(0)
+        ch = 1.0 + 5.0 * rng.random((12, 12))
+        cv = 1.0 + 5.0 * rng.random((12, 12))
+        from repro.router import l_route, route_cost
+
+        route = maze_route(1, 1, 9, 8, ch, cv, margin=2)
+        maze_cost = ch.ravel()[route[0]].sum() + cv.ravel()[route[1]].sum()
+        for corner_first in (True, False):
+            l = l_route(1, 1, 9, 8, 12, corner_first)
+            # Maze is optimal within its window, so it can't be worse
+            # than either L pattern (up to turn-charge accounting).
+            assert maze_cost <= route_cost(l, ch.ravel(), cv.ravel()) + 1e-6
+
+    def test_endpoints_covered(self):
+        ch, cv = uniform()
+        h, v = maze_route(2, 2, 7, 9, ch, cv, margin=2)
+        cells = set(h.tolist()) | set(v.tolist())
+        assert (2 * 12 + 2) in cells
+        assert (7 * 12 + 9) in cells
+
+    def test_window_too_small_still_connects(self):
+        ch, cv = uniform()
+        route = maze_route(0, 0, 11, 11, ch, cv, margin=0)
+        assert route is not None
+
+    def test_demand_accounting_matches_run_length(self):
+        ch, cv = uniform()
+        h, v = maze_route(0, 0, 5, 0, ch, cv, margin=1)
+        assert len(h) == 6  # 6 cells passed horizontally

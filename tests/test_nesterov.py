@@ -1,0 +1,82 @@
+"""Tests for the Nesterov optimizer on analytic objectives."""
+
+import numpy as np
+import pytest
+
+from repro.placer import NesterovOptimizer
+
+
+def quadratic_problem(dim=10, seed=0):
+    rng = np.random.default_rng(seed)
+    scales = rng.uniform(0.5, 4.0, dim)
+    target = rng.uniform(-2, 2, dim)
+
+    def grad(z):
+        return 2 * scales * (z - target)
+
+    return grad, target, rng.uniform(-5, 5, dim)
+
+
+class TestNesterov:
+    def test_converges_on_quadratic(self):
+        grad, target, z0 = quadratic_problem()
+        opt = NesterovOptimizer(grad, lambda z: z, z0, initial_step=0.05)
+        z = z0
+        for _ in range(200):
+            z = opt.step()
+        assert np.allclose(z, target, atol=1e-4)
+
+    def test_faster_than_plain_gradient_descent(self):
+        grad, target, z0 = quadratic_problem(dim=30, seed=3)
+        opt = NesterovOptimizer(grad, lambda z: z, z0, initial_step=0.02)
+        z_nag = z0
+        for _ in range(60):
+            z_nag = opt.step()
+        z_gd = z0.copy()
+        for _ in range(60):
+            z_gd = z_gd - 0.02 * grad(z_gd)
+        assert np.linalg.norm(z_nag - target) < np.linalg.norm(z_gd - target)
+
+    def test_projection_respected(self):
+        grad, target, z0 = quadratic_problem(seed=5)
+        lo, hi = -0.5, 0.5
+
+        def project(z):
+            return np.clip(z, lo, hi)
+
+        opt = NesterovOptimizer(grad, project, z0, initial_step=0.05)
+        for _ in range(100):
+            z = opt.step()
+        assert (z >= lo - 1e-12).all()
+        assert (z <= hi + 1e-12).all()
+        assert np.allclose(z, np.clip(target, lo, hi), atol=1e-3)
+
+    def test_reset_momentum_allows_objective_change(self):
+        grad1, target1, z0 = quadratic_problem(seed=1)
+        state = {"grad": grad1}
+        opt = NesterovOptimizer(
+            lambda z: state["grad"](z), lambda z: z, z0, initial_step=0.05
+        )
+        for _ in range(50):
+            opt.step()
+        grad2, target2, _ = quadratic_problem(seed=2)
+        state["grad"] = grad2
+        opt.reset_momentum()
+        for _ in range(200):
+            z = opt.step()
+        assert np.allclose(z, target2, atol=1e-3)
+
+    def test_grad_eval_count_bounded(self):
+        grad, _, z0 = quadratic_problem()
+        opt = NesterovOptimizer(grad, lambda z: z, z0, initial_step=0.05, backtracks=2)
+        for _ in range(20):
+            opt.step()
+        # At most 1 (initial) + iterations * (backtracks + 1).
+        assert opt.grad_evals <= 1 + 20 * 3
+
+    def test_zero_gradient_is_stationary(self):
+        opt = NesterovOptimizer(
+            lambda z: np.zeros_like(z), lambda z: z, np.ones(4), initial_step=0.1
+        )
+        z = opt.step()
+        assert np.allclose(z, np.ones(4))

@@ -1,0 +1,77 @@
+"""Tests for the embedded paper data and shape checks."""
+
+import pytest
+
+from repro.benchgen import suite_names
+from repro.evalkit import (
+    PAPER_AVERAGES,
+    PAPER_PASS_COUNTS,
+    PAPER_TABLE2,
+    PlacerMetrics,
+    aggregate,
+    shape_checks,
+)
+
+
+class TestPaperTable2:
+    def test_covers_all_benchmarks(self):
+        assert set(PAPER_TABLE2) == set(suite_names())
+
+    def test_three_placers_per_benchmark(self):
+        for rows in PAPER_TABLE2.values():
+            assert set(rows) == {"Commercial_Inn", "RePlAce", "PUFFER"}
+
+    def test_average_row_consistent_with_rows(self):
+        # HOF/VOF averages in the paper are plain means of the columns.
+        for placer, (hof_mean, vof_mean, _, _) in PAPER_AVERAGES.items():
+            hofs = [PAPER_TABLE2[b][placer][0] for b in PAPER_TABLE2]
+            vofs = [PAPER_TABLE2[b][placer][1] for b in PAPER_TABLE2]
+            assert sum(hofs) / len(hofs) == pytest.approx(hof_mean, abs=0.005)
+            assert sum(vofs) / len(vofs) == pytest.approx(vof_mean, abs=0.005)
+
+    def test_pass_counts_consistent_with_rows(self):
+        for placer, (pass_h, pass_v) in PAPER_PASS_COUNTS.items():
+            hofs = [PAPER_TABLE2[b][placer][0] for b in PAPER_TABLE2]
+            vofs = [PAPER_TABLE2[b][placer][1] for b in PAPER_TABLE2]
+            assert sum(h <= 1.0 for h in hofs) == pass_h
+            assert sum(v <= 1.0 for v in vofs) == pass_v
+
+    def test_rt_ratios_consistent(self):
+        for placer, (_, _, _, rt_ratio) in PAPER_AVERAGES.items():
+            ratios = [
+                PAPER_TABLE2[b][placer][3] / PAPER_TABLE2[b]["PUFFER"][3]
+                for b in PAPER_TABLE2
+            ]
+            assert sum(ratios) / len(ratios) == pytest.approx(rt_ratio, abs=0.01)
+
+
+class TestShapeChecks:
+    def _rows_from_paper(self):
+        name_map = {
+            "Commercial_Inn": "Commercial_Inn*",
+            "RePlAce": "RePlAce-like",
+            "PUFFER": "PUFFER",
+        }
+        rows = []
+        for bench, placers in PAPER_TABLE2.items():
+            for placer, (hof, vof, wl, rt) in placers.items():
+                rows.append(
+                    PlacerMetrics(bench, name_map[placer], hof, vof, wl, rt)
+                )
+        return rows
+
+    def test_paper_data_passes_its_own_shape_checks(self):
+        averages = aggregate(self._rows_from_paper(), "PUFFER")
+        checks = shape_checks(averages)
+        assert all(c.agrees for c in checks), [c.name for c in checks if not c.agrees]
+
+    def test_shape_checks_detect_disagreement(self):
+        rows = self._rows_from_paper()
+        # Sabotage: make PUFFER terrible everywhere.
+        for r in rows:
+            if r.placer == "PUFFER":
+                r.hof = 50.0
+                r.vof = 50.0
+        averages = aggregate(rows, "PUFFER")
+        checks = shape_checks(averages)
+        assert not all(c.agrees for c in checks)

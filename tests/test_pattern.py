@@ -1,0 +1,120 @@
+"""Tests for pattern routing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.router import best_pattern_route, l_route, route_cost, straight_route, z_route
+from repro.router.pattern import _midpoints
+
+NY = 10
+
+
+def unit_costs(n=10):
+    return np.ones(n * n), np.ones(n * n)
+
+
+class TestStraight:
+    def test_horizontal(self):
+        h, v = straight_route(2, 3, 5, 3, NY)
+        assert len(v) == 0
+        assert list(h) == [2 * NY + 3, 3 * NY + 3, 4 * NY + 3, 5 * NY + 3]
+
+    def test_vertical(self):
+        h, v = straight_route(2, 1, 2, 4, NY)
+        assert len(h) == 0
+        assert len(v) == 4
+
+    def test_degenerate(self):
+        # Same-Gcell endpoints consume no routing demand.
+        h, v = straight_route(2, 3, 2, 3, NY)
+        assert len(h) == 0
+        assert len(v) == 0
+
+    def test_non_aligned_raises(self):
+        with pytest.raises(ValueError):
+            straight_route(0, 0, 3, 3, NY)
+
+    def test_direction_symmetric(self):
+        a = straight_route(2, 3, 5, 3, NY)
+        b = straight_route(5, 3, 2, 3, NY)
+        assert np.array_equal(a[0], b[0])
+
+
+class TestLRoute:
+    def test_covers_both_runs(self):
+        h, v = l_route(0, 0, 3, 4, NY, corner_first=True)
+        assert len(h) == 4  # x 0..3 at y0
+        assert len(v) == 5  # y 0..4 at x3
+        assert 3 * NY + 0 in h  # corner cell in H
+        assert 3 * NY + 0 in v  # corner cell in V
+
+    def test_two_corners_differ(self):
+        a = l_route(0, 0, 3, 4, NY, corner_first=True)
+        b = l_route(0, 0, 3, 4, NY, corner_first=False)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_total_length(self):
+        h, v = l_route(1, 1, 4, 5, NY, corner_first=False)
+        assert len(h) + len(v) == (4 - 1 + 1) + (5 - 1 + 1)
+
+
+class TestZRoute:
+    def test_z_horizontal_first(self):
+        h, v = z_route(0, 0, 4, 3, NY, mid=2, horizontal_first=True)
+        # H runs: 0..2 at y=0 and 2..4 at y=3; V run: x=2 from 0..3.
+        assert len(h) == 3 + 3
+        assert len(v) == 4
+
+    def test_z_vertical_first(self):
+        h, v = z_route(0, 0, 4, 3, NY, mid=2, horizontal_first=False)
+        assert len(v) == 3 + 2
+        assert len(h) == 5
+
+
+class TestBestPattern:
+    def test_picks_straight_when_aligned(self):
+        ch, cv = unit_costs()
+        h, v = best_pattern_route(1, 2, 6, 2, NY, ch, cv)
+        assert len(v) == 0
+
+    def test_avoids_congested_corner(self):
+        ch, cv = unit_costs()
+        # Make the corner-first L expensive: congest row y=0.
+        ch = ch.copy()
+        for gx in range(10):
+            ch[gx * NY + 0] = 100.0
+        route = best_pattern_route(0, 0, 5, 5, NY, ch, cv)
+        alt = l_route(0, 0, 5, 5, NY, corner_first=False)
+        assert np.array_equal(route[0], alt[0])
+
+    def test_zero_length(self):
+        ch, cv = unit_costs()
+        h, v = best_pattern_route(3, 3, 3, 3, NY, ch, cv)
+        assert len(h) == 0 and len(v) == 0
+
+    def test_z_beats_l_under_congestion(self):
+        ch, cv = unit_costs()
+        ch = ch.copy()
+        cv = cv.copy()
+        # Congest both L corners' runs: columns x=0 and x=5.
+        for gy in range(10):
+            cv[0 * NY + gy] = 50.0
+            cv[5 * NY + gy] = 50.0
+        route = best_pattern_route(0, 0, 5, 5, NY, ch, cv, use_z=True)
+        cost = route_cost(route, ch, cv)
+        l1 = route_cost(l_route(0, 0, 5, 5, NY, True), ch, cv)
+        l2 = route_cost(l_route(0, 0, 5, 5, NY, False), ch, cv)
+        assert cost < min(l1, l2)
+
+
+class TestMidpoints:
+    def test_small_range_returns_all(self):
+        assert _midpoints(0, 3) == [1, 2]
+
+    def test_large_range_samples(self):
+        mids = _midpoints(0, 100)
+        assert len(mids) == 3
+        assert all(0 < m < 100 for m in mids)
+
+    def test_adjacent_returns_empty(self):
+        assert _midpoints(3, 4) == []

@@ -1,0 +1,63 @@
+"""Public-API surface checks: exports exist and are importable."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.netlist",
+    "repro.benchgen",
+    "repro.placer",
+    "repro.rsmt",
+    "repro.router",
+    "repro.legalizer",
+    "repro.tpe",
+    "repro.core",
+    "repro.baselines",
+    "repro.dplace",
+    "repro.evalkit",
+]
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "__all__"), name
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.{symbol}"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_is_sorted(self, name):
+        module = importlib.import_module(name)
+        exported = list(module.__all__)
+        assert exported == sorted(exported), name
+
+    def test_every_submodule_importable(self):
+        failures = []
+        for m in pkgutil.walk_packages(repro.__path__, "repro."):
+            if m.name.endswith("__main__"):
+                continue
+            try:
+                importlib.import_module(m.name)
+            except Exception as error:  # pragma: no cover - diagnostic
+                failures.append((m.name, repr(error)))
+        assert not failures
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_public_callables_have_docstrings(self, name):
+        module = importlib.import_module(name)
+        missing = [
+            symbol
+            for symbol in module.__all__
+            if callable(getattr(module, symbol))
+            and not (getattr(module, symbol).__doc__ or "").strip()
+        ]
+        assert not missing, f"{name}: undocumented {missing}"

@@ -1,0 +1,71 @@
+"""Tests for the quadratic (CG) initial placement."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import DesignBuilder, Rect, Technology
+from repro.placer import GlobalPlacer, PlacementParams, initial_place_quadratic
+
+
+class TestQuadraticSeed:
+    def test_two_anchor_chain_lands_between(self):
+        """A movable cell tied to two fixed anchors settles between them."""
+        tech = Technology()
+        b = DesignBuilder("q", tech, Rect(0, 0, 100, 100))
+        left = b.add_cell("L", 1, 1, x=10, y=50, movable=False)
+        right = b.add_cell("R", 1, 1, x=90, y=50, movable=False)
+        mid = b.add_cell("m", 2, 8)
+        n1 = b.add_net("n1")
+        b.add_pin(left, n1)
+        b.add_pin(mid, n1)
+        n2 = b.add_net("n2")
+        b.add_pin(mid, n2)
+        b.add_pin(right, n2)
+        d = b.build()
+        initial_place_quadratic(d, PlacementParams(initial_noise=0.0))
+        assert d.x[mid] == pytest.approx(50.0, abs=1.0)
+        assert d.y[mid] == pytest.approx(50.0, abs=1.0)
+
+    def test_reduces_hpwl_vs_random(self, small_design, rng):
+        die = small_design.die
+        mov = small_design.movable
+        small_design.x[mov] = rng.uniform(die.xlo, die.xhi, int(mov.sum()))
+        small_design.y[mov] = rng.uniform(die.ylo, die.yhi, int(mov.sum()))
+        random_hpwl = small_design.hpwl()
+        initial_place_quadratic(small_design)
+        assert small_design.hpwl() < random_hpwl
+
+    def test_positions_inside_die(self, small_design):
+        initial_place_quadratic(small_design)
+        die = small_design.die
+        mov = small_design.movable
+        assert (small_design.x[mov] - small_design.w[mov] / 2 >= die.xlo - 1e-9).all()
+        assert (small_design.y[mov] + small_design.h[mov] / 2 <= die.yhi + 1e-9).all()
+
+    def test_fixed_cells_untouched(self, small_design):
+        fixed = ~small_design.movable
+        snapshot = small_design.x[fixed].copy()
+        initial_place_quadratic(small_design)
+        assert np.array_equal(small_design.x[fixed], snapshot)
+
+    def test_deterministic(self, small_design):
+        initial_place_quadratic(small_design, PlacementParams(seed=5))
+        x1 = small_design.x.copy()
+        initial_place_quadratic(small_design, PlacementParams(seed=5))
+        assert np.allclose(small_design.x, x1)
+
+    def test_engine_accepts_quadratic_seed(self, small_design):
+        params = PlacementParams(max_iters=150, initial_placer="quadratic")
+        result = GlobalPlacer(small_design, params).run()
+        assert result.hpwl > 0
+
+    def test_unknown_initial_placer_rejected(self, small_design):
+        with pytest.raises(ValueError):
+            GlobalPlacer(small_design, PlacementParams(initial_placer="magic"))
+
+    def test_design_with_no_movables(self):
+        tech = Technology()
+        b = DesignBuilder("f", tech, Rect(0, 0, 50, 50))
+        b.add_cell("x", 2, 8, x=25, y=25, movable=False)
+        d = b.build()
+        initial_place_quadratic(d)  # must not raise

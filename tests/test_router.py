@@ -1,0 +1,86 @@
+"""Integration tests for the global router."""
+
+import numpy as np
+import pytest
+
+from repro.placer import GlobalPlacer, PlacementParams
+from repro.router import GlobalRouter, RouteReport, RouterParams
+
+
+@pytest.fixture(scope="module")
+def routed(placed_small_design):
+    report = GlobalRouter(placed_small_design).run()
+    return placed_small_design, report
+
+
+class TestGlobalRouter:
+    def test_report_fields(self, routed):
+        _, report = routed
+        assert report.hof >= 0 and report.vof >= 0
+        assert report.wirelength > 0
+        assert report.num_segments > 0
+        assert report.runtime > 0
+
+    def test_demand_positive_where_pins(self, routed):
+        design, report = routed
+        assert report.demand.dmd_h.sum() > 0
+        assert report.demand.dmd_v.sum() > 0
+
+    def test_wirelength_lower_bound(self, routed):
+        """Routed WL can't be below HPWL divided by a topology factor."""
+        design, report = routed
+        assert report.wirelength > 0.3 * design.hpwl()
+
+    def test_overflow_history_recorded(self, routed):
+        _, report = routed
+        assert len(report.overflow_history) >= 1
+
+    def test_rrr_does_not_increase_overflow_much(self, routed):
+        _, report = routed
+        first = sum(report.overflow_history[0])
+        last = sum(report.overflow_history[-1])
+        assert last <= first + 1.0
+
+    def test_deterministic(self, placed_small_design):
+        a = GlobalRouter(placed_small_design).run()
+        b = GlobalRouter(placed_small_design).run()
+        assert a.hof == b.hof
+        assert a.vof == b.vof
+        assert a.wirelength == b.wirelength
+
+    def test_pin_demand_disabled(self, placed_small_design):
+        with_pins = GlobalRouter(
+            placed_small_design, RouterParams(pin_demand=0.2, rrr_rounds=0)
+        ).run()
+        without = GlobalRouter(
+            placed_small_design, RouterParams(pin_demand=0.0, rrr_rounds=0)
+        ).run()
+        assert with_pins.demand.dmd_h.sum() > without.demand.dmd_h.sum()
+
+    def test_clustered_worse_than_spread(self, small_design):
+        """A placement collapsed to the center must route worse."""
+        GlobalPlacer(small_design, PlacementParams(max_iters=300)).run()
+        spread = GlobalRouter(small_design).run()
+        mov = small_design.movable
+        small_design.x[mov] = small_design.die.center.x
+        small_design.y[mov] = small_design.die.center.y
+        clustered = GlobalRouter(small_design).run()
+        assert (
+            clustered.hof + clustered.vof
+            > spread.hof + spread.vof
+        )
+
+    def test_via_count_positive(self, routed):
+        _, report = routed
+        # Any nontrivial design routes some L shapes, hence vias.
+        assert report.via_count > 0
+        assert report.via_count <= report.num_segments * 40
+
+    def test_total_overflow_property(self, routed):
+        _, report = routed
+        assert report.total_overflow == pytest.approx(report.hof + report.vof)
+
+    def test_summary_string(self, routed):
+        _, report = routed
+        text = report.summary()
+        assert "HOF" in text and "VOF" in text and "WL" in text

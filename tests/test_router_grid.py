@@ -1,0 +1,99 @@
+"""Tests for the routing grid and capacity model (paper Eq. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import DesignBuilder, Rect, Technology
+from repro.router import DemandMaps, build_grid
+
+
+def empty_design(die=64.0, blockages=()):
+    tech = Technology()
+    b = DesignBuilder("g", tech, Rect(0, 0, die, die))
+    b.add_cell("c0", 2, tech.row_height, x=die / 2, y=die / 2)
+    for rect, layer in blockages:
+        b.add_blockage(rect, layer)
+    return b.build()
+
+
+class TestGrid:
+    def test_dimensions(self):
+        d = empty_design(die=64.0)
+        grid = build_grid(d)
+        assert grid.nx == 4 and grid.ny == 4  # 64 / 16
+
+    def test_uniform_capacity_without_blockages(self):
+        grid = build_grid(empty_design())
+        assert np.allclose(grid.cap_h, grid.cap_h[0, 0])
+        assert np.allclose(grid.cap_v, grid.cap_v[0, 0])
+        tech = Technology()
+        assert grid.cap_h[0, 0] == pytest.approx(tech.tracks_per_gcell("H"))
+
+    def test_blockage_reduces_capacity(self):
+        h_layer = next(
+            i
+            for i, l in enumerate(Technology().layers)
+            if i >= 1 and l.direction == "H"
+        )
+        rect = Rect(0, 0, 16, 16)  # exactly Gcell (0, 0)
+        base = build_grid(empty_design())
+        blocked = build_grid(empty_design(blockages=[(rect, h_layer)]))
+        assert blocked.cap_h[0, 0] < base.cap_h[0, 0]
+        assert blocked.cap_h[1, 1] == pytest.approx(base.cap_h[1, 1])
+        assert np.allclose(blocked.cap_v, base.cap_v)
+
+    def test_full_gcell_blockage_removes_layer_tracks(self):
+        tech = Technology()
+        h_layer = next(
+            i for i, l in enumerate(tech.layers) if i >= 1 and l.direction == "H"
+        )
+        rect = Rect(0, 0, 16, 16)
+        blocked = build_grid(empty_design(blockages=[(rect, h_layer)]))
+        base = build_grid(empty_design())
+        layer = tech.layers[h_layer]
+        expected_loss = 16.0 / layer.pitch
+        assert base.cap_h[0, 0] - blocked.cap_h[0, 0] == pytest.approx(
+            expected_loss, rel=1e-6
+        )
+
+    def test_capacity_never_negative(self):
+        rect = Rect(0, 0, 64, 64)
+        blockages = [(rect, i) for i in range(1, len(Technology().layers))]
+        grid = build_grid(empty_design(blockages=blockages * 5))
+        assert (grid.cap_h >= 0).all()
+        assert (grid.cap_v >= 0).all()
+
+    def test_gcell_of_clamps(self):
+        grid = build_grid(empty_design())
+        gx, gy = grid.gcell_of(np.array([-5.0, 100.0]), np.array([-5.0, 100.0]))
+        assert gx[0] == 0 and gy[0] == 0
+        assert gx[1] == grid.nx - 1 and gy[1] == grid.ny - 1
+
+    def test_center_of_round_trip(self):
+        grid = build_grid(empty_design())
+        x, y = grid.center_of(2, 3)
+        gx, gy = grid.gcell_of(x, y)
+        assert gx == 2 and gy == 3
+
+
+class TestDemandMaps:
+    def test_zero_demand_zero_overflow(self):
+        grid = build_grid(empty_design())
+        demand = DemandMaps.zeros(grid)
+        assert demand.overflow_ratio(grid) == (0.0, 0.0)
+
+    def test_overflow_ratio_computation(self):
+        grid = build_grid(empty_design())
+        demand = DemandMaps.zeros(grid)
+        demand.dmd_h[0, 0] = grid.cap_h[0, 0] + 10.0
+        hof, vof = demand.overflow_ratio(grid)
+        assert hof == pytest.approx(100.0 * 10.0 / grid.cap_h.sum())
+        assert vof == 0.0
+
+    def test_overflow_maps_clipped(self):
+        grid = build_grid(empty_design())
+        demand = DemandMaps.zeros(grid)
+        demand.dmd_v[1, 1] = grid.cap_v[1, 1] / 2
+        over_h, over_v = demand.overflow_maps(grid)
+        assert (over_h >= 0).all()
+        assert over_v[1, 1] == 0.0

@@ -1,0 +1,172 @@
+"""Tests for the RSMT engine: exactness, bounds, and properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rsmt import Topology, build_rsmt, manhattan_matrix, rmst_edges, tree_length
+
+coords = st.floats(0, 1000, allow_nan=False, allow_infinity=False)
+
+
+def point_sets(min_size=2, max_size=12):
+    return st.lists(
+        st.tuples(coords, coords), min_size=min_size, max_size=max_size
+    )
+
+
+class TestRMST:
+    def test_two_points(self):
+        edges = rmst_edges(np.array([0.0, 3.0]), np.array([0.0, 4.0]))
+        assert len(edges) == 1
+        assert tree_length(np.array([0.0, 3.0]), np.array([0.0, 4.0]), edges) == 7.0
+
+    def test_spanning(self, rng):
+        n = 15
+        x = rng.uniform(0, 100, n)
+        y = rng.uniform(0, 100, n)
+        edges = rmst_edges(x, y)
+        assert len(edges) == n - 1
+        # Union-find connectivity check.
+        parent = list(range(n))
+
+        def find(a):
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        for a, b in edges:
+            parent[find(int(a))] = find(int(b))
+        assert len({find(i) for i in range(n)}) == 1
+
+    def test_duplicate_points_ok(self):
+        x = np.array([1.0, 1.0, 5.0])
+        y = np.array([2.0, 2.0, 2.0])
+        edges = rmst_edges(x, y)
+        assert len(edges) == 2
+        assert tree_length(x, y, edges) == pytest.approx(4.0)
+
+    def test_manhattan_matrix_symmetric(self, rng):
+        x = rng.uniform(0, 10, 6)
+        y = rng.uniform(0, 10, 6)
+        d = manhattan_matrix(x, y)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0)
+
+    @given(point_sets(min_size=3, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_mst_minimality_vs_random_tree(self, pts):
+        x = np.array([p[0] for p in pts])
+        y = np.array([p[1] for p in pts])
+        edges = rmst_edges(x, y)
+        mst_len = tree_length(x, y, edges)
+        # A star from vertex 0 is a spanning tree; MST must not exceed it.
+        star_len = sum(abs(x[0] - x[i]) + abs(y[0] - y[i]) for i in range(1, len(x)))
+        assert mst_len <= star_len + 1e-9
+
+
+class TestRSMT:
+    def test_single_point(self):
+        t = build_rsmt(np.array([5.0]), np.array([5.0]))
+        assert t.num_points == 1
+        assert t.num_segments == 0
+
+    def test_two_pins(self):
+        t = build_rsmt(np.array([0.0, 10.0]), np.array([0.0, 5.0]))
+        assert t.wirelength() == pytest.approx(15.0)
+
+    def test_three_pin_median_exact(self):
+        # RSMT of 3 pins = distances to the median point.
+        x = np.array([0.0, 10.0, 5.0])
+        y = np.array([0.0, 0.0, 8.0])
+        t = build_rsmt(x, y)
+        assert t.wirelength() == pytest.approx(18.0)
+
+    def test_four_corners(self):
+        # Unit-square corners scaled: RSMT = 3 * side.
+        s = 10.0
+        x = np.array([0.0, s, 0.0, s])
+        y = np.array([0.0, 0.0, s, s])
+        t = build_rsmt(x, y)
+        assert t.wirelength() == pytest.approx(3 * s)
+
+    def test_collinear_points(self):
+        x = np.array([0.0, 5.0, 10.0, 2.0])
+        y = np.zeros(4)
+        t = build_rsmt(x, y)
+        assert t.wirelength() == pytest.approx(10.0)
+
+    @given(point_sets(min_size=2, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_and_validity(self, pts):
+        x = np.array([p[0] for p in pts])
+        y = np.array([p[1] for p in pts])
+        t = build_rsmt(x, y)
+        t.validate()
+        rmst_len = tree_length(x, y, rmst_edges(x, y))
+        lower = (x.max() - x.min()) + (y.max() - y.min())
+        assert t.wirelength() <= rmst_len + 1e-6
+        assert t.wirelength() >= lower - 1e-6
+
+    @given(point_sets(min_size=3, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_pins_preserved(self, pts):
+        x = np.array([p[0] for p in pts])
+        y = np.array([p[1] for p in pts])
+        t = build_rsmt(x, y)
+        # Every input pin must appear among the pin-kind points.
+        pin_pts = {(t.x[i], t.y[i]) for i in range(t.num_points) if t.is_pin[i]}
+        for px, py in zip(x, y):
+            assert (px, py) in pin_pts
+
+    @given(point_sets(min_size=4, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_steiner_points_have_degree_3plus(self, pts):
+        x = np.array([p[0] for p in pts])
+        y = np.array([p[1] for p in pts])
+        t = build_rsmt(x, y)
+        for i in range(t.num_points):
+            if not t.is_pin[i]:
+                assert t.degree_of(i) >= 3
+
+    def test_large_net_uses_plain_rmst(self, rng):
+        n = 80
+        x = rng.uniform(0, 100, n)
+        y = rng.uniform(0, 100, n)
+        t = build_rsmt(x, y, steinerize_max_degree=50)
+        assert t.num_points == n  # no Steiner points added
+        assert t.num_segments == n - 1
+
+
+class TestTopology:
+    def test_segment_kinds(self):
+        t = Topology(
+            x=np.array([0.0, 5.0, 5.0]),
+            y=np.array([0.0, 0.0, 7.0]),
+            is_pin=np.array([True, True, True]),
+            edges=np.array([[0, 1], [1, 2], [0, 2]]),
+        )
+        kinds = t.segment_kinds()
+        assert list(kinds) == [0, 0, 1]  # I, I, L
+
+    def test_validate_rejects_self_loop(self):
+        t = Topology(
+            x=np.array([0.0, 1.0]),
+            y=np.array([0.0, 1.0]),
+            is_pin=np.array([True, True]),
+            edges=np.array([[0, 0]]),
+        )
+        with pytest.raises(ValueError):
+            t.validate()
+
+    def test_validate_rejects_bad_index(self):
+        t = Topology(
+            x=np.array([0.0, 1.0]),
+            y=np.array([0.0, 1.0]),
+            is_pin=np.array([True, True]),
+            edges=np.array([[0, 5]]),
+        )
+        with pytest.raises(ValueError):
+            t.validate()

@@ -1,0 +1,59 @@
+"""Tests for the RUDY congestion estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core import rudy_maps, rudy_overflow
+from repro.netlist import DesignBuilder, Rect, Technology
+from repro.router import GlobalRouter, build_grid
+
+
+def two_pin(ax, ay, bx, by, die=160.0):
+    tech = Technology()
+    b = DesignBuilder("r", tech, Rect(0, 0, die, die))
+    c0 = b.add_cell("a", 2, tech.row_height, x=ax, y=ay)
+    c1 = b.add_cell("b", 2, tech.row_height, x=bx, y=by)
+    n = b.add_net("n")
+    b.add_pin(c0, n)
+    b.add_pin(c1, n)
+    return b.build()
+
+
+class TestRudy:
+    def test_horizontal_net_spreads_h_demand(self):
+        d = two_pin(24, 72, 88, 72)
+        dmd_h, dmd_v, grid = rudy_maps(d, pin_penalty=0.0)
+        # One-row bbox: full unit H demand in every covered Gcell.
+        assert dmd_h[1:6, 4].sum() == pytest.approx(5.0)
+        # RUDY's bbox model still assigns a vertical share (1/nx each).
+        assert dmd_v[1:6, 4].sum() == pytest.approx(1.0)
+
+    def test_square_bbox_shares(self):
+        d = two_pin(24, 24, 88, 88)
+        dmd_h, dmd_v, _ = rudy_maps(d, pin_penalty=0.0)
+        assert dmd_h[1:6, 1:6].max() == pytest.approx(1.0 / 5.0)
+        assert dmd_h.sum() == pytest.approx(5.0)
+        assert dmd_v.sum() == pytest.approx(5.0)
+
+    def test_pin_penalty_added(self):
+        d = two_pin(24, 24, 88, 88)
+        base_h, _, _ = rudy_maps(d, pin_penalty=0.0)
+        with_pins_h, _, _ = rudy_maps(d, pin_penalty=0.1)
+        assert with_pins_h.sum() == pytest.approx(base_h.sum() + 0.2)
+
+    def test_overflow_ratio_nonnegative(self, placed_small_design):
+        hof, vof = rudy_overflow(placed_small_design)
+        assert hof >= 0 and vof >= 0
+
+    def test_reuses_provided_grid(self, placed_small_design):
+        grid = build_grid(placed_small_design)
+        dmd_h, _, returned = rudy_maps(placed_small_design, grid=grid)
+        assert returned is grid
+        assert dmd_h.shape == (grid.nx, grid.ny)
+
+    def test_correlates_with_router(self, placed_small_design):
+        dmd_h, dmd_v, _ = rudy_maps(placed_small_design)
+        report = GlobalRouter(placed_small_design).run()
+        est = (dmd_h + dmd_v).ravel()
+        real = (report.demand.dmd_h + report.demand.dmd_v).ravel()
+        assert np.corrcoef(est, real)[0, 1] > 0.6

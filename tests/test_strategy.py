@@ -1,0 +1,60 @@
+"""Tests for strategy parameters and the exploration space."""
+
+import pytest
+
+from repro.core import PARAM_GROUPS, StrategyParams, default_space
+from repro.core.features import FEATURE_NAMES
+
+
+class TestStrategyParams:
+    def test_alphas_order_matches_features(self):
+        params = StrategyParams()
+        assert len(params.alphas()) == len(FEATURE_NAMES)
+
+    def test_replaced(self):
+        params = StrategyParams().replaced(mu=9.0)
+        assert params.mu == 9.0
+        assert params.tau == StrategyParams().tau
+
+    def test_from_dict_coerces_ints(self):
+        params = StrategyParams.from_dict({"xi": 4.6, "kernel_size": 5.2})
+        assert params.xi == 5
+        assert params.kernel_size == 5
+
+    def test_from_dict_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            StrategyParams.from_dict({"bogus": 1.0})
+
+    def test_from_dict_defaults_missing(self):
+        params = StrategyParams.from_dict({"mu": 2.5})
+        assert params.mu == 2.5
+        assert params.zeta == StrategyParams().zeta
+
+
+class TestSpaceAndGroups:
+    def test_space_covers_all_group_params(self):
+        space = default_space()
+        names = set(space.names())
+        for group, members in PARAM_GROUPS.items():
+            for member in members:
+                assert member in names, (group, member)
+
+    def test_groups_are_disjoint(self):
+        seen = set()
+        for members in PARAM_GROUPS.values():
+            for member in members:
+                assert member not in seen
+                seen.add(member)
+
+    def test_midpoint_is_valid_config(self):
+        params = StrategyParams.from_dict(default_space().midpoint())
+        assert params.pu_low <= params.pu_high
+        assert params.xi >= 1
+
+    def test_defaults_inside_space(self):
+        space = default_space()
+        defaults = StrategyParams()
+        for dim in space:
+            value = getattr(defaults, dim.name)
+            clipped = dim.clip(value)
+            assert clipped == value or abs(clipped - value) < 1e-9

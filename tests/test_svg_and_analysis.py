@@ -1,0 +1,95 @@
+"""Tests for the SVG renderer and padding diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CongestionEstimator,
+    FeatureExtractor,
+    PaddingEngine,
+    StrategyParams,
+    padding_histogram,
+    round_trajectory,
+    summarize_padding,
+)
+from repro.evalkit import placement_svg, save_placement_svg
+
+
+class TestSvg:
+    def test_valid_document(self, placed_small_design):
+        svg = placement_svg(placed_small_design, width=400)
+        assert svg.startswith("<?xml")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<rect") > placed_small_design.num_macros
+
+    def test_congestion_overlay_adds_red(self, placed_small_design):
+        hot = np.zeros((8, 8))
+        hot[4, 4] = 10.0
+        svg = placement_svg(placed_small_design, congestion=hot, congestion_vmax=10.0)
+        assert "#cc2222" in svg
+
+    def test_overlay_skips_cold_cells(self, placed_small_design):
+        cold = np.zeros((8, 8))
+        svg = placement_svg(placed_small_design, congestion=cold)
+        assert "#cc2222" not in svg
+
+    def test_subsampling_caps_rects(self, placed_small_design):
+        svg_full = placement_svg(placed_small_design)
+        svg_capped = placement_svg(placed_small_design, max_cells=10)
+        assert svg_capped.count("<rect") < svg_full.count("<rect")
+
+    def test_save(self, placed_small_design, tmp_path):
+        path = tmp_path / "place.svg"
+        save_placement_svg(placed_small_design, str(path), width=200)
+        assert path.read_text().startswith("<?xml")
+
+
+class TestPaddingAnalysis:
+    @pytest.fixture
+    def engine_with_rounds(self, placed_small_design):
+        estimator = CongestionEstimator(placed_small_design)
+        cmap, topologies, _ = estimator.estimate()
+        features = FeatureExtractor(placed_small_design).extract(cmap, topologies)
+        engine = PaddingEngine(placed_small_design, StrategyParams())
+        engine.run_round(features)
+        engine.run_round(features)
+        return engine, cmap
+
+    def test_summary_fields(self, engine_with_rounds):
+        engine, cmap = engine_with_rounds
+        summary = summarize_padding(engine, cmap)
+        assert summary.rounds == 2
+        assert summary.total_area >= 0
+        assert 0 <= summary.utilization <= 1
+        assert summary.num_padded >= 0
+        if summary.num_padded:
+            assert summary.max_pad >= summary.mean_pad > 0
+
+    def test_summary_without_map(self, engine_with_rounds):
+        engine, _ = engine_with_rounds
+        summary = summarize_padding(engine)
+        assert np.isnan(summary.congestion_correlation) or isinstance(
+            summary.congestion_correlation, float
+        )
+
+    def test_histogram_covers_all_padded(self, engine_with_rounds):
+        engine, _ = engine_with_rounds
+        rows = padding_histogram(engine, bins=5)
+        counted = sum(count for _, _, count in rows)
+        movable = engine.design.movable & ~engine.design.is_macro
+        assert counted == int((engine.pad[movable] > 0).sum())
+
+    def test_trajectory_rows(self, engine_with_rounds):
+        engine, _ = engine_with_rounds
+        rows = round_trajectory(engine)
+        assert len(rows) == 2
+        assert rows[0]["round"] == 1
+        assert rows[1]["total_area"] >= 0
+
+    def test_empty_engine(self, small_design):
+        engine = PaddingEngine(small_design, StrategyParams())
+        assert padding_histogram(engine) == []
+        assert round_trajectory(engine) == []
+        summary = summarize_padding(engine)
+        assert summary.rounds == 0
+        assert summary.num_padded == 0

@@ -1,0 +1,89 @@
+"""Tests for the technology model (metal stack, tracks, Gcells)."""
+
+import pytest
+
+from repro.netlist import (
+    HORIZONTAL,
+    VERTICAL,
+    MetalLayer,
+    Technology,
+    default_metal_stack,
+    reduced_metal_stack,
+)
+
+
+class TestMetalLayer:
+    def test_pitch(self):
+        layer = MetalLayer("M2", HORIZONTAL, 0.9, 1.1)
+        assert layer.pitch == pytest.approx(2.0)
+
+    def test_bad_direction_raises(self):
+        with pytest.raises(ValueError):
+            MetalLayer("M2", "D", 1.0, 1.0)
+
+    def test_non_positive_width_raises(self):
+        with pytest.raises(ValueError):
+            MetalLayer("M2", HORIZONTAL, 0.0, 1.0)
+
+
+class TestStacks:
+    def test_default_stack_alternates(self):
+        stack = default_metal_stack()
+        for i, layer in enumerate(stack):
+            expected = HORIZONTAL if i % 2 == 1 else VERTICAL
+            assert layer.direction == expected
+
+    def test_default_stack_balanced_capacity(self):
+        tech = Technology()
+        h = tech.tracks_per_gcell(HORIZONTAL)
+        v = tech.tracks_per_gcell(VERTICAL)
+        assert h == pytest.approx(v, rel=0.05)
+
+    def test_reduced_stack_stays_balanced(self):
+        # V-starvation of congested designs comes from the power grid,
+        # not the stack itself; the reduced stack stays H/V balanced.
+        tech = Technology(layers=reduced_metal_stack())
+        assert tech.tracks_per_gcell(VERTICAL) == pytest.approx(
+            tech.tracks_per_gcell(HORIZONTAL), rel=0.05
+        )
+
+    def test_reduced_stack_has_less_capacity(self):
+        full = Technology()
+        reduced = Technology(layers=reduced_metal_stack())
+        for d in (HORIZONTAL, VERTICAL):
+            assert reduced.tracks_per_gcell(d) < full.tracks_per_gcell(d)
+
+    def test_too_few_layers_raises(self):
+        with pytest.raises(ValueError):
+            default_metal_stack(num_layers=1)
+
+
+class TestTechnology:
+    def test_m1_excluded_from_routing(self):
+        tech = Technology()
+        names = [l.name for l in tech.routing_layers]
+        assert "M1" not in names
+        assert "M2" in names
+
+    def test_layers_in_direction_subset_of_routing(self):
+        tech = Technology()
+        routing = set(tech.routing_layers)
+        for d in (HORIZONTAL, VERTICAL):
+            assert set(tech.layers_in_direction(d)) <= routing
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            Technology(site_width=0.0)
+        with pytest.raises(ValueError):
+            Technology(row_height=-1.0)
+
+    def test_routing_layers_start_bounds(self):
+        with pytest.raises(ValueError):
+            Technology(routing_layers_start=99)
+
+    def test_tracks_scale_with_gcell(self):
+        small = Technology(gcell_size=16.0)
+        large = Technology(gcell_size=32.0)
+        assert large.tracks_per_gcell(HORIZONTAL) == pytest.approx(
+            2 * small.tracks_per_gcell(HORIZONTAL)
+        )

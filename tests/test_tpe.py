@@ -1,0 +1,142 @@
+"""Tests for the parameter space, TPE sampler, and SMBO loop."""
+
+import numpy as np
+import pytest
+
+from repro.tpe import (
+    Choice,
+    LogUniform,
+    QUniform,
+    Space,
+    TPESampler,
+    Uniform,
+    minimize,
+)
+
+
+class TestSpace:
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError):
+            Space([Uniform("a", 0, 1), Uniform("a", 0, 2)])
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            Uniform("a", 2, 1)
+
+    def test_sample_in_range(self, rng):
+        space = Space([Uniform("a", -1, 1), QUniform("q", 0, 10, q=2), Choice("c", (1, 2))])
+        for _ in range(50):
+            s = space.sample(rng)
+            assert -1 <= s["a"] <= 1
+            assert s["q"] % 2 == 0
+            assert s["c"] in (1, 2)
+
+    def test_quniform_clip_snaps(self):
+        dim = QUniform("q", 0, 10, q=2)
+        assert dim.clip(3.1) == 4.0
+        assert dim.clip(99) == 10.0
+
+    def test_loguniform_positive(self, rng):
+        dim = LogUniform("l", 0.01, 100.0)
+        values = [dim.sample(rng) for _ in range(100)]
+        assert all(0.01 <= v <= 100 for v in values)
+        # Should cover multiple decades.
+        assert min(values) < 1.0 < max(values)
+
+    def test_loguniform_needs_positive_lo(self):
+        with pytest.raises(ValueError):
+            LogUniform("l", 0.0, 1.0)
+
+    def test_midpoint(self):
+        space = Space([Uniform("a", 0, 4), Choice("c", ("x", "y", "z"))])
+        mid = space.midpoint()
+        assert mid["a"] == 2.0
+        assert mid["c"] == "y"
+
+    def test_subspace_and_replaced(self):
+        space = Space([Uniform("a", 0, 4), Uniform("b", 0, 1)])
+        sub = space.subspace(["b"])
+        assert sub.names() == ["b"]
+        replaced = space.replaced(Uniform("a", 1, 2))
+        assert replaced.dim("a").lo == 1
+
+    def test_shrunk_within_original(self):
+        dim = Uniform("a", 0, 10)
+        shrunk = dim.shrunk(np.array([4.0, 5.0, 6.0]))
+        assert shrunk.lo >= 0 and shrunk.hi <= 10
+        assert shrunk.lo <= 4.0 and shrunk.hi >= 6.0
+
+    def test_choice_shrunk_is_identity(self):
+        dim = Choice("c", (1, 2, 3))
+        assert dim.shrunk([1, 1]) is dim
+
+
+class TestTPESampler:
+    def test_startup_is_random(self, rng):
+        space = Space([Uniform("a", 0, 1)])
+        sampler = TPESampler(n_startup=5)
+        s = sampler.suggest(space, [], rng)
+        assert 0 <= s["a"] <= 1
+
+    def test_suggestions_concentrate_near_good_region(self, rng):
+        space = Space([Uniform("a", 0, 10)])
+        sampler = TPESampler(n_startup=0, n_candidates=32)
+        observations = [({"a": float(v)}, abs(v - 7.0)) for v in np.linspace(0, 10, 30)]
+        suggestions = [
+            sampler.suggest(space, observations, rng)["a"] for _ in range(20)
+        ]
+        assert abs(np.median(suggestions) - 7.0) < 2.0
+
+    def test_categorical_prefers_good_option(self, rng):
+        space = Space([Choice("c", ("good", "bad"))])
+        sampler = TPESampler(n_startup=0, n_candidates=16)
+        observations = [({"c": "good"}, 0.0)] * 10 + [({"c": "bad"}, 1.0)] * 10
+        picks = [sampler.suggest(space, observations, rng)["c"] for _ in range(20)]
+        assert picks.count("good") > picks.count("bad")
+
+    def test_gamma_bounds(self):
+        with pytest.raises(ValueError):
+            TPESampler(gamma=0.0)
+
+
+class TestMinimize:
+    def test_beats_random_on_quadratic(self, rng):
+        space = Space([Uniform("x", -5, 5), Uniform("y", -5, 5)])
+
+        def f(p):
+            return (p["x"] - 1.0) ** 2 + (p["y"] + 2.0) ** 2
+
+        result = minimize(f, space, max_evals=50, patience=50, rng=1)
+        random_best = min(f(space.sample(rng)) for _ in range(50))
+        assert result.best.loss <= random_best
+
+    def test_early_stop_fires(self):
+        space = Space([Uniform("x", 0, 1)])
+        result = minimize(lambda p: 1.0, space, max_evals=100, patience=5, rng=0)
+        assert result.stopped_early
+        assert len(result.trials) <= 7
+
+    def test_empty_budget_raises(self):
+        space = Space([Uniform("x", 0, 1)])
+        with pytest.raises(ValueError):
+            minimize(lambda p: 0.0, space, max_evals=0)
+
+    def test_warm_start_used(self):
+        space = Space([Uniform("x", 0, 10)])
+        warm = [({"x": float(v)}, abs(v - 3.0)) for v in np.linspace(0, 10, 20)]
+        result = minimize(
+            lambda p: abs(p["x"] - 3.0),
+            space,
+            max_evals=10,
+            patience=10,
+            warm_start=warm,
+            rng=2,
+        )
+        assert result.best.loss < 1.5
+
+    def test_observations_roundtrip(self):
+        space = Space([Uniform("x", 0, 1)])
+        result = minimize(lambda p: p["x"], space, max_evals=5, patience=5, rng=0)
+        obs = result.observations()
+        assert len(obs) == len(result.trials)
+        assert all(isinstance(o, tuple) and len(o) == 2 for o in obs)

@@ -1,0 +1,61 @@
+"""Tests for the ASCII trend charts."""
+
+import pytest
+
+from repro.evalkit import convergence_chart, sparkline
+from repro.placer.engine import IterationRecord
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        line = sparkline([5, 5, 5, 5])
+        assert len(line) == 4
+        assert len(set(line)) == 1
+
+    def test_monotone_series_monotone_bars(self):
+        line = sparkline(list(range(8)))
+        assert list(line) == sorted(line)
+
+    def test_downsamples_to_width(self):
+        line = sparkline(range(1000), width=40)
+        assert len(line) == 40
+
+    def test_extremes_map_to_extreme_bars(self):
+        line = sparkline([0, 10])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+
+class TestConvergenceChart:
+    def _history(self, n=30):
+        return [
+            IterationRecord(
+                iteration=i,
+                hpwl=1000.0 + 10 * i,
+                overflow=1.0 / (i + 1),
+                penalty_factor=1e-6 * (1.05**i),
+                gamma=8.0,
+            )
+            for i in range(n)
+        ]
+
+    def test_renders_three_series(self):
+        chart = convergence_chart(self._history())
+        assert "hpwl" in chart
+        assert "overflow" in chart
+        assert "penalty" in chart
+
+    def test_empty_history(self):
+        assert "empty" in convergence_chart([])
+
+    def test_real_engine_history(self, small_design):
+        from repro.placer import GlobalPlacer, PlacementParams
+
+        result = GlobalPlacer(
+            small_design, PlacementParams(max_iters=60, min_iters=5)
+        ).run()
+        chart = convergence_chart(result.history)
+        assert f"iterations: {len(result.history)}" in chart

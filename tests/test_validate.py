@@ -1,0 +1,90 @@
+"""Tests for design validation and legality checking."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    DesignBuilder,
+    Rect,
+    Technology,
+    check_legal,
+    validate_design,
+)
+
+
+def build(cells, die=64.0, fixed=None):
+    """cells: list of (x, y, w) placements; fixed: same for fixed cells."""
+    tech = Technology()
+    b = DesignBuilder("v", tech, Rect(0, 0, die, die))
+    for i, (x, y, w) in enumerate(cells):
+        b.add_cell(f"c{i}", w, tech.row_height, x=x, y=y)
+    for i, (x, y, w, h) in enumerate(fixed or []):
+        b.add_cell(f"f{i}", w, h, x=x, y=y, movable=False)
+    return b.build()
+
+
+class TestValidateDesign:
+    def test_valid_design_ok(self, small_design):
+        assert validate_design(small_design).ok
+
+    def test_fixed_outside_die_is_error(self):
+        d = build([(10, 12, 2)], fixed=[(63.5, 10, 4, 8)])
+        report = validate_design(d)
+        assert not report.ok
+        assert any("outside" in e for e in report.errors)
+
+    def test_singleton_nets_warn(self):
+        tech = Technology()
+        b = DesignBuilder("v", tech, Rect(0, 0, 64, 64))
+        c = b.add_cell("c0", 2, 8)
+        n = b.add_net("n0")
+        b.add_pin(c, n)
+        report = validate_design(b.build())
+        assert report.ok
+        assert any("fewer than two pins" in w for w in report.warnings)
+
+    def test_over_utilization_is_error(self):
+        cells = [(8 * i + 4, 4, 8) for i in range(70)]
+        d = build(cells, die=16.0)
+        report = validate_design(d)
+        assert not report.ok
+
+    def test_report_str(self, small_design):
+        text = str(validate_design(small_design))
+        assert "errors:" in text
+
+
+class TestCheckLegal:
+    def test_legal_row_placement_passes(self):
+        # Two cells abutting in row 0 (bottoms at y=0, centers at 4).
+        d = build([(1, 4, 2), (3, 4, 2)])
+        assert check_legal(d).ok
+
+    def test_overlap_detected(self):
+        d = build([(1.0, 4, 2), (2.0, 4, 2)])
+        report = check_legal(d)
+        assert any("overlap" in e for e in report.errors)
+
+    def test_row_misalignment_detected(self):
+        d = build([(1, 5.5, 2)])
+        report = check_legal(d)
+        assert any("row-aligned" in e for e in report.errors)
+
+    def test_site_misalignment_detected(self):
+        d = build([(1.3, 4, 2)])
+        report = check_legal(d)
+        assert any("site-aligned" in e for e in report.errors)
+
+    def test_outside_die_detected(self):
+        d = build([(63.5, 4, 2)])
+        report = check_legal(d)
+        assert any("outside" in e for e in report.errors)
+
+    def test_macro_overlap_detected(self):
+        d = build([(10, 12, 2)], fixed=[(10, 12, 8, 8)])
+        report = check_legal(d)
+        assert any("fixed" in e for e in report.errors)
+
+    def test_same_x_different_rows_ok(self):
+        d = build([(1, 4, 2), (1, 12, 2)])
+        assert check_legal(d).ok

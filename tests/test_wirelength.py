@@ -1,0 +1,95 @@
+"""Tests for the WA wirelength model: accuracy and gradient correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.placer import WirelengthModel, gamma_schedule
+
+
+class TestHPWL:
+    def test_matches_design_hpwl(self, small_design):
+        model = WirelengthModel(small_design)
+        assert model.hpwl(small_design.x, small_design.y) == pytest.approx(
+            small_design.hpwl()
+        )
+
+
+class TestWAModel:
+    def test_wa_upper_bounds_hpwl(self, small_design):
+        """WA is a smooth underestimate of HPWL that tightens as gamma -> 0."""
+        model = WirelengthModel(small_design)
+        hpwl = model.hpwl(small_design.x, small_design.y)
+        wa_loose, _, _ = model.wa_and_grad(small_design.x, small_design.y, gamma=10.0)
+        wa_tight, _, _ = model.wa_and_grad(small_design.x, small_design.y, gamma=0.1)
+        assert wa_loose <= hpwl + 1e-6
+        assert abs(wa_tight - hpwl) < abs(wa_loose - hpwl) + 1e-9
+
+    def test_wa_converges_to_hpwl(self, tiny_design):
+        model = WirelengthModel(tiny_design)
+        hpwl = model.hpwl(tiny_design.x, tiny_design.y)
+        wa, _, _ = model.wa_and_grad(tiny_design.x, tiny_design.y, gamma=0.01)
+        assert wa == pytest.approx(hpwl, rel=1e-3, abs=1e-3)
+
+    def test_gradient_matches_finite_differences(self, tiny_design):
+        model = WirelengthModel(tiny_design)
+        x = tiny_design.x.copy()
+        y = tiny_design.y.copy()
+        gamma = 2.0
+        _, gx, gy = model.wa_and_grad(x, y, gamma)
+        eps = 1e-5
+        for cell in range(tiny_design.num_cells):
+            xp = x.copy()
+            xp[cell] += eps
+            wp, _, _ = model.wa_and_grad(xp, y, gamma)
+            xm = x.copy()
+            xm[cell] -= eps
+            wm, _, _ = model.wa_and_grad(xm, y, gamma)
+            assert gx[cell] == pytest.approx((wp - wm) / (2 * eps), abs=1e-4)
+
+    def test_gradient_matches_fd_generated(self, small_design, rng):
+        model = WirelengthModel(small_design)
+        x, y = small_design.x.copy(), small_design.y.copy()
+        gamma = 3.0
+        _, gx, gy = model.wa_and_grad(x, y, gamma)
+        eps = 1e-5
+        for cell in rng.choice(small_design.num_cells, 10, replace=False):
+            yp = y.copy()
+            yp[cell] += eps
+            wp, _, _ = model.wa_and_grad(x, yp, gamma)
+            ym = y.copy()
+            ym[cell] -= eps
+            wm, _, _ = model.wa_and_grad(x, ym, gamma)
+            assert gy[cell] == pytest.approx((wp - wm) / (2 * eps), abs=1e-3)
+
+    def test_translation_invariant_gradient(self, small_design):
+        model = WirelengthModel(small_design)
+        gamma = 2.0
+        w1, gx1, _ = model.wa_and_grad(small_design.x, small_design.y, gamma)
+        w2, gx2, _ = model.wa_and_grad(small_design.x + 100.0, small_design.y, gamma)
+        assert w1 == pytest.approx(w2, rel=1e-9, abs=1e-6)
+        assert np.allclose(gx1, gx2, atol=1e-9)
+
+    def test_numerical_stability_extreme_coordinates(self, tiny_design):
+        model = WirelengthModel(tiny_design)
+        x = tiny_design.x * 1e5
+        wa, gx, gy = model.wa_and_grad(x, tiny_design.y, gamma=0.5)
+        assert np.isfinite(wa)
+        assert np.isfinite(gx).all()
+        assert np.isfinite(gy).all()
+
+
+class TestGammaSchedule:
+    def test_monotone_in_overflow(self):
+        values = [gamma_schedule(8.0, o) for o in (0.1, 0.3, 0.5, 0.9)]
+        assert values == sorted(values)
+
+    def test_endpoints(self):
+        assert gamma_schedule(8.0, 1.0) == pytest.approx(80.0)
+        assert gamma_schedule(8.0, 0.1) == pytest.approx(0.8)
+
+    @given(st.floats(-1, 2, allow_nan=False))
+    @settings(max_examples=30)
+    def test_always_positive(self, overflow):
+        assert gamma_schedule(8.0, overflow) > 0
