@@ -125,7 +125,7 @@ def place_commercial_like(
     params: CommercialLikeParams | None = None,
 ) -> BaselineResult:
     """GR-in-the-loop placement with white-space-inherited legalization."""
-    start = time.time()
+    start = time.perf_counter()
     params = params or CommercialLikeParams()
     hook = _RouterFeedbackHook(design, params)
     gp = GlobalPlacer(design, placement or PlacementParams(), hooks=[hook]).run()
@@ -136,7 +136,7 @@ def place_commercial_like(
     return BaselineResult(
         placer="commercial_like",
         hpwl=design.hpwl(),
-        runtime=time.time() - start,
+        runtime=time.perf_counter() - start,
         global_place=gp,
         inflation_rounds=hook.calls,
         notes={"legal_displacement": legal.total_displacement},

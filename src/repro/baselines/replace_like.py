@@ -122,7 +122,7 @@ def place_replace_like(
     params: ReplaceLikeParams | None = None,
 ) -> BaselineResult:
     """RePlAce-style routability-driven placement + plain legalization."""
-    start = time.time()
+    start = time.perf_counter()
     params = params or ReplaceLikeParams()
     hook = _InflationHook(design, params)
     gp = GlobalPlacer(design, placement or PlacementParams(), hooks=[hook]).run()
@@ -131,7 +131,7 @@ def place_replace_like(
     return BaselineResult(
         placer="replace_like",
         hpwl=design.hpwl(),
-        runtime=time.time() - start,
+        runtime=time.perf_counter() - start,
         global_place=gp,
         inflation_rounds=hook.calls,
         notes={

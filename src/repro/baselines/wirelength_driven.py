@@ -19,13 +19,13 @@ def place_wirelength_driven(
     design: Design, placement: PlacementParams | None = None
 ) -> BaselineResult:
     """Global placement + legalization, wirelength-only objective."""
-    start = time.time()
+    start = time.perf_counter()
     gp = GlobalPlacer(design, placement or PlacementParams()).run()
     legal = legalize_abacus(design)
     return BaselineResult(
         placer="wirelength",
         hpwl=design.hpwl(),
-        runtime=time.time() - start,
+        runtime=time.perf_counter() - start,
         global_place=gp,
         notes={"legal_displacement": legal.total_displacement},
     )

@@ -71,8 +71,18 @@ def suite_names() -> list:
     return [entry.name for entry in SUITE]
 
 
-def spec_for(name: str, scale: float = DEFAULT_SCALE) -> GeneratorSpec:
-    """Generator spec for suite design ``name`` at ``scale``."""
+def spec_for(name: str, scale: float = DEFAULT_SCALE, seed: int = 0) -> GeneratorSpec:
+    """Generator spec for suite design ``name`` at ``scale``.
+
+    Args:
+        name: suite design name.
+        scale: generation scale.
+        seed: extra seed offset added to the entry's netlist seed; the
+            default ``0`` reproduces the canonical suite design.  Runs
+            that vary the design (seed sweeps, cache-key isolation)
+            pass a nonzero offset, and the offset is part of the
+            runtime cache key so cached artifacts never cross seeds.
+    """
     entry = SUITE_BY_NAME[name]
     num_cells = max(int(round(entry.cells * scale)), 64)
     num_nets = max(int(round(entry.nets * scale)), 64)
@@ -89,13 +99,13 @@ def spec_for(name: str, scale: float = DEFAULT_SCALE) -> GeneratorSpec:
         locality=entry.locality,
         reduced_stack=entry.reduced_stack,
         pg_density=entry.pg_density,
-        seed=entry.seed,
+        seed=entry.seed + int(seed),
     )
 
 
-def make_design(name: str, scale: float = DEFAULT_SCALE) -> Design:
-    """Generate suite design ``name`` at ``scale``."""
-    return generate_design(spec_for(name, scale))
+def make_design(name: str, scale: float = DEFAULT_SCALE, seed: int = 0) -> Design:
+    """Generate suite design ``name`` at ``scale`` (seed offset ``seed``)."""
+    return generate_design(spec_for(name, scale, seed))
 
 
 def env_scale(default: float = DEFAULT_SCALE) -> float:

@@ -66,13 +66,51 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--scale", type=float, default=0.008)
     explore.add_argument("--budget", type=int, default=12)
     explore.add_argument("--out", help="write the explored parameters as JSON")
+    _add_runtime_args(explore)
 
     suite = sub.add_parser("suite", help="Table-II comparison")
     suite.add_argument("--scale", type=float, default=0.004)
     suite.add_argument(
         "--designs", nargs="*", default=None, help="subset of benchmarks"
     )
+    suite.add_argument(
+        "--seed", type=int, default=0, help="benchmark-generation seed offset"
+    )
+    _add_runtime_args(suite)
     return parser
+
+
+def _add_runtime_args(parser) -> None:
+    """The shared ``repro.runtime`` execution flags."""
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = inline serial execution)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact-cache directory; reruns reuse finished work",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the checkpoint journal of an interrupted run",
+    )
+    parser.add_argument(
+        "--journal", default=None,
+        help="checkpoint journal path (default: <cache-dir or "
+        f"{DEFAULT_RUNTIME_DIR}>/<command>.journal)",
+    )
+
+
+DEFAULT_RUNTIME_DIR = ".repro_runtime"
+
+
+def _journal_path(args, command: str) -> str:
+    import os
+
+    if args.journal:
+        return args.journal
+    root = args.cache_dir or DEFAULT_RUNTIME_DIR
+    return os.path.join(root, f"{command}.journal")
 
 
 def cmd_generate(args) -> int:
@@ -105,11 +143,39 @@ def cmd_route(args) -> int:
 
 
 def cmd_explore(args) -> int:
-    from .core.exploration import make_placement_objective, strategy_exploration
+    from .core.exploration import (
+        SuiteDesignFactory,
+        make_batch_evaluator,
+        make_placement_objective,
+        strategy_exploration,
+    )
+    from .runtime import ArtifactCache, Journal, TaskExecutor, Telemetry
 
     objective = make_placement_objective(
-        lambda: make_design(args.design, args.scale)
+        SuiteDesignFactory(args.design, args.scale)
     )
+
+    telemetry = Telemetry()
+    evaluator = None
+    batch_size = 1
+    if args.jobs > 1 or args.cache_dir or args.resume:
+        journal = Journal(_journal_path(args, "explore"))
+        if not args.resume:
+            journal.clear()
+        cache = (
+            ArtifactCache(args.cache_dir, telemetry=telemetry)
+            if args.cache_dir
+            else None
+        )
+        executor = (
+            TaskExecutor(jobs=args.jobs, telemetry=telemetry)
+            if args.jobs > 1
+            else None
+        )
+        evaluator = make_batch_evaluator(
+            objective, executor=executor, cache=cache, journal=journal
+        )
+        batch_size = max(args.jobs, 1)
 
     report = strategy_exploration(
         objective,
@@ -118,7 +184,11 @@ def cmd_explore(args) -> int:
         patience=max(args.budget // 3, 3),
         max_group_rounds=1,
         rng=7,
+        batch_size=batch_size,
+        evaluator=evaluator,
     )
+    if evaluator is not None:
+        print(f"runtime: {telemetry.summary()}")
     print(
         f"explored {report.evaluations} configurations; "
         f"best objective {report.best_loss:.3f}%"
@@ -141,15 +211,25 @@ def cmd_explore(args) -> int:
 
 def cmd_suite(args) -> int:
     from .evalkit import SuiteRunConfig, format_table2, run_suite
+    from .runtime import Telemetry
 
-    config = SuiteRunConfig(scale=args.scale, benchmarks=args.designs)
+    config = SuiteRunConfig(
+        scale=args.scale, benchmarks=args.designs, seed=args.seed
+    )
+    telemetry = Telemetry()
     rows = run_suite(
         config,
         progress=lambda r: print(
             f"  {r.benchmark:16s} {r.placer:16s} HOF {r.hof:6.2f} VOF {r.vof:6.2f}"
         ),
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        journal=_journal_path(args, "suite"),
+        resume=args.resume,
+        telemetry=telemetry,
     )
     print(format_table2(rows))
+    print(f"runtime: {telemetry.summary()}")
     return 0
 
 

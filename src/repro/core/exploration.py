@@ -26,16 +26,31 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..runtime import MISSING, stable_hash
 from ..tpe import Choice, Space, TPESampler, minimize
 from .strategy import PARAM_GROUPS, StrategyParams, default_space
 
 
-def make_placement_objective(
-    design_factory,
-    placement=None,
-    wl_weight: float = 0.02,
-    router_params=None,
-):
+@dataclass
+class SuiteDesignFactory:
+    """Picklable design factory over the Table-I suite.
+
+    Equivalent to ``lambda: make_design(name, scale, seed)`` but able to
+    cross a process boundary (parallel exploration workers) and to be
+    hashed into runtime cache keys.
+    """
+
+    name: str
+    scale: float
+    seed: int = 0
+
+    def __call__(self):
+        from ..benchgen import make_design
+
+        return make_design(self.name, self.scale, seed=self.seed)
+
+
+class PlacementObjective:
     """The paper's evaluation function, packaged.
 
     Evaluates a configuration by running the full PUFFER flow on a fresh
@@ -47,28 +62,163 @@ def make_placement_objective(
     designs and can wander into grossly over-padding regions that fail to
     transfer.
 
+    The expensive part (:meth:`evaluate_raw`) is separated from the
+    loss shaping (:meth:`loss_from_raw`) so batched exploration can run
+    evaluations in worker processes while the wirelength reference —
+    which is stateful, taken from the first evaluation — is applied in
+    the parent, in suggestion order, exactly as the serial loop would.
+
+    Instances are picklable whenever ``design_factory`` is (use
+    :class:`SuiteDesignFactory` rather than a lambda for parallel runs).
+    """
+
+    def __init__(
+        self,
+        design_factory,
+        placement=None,
+        wl_weight: float = 0.02,
+        router_params=None,
+    ) -> None:
+        from ..placer import PlacementParams
+
+        self.design_factory = design_factory
+        self.placement = placement or PlacementParams()
+        self.wl_weight = wl_weight
+        self.router_params = router_params
+        self.reference_wl = None
+
+    def evaluate_raw(self, params: dict) -> tuple:
+        """Stateless expensive evaluation: ``(total_overflow, wirelength)``."""
+        from ..router import GlobalRouter
+        from .puffer import PufferPlacer
+
+        strategy = StrategyParams.from_dict(params)
+        design = self.design_factory()
+        PufferPlacer(design, strategy=strategy, placement=self.placement).run()
+        report = GlobalRouter(design, self.router_params).run()
+        return (report.total_overflow, report.wirelength)
+
+    def loss_from_raw(self, raw: tuple) -> float:
+        """Shape a raw evaluation into the exploration loss."""
+        overflow, wirelength = raw
+        if self.reference_wl is None:
+            self.reference_wl = max(wirelength, 1e-9)
+        wl_term = self.wl_weight * 100.0 * (wirelength / self.reference_wl - 1.0)
+        return overflow + wl_term
+
+    def __call__(self, params: dict) -> float:
+        return self.loss_from_raw(self.evaluate_raw(params))
+
+    def cache_key(self, params: dict):
+        """Runtime cache key of one evaluation, or ``None``.
+
+        ``None`` (no caching) when the design factory cannot be
+        canonicalized — e.g. a user-supplied lambda, whose identity the
+        key could not soundly capture.
+        """
+        try:
+            return stable_hash(
+                {
+                    "kind": "explore-eval",
+                    "factory": self.design_factory,
+                    "placement": self.placement,
+                    "router": self.router_params,
+                    "params": params,
+                }
+            )
+        except TypeError:
+            return None
+
+
+def make_placement_objective(
+    design_factory,
+    placement=None,
+    wl_weight: float = 0.02,
+    router_params=None,
+) -> PlacementObjective:
+    """Package the paper's evaluation function (see :class:`PlacementObjective`).
+
     Returns:
         A callable ``params_dict -> float`` for
         :func:`strategy_exploration`.
     """
-    from ..placer import PlacementParams
-    from ..router import GlobalRouter
-    from .puffer import PufferPlacer
+    return PlacementObjective(
+        design_factory,
+        placement=placement,
+        wl_weight=wl_weight,
+        router_params=router_params,
+    )
 
-    placement = placement or PlacementParams()
-    reference = {}
 
-    def objective(params: dict) -> float:
-        strategy = StrategyParams.from_dict(params)
-        design = design_factory()
-        PufferPlacer(design, strategy=strategy, placement=placement).run()
-        report = GlobalRouter(design, router_params).run()
-        if "wl" not in reference:
-            reference["wl"] = max(report.wirelength, 1e-9)
-        wl_term = wl_weight * 100.0 * (report.wirelength / reference["wl"] - 1.0)
-        return report.total_overflow + wl_term
+def make_batch_evaluator(objective, executor=None, cache=None, journal=None):
+    """Build a ``list[params] -> list[loss]`` batch evaluator.
 
-    return objective
+    Used as the ``evaluator`` of :func:`strategy_exploration` /
+    :func:`repro.tpe.minimize` to add concurrency and artifact reuse
+    around an expensive objective:
+
+    * with an ``executor``, candidates are evaluated across worker
+      processes (``executor.map``);
+    * with a ``cache`` (:class:`repro.runtime.ArtifactCache`) and/or a
+      ``journal`` (:class:`repro.runtime.Journal`), raw evaluations are
+      reused across runs — because exploration RNG is deterministic, a
+      killed run resumes by replaying its journal hits at full speed.
+
+    Objectives exposing the :class:`PlacementObjective` split
+    (``evaluate_raw`` / ``loss_from_raw`` / ``cache_key``) get caching
+    and parent-side loss shaping; plain callables are mapped directly
+    (and are never cached, since their configuration is unknown).
+    """
+    raw_fn = getattr(objective, "evaluate_raw", None)
+    key_fn = getattr(objective, "cache_key", None)
+    loss_fn = getattr(objective, "loss_from_raw", None)
+    structured = raw_fn is not None and key_fn is not None and loss_fn is not None
+    journaled: dict = {}
+    if journal is not None:
+        for record in journal.records():
+            if "overflow" in record and "wirelength" in record:
+                journaled[record["key"]] = (record["overflow"], record["wirelength"])
+
+    def evaluate(batch: list) -> list:
+        if not structured:
+            if executor is None:
+                return [objective(params) for params in batch]
+            return executor.map(objective, batch, key_prefix="trial")
+        keys = [key_fn(params) for params in batch]
+        raws: list = [None] * len(batch)
+        todo = []
+        for i, key in enumerate(keys):
+            if key is not None and key in journaled:
+                raws[i] = journaled[key]
+            elif key is not None and cache is not None:
+                value = cache.get(key)
+                if value is not MISSING:
+                    raws[i] = tuple(value)
+                else:
+                    todo.append(i)
+            else:
+                todo.append(i)
+        if todo:
+            pending = [batch[i] for i in todo]
+            if executor is None:
+                fresh = [raw_fn(params) for params in pending]
+            else:
+                fresh = executor.map(raw_fn, pending, key_prefix="trial")
+            for i, raw in zip(todo, fresh):
+                raw = (float(raw[0]), float(raw[1]))
+                raws[i] = raw
+                if keys[i] is None:
+                    continue
+                if cache is not None:
+                    cache.put(keys[i], raw)
+                if journal is not None:
+                    journal.append(
+                        {"key": keys[i], "overflow": raw[0], "wirelength": raw[1]}
+                    )
+                    journaled[keys[i]] = raw
+        return [loss_fn(raw) for raw in raws]
+
+    return evaluate
 
 
 @dataclass
@@ -101,6 +251,8 @@ def parameter_exploration(
     max_evals: int,
     patience: int,
     rng,
+    batch_size: int = 1,
+    evaluator=None,
 ) -> tuple:
     """Paper Algorithm 2 over the sub-space ``explore_names``.
 
@@ -112,6 +264,9 @@ def parameter_exploration(
         max_evals: evaluation budget ``TC``.
         patience: early-stop limit ``EC``.
         rng: ``numpy.random.Generator``.
+        batch_size: SMBO batch size (1 = the bit-exact serial loop).
+        evaluator: optional batch evaluator over *full* parameter dicts
+            (see :func:`make_batch_evaluator`).
 
     Returns:
         ``(new_space, stopped_early, result)`` where ``new_space`` has
@@ -125,6 +280,16 @@ def parameter_exploration(
         full.update(sub_params)
         return objective(full)
 
+    sub_evaluator = None
+    if evaluator is not None:
+        def sub_evaluator(batch: list) -> list:
+            full_batch = []
+            for sub_params in batch:
+                full = dict(fixed)
+                full.update(sub_params)
+                full_batch.append(full)
+            return evaluator(full_batch)
+
     result = minimize(
         sub_objective,
         subspace,
@@ -132,6 +297,8 @@ def parameter_exploration(
         patience=patience,
         sampler=TPESampler(n_startup=max(3, max_evals // 8)),
         rng=rng,
+        batch_size=batch_size,
+        evaluator=sub_evaluator,
     )
     # Shrink ranges around the better half of the observations.
     losses = np.asarray([t.loss for t in result.trials])
@@ -157,6 +324,8 @@ def strategy_exploration(
     patience: int = 6,
     max_group_rounds: int = 3,
     rng=None,
+    batch_size: int = 1,
+    evaluator=None,
 ) -> ExplorationReport:
     """Paper Algorithm 3: global exploration, then grouped refinement.
 
@@ -173,6 +342,13 @@ def strategy_exploration(
         max_group_rounds: cap on sweeps over the group list (the paper's
             outer ``TC``).
         rng: seed or generator.
+        batch_size: SMBO candidates evaluated per round.  ``1`` keeps
+            the exploration bit-identical to the strictly-serial
+            protocol; larger batches evaluate concurrently through
+            ``evaluator`` at a small sequential-information cost.
+        evaluator: optional batch evaluator over full parameter dicts
+            (see :func:`make_batch_evaluator`); adds process-pool
+            concurrency and cached/journaled evaluations.
 
     Returns:
         An :class:`ExplorationReport`; ``report.params`` is the final
@@ -188,7 +364,8 @@ def strategy_exploration(
 
     # Line 1-2: rough ranges from exploring everything simultaneously.
     space, _early, result = parameter_exploration(
-        objective, space, space.names(), {}, global_evals, patience, rng
+        objective, space, space.names(), {}, global_evals, patience, rng,
+        batch_size=batch_size, evaluator=evaluator,
     )
     evaluations += len(result.trials)
     history.append(("global", result.best.loss))
@@ -208,7 +385,8 @@ def strategy_exploration(
                 if name not in names
             }
             space, early, result = parameter_exploration(
-                objective, space, names, fixed, group_evals, patience, rng
+                objective, space, names, fixed, group_evals, patience, rng,
+                batch_size=batch_size, evaluator=evaluator,
             )
             evaluations += len(result.trials)
             history.append((group_name, result.best.loss))

@@ -91,7 +91,7 @@ class PufferPlacer:
 
     def run(self) -> PufferResult:
         """Execute the full flow on the design."""
-        start = time.time()
+        start = time.perf_counter()
         events = [FlowEvent("global_placement", "start", 0.0)]
 
         placer = GlobalPlacer(self.design, self.placement, hooks=[self.optimizer])
@@ -103,11 +103,11 @@ class PufferPlacer:
                     f"round {event.round_index} at GP iter {event.gp_iteration} "
                     f"(est HOF {event.est_hof:.2f}% VOF {event.est_vof:.2f}%, "
                     f"padding util {event.utilization:.3f})",
-                    time.time() - start,
+                    time.perf_counter() - start,
                 )
             )
         events.append(
-            FlowEvent("global_placement", f"converged={gp.converged}", time.time() - start)
+            FlowEvent("global_placement", f"converged={gp.converged}", time.perf_counter() - start)
         )
 
         # White-space-assisted legalization: inherit the padding (Eq. 17).
@@ -125,14 +125,14 @@ class PufferPlacer:
             FlowEvent(
                 "legalization",
                 f"{self.strategy.legalizer}, displacement {legal.total_displacement:.0f}",
-                time.time() - start,
+                time.perf_counter() - start,
             )
         )
 
         return PufferResult(
             global_place=gp,
             hpwl=self.design.hpwl(),
-            runtime=time.time() - start,
+            runtime=time.perf_counter() - start,
             padding_rounds=self.optimizer.calls,
             total_padding_area=self.optimizer.padding.total_padding_area,
             legal_displacement=legal.total_displacement,

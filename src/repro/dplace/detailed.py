@@ -75,7 +75,7 @@ class DetailedPlacer:
     def run(self, passes: int = 2, min_gain: float = 1e-4) -> DetailedPlaceResult:
         """Refine until ``passes`` exhausted or gains fall below
         ``min_gain`` (fraction of the running HPWL) per pass."""
-        start = time.time()
+        start = time.perf_counter()
         evaluator = IncrementalHpwl(self.design)
         hpwl_before = evaluator.total
         swaps = 0
@@ -98,5 +98,5 @@ class DetailedPlacer:
             swaps=swaps,
             reorders=reorders,
             passes=executed,
-            runtime=time.time() - start,
+            runtime=time.perf_counter() - start,
         )

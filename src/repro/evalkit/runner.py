@@ -4,6 +4,21 @@ This drives the Table-II reproduction: every flow places a freshly
 generated copy of each benchmark (so flows never see each other's
 positions), the evaluation router scores the legalized result, and the
 rows feed :func:`repro.evalkit.tables.format_table2`.
+
+The design×flow grid is embarrassingly parallel, and
+:func:`run_suite` runs it through :mod:`repro.runtime`:
+
+* ``jobs > 1`` fans the matrix cells out across worker processes (the
+  default flows are reconstructed by name inside each worker; custom
+  flow callables that cannot be pickled fall back to inline execution).
+* an :class:`repro.runtime.ArtifactCache` skips cells whose
+  (benchmark, scale, seed, placement, router, strategy) configuration
+  was already evaluated in an earlier run.
+* a :class:`repro.runtime.Journal` records each finished cell, so an
+  interrupted run resumes with only the remainder.
+
+``jobs=1`` without cache or journal executes the grid inline, in grid
+order, exactly like the historical serial loop.
 """
 
 from __future__ import annotations
@@ -20,6 +35,17 @@ from ..benchgen import make_design
 from ..core import PufferPlacer, StrategyParams
 from ..placer import PlacementParams
 from ..router import GlobalRouter, RouterParams
+from ..runtime import (
+    JOURNAL_REPLAYED,
+    MISSING,
+    ArtifactCache,
+    Journal,
+    RunEvent,
+    Task,
+    TaskExecutor,
+    Telemetry,
+    stable_hash,
+)
 from .metrics import PlacerMetrics
 
 
@@ -46,20 +72,58 @@ class SuiteRunConfig:
         placement: engine parameters shared by all flows.
         router: evaluation-router parameters.
         benchmarks: names to run (defaults to the full Table-I suite).
+        seed: explicit benchmark-generation seed offset, threaded into
+            every :func:`repro.benchgen.make_design` call so serial and
+            parallel runs generate identical designs and the runtime
+            cache key fully determines the generated netlist.
     """
 
     scale: float = 0.004
     placement: PlacementParams = field(default_factory=PlacementParams)
     router: RouterParams = field(default_factory=RouterParams)
     benchmarks: list | None = None
+    seed: int = 0
+
+
+def suite_cell_key(
+    name: str,
+    flow_name: str,
+    config: SuiteRunConfig,
+    strategy: StrategyParams | None = None,
+    flow=None,
+) -> str:
+    """Content-address of one (benchmark, flow) matrix cell.
+
+    The key covers everything the cell's result depends on: benchmark
+    identity, generation scale and seed, placement and router
+    parameters, the flow, and (for PUFFER) the strategy parameters.
+    Custom flow callables contribute their module-qualified name, which
+    is stable across runs but deliberately coarse — changing a custom
+    flow's *body* without renaming it requires clearing the cache.
+    """
+    payload = {
+        "kind": "suite-cell",
+        "benchmark": name,
+        "flow": flow_name,
+        "scale": config.scale,
+        "seed": config.seed,
+        "placement": config.placement,
+        "router": config.router,
+        "strategy": strategy,
+    }
+    if flow is not None:
+        payload["flow_impl"] = (
+            f"{getattr(flow, '__module__', '?')}.{getattr(flow, '__qualname__', '?')}"
+        )
+    return stable_hash(payload)
 
 
 def run_benchmark(name: str, flow, config: SuiteRunConfig, flow_name: str) -> PlacerMetrics:
     """Place + route one benchmark with one flow."""
-    design = make_design(name, config.scale)
-    start = time.time()
+    design = make_design(name, config.scale, seed=config.seed)
+    start = time.perf_counter()
     flow(design, config.placement)
-    place_time = time.time() - start
+    place_time = time.perf_counter() - start
     report = GlobalRouter(design, config.router).run()
     return PlacerMetrics(
         benchmark=name,
@@ -72,33 +136,155 @@ def run_benchmark(name: str, flow, config: SuiteRunConfig, flow_name: str) -> Pl
     )
 
 
+def _default_flow_cell(
+    name: str, flow_name: str, config: SuiteRunConfig, strategy
+) -> PlacerMetrics:
+    """Picklable task body: reconstruct the default flow by name.
+
+    The default flows are lambdas and cannot cross a process boundary,
+    so parallel workers rebuild the flow table locally and look the
+    flow up by its column name.
+    """
+    flow = default_flows(strategy)[flow_name]
+    return run_benchmark(name, flow, config, flow_name)
+
+
+def _row_record(key: str, row: PlacerMetrics) -> dict:
+    from dataclasses import asdict
+
+    return {"key": key, "row": asdict(row)}
+
+
 def run_suite(
     config: SuiteRunConfig | None = None,
     flows: dict | None = None,
     progress=None,
+    *,
+    strategy: StrategyParams | None = None,
+    jobs: int = 1,
+    cache=None,
+    journal=None,
+    resume: bool = False,
+    retries: int = 0,
+    telemetry: Telemetry | None = None,
+    executor: TaskExecutor | None = None,
 ) -> list:
     """Evaluate every flow on every benchmark.
 
     Args:
         config: run configuration.
         flows: ``name -> flow(design, placement_params)`` mapping
-            (defaults to :func:`default_flows`).
+            (defaults to :func:`default_flows`; the defaults are
+            reconstructed inside workers, so they parallelize — custom
+            callables must be picklable to leave the main process).
         progress: optional callable receiving each finished
-            :class:`PlacerMetrics` row.
+            :class:`PlacerMetrics` row (completion order when
+            ``jobs > 1``, grid order otherwise).
+        strategy: PUFFER strategy parameters for the default flows
+            (also part of the cache key).
+        jobs: worker-process count; ``1`` runs inline.
+        cache: :class:`ArtifactCache` or directory path; finished cells
+            are stored and later runs reuse them.
+        journal: :class:`Journal` or file path; every finished cell is
+            checkpointed for :func:`run_suite(..., resume=True)`.
+        resume: replay journaled cells instead of starting over.
+        retries: extra attempts per failed cell (worker crashes always
+            consume the retry budget).
+        telemetry: shared event collector (created when omitted).
+        executor: pre-built :class:`TaskExecutor` (overrides ``jobs``
+            and ``retries``).
 
     Returns:
-        All metric rows, benchmark-major in flow order.
+        All metric rows, benchmark-major in flow order (independent of
+        completion order).
+
+    Raises:
+        The terminal error of the first cell whose attempts are
+        exhausted.
     """
     from ..benchgen import suite_names
 
     config = config or SuiteRunConfig()
-    flows = flows or default_flows()
+    custom_flows = flows is not None
+    flows = flows if custom_flows else default_flows(strategy)
     names = config.benchmarks or suite_names()
-    rows = []
-    for name in names:
-        for flow_name, flow in flows.items():
-            row = run_benchmark(name, flow, config, flow_name)
-            rows.append(row)
-            if progress is not None:
-                progress(row)
-    return rows
+    telemetry = telemetry or Telemetry()
+    if isinstance(cache, str):
+        cache = ArtifactCache(cache, telemetry=telemetry)
+    elif cache is not None and cache.telemetry is None:
+        cache.telemetry = telemetry
+    if isinstance(journal, str):
+        journal = Journal(journal)
+    if journal is not None and not resume:
+        journal.clear()
+
+    cells = [(name, flow_name) for name in names for flow_name in flows]
+    keys = {
+        cell: suite_cell_key(
+            cell[0], cell[1], config, strategy,
+            flow=flows[cell[1]] if custom_flows else None,
+        )
+        for cell in cells
+    }
+    rows: dict = {}
+
+    def settle(cell, key, row, journal_it: bool) -> None:
+        rows[cell] = row
+        if cache is not None:
+            cache.put(key, row)
+        if journal is not None and journal_it:
+            journal.append(_row_record(key, row))
+        if progress is not None:
+            progress(row)
+
+    # 1. Resume: replay journaled cells.
+    if resume and journal is not None:
+        done = journal.completed()
+        for cell in cells:
+            record = done.get(keys[cell])
+            if record is None:
+                continue
+            row = PlacerMetrics(**record["row"])
+            telemetry.emit(RunEvent(kind=JOURNAL_REPLAYED, key=keys[cell]))
+            settle(cell, keys[cell], row, journal_it=False)
+
+    # 2. Cache: reuse identical cells from earlier runs.
+    if cache is not None:
+        for cell in cells:
+            if cell in rows:
+                continue
+            value = cache.get(keys[cell])
+            if value is not MISSING:
+                settle(cell, keys[cell], value, journal_it=True)
+
+    # 3. Execute the remainder.
+    remainder = [cell for cell in cells if cell not in rows]
+    if remainder:
+        if executor is None:
+            executor = TaskExecutor(jobs=jobs, retries=retries, telemetry=telemetry)
+        key_to_cell = {keys[cell]: cell for cell in remainder}
+        tasks = []
+        for cell in remainder:
+            name, flow_name = cell
+            if custom_flows:
+                task = Task(
+                    key=keys[cell],
+                    fn=run_benchmark,
+                    args=(name, flows[flow_name], config, flow_name),
+                )
+            else:
+                task = Task(
+                    key=keys[cell],
+                    fn=_default_flow_cell,
+                    args=(name, flow_name, config, strategy),
+                )
+            tasks.append(task)
+
+        def on_result(result) -> None:
+            if not result.ok:
+                raise result.error
+            settle(key_to_cell[result.key], result.key, result.value, journal_it=True)
+
+        executor.run(tasks, on_result=on_result)
+
+    return [rows[cell] for cell in cells]

@@ -175,7 +175,7 @@ class GlobalPlacer:
 
     def run(self) -> GlobalPlaceResult:
         """Place the design; returns the convergence record."""
-        start = time.time()
+        start = time.perf_counter()
         params = self.params
         design = self.design
         if self._seed_positions:
@@ -246,7 +246,7 @@ class GlobalPlacer:
             hpwl=self.hpwl,
             overflow=self.overflow,
             iterations=self.iteration + 1,
-            runtime=time.time() - start,
+            runtime=time.perf_counter() - start,
             grad_evals=optimizer.grad_evals,
             converged=converged,
             history=history,

@@ -88,7 +88,7 @@ class GlobalRouter:
 
     def run(self) -> RouteReport:
         """Route the design at its current placement."""
-        start = time.time()
+        start = time.perf_counter()
         params = self.params
         design = self.design
         grid = build_grid(design)
@@ -152,7 +152,7 @@ class GlobalRouter:
             hof=hof,
             vof=vof,
             wirelength=wirelength,
-            runtime=time.time() - start,
+            runtime=time.perf_counter() - start,
             rounds=rounds,
             num_segments=len(segments),
             via_count=via_count,

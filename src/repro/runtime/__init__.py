@@ -1,0 +1,68 @@
+"""Parallel job-execution runtime: executor, artifact cache, checkpointing.
+
+The runtime packages the machinery every expensive loop in the repo
+shares — the Table-II suite matrix and batched strategy exploration
+today, sharded/serving workloads later:
+
+* :class:`TaskExecutor` — process-pool execution with per-task
+  timeouts, bounded retry with backoff, and worker-crash recovery;
+  degrades to inline execution at ``jobs=1`` or for unpicklable tasks.
+* :class:`ArtifactCache` / :func:`stable_hash` — content-addressed
+  on-disk cache keyed by configuration hash.
+* :class:`Journal` — append-only JSON-lines checkpoint enabling
+  resume-after-kill.
+* :class:`Telemetry` / :class:`RunEvent` — structured progress events
+  and counters consumed by the CLI and benchmarks.
+"""
+
+from .cache import MISSING, ArtifactCache, stable_hash
+from .checkpoint import Journal
+from .errors import (
+    CheckpointError,
+    RuntimeTaskError,
+    TaskExecutionError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from .executor import Task, TaskExecutor, TaskResult
+from .progress import (
+    CACHE_HIT,
+    CACHE_MISS,
+    JOURNAL_REPLAYED,
+    POOL_RESTARTED,
+    TASK_FAILED,
+    TASK_FINISHED,
+    TASK_INLINE,
+    TASK_RETRIED,
+    TASK_STARTED,
+    RunEvent,
+    Telemetry,
+    console_sink,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "CheckpointError",
+    "JOURNAL_REPLAYED",
+    "Journal",
+    "MISSING",
+    "POOL_RESTARTED",
+    "RunEvent",
+    "RuntimeTaskError",
+    "TASK_FAILED",
+    "TASK_FINISHED",
+    "TASK_INLINE",
+    "TASK_RETRIED",
+    "TASK_STARTED",
+    "Task",
+    "TaskExecutionError",
+    "TaskExecutor",
+    "TaskResult",
+    "TaskTimeoutError",
+    "Telemetry",
+    "WorkerCrashError",
+    "console_sink",
+    "stable_hash",
+]

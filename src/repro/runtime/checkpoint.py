@@ -1,0 +1,100 @@
+"""Journal-style checkpoint/resume for long runs.
+
+A :class:`Journal` is an append-only JSON-lines file: every completed
+task appends one record ``{"key": ..., ...payload}`` and flushes, so a
+run killed mid-matrix loses at most the tasks that were in flight.  On
+resume the journal is replayed — records whose keys are still wanted are
+reused verbatim and only the remainder is scheduled.
+
+A process killed mid-append leaves a truncated final line; replay
+tolerates that by discarding any trailing bytes that fail to parse
+(:meth:`Journal.records` never raises on a torn tail, only on a file
+that is corrupt in the middle).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .errors import CheckpointError
+
+
+class Journal:
+    """Append-only JSON-lines checkpoint file.
+
+    Args:
+        path: journal location; parent directories are created lazily.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def clear(self) -> None:
+        """Start the journal over (used for non-resume runs)."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+    def append(self, record: dict) -> None:
+        """Durably append one record.
+
+        The line is flushed and fsynced before returning so a subsequent
+        crash cannot lose an acknowledged task.
+        """
+        if "key" not in record:
+            raise CheckpointError("journal records need a 'key' field")
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        if "\n" in line:
+            raise CheckpointError("journal records must serialize to one line")
+        with open(self.path, "a", encoding="utf-8") as f:
+            f.write(line + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    def records(self) -> list:
+        """Every parseable record, in append order.
+
+        A truncated final line (torn write from a kill) is silently
+        dropped.  A record that fails to parse *before* the final line
+        means real corruption and raises :class:`CheckpointError`.
+        """
+        if not self.exists():
+            return []
+        with open(self.path, "r", encoding="utf-8") as f:
+            lines = f.read().split("\n")
+        # A well-formed file ends with "\n", so the final split element
+        # is "".  Anything else there is a torn tail: ignore it.
+        body, tail = lines[:-1], lines[-1]
+        records = []
+        for i, line in enumerate(body):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise CheckpointError(
+                    f"{self.path}: corrupt journal record on line {i + 1}"
+                ) from exc
+        if tail.strip():
+            try:
+                records.append(json.loads(tail))
+            except json.JSONDecodeError:
+                pass  # torn final write — resume without it
+        return records
+
+    def completed(self) -> dict:
+        """``key -> record`` for every journaled record (last write wins)."""
+        return {record["key"]: record for record in self.records() if "key" in record}
+
+    def remainder(self, keys: list) -> list:
+        """The subset of ``keys`` not yet journaled, preserving order."""
+        done = self.completed()
+        return [key for key in keys if key not in done]

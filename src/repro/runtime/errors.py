@@ -1,0 +1,52 @@
+"""Exception types of the job-execution runtime.
+
+Every failure the runtime can surface is one of these, so callers can
+catch :class:`RuntimeTaskError` and decide between retrying, skipping,
+or aborting without string-matching messages.
+"""
+
+from __future__ import annotations
+
+
+class RuntimeTaskError(Exception):
+    """Base class for all runtime failures."""
+
+
+class TaskExecutionError(RuntimeTaskError):
+    """A task body raised; carries the remote traceback text.
+
+    Attributes:
+        key: the failing task's key.
+        traceback_text: formatted traceback from the worker (or the
+            inline attempt), preserved because the original exception
+            object may not survive the process boundary.
+    """
+
+    def __init__(self, key: str, message: str, traceback_text: str = "") -> None:
+        super().__init__(f"task {key!r} failed: {message}")
+        self.key = key
+        self.traceback_text = traceback_text
+
+
+class TaskTimeoutError(RuntimeTaskError):
+    """A task exceeded its wall-clock budget."""
+
+    def __init__(self, key: str, timeout: float) -> None:
+        super().__init__(f"task {key!r} exceeded its {timeout:.3g}s timeout")
+        self.key = key
+        self.timeout = timeout
+
+
+class WorkerCrashError(RuntimeTaskError):
+    """A worker process died (segfault, ``os._exit``, OOM kill, ...)."""
+
+    def __init__(self, key: str, detail: str = "") -> None:
+        message = f"worker died while task {key!r} was in flight"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.key = key
+
+
+class CheckpointError(RuntimeTaskError):
+    """A checkpoint journal could not be read or written."""

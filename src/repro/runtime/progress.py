@@ -1,0 +1,140 @@
+"""Structured progress and telemetry events for long runs.
+
+The executor, cache, and checkpoint layers all narrate what they do by
+emitting :class:`RunEvent` records into a :class:`Telemetry` collector.
+The collector keeps machine-readable counters (consumed by benchmarks
+and the CLI summary line) and forwards every event to optional sinks —
+e.g. :func:`console_sink` for live ``--jobs`` progress output.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+#: Event kinds emitted by the runtime layers.
+TASK_STARTED = "task_started"
+TASK_FINISHED = "task_finished"
+TASK_RETRIED = "task_retried"
+TASK_FAILED = "task_failed"
+TASK_INLINE = "task_inline"
+CACHE_HIT = "cache_hit"
+CACHE_MISS = "cache_miss"
+JOURNAL_REPLAYED = "journal_replayed"
+POOL_RESTARTED = "pool_restarted"
+
+
+@dataclass
+class RunEvent:
+    """One telemetry event.
+
+    Attributes:
+        kind: one of the module-level event-kind constants.
+        key: the task / cache key the event concerns ("" for global
+            events such as pool restarts).
+        wall_time: seconds spent, where meaningful (task finish/fail).
+        attempt: 1-based attempt number, where meaningful.
+        detail: free-form human-readable context.
+    """
+
+    kind: str
+    key: str = ""
+    wall_time: float = 0.0
+    attempt: int = 0
+    detail: str = ""
+
+
+class Telemetry:
+    """Counts events and fans them out to sinks.
+
+    Args:
+        sinks: callables receiving each :class:`RunEvent`.
+    """
+
+    def __init__(self, sinks: list | None = None) -> None:
+        self.sinks = list(sinks or [])
+        self.counters: dict = {}
+        self.task_seconds = 0.0
+        self._born = time.perf_counter()
+
+    def emit(self, event: RunEvent) -> None:
+        """Record ``event`` and forward it to every sink."""
+        self.counters[event.kind] = self.counters.get(event.kind, 0) + 1
+        if event.kind in (TASK_FINISHED, TASK_FAILED):
+            self.task_seconds += event.wall_time
+        for sink in self.sinks:
+            sink(event)
+
+    def count(self, kind: str) -> int:
+        """How many events of ``kind`` were emitted."""
+        return self.counters.get(kind, 0)
+
+    # Convenience accessors for the counters benchmarks care about.
+    @property
+    def finished(self) -> int:
+        return self.count(TASK_FINISHED)
+
+    @property
+    def retried(self) -> int:
+        return self.count(TASK_RETRIED)
+
+    @property
+    def failed(self) -> int:
+        return self.count(TASK_FAILED)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.count(CACHE_HIT)
+
+    @property
+    def cache_misses(self) -> int:
+        return self.count(CACHE_MISS)
+
+    def snapshot(self) -> dict:
+        """Machine-readable counter state (for ``BENCH_runtime.json``)."""
+        return {
+            "counters": dict(self.counters),
+            "task_seconds": self.task_seconds,
+            "elapsed_seconds": time.perf_counter() - self._born,
+        }
+
+    def summary(self) -> str:
+        """One-line human summary of the run so far."""
+        parts = [
+            f"{self.finished} done",
+            f"{self.failed} failed",
+            f"{self.retried} retried",
+        ]
+        if self.cache_hits or self.cache_misses:
+            parts.append(f"cache {self.cache_hits}/{self.cache_hits + self.cache_misses} hits")
+        replayed = self.count(JOURNAL_REPLAYED)
+        if replayed:
+            parts.append(f"{replayed} replayed")
+        return ", ".join(parts)
+
+
+def console_sink(stream=None, verbose: bool = False):
+    """A sink printing progress lines to ``stream`` (default stderr).
+
+    Args:
+        stream: file-like target.
+        verbose: also print task starts and cache hits (otherwise only
+            finishes, retries, failures, and pool restarts).
+    """
+    stream = stream or sys.stderr
+    quiet_kinds = {TASK_STARTED, CACHE_HIT, CACHE_MISS, TASK_INLINE}
+
+    def sink(event: RunEvent) -> None:
+        if not verbose and event.kind in quiet_kinds:
+            return
+        line = f"[runtime] {event.kind} {event.key}"
+        if event.attempt > 1:
+            line += f" attempt={event.attempt}"
+        if event.wall_time:
+            line += f" {event.wall_time:.2f}s"
+        if event.detail:
+            line += f" ({event.detail})"
+        print(line, file=stream)
+
+    return sink

@@ -3,6 +3,14 @@
 Drives a :class:`repro.tpe.tpe.TPESampler` against an expensive black-box
 objective, with the two termination criteria of paper Algorithm 2: a hard
 evaluation budget and an early-stop patience on non-improving results.
+
+The loop optionally evaluates in *batches*: ``batch_size`` candidates
+are suggested against the same observation set, evaluated together
+(concurrently, when a parallel ``evaluator`` is supplied), and then all
+observed in suggestion order.  With ``batch_size=1`` the suggest →
+evaluate → observe sequence — including every RNG draw — is identical
+to the historical strictly-serial loop, so serial results are
+bit-reproducible.
 """
 
 from __future__ import annotations
@@ -52,6 +60,8 @@ def minimize(
     sampler: TPESampler | None = None,
     rng=None,
     warm_start: list | None = None,
+    batch_size: int = 1,
+    evaluator=None,
 ) -> SMBOResult:
     """Minimize ``objective`` over ``space`` with TPE suggestions.
 
@@ -65,12 +75,20 @@ def minimize(
         rng: ``numpy.random.Generator`` or seed.
         warm_start: prior ``(params, loss)`` observations to seed the
             sampler without re-evaluating them.
+        batch_size: candidates suggested per round before observing.
+            ``1`` reproduces the serial loop bit-identically; larger
+            values trade some sequential information for concurrency.
+        evaluator: optional callable ``list[params] -> list[loss]``
+            evaluating one batch (e.g. a process-pool map); defaults to
+            calling ``objective`` inline per candidate.
 
     Returns:
         An :class:`SMBOResult`; raises ``ValueError`` on an empty budget.
     """
     if max_evals < 1:
         raise ValueError("max_evals must be positive")
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
     sampler = sampler or TPESampler()
     rng = np.random.default_rng(rng)
     observations = list(warm_start or [])
@@ -78,18 +96,25 @@ def minimize(
     best = None
     since_best = 0
     stopped_early = False
-    for i in range(max_evals):
-        params = sampler.suggest(space, observations, rng)
-        loss = float(objective(params))
-        trial = Trial(params=params, loss=loss, index=i)
-        trials.append(trial)
-        observations.append((params, loss))
-        if best is None or loss < best.loss - 1e-15:
-            best = trial
-            since_best = 0
+    while len(trials) < max_evals and not stopped_early:
+        k = min(batch_size, max_evals - len(trials))
+        batch = [sampler.suggest(space, observations, rng) for _ in range(k)]
+        if evaluator is None:
+            losses = [float(objective(params)) for params in batch]
         else:
-            since_best += 1
-        if since_best >= patience:
-            stopped_early = True
-            break
+            losses = [float(loss) for loss in evaluator(batch)]
+            if len(losses) != len(batch):
+                raise ValueError("evaluator returned a mismatched batch")
+        for params, loss in zip(batch, losses):
+            trial = Trial(params=params, loss=loss, index=len(trials))
+            trials.append(trial)
+            observations.append((params, loss))
+            if best is None or loss < best.loss - 1e-15:
+                best = trial
+                since_best = 0
+            else:
+                since_best += 1
+            if since_best >= patience:
+                stopped_early = True
+                break
     return SMBOResult(best=best, trials=trials, stopped_early=stopped_early)

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.dplace",
+    "repro.runtime",
     "repro.evalkit",
 ]
 

@@ -1,0 +1,328 @@
+"""Tests for the parallel job-execution runtime (repro.runtime)."""
+
+import os
+import time
+
+import pytest
+
+from repro.runtime import (
+    MISSING,
+    ArtifactCache,
+    CheckpointError,
+    Journal,
+    Task,
+    TaskExecutionError,
+    TaskExecutor,
+    TaskTimeoutError,
+    Telemetry,
+    WorkerCrashError,
+    stable_hash,
+)
+
+
+# Task bodies must live at module top level to cross process boundaries.
+def _double(x):
+    return x * 2
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def _crash(x):
+    os._exit(13)
+
+
+def _sleep_forever(x):
+    time.sleep(60)
+
+
+def _flaky_via_file(path, fail_times):
+    """Fails the first ``fail_times`` calls, counting across processes."""
+    count = 0
+    if os.path.exists(path):
+        with open(path) as f:
+            count = int(f.read() or 0)
+    with open(path, "w") as f:
+        f.write(str(count + 1))
+    if count < fail_times:
+        raise RuntimeError(f"flaky attempt {count}")
+    return "recovered"
+
+
+class TestStableHash:
+    def test_insensitive_to_dict_order(self):
+        assert stable_hash({"a": 1, "b": 2.5}) == stable_hash({"b": 2.5, "a": 1})
+
+    def test_sensitive_to_values_and_types(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+        assert stable_hash({"a": 1}) != stable_hash({"a": 1.0})
+
+    def test_dataclasses_hash_by_fields(self):
+        from repro.placer import PlacementParams
+
+        assert stable_hash(PlacementParams()) == stable_hash(PlacementParams())
+        assert stable_hash(PlacementParams()) != stable_hash(
+            PlacementParams(max_iters=123)
+        )
+
+    def test_numpy_scalars_canonicalize(self):
+        import numpy as np
+
+        assert stable_hash({"x": np.int64(3)}) == stable_hash({"x": 3})
+        assert stable_hash({"x": np.float64(0.25)}) == stable_hash({"x": 0.25})
+
+    def test_unhashable_payload_raises(self):
+        with pytest.raises(TypeError):
+            stable_hash({"fn": lambda: None})
+
+
+class TestExecutorInline:
+    def test_runs_in_order(self):
+        executor = TaskExecutor(jobs=1)
+        results = executor.run([Task(f"t{i}", _double, (i,)) for i in range(4)])
+        assert [r.value for r in results] == [0, 2, 4, 6]
+        assert all(r.ok and r.attempts == 1 for r in results)
+
+    def test_retry_then_succeed(self, tmp_path):
+        counter = str(tmp_path / "count")
+        executor = TaskExecutor(jobs=1, retries=3, backoff=0.0)
+        results = executor.run([Task("f", _flaky_via_file, (counter, 2))])
+        assert results[0].ok
+        assert results[0].value == "recovered"
+        assert results[0].attempts == 3
+
+    def test_exhausted_retries_fail(self):
+        telemetry = Telemetry()
+        executor = TaskExecutor(jobs=1, retries=1, backoff=0.0, telemetry=telemetry)
+        results = executor.run([Task("b", _boom, (1,))])
+        assert not results[0].ok
+        assert isinstance(results[0].error, TaskExecutionError)
+        assert results[0].attempts == 2
+        assert telemetry.retried == 1
+        assert telemetry.failed == 1
+
+    def test_duplicate_keys_rejected(self):
+        executor = TaskExecutor(jobs=1)
+        with pytest.raises(ValueError):
+            executor.run([Task("k", _double, (1,)), Task("k", _double, (2,))])
+
+    def test_on_result_sees_completion(self):
+        seen = []
+        TaskExecutor(jobs=1).run(
+            [Task("a", _double, (1,))], on_result=lambda r: seen.append(r.key)
+        )
+        assert seen == ["a"]
+
+
+class TestExecutorPool:
+    def test_parallel_results_in_task_order(self):
+        executor = TaskExecutor(jobs=2)
+        results = executor.run([Task(f"t{i}", _double, (i,)) for i in range(5)])
+        assert [r.value for r in results] == [0, 2, 4, 6, 8]
+
+    def test_retry_across_processes(self, tmp_path):
+        counter = str(tmp_path / "count")
+        executor = TaskExecutor(jobs=2, retries=2, backoff=0.01)
+        results = executor.run([Task("f", _flaky_via_file, (counter, 1))])
+        assert results[0].ok
+        assert results[0].attempts == 2
+
+    def test_worker_crash_recovery(self):
+        telemetry = Telemetry()
+        executor = TaskExecutor(jobs=2, retries=1, backoff=0.01, telemetry=telemetry)
+        results = executor.run(
+            [Task("crash", _crash, (1,)), Task("ok", _double, (4,))]
+        )
+        by_key = {r.key: r for r in results}
+        assert by_key["ok"].ok
+        assert by_key["ok"].value == 8
+        # Innocents are never charged for someone else's crash.
+        assert by_key["ok"].attempts == 1
+        assert not by_key["crash"].ok
+        assert isinstance(by_key["crash"].error, WorkerCrashError)
+        assert by_key["crash"].attempts == 2
+        assert telemetry.count("pool_restarted") >= 1
+
+    def test_timeout_kills_hung_worker(self):
+        executor = TaskExecutor(jobs=2, retries=0)
+        start = time.perf_counter()
+        results = executor.run(
+            [
+                Task("hung", _sleep_forever, (1,), timeout=0.5),
+                Task("ok", _double, (3,)),
+            ]
+        )
+        elapsed = time.perf_counter() - start
+        by_key = {r.key: r for r in results}
+        assert isinstance(by_key["hung"].error, TaskTimeoutError)
+        assert by_key["ok"].ok
+        assert elapsed < 30  # nowhere near the 60s sleep
+
+    def test_unpicklable_degrades_inline(self):
+        telemetry = Telemetry()
+        executor = TaskExecutor(jobs=2, telemetry=telemetry)
+        results = executor.run([Task("l", lambda: 99)])
+        assert results[0].ok
+        assert results[0].value == 99
+        assert telemetry.count("task_inline") == 1
+
+    def test_map_returns_values_and_raises_on_failure(self):
+        executor = TaskExecutor(jobs=2)
+        assert executor.map(_double, [1, 2, 3]) == [2, 4, 6]
+        with pytest.raises(TaskExecutionError):
+            executor.map(_boom, [1])
+
+
+class TestArtifactCache:
+    def test_roundtrip_and_counters(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = stable_hash({"a": 1})
+        assert cache.get(key) is MISSING
+        cache.put(key, {"rows": [1, 2]})
+        assert cache.get(key) == {"rows": [1, 2]}
+        assert cache.stats() == {"hits": 1, "misses": 1}
+
+    def test_param_change_changes_key(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        cache.put(stable_hash({"scale": 0.004}), "result-a")
+        assert cache.get(stable_hash({"scale": 0.002})) is MISSING
+
+    def test_invalidate(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = stable_hash({"a": 1})
+        cache.put(key, 42)
+        cache.invalidate(key)
+        assert cache.get(key) is MISSING
+
+    def test_corrupt_entry_is_a_miss_and_evicted(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = stable_hash({"a": 1})
+        cache.put(key, 42)
+        path = cache._path(key)
+        with open(path, "wb") as f:
+            f.write(b"\x80garbage")
+        assert cache.get(key) is MISSING
+        assert not os.path.exists(path)
+
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        for i in range(3):
+            cache.put(stable_hash({"i": i}), i)
+        cache.clear()
+        assert cache.get(stable_hash({"i": 0})) is MISSING
+
+    def test_none_is_a_legitimate_value(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = stable_hash({"a": 1})
+        cache.put(key, None)
+        assert cache.get(key) is None
+
+
+class TestJournal:
+    def test_append_and_records(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.journal"))
+        journal.append({"key": "a", "v": 1})
+        journal.append({"key": "b", "v": 2})
+        assert [r["key"] for r in journal.records()] == ["a", "b"]
+        assert journal.completed()["b"]["v"] == 2
+
+    def test_remainder_preserves_order(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.journal"))
+        journal.append({"key": "b"})
+        assert journal.remainder(["a", "b", "c"]) == ["a", "c"]
+
+    def test_missing_key_rejected(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.journal"))
+        with pytest.raises(CheckpointError):
+            journal.append({"v": 1})
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = Journal(str(path))
+        journal.append({"key": "a"})
+        journal.append({"key": "b"})
+        # Simulate a kill mid-append: truncate inside the final record.
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        assert [r["key"] for r in journal.records()] == ["a"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.journal"
+        path.write_text('not json\n{"key": "a"}\n')
+        with pytest.raises(CheckpointError):
+            Journal(str(path)).records()
+
+    def test_clear(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.journal"))
+        journal.append({"key": "a"})
+        journal.clear()
+        assert journal.records() == []
+
+
+class TestTelemetry:
+    def test_counters_and_summary(self):
+        from repro.runtime import CACHE_HIT, TASK_FINISHED, RunEvent
+
+        telemetry = Telemetry()
+        telemetry.emit(RunEvent(kind=TASK_FINISHED, key="a", wall_time=1.5))
+        telemetry.emit(RunEvent(kind=CACHE_HIT, key="b"))
+        assert telemetry.finished == 1
+        assert telemetry.cache_hits == 1
+        assert telemetry.task_seconds == 1.5
+        assert "1 done" in telemetry.summary()
+        snap = telemetry.snapshot()
+        assert snap["counters"][TASK_FINISHED] == 1
+
+    def test_console_sink_filters(self, capsys):
+        import io
+
+        from repro.runtime import TASK_FINISHED, TASK_STARTED, RunEvent, console_sink
+
+        buf = io.StringIO()
+        sink = console_sink(stream=buf)
+        sink(RunEvent(kind=TASK_STARTED, key="a"))
+        sink(RunEvent(kind=TASK_FINISHED, key="a", wall_time=0.5))
+        out = buf.getvalue()
+        assert "task_started" not in out
+        assert "task_finished" in out
+
+
+class TestBatchedMinimize:
+    def test_batch_one_is_bit_identical(self):
+        import numpy as np
+
+        from repro.tpe import Space, Uniform, minimize
+
+        def objective(params):
+            return (params["x"] - 0.3) ** 2
+
+        space = Space([Uniform("x", 0.0, 1.0)])
+        a = minimize(objective, space, max_evals=20, patience=50, rng=3)
+        b = minimize(objective, space, max_evals=20, patience=50, rng=3, batch_size=1)
+        c = minimize(
+            objective, space, max_evals=20, patience=50, rng=3, batch_size=1,
+            evaluator=lambda batch: [objective(p) for p in batch],
+        )
+        assert [t.params for t in a.trials] == [t.params for t in b.trials]
+        assert [t.loss for t in a.trials] == [t.loss for t in c.trials]
+
+    def test_batched_respects_budget_and_patience(self):
+        from repro.tpe import Space, Uniform, minimize
+
+        space = Space([Uniform("x", 0.0, 1.0)])
+        result = minimize(
+            lambda p: 1.0, space, max_evals=10, patience=3, batch_size=4, rng=0
+        )
+        assert result.stopped_early
+        assert len(result.trials) <= 8  # stops within the batch that fired
+
+    def test_mismatched_evaluator_rejected(self):
+        from repro.tpe import Space, Uniform, minimize
+
+        space = Space([Uniform("x", 0.0, 1.0)])
+        with pytest.raises(ValueError):
+            minimize(
+                lambda p: 0.0, space, max_evals=4, batch_size=2, rng=0,
+                evaluator=lambda batch: [0.0],
+            )
