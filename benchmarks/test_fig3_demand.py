@@ -6,7 +6,6 @@ congested I-shaped segments.  This bench reconstructs the scenario: a
 multi-pin net on a small Gcell grid, rendered before and after expansion.
 """
 
-import numpy as np
 
 from repro.core import ExpansionParams, accumulate_demand, build_topologies, expand_demand
 from repro.evalkit import ascii_heatmap, side_by_side

@@ -8,7 +8,6 @@ are printed; PGM images are written under ``benchmarks/out/``.
 
 import os
 
-import numpy as np
 
 from repro.baselines import place_commercial_like, place_replace_like
 from repro.benchgen import make_design

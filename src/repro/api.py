@@ -1,0 +1,338 @@
+"""Unified run facade: one front door for every placement flow.
+
+Historically each entry point — :func:`repro.evalkit.place_puffer`, the
+CLI's private flow table, :func:`repro.evalkit.run_benchmark` — resolved
+flows and threaded parameters its own way.  This module centralizes all
+of that:
+
+* a canonical **flow registry** (:data:`FLOWS`) of picklable,
+  module-level flow functions, plus :data:`FLOW_ALIASES` mapping the
+  paper's Table-II column names onto canonical flow names;
+* :class:`RunConfig`, one dataclass holding everything a run depends on
+  (scale, seed, placement/router parameters, PUFFER strategy);
+* :func:`run` / :func:`route` / :func:`suite` / :func:`explore`, thin
+  orchestration entry points that accept an optional ``trace`` target
+  and execute under :func:`repro.obs.tracing`.
+
+The legacy entry points in :mod:`repro.evalkit.runner` and the CLI
+delegate here, so flow resolution has exactly one home.
+
+Example:
+    >>> from repro import api
+    >>> result = api.run("OR1200", flow="puffer",
+    ...                  config=api.RunConfig(scale=0.002))
+    >>> result.hpwl > 0
+    True
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+
+from . import obs
+from .baselines import (
+    place_commercial_like,
+    place_replace_like,
+    place_wirelength_driven,
+)
+from .benchgen import make_design
+from .core import PufferPlacer, StrategyParams
+from .netlist import check_legal
+from .netlist.design import Design
+from .placer import PlacementParams
+from .router import GlobalRouter, RouterParams
+
+
+class UnknownFlowError(ValueError):
+    """A flow name that is neither canonical nor a known alias.
+
+    Attributes:
+        flow: the name that failed to resolve.
+        available: the canonical flow names (sorted).
+    """
+
+    def __init__(self, flow: str, available: tuple) -> None:
+        self.flow = flow
+        self.available = tuple(available)
+        super().__init__(
+            f"unknown flow {flow!r}; available flows: {', '.join(self.available)}"
+            f" (aliases: {', '.join(sorted(FLOW_ALIASES))})"
+        )
+
+
+def flow_puffer(design, placement=None, strategy=None):
+    """The PUFFER flow (routability padding + inherited legalization)."""
+    return PufferPlacer(design, strategy=strategy, placement=placement).run()
+
+
+#: Canonical flow name -> module-level flow function.  Every function is
+#: picklable, so resolved flows can cross process boundaries.
+_FLOW_IMPLS = {
+    "commercial": place_commercial_like,
+    "puffer": flow_puffer,
+    "replace": place_replace_like,
+    "wirelength": place_wirelength_driven,
+}
+
+#: Canonical flow names, sorted (the CLI's ``--flow`` choices).
+FLOWS = tuple(sorted(_FLOW_IMPLS))
+
+#: Display-name aliases (the paper's Table-II column headings) mapped
+#: onto canonical flow names.
+FLOW_ALIASES = {
+    "Commercial_Inn*": "commercial",
+    "PUFFER": "puffer",
+    "RePlAce-like": "replace",
+}
+
+#: Table-II column order (paper order, not alphabetical).
+TABLE2_COLUMNS = ("Commercial_Inn*", "RePlAce-like", "PUFFER")
+
+
+def resolve_flow(flow, strategy: StrategyParams | None = None):
+    """Resolve ``flow`` into ``(name, callable)``.
+
+    Args:
+        flow: a canonical flow name, a Table-II alias, or a custom
+            callable ``flow(design, placement_params)`` (returned as-is
+            with its ``__name__``).
+        strategy: PUFFER strategy parameters, bound into the returned
+            callable for the ``puffer`` flow (ignored by others).
+
+    Returns:
+        ``(canonical_name, flow_fn)`` where ``flow_fn(design,
+        placement)`` runs the flow.  The callable is picklable whenever
+        ``flow`` and ``strategy`` are.
+
+    Raises:
+        UnknownFlowError: when a string name matches no flow or alias.
+    """
+    if callable(flow):
+        return getattr(flow, "__name__", str(flow)), flow
+    name = FLOW_ALIASES.get(flow, flow)
+    impl = _FLOW_IMPLS.get(name)
+    if impl is None:
+        raise UnknownFlowError(flow, FLOWS)
+    if name == "puffer" and strategy is not None:
+        impl = functools.partial(flow_puffer, strategy=strategy)
+    return name, impl
+
+
+def table2_flows(strategy: StrategyParams | None = None) -> dict:
+    """The three Table-II flows keyed by paper column name, in order."""
+    return {
+        alias: resolve_flow(alias, strategy)[1] for alias in TABLE2_COLUMNS
+    }
+
+
+@dataclass
+class RunConfig:
+    """Everything a single run depends on.
+
+    Attributes:
+        scale: benchmark-generation scale (for name-based designs).
+        seed: benchmark-generation seed offset.
+        placement: global-placement engine parameters.
+        router: evaluation-router parameters.
+        strategy: PUFFER strategy parameters (``None`` = defaults).
+    """
+
+    scale: float = 0.004
+    seed: int = 0
+    placement: PlacementParams = field(default_factory=PlacementParams)
+    router: RouterParams = field(default_factory=RouterParams)
+    strategy: StrategyParams | None = None
+
+
+@dataclass
+class RunResult:
+    """Outcome of :func:`run`.
+
+    Attributes:
+        design: the placed design (positions mutated in place).
+        flow: canonical name of the flow that ran.
+        flow_result: whatever the flow returned (e.g.
+            :class:`repro.core.PufferResult`).
+        hpwl: post-flow half-perimeter wirelength.
+        place_seconds: wall time of the flow call alone.
+        route_report: router evaluation, when ``route=True``.
+        legality: :func:`repro.netlist.check_legal` report, when
+            ``verify_legal=True``.
+    """
+
+    design: Design
+    flow: str
+    flow_result: object
+    hpwl: float
+    place_seconds: float
+    route_report: object | None = None
+    legality: object | None = None
+
+
+def run(
+    design,
+    flow="puffer",
+    config: RunConfig | None = None,
+    *,
+    trace=None,
+    route: bool = False,
+    verify_legal: bool = False,
+) -> RunResult:
+    """Place ``design`` with ``flow`` — the unified entry point.
+
+    Args:
+        design: a :class:`~repro.netlist.design.Design` (placed in
+            place) or a suite benchmark name (generated from
+            ``config.scale`` / ``config.seed``).
+        flow: flow name, Table-II alias, or custom callable.
+        config: run configuration (defaults throughout when omitted).
+        trace: observability target — a trace-file path or a
+            :class:`repro.obs.Tracer`; the whole run executes under
+            :func:`repro.obs.tracing`.
+        route: also evaluate the result with the global router.
+        verify_legal: also run the legality checker on the result.
+
+    Returns:
+        A :class:`RunResult`.
+
+    Raises:
+        UnknownFlowError: for an unrecognized flow name.
+    """
+    config = config or RunConfig()
+    flow_name, flow_fn = resolve_flow(flow, strategy=config.strategy)
+    with obs.tracing(trace):
+        with obs.span("api/run", flow=flow_name) as run_span:
+            if isinstance(design, str):
+                run_span.set(design=design)
+                design = make_design(design, config.scale, seed=config.seed)
+            start = time.perf_counter()
+            flow_result = flow_fn(design, config.placement)
+            place_seconds = time.perf_counter() - start
+            report = GlobalRouter(design, config.router).run() if route else None
+            legality = check_legal(design) if verify_legal else None
+            run_span.set(hpwl=design.hpwl(), place_seconds=place_seconds)
+    return RunResult(
+        design=design,
+        flow=flow_name,
+        flow_result=flow_result,
+        hpwl=design.hpwl(),
+        place_seconds=place_seconds,
+        route_report=report,
+        legality=legality,
+    )
+
+
+def route(design: Design, config: RunConfig | None = None, *, trace=None):
+    """Route an already-placed design and return the route report."""
+    config = config or RunConfig()
+    with obs.tracing(trace):
+        return GlobalRouter(design, config.router).run()
+
+
+def suite(
+    config: RunConfig | None = None,
+    benchmarks: list | None = None,
+    flows: dict | None = None,
+    *,
+    trace=None,
+    progress=None,
+    jobs: int = 1,
+    cache=None,
+    journal=None,
+    resume: bool = False,
+    retries: int = 0,
+    telemetry=None,
+) -> list:
+    """The Table-II suite evaluation through the facade.
+
+    Thin wrapper over :func:`repro.evalkit.runner.run_suite`: converts
+    :class:`RunConfig` into the runner's configuration, threads the
+    strategy, and executes under :func:`repro.obs.tracing`.
+    """
+    from .evalkit.runner import SuiteRunConfig, run_suite
+
+    config = config or RunConfig()
+    suite_config = SuiteRunConfig(
+        scale=config.scale,
+        placement=config.placement,
+        router=config.router,
+        benchmarks=benchmarks,
+        seed=config.seed,
+    )
+    with obs.tracing(trace):
+        return run_suite(
+            suite_config,
+            flows,
+            progress,
+            strategy=config.strategy,
+            jobs=jobs,
+            cache=cache,
+            journal=journal,
+            resume=resume,
+            retries=retries,
+            telemetry=telemetry,
+        )
+
+
+def explore(
+    design: str = "OR1200",
+    *,
+    scale: float = 0.008,
+    budget: int = 12,
+    rng=7,
+    trace=None,
+    batch_size: int = 1,
+    evaluator=None,
+):
+    """Strategy exploration (paper Sec. III-C) through the facade.
+
+    Args:
+        design: suite benchmark to explore on.
+        scale: benchmark-generation scale.
+        budget: global-stage evaluation budget (group stages derive
+            their budget and patience from it, as the CLI always has).
+        rng: RNG seed.
+        trace: observability target (path or tracer).
+        batch_size: TPE candidates per round.
+        evaluator: optional parallel batch evaluator.
+
+    Returns:
+        The :class:`repro.core.exploration.ExplorationReport`.
+    """
+    from .core.exploration import (
+        SuiteDesignFactory,
+        make_placement_objective,
+        strategy_exploration,
+    )
+
+    objective = make_placement_objective(SuiteDesignFactory(design, scale))
+    with obs.tracing(trace):
+        return strategy_exploration(
+            objective,
+            global_evals=budget,
+            group_evals=max(budget // 3, 3),
+            patience=max(budget // 3, 3),
+            max_group_rounds=1,
+            rng=rng,
+            batch_size=batch_size,
+            evaluator=evaluator,
+        )
+
+
+__all__ = [
+    "FLOWS",
+    "FLOW_ALIASES",
+    "RunConfig",
+    "RunResult",
+    "TABLE2_COLUMNS",
+    "UnknownFlowError",
+    "explore",
+    "flow_puffer",
+    "resolve_flow",
+    "route",
+    "run",
+    "suite",
+    "table2_flows",
+]

@@ -13,7 +13,7 @@ law, yielding Rent's-rule-like locality.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -8,6 +8,12 @@ Commands:
 * ``route``     — route a placed design and report HOF/VOF/WL.
 * ``explore``   — run the strategy exploration on a small design.
 * ``suite``     — the Table-II comparison across the benchmark suite.
+* ``report``    — summarize a :mod:`repro.obs` trace file.
+
+Every run command is a thin wrapper over :mod:`repro.api`; flow
+resolution and orchestration live behind that facade.  The shared
+``--trace PATH`` flag streams a :mod:`repro.obs` JSONL trace of the run,
+which ``repro report`` renders as a per-stage breakdown.
 """
 
 from __future__ import annotations
@@ -16,25 +22,10 @@ import argparse
 import json
 import sys
 
-from .baselines import (
-    place_commercial_like,
-    place_replace_like,
-    place_wirelength_driven,
-)
+from . import api
 from .benchgen import make_design, suite_names
-from .core import PufferPlacer
-from .netlist import check_legal, load_design, save_design
+from .netlist import load_design, save_design
 from .placer import PlacementParams
-from .router import GlobalRouter
-
-FLOWS = {
-    "puffer": lambda design, placement: PufferPlacer(
-        design, placement=placement
-    ).run(),
-    "wirelength": place_wirelength_driven,
-    "replace": place_replace_like,
-    "commercial": place_commercial_like,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,14 +43,16 @@ def build_parser() -> argparse.ArgumentParser:
     place = sub.add_parser("place", help="place a design")
     place.add_argument("design", choices=suite_names())
     place.add_argument("--scale", type=float, default=0.004)
-    place.add_argument("--flow", choices=sorted(FLOWS), default="puffer")
+    place.add_argument("--flow", choices=list(api.FLOWS), default="puffer")
     place.add_argument("--max-iters", type=int, default=900)
     place.add_argument("--out", help="directory to save the placed design")
     place.add_argument("--route", action="store_true", help="evaluate with the router")
+    _add_runtime_args(place, jobs=False)
 
     route = sub.add_parser("route", help="route a saved placement")
     route.add_argument("directory")
     route.add_argument("name")
+    _add_runtime_args(route, jobs=False)
 
     explore = sub.add_parser("explore", help="strategy exploration (Sec. III-C)")
     explore.add_argument("--design", default="OR1200", choices=suite_names())
@@ -77,11 +70,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="benchmark-generation seed offset"
     )
     _add_runtime_args(suite)
+
+    report = sub.add_parser("report", help="summarize a repro.obs trace")
+    report.add_argument("trace", help="path to a JSONL trace file")
     return parser
 
 
-def _add_runtime_args(parser) -> None:
-    """The shared ``repro.runtime`` execution flags."""
+def _add_runtime_args(parser, jobs: bool = True) -> None:
+    """The shared execution flags.
+
+    Every run command gets ``--trace``; commands that go through
+    :mod:`repro.runtime` (``jobs=True``) additionally get the
+    worker/cache/resume flags.
+    """
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="stream a repro.obs JSONL trace of the run to PATH",
+    )
+    if not jobs:
+        return
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes (1 = inline serial execution)",
@@ -121,23 +128,29 @@ def cmd_generate(args) -> int:
 
 
 def cmd_place(args) -> int:
-    design = make_design(args.design, args.scale)
-    placement = PlacementParams(max_iters=args.max_iters)
-    result = FLOWS[args.flow](design, placement)
-    legality = check_legal(design)
-    print(f"{args.flow}: HPWL {design.hpwl():.6g}, legal={legality.ok}")
+    config = api.RunConfig(
+        scale=args.scale, placement=PlacementParams(max_iters=args.max_iters)
+    )
+    result = api.run(
+        args.design,
+        flow=args.flow,
+        config=config,
+        trace=args.trace,
+        route=args.route,
+        verify_legal=True,
+    )
+    print(f"{args.flow}: HPWL {result.hpwl:.6g}, legal={result.legality.ok}")
     if args.route:
-        report = GlobalRouter(design).run()
-        print(report.summary())
+        print(result.route_report.summary())
     if args.out:
-        save_design(design, args.out)
+        save_design(result.design, args.out)
         print(f"saved to {args.out}")
-    return 0 if legality.ok else 1
+    return 0 if result.legality.ok else 1
 
 
 def cmd_route(args) -> int:
     design = load_design(args.directory, args.name)
-    report = GlobalRouter(design).run()
+    report = api.route(design, trace=args.trace)
     print(report.summary())
     return 0
 
@@ -147,18 +160,16 @@ def cmd_explore(args) -> int:
         SuiteDesignFactory,
         make_batch_evaluator,
         make_placement_objective,
-        strategy_exploration,
     )
     from .runtime import ArtifactCache, Journal, TaskExecutor, Telemetry
-
-    objective = make_placement_objective(
-        SuiteDesignFactory(args.design, args.scale)
-    )
 
     telemetry = Telemetry()
     evaluator = None
     batch_size = 1
     if args.jobs > 1 or args.cache_dir or args.resume:
+        objective = make_placement_objective(
+            SuiteDesignFactory(args.design, args.scale)
+        )
         journal = Journal(_journal_path(args, "explore"))
         if not args.resume:
             journal.clear()
@@ -177,13 +188,12 @@ def cmd_explore(args) -> int:
         )
         batch_size = max(args.jobs, 1)
 
-    report = strategy_exploration(
-        objective,
-        global_evals=args.budget,
-        group_evals=max(args.budget // 3, 3),
-        patience=max(args.budget // 3, 3),
-        max_group_rounds=1,
+    report = api.explore(
+        args.design,
+        scale=args.scale,
+        budget=args.budget,
         rng=7,
+        trace=args.trace,
         batch_size=batch_size,
         evaluator=evaluator,
     )
@@ -210,15 +220,14 @@ def cmd_explore(args) -> int:
 
 
 def cmd_suite(args) -> int:
-    from .evalkit import SuiteRunConfig, format_table2, run_suite
+    from .evalkit import format_table2
     from .runtime import Telemetry
 
-    config = SuiteRunConfig(
-        scale=args.scale, benchmarks=args.designs, seed=args.seed
-    )
     telemetry = Telemetry()
-    rows = run_suite(
-        config,
+    rows = api.suite(
+        api.RunConfig(scale=args.scale, seed=args.seed),
+        benchmarks=args.designs,
+        trace=args.trace,
         progress=lambda r: print(
             f"  {r.benchmark:16s} {r.placer:16s} HOF {r.hof:6.2f} VOF {r.vof:6.2f}"
         ),
@@ -233,6 +242,13 @@ def cmd_suite(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from .obs.report import report_file
+
+    print(report_file(args.trace))
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -241,6 +257,7 @@ def main(argv=None) -> int:
         "route": cmd_route,
         "explore": cmd_explore,
         "suite": cmd_suite,
+        "report": cmd_report,
     }
     return handlers[args.command](args)
 

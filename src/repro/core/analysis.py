@@ -12,7 +12,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..netlist.design import Design
 from .congestion import CongestionMap
 from .padding import PaddingEngine
 

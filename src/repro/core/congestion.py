@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..netlist.design import Design
 from ..router.grid import RoutingGrid
 from .capacity import CapacityModel
@@ -89,14 +90,17 @@ class CongestionEstimator:
             ``(congestion_map, topologies, demand_result)`` — topologies
             and the raw demand are reused by the feature extractor.
         """
-        grid = self.grid
-        topologies = build_topologies(self.design, grid, cache=self._topology_cache)
-        demand = accumulate_demand(
-            self.design, grid, topologies, self.params.pin_penalty
-        )
-        if self.params.expand:
-            expand_demand(grid, demand, self.params.expansion)
-        cmap = self._finish(grid, demand)
+        with obs.span("congestion/estimate") as est_span:
+            grid = self.grid
+            topologies = build_topologies(self.design, grid, cache=self._topology_cache)
+            demand = accumulate_demand(
+                self.design, grid, topologies, self.params.pin_penalty
+            )
+            if self.params.expand:
+                expand_demand(grid, demand, self.params.expansion)
+            cmap = self._finish(grid, demand)
+            est_hof, est_vof = cmap.overflow_ratio()
+            est_span.set(nets=len(topologies), est_hof=est_hof, est_vof=est_vof)
         return cmap, topologies, demand
 
     def _finish(self, grid: RoutingGrid, demand: DemandResult) -> CongestionMap:

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..netlist.design import Design
 from ..router.grid import RoutingGrid
 from ..rsmt import build_rsmt
@@ -70,40 +71,44 @@ def build_topologies(
             their topology — between consecutive padding rounds most
             nets qualify, which makes repeated estimation cheap.
     """
-    px, py = design.pin_positions()
-    pgx, pgy = grid.gcell_of(px, py)
-    flat = pgx * grid.ny + pgy
-    topologies = []
-    for net in range(design.num_nets):
-        pins = design.pins_of_net(net)
-        if len(pins) < 2:
-            continue
-        cells = np.unique(flat[pins])
-        if len(cells) < 2:
-            # All pins share one Gcell: a local net, pin penalty only.
-            continue
-        key = cells.tobytes()
-        if cache is not None:
-            hit = cache.get(net)
-            if hit is not None and hit[0] == key:
-                topologies.append(hit[1])
+    with obs.span("congestion/topologies") as span:
+        px, py = design.pin_positions()
+        pgx, pgy = grid.gcell_of(px, py)
+        flat = pgx * grid.ny + pgy
+        topologies = []
+        reused = 0
+        for net in range(design.num_nets):
+            pins = design.pins_of_net(net)
+            if len(pins) < 2:
                 continue
-        gx_pts = cells // grid.ny
-        gy_pts = cells % grid.ny
-        topo = build_rsmt(gx_pts.astype(float), gy_pts.astype(float))
-        gx = np.round(topo.x).astype(np.int64)
-        gy = np.round(topo.y).astype(np.int64)
-        point_of = {
-            (int(gx[i]), int(gy[i])): i
-            for i in range(len(gx))
-            if topo.is_pin[i]
-        }
-        net_topo = NetTopology(
-            net, gx, gy, topo.is_pin.copy(), topo.edges.copy(), point_of
-        )
-        if cache is not None:
-            cache[net] = (key, net_topo)
-        topologies.append(net_topo)
+            cells = np.unique(flat[pins])
+            if len(cells) < 2:
+                # All pins share one Gcell: a local net, pin penalty only.
+                continue
+            key = cells.tobytes()
+            if cache is not None:
+                hit = cache.get(net)
+                if hit is not None and hit[0] == key:
+                    topologies.append(hit[1])
+                    reused += 1
+                    continue
+            gx_pts = cells // grid.ny
+            gy_pts = cells % grid.ny
+            topo = build_rsmt(gx_pts.astype(float), gy_pts.astype(float))
+            gx = np.round(topo.x).astype(np.int64)
+            gy = np.round(topo.y).astype(np.int64)
+            point_of = {
+                (int(gx[i]), int(gy[i])): i
+                for i in range(len(gx))
+                if topo.is_pin[i]
+            }
+            net_topo = NetTopology(
+                net, gx, gy, topo.is_pin.copy(), topo.edges.copy(), point_of
+            )
+            if cache is not None:
+                cache[net] = (key, net_topo)
+            topologies.append(net_topo)
+        span.set(nets=len(topologies), cached=reused)
     return topologies
 
 
@@ -135,36 +140,38 @@ def accumulate_demand(
         A :class:`DemandResult`; ``pin_count`` is the raw per-Gcell pin
         count (reused by the pin-density features).
     """
-    dmd_h = np.zeros((grid.nx, grid.ny))
-    dmd_v = np.zeros((grid.nx, grid.ny))
-    i_segments = []
-    for topo in topologies:
-        gx, gy, is_pin = topo.gx, topo.gy, topo.is_pin
-        for a, b in topo.edges:
-            ax, ay, bx, by = int(gx[a]), int(gy[a]), int(gx[b]), int(gy[b])
-            if ay == by and ax != bx:
-                lo, hi = (ax, bx) if ax < bx else (bx, ax)
-                dmd_h[lo : hi + 1, ay] += 1.0
-                lo_pin, hi_pin = (is_pin[a], is_pin[b]) if ax < bx else (is_pin[b], is_pin[a])
-                i_segments.append(ISegment(True, ay, lo, hi, bool(lo_pin), bool(hi_pin)))
-            elif ax == bx and ay != by:
-                lo, hi = (ay, by) if ay < by else (by, ay)
-                dmd_v[ax, lo : hi + 1] += 1.0
-                lo_pin, hi_pin = (is_pin[a], is_pin[b]) if ay < by else (is_pin[b], is_pin[a])
-                i_segments.append(ISegment(False, ax, lo, hi, bool(lo_pin), bool(hi_pin)))
-            elif ax != bx and ay != by:
-                xlo, xhi = (ax, bx) if ax < bx else (bx, ax)
-                ylo, yhi = (ay, by) if ay < by else (by, ay)
-                dx = xhi - xlo
-                dy = yhi - ylo
-                dmd_h[xlo : xhi + 1, ylo : yhi + 1] += 1.0 / (dy + 1)
-                dmd_v[xlo : xhi + 1, ylo : yhi + 1] += 1.0 / (dx + 1)
-    pin_count = np.zeros((grid.nx, grid.ny))
-    if design.num_pins:
-        px, py = design.pin_positions()
-        pgx, pgy = grid.gcell_of(px, py)
-        np.add.at(pin_count, (pgx, pgy), 1.0)
-        if pin_penalty > 0:
-            dmd_h += pin_penalty * pin_count
-            dmd_v += pin_penalty * pin_count
+    with obs.span("congestion/demand", nets=len(topologies)) as span:
+        dmd_h = np.zeros((grid.nx, grid.ny))
+        dmd_v = np.zeros((grid.nx, grid.ny))
+        i_segments = []
+        for topo in topologies:
+            gx, gy, is_pin = topo.gx, topo.gy, topo.is_pin
+            for a, b in topo.edges:
+                ax, ay, bx, by = int(gx[a]), int(gy[a]), int(gx[b]), int(gy[b])
+                if ay == by and ax != bx:
+                    lo, hi = (ax, bx) if ax < bx else (bx, ax)
+                    dmd_h[lo : hi + 1, ay] += 1.0
+                    lo_pin, hi_pin = (is_pin[a], is_pin[b]) if ax < bx else (is_pin[b], is_pin[a])
+                    i_segments.append(ISegment(True, ay, lo, hi, bool(lo_pin), bool(hi_pin)))
+                elif ax == bx and ay != by:
+                    lo, hi = (ay, by) if ay < by else (by, ay)
+                    dmd_v[ax, lo : hi + 1] += 1.0
+                    lo_pin, hi_pin = (is_pin[a], is_pin[b]) if ay < by else (is_pin[b], is_pin[a])
+                    i_segments.append(ISegment(False, ax, lo, hi, bool(lo_pin), bool(hi_pin)))
+                elif ax != bx and ay != by:
+                    xlo, xhi = (ax, bx) if ax < bx else (bx, ax)
+                    ylo, yhi = (ay, by) if ay < by else (by, ay)
+                    dx = xhi - xlo
+                    dy = yhi - ylo
+                    dmd_h[xlo : xhi + 1, ylo : yhi + 1] += 1.0 / (dy + 1)
+                    dmd_v[xlo : xhi + 1, ylo : yhi + 1] += 1.0 / (dx + 1)
+        pin_count = np.zeros((grid.nx, grid.ny))
+        if design.num_pins:
+            px, py = design.pin_positions()
+            pgx, pgy = grid.gcell_of(px, py)
+            np.add.at(pin_count, (pgx, pgy), 1.0)
+            if pin_penalty > 0:
+                dmd_h += pin_penalty * pin_count
+                dmd_v += pin_penalty * pin_count
+        span.set(segments=len(i_segments))
     return DemandResult(dmd_h, dmd_v, pin_count, i_segments)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..router.grid import RoutingGrid
 from .demand import DemandResult, ISegment
 
@@ -48,16 +49,17 @@ def expand_demand(
     resources one net at a time.
     """
     params = params or ExpansionParams()
-    for seg in demand.i_segments:
-        if seg.horizontal:
-            _expand_one(
-                grid.cap_h, demand.dmd_h, demand.dmd_v, grid.ny, seg, params
-            )
-        else:
-            # The transposed views make the vertical case identical.
-            _expand_one(
-                grid.cap_v.T, demand.dmd_v.T, demand.dmd_h.T, grid.nx, seg, params
-            )
+    with obs.span("congestion/expansion", segments=len(demand.i_segments)):
+        for seg in demand.i_segments:
+            if seg.horizontal:
+                _expand_one(
+                    grid.cap_h, demand.dmd_h, demand.dmd_v, grid.ny, seg, params
+                )
+            else:
+                # The transposed views make the vertical case identical.
+                _expand_one(
+                    grid.cap_v.T, demand.dmd_v.T, demand.dmd_h.T, grid.nx, seg, params
+                )
 
 
 def _expand_one(

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..runtime import MISSING, stable_hash
 from ..tpe import Choice, Space, TPESampler, minimize
 from .strategy import PARAM_GROUPS, StrategyParams, default_space
@@ -363,10 +364,12 @@ def strategy_exploration(
     best_params = None
 
     # Line 1-2: rough ranges from exploring everything simultaneously.
-    space, _early, result = parameter_exploration(
-        objective, space, space.names(), {}, global_evals, patience, rng,
-        batch_size=batch_size, evaluator=evaluator,
-    )
+    with obs.span("explore/stage", stage="global") as stage_span:
+        space, _early, result = parameter_exploration(
+            objective, space, space.names(), {}, global_evals, patience, rng,
+            batch_size=batch_size, evaluator=evaluator,
+        )
+        stage_span.set(best_loss=result.best.loss, evaluations=len(result.trials))
     evaluations += len(result.trials)
     history.append(("global", result.best.loss))
     if result.best.loss < best_loss:
@@ -384,10 +387,14 @@ def strategy_exploration(
                 for name, value in space.midpoint().items()
                 if name not in names
             }
-            space, early, result = parameter_exploration(
-                objective, space, names, fixed, group_evals, patience, rng,
-                batch_size=batch_size, evaluator=evaluator,
-            )
+            with obs.span("explore/stage", stage=group_name) as stage_span:
+                space, early, result = parameter_exploration(
+                    objective, space, names, fixed, group_evals, patience, rng,
+                    batch_size=batch_size, evaluator=evaluator,
+                )
+                stage_span.set(
+                    best_loss=result.best.loss, evaluations=len(result.trials)
+                )
             evaluations += len(result.trials)
             history.append((group_name, result.best.loss))
             all_early = all_early and early

@@ -17,10 +17,9 @@ system, so the subsequent placement iterations spread padded cells apart.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
-
+from .. import obs
 from ..netlist.design import Design
 from ..placer.engine import PlacerState
 from .congestion import CongestionEstimator, CongestionMap, EstimatorParams
@@ -99,14 +98,25 @@ class RoutabilityOptimizer:
         self.calls += 1
         self.last_call_iteration = state.iteration
 
-        cmap, topologies, _demand = self.estimator.estimate()
-        self.last_map = cmap
-        features = self.extractor.extract(cmap, topologies)
-        record = self.padding.run_round(features)
-        w_eff, h_eff = self.padding.padded_sizes()
-        state.set_density_sizes(w_eff, h_eff)
+        with obs.span(
+            "puffer/padding_round", round=self.calls, gp_iteration=state.iteration
+        ) as round_span:
+            cmap, topologies, _demand = self.estimator.estimate()
+            self.last_map = cmap
+            features = self.extractor.extract(cmap, topologies)
+            record = self.padding.run_round(features)
+            w_eff, h_eff = self.padding.padded_sizes()
+            state.set_density_sizes(w_eff, h_eff)
 
-        est_hof, est_vof = cmap.overflow_ratio()
+            est_hof, est_vof = cmap.overflow_ratio()
+            round_span.set(
+                est_hof=est_hof,
+                est_vof=est_vof,
+                padding_area=record.total_area,
+                utilization=record.utilization,
+            )
+        obs.histogram("puffer/padding_area").observe(record.total_area)
+        obs.histogram("puffer/padding_utilization").observe(record.utilization)
         self.events.append(
             RoundEvent(
                 gp_iteration=state.iteration,

@@ -13,8 +13,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from .. import obs
 from ..legalizer import legalize_abacus, legalize_tetris, padded_widths
 from ..netlist.design import Design
 from ..placer import GlobalPlaceResult, GlobalPlacer, PlacementParams
@@ -91,11 +90,28 @@ class PufferPlacer:
 
     def run(self) -> PufferResult:
         """Execute the full flow on the design."""
+        with obs.span("puffer/run", design=self.design.name) as run_span:
+            result = self._run()
+            run_span.set(
+                hpwl=result.hpwl,
+                padding_rounds=result.padding_rounds,
+                total_padding_area=result.total_padding_area,
+                legal_displacement=result.legal_displacement,
+            )
+        return result
+
+    def _run(self) -> PufferResult:
         start = time.perf_counter()
         events = [FlowEvent("global_placement", "start", 0.0)]
 
-        placer = GlobalPlacer(self.design, self.placement, hooks=[self.optimizer])
-        gp = placer.run()
+        with obs.span("puffer/global_placement") as gp_span:
+            placer = GlobalPlacer(self.design, self.placement, hooks=[self.optimizer])
+            gp = placer.run()
+            gp_span.set(
+                iterations=gp.iterations,
+                converged=gp.converged,
+                padding_rounds=self.optimizer.calls,
+            )
         for event in self.optimizer.events:
             events.append(
                 FlowEvent(
@@ -111,16 +127,18 @@ class PufferPlacer:
         )
 
         # White-space-assisted legalization: inherit the padding (Eq. 17).
-        widths = padded_widths(
-            self.design,
-            self.optimizer.padding.pad,
-            theta=self.strategy.theta,
-            area_cap=self.strategy.legal_area_cap,
-        )
-        legalize = (
-            legalize_tetris if self.strategy.legalizer == "tetris" else legalize_abacus
-        )
-        legal = legalize(self.design, widths=widths)
+        with obs.span("puffer/legalization", legalizer=self.strategy.legalizer) as leg_span:
+            widths = padded_widths(
+                self.design,
+                self.optimizer.padding.pad,
+                theta=self.strategy.theta,
+                area_cap=self.strategy.legal_area_cap,
+            )
+            legalize = (
+                legalize_tetris if self.strategy.legalizer == "tetris" else legalize_abacus
+            )
+            legal = legalize(self.design, widths=widths)
+            leg_span.set(displacement=legal.total_displacement)
         events.append(
             FlowEvent(
                 "legalization",

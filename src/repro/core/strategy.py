@@ -8,7 +8,7 @@ meant to be explored with :mod:`repro.core.exploration`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 from ..tpe import Choice, QUniform, Space, Uniform
 

@@ -10,7 +10,7 @@ consumer of the padding interface.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from itertools import permutations
 
-import numpy as np
 
 from ..netlist.design import Design
 from .incremental import IncrementalHpwl

@@ -23,18 +23,12 @@ order, exactly like the historical serial loop.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from ..baselines import (
-    place_commercial_like,
-    place_replace_like,
-    place_wirelength_driven,
-)
-from ..benchgen import make_design
-from ..core import PufferPlacer, StrategyParams
+from .. import api, obs
+from ..core import StrategyParams
 from ..placer import PlacementParams
-from ..router import GlobalRouter, RouterParams
+from ..router import RouterParams
 from ..runtime import (
     JOURNAL_REPLAYED,
     MISSING,
@@ -50,17 +44,17 @@ from .metrics import PlacerMetrics
 
 
 def place_puffer(design, placement=None, strategy: StrategyParams | None = None):
-    """PUFFER flow adapter matching the baseline signature."""
-    return PufferPlacer(design, strategy=strategy, placement=placement).run()
+    """PUFFER flow adapter (thin wrapper over :func:`repro.api.flow_puffer`)."""
+    return api.flow_puffer(design, placement=placement, strategy=strategy)
 
 
 def default_flows(strategy: StrategyParams | None = None) -> dict:
-    """The three Table-II flows, in the paper's column order."""
-    return {
-        "Commercial_Inn*": lambda d, p: place_commercial_like(d, p),
-        "RePlAce-like": lambda d, p: place_replace_like(d, p),
-        "PUFFER": lambda d, p: place_puffer(d, p, strategy),
-    }
+    """The three Table-II flows, in the paper's column order.
+
+    Thin wrapper over :func:`repro.api.table2_flows`; flow resolution
+    lives behind the facade.
+    """
+    return api.table2_flows(strategy)
 
 
 @dataclass
@@ -119,33 +113,47 @@ def suite_cell_key(
 
 
 def run_benchmark(name: str, flow, config: SuiteRunConfig, flow_name: str) -> PlacerMetrics:
-    """Place + route one benchmark with one flow."""
-    design = make_design(name, config.scale, seed=config.seed)
-    start = time.perf_counter()
-    flow(design, config.placement)
-    place_time = time.perf_counter() - start
-    report = GlobalRouter(design, config.router).run()
+    """Place + route one benchmark with one flow.
+
+    Thin wrapper over :func:`repro.api.run`: the facade generates the
+    design, times the flow call, and routes the result; this adapter
+    repackages the outcome as a :class:`PlacerMetrics` row.
+    """
+    result = api.run(
+        name,
+        flow=flow,
+        config=api.RunConfig(
+            scale=config.scale,
+            seed=config.seed,
+            placement=config.placement,
+            router=config.router,
+        ),
+        route=True,
+    )
+    report = result.route_report
     return PlacerMetrics(
         benchmark=name,
         placer=flow_name,
         hof=report.hof,
         vof=report.vof,
         wirelength=report.wirelength,
-        runtime=place_time,
-        hpwl=design.hpwl(),
+        runtime=result.place_seconds,
+        hpwl=result.hpwl,
     )
 
 
 def _default_flow_cell(
     name: str, flow_name: str, config: SuiteRunConfig, strategy
 ) -> PlacerMetrics:
-    """Picklable task body: reconstruct the default flow by name.
+    """Picklable task body: resolve the default flow by column name.
 
-    The default flows are lambdas and cannot cross a process boundary,
-    so parallel workers rebuild the flow table locally and look the
-    flow up by its column name.
+    The flow crosses the process boundary as its column name, so
+    workers resolve it locally through the facade registry.  An
+    unresolvable name raises :class:`repro.api.UnknownFlowError` naming
+    the flow and the available registry — previously this surfaced as a
+    bare ``KeyError`` with no context.
     """
-    flow = default_flows(strategy)[flow_name]
+    _, flow = api.resolve_flow(flow_name, strategy=strategy)
     return run_benchmark(name, flow, config, flow_name)
 
 
@@ -282,6 +290,14 @@ def run_suite(
 
         def on_result(result) -> None:
             if not result.ok:
+                cell = key_to_cell[result.key]
+                obs.event(
+                    "suite/cell_failed",
+                    benchmark=cell[0],
+                    flow=cell[1],
+                    key=result.key,
+                    error=repr(result.error),
+                )
                 raise result.error
             settle(key_to_cell[result.key], result.key, result.value, journal_it=True)
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from ..benchgen import SUITE, make_design
 from ..netlist.design import Design
-from .metrics import PlacerMetrics, aggregate
+from .metrics import aggregate
 
 
 def format_table1(scale: float, designs: "list[Design] | None" = None) -> str:

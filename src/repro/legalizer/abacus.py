@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..netlist.design import Design
 from .rows import SegmentIndex
 
@@ -72,6 +73,21 @@ def legalize_abacus(
         Displacement statistics.  Raises ``RuntimeError`` when a cell
         fits in no segment at all.
     """
+    with obs.span("legalize/abacus") as span:
+        result = _legalize_abacus(design, widths, max_row_search)
+        span.set(
+            displacement=result.total_displacement,
+            max_displacement=result.max_displacement,
+            cells=result.num_cells,
+        )
+    return result
+
+
+def _legalize_abacus(
+    design: Design,
+    widths: np.ndarray | None,
+    max_row_search: int | None,
+) -> LegalizeResult:
     widths = design.w if widths is None else np.asarray(widths, dtype=np.float64)
     index = SegmentIndex.build(design)
     if index.num_rows == 0:

@@ -13,6 +13,7 @@ import math
 
 import numpy as np
 
+from .. import obs
 from ..netlist.design import Design
 from .abacus import LegalizeResult
 from .rows import SegmentIndex
@@ -25,6 +26,17 @@ def legalize_tetris(design: Design, widths: np.ndarray | None = None) -> Legaliz
         design: the placed design; positions are overwritten.
         widths: per-cell footprint widths (defaults to ``design.w``).
     """
+    with obs.span("legalize/tetris") as span:
+        result = _legalize_tetris(design, widths)
+        span.set(
+            displacement=result.total_displacement,
+            max_displacement=result.max_displacement,
+            cells=result.num_cells,
+        )
+    return result
+
+
+def _legalize_tetris(design: Design, widths: np.ndarray | None) -> LegalizeResult:
     widths = design.w if widths is None else np.asarray(widths, dtype=np.float64)
     index = SegmentIndex.build(design)
     if index.num_rows == 0:

@@ -11,7 +11,7 @@ load them with :mod:`repro.netlist.bookshelf`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,144 @@
+"""Flow-wide observability: spans, metrics, and JSONL traces.
+
+Every hot layer of the repo (placement iterations, padding rounds, the
+router, legalization, TPE trials, runtime task lifecycles) narrates into
+the *current tracer* through the module-level helpers here:
+
+    from repro import obs
+
+    with obs.span("gp/iteration", i=k) as sp:
+        ...
+        sp.set(hpwl=hpwl, overflow=overflow)
+    obs.counter("maze/calls").inc()
+    obs.histogram("gp/overflow").observe(overflow)
+
+The default tracer is a :class:`NullTracer` whose spans and instruments
+are shared no-op singletons, so uninstrumented callers pay ~nothing.
+Enable tracing by installing a real :class:`Tracer` — most conveniently
+through :func:`tracing`, which the :mod:`repro.api` facade and the CLI's
+``--trace PATH`` flag drive:
+
+    with obs.tracing("run.jsonl"):
+        PufferPlacer(design).run()
+
+    records = obs.read_trace("run.jsonl")
+
+``repro report run.jsonl`` (or :func:`repro.obs.report.render_report`)
+renders the per-stage time/metric breakdown of a saved trace.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .trace import (
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlSink,
+    NullTracer,
+    Span,
+    Tracer,
+    read_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "counter",
+    "event",
+    "gauge",
+    "get_tracer",
+    "histogram",
+    "is_enabled",
+    "read_trace",
+    "set_tracer",
+    "span",
+    "tracing",
+]
+
+#: The process-wide current tracer (a no-op by default).
+_TRACER = NullTracer()
+
+
+def get_tracer():
+    """The currently installed tracer (:class:`NullTracer` by default)."""
+    return _TRACER
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` as current (``None`` restores the no-op).
+
+    Returns:
+        The installed tracer.
+    """
+    global _TRACER
+    _TRACER = tracer if tracer is not None else NullTracer()
+    return _TRACER
+
+
+def is_enabled() -> bool:
+    """``True`` when a real (recording) tracer is installed."""
+    return _TRACER.enabled
+
+
+def span(name: str, **attrs):
+    """Open a span on the current tracer (no-op when tracing is off)."""
+    return _TRACER.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record an instantaneous event on the current tracer."""
+    _TRACER.event(name, **attrs)
+
+
+def counter(name: str):
+    """The named counter of the current tracer."""
+    return _TRACER.counter(name)
+
+
+def gauge(name: str):
+    """The named gauge of the current tracer."""
+    return _TRACER.gauge(name)
+
+
+def histogram(name: str):
+    """The named histogram of the current tracer."""
+    return _TRACER.histogram(name)
+
+
+@contextmanager
+def tracing(target, ring_size: int = 4096):
+    """Scoped tracer installation.
+
+    Args:
+        target: ``None`` (keep whatever tracer is current — makes the
+            block a no-op wrapper), a path (create a :class:`Tracer`
+            with a :class:`JsonlSink`, close it on exit), or an existing
+            tracer (install for the block; the caller keeps ownership
+            and must close it).
+        ring_size: ring-buffer bound for path targets.
+
+    Yields:
+        The tracer active inside the block.
+    """
+    if target is None:
+        yield _TRACER
+        return
+    owned = isinstance(target, (str, bytes)) or hasattr(target, "__fspath__")
+    tracer = (
+        Tracer(sinks=[JsonlSink(target)], ring_size=ring_size) if owned else target
+    )
+    previous = _TRACER
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        if owned:
+            tracer.close()

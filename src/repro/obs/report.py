@@ -1,0 +1,117 @@
+"""Render a saved JSONL trace as a per-stage breakdown.
+
+Backs the ``repro report <trace.jsonl>`` CLI command: spans are grouped
+by name (in first-occurrence order, which follows the flow), with
+count / total / mean / max wall-clock columns, followed by the metric
+aggregates and an event tally.
+"""
+
+from __future__ import annotations
+
+from .trace import read_trace
+
+
+def summarize_trace(records: list) -> dict:
+    """Aggregate raw trace records.
+
+    Returns:
+        ``{"spans": [...], "metrics": [...], "events": [...],
+        "errors": [...], "records": N}`` where each span row is
+        ``{"name", "count", "total", "mean", "max"}`` in
+        first-occurrence order.
+    """
+    spans: dict = {}
+    events: dict = {}
+    metrics = []
+    errors = []
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            row = spans.setdefault(
+                record["name"], {"name": record["name"], "count": 0, "total": 0.0, "max": 0.0}
+            )
+            row["count"] += 1
+            row["total"] += record.get("dur", 0.0)
+            row["max"] = max(row["max"], record.get("dur", 0.0))
+            if "error" in record:
+                errors.append({"name": record["name"], "error": record["error"]})
+        elif kind == "event":
+            events[record["name"]] = events.get(record["name"], 0) + 1
+        elif kind == "metric":
+            metrics.append(record)
+    span_rows = []
+    for row in spans.values():
+        row["mean"] = row["total"] / row["count"]
+        span_rows.append(row)
+    return {
+        "spans": span_rows,
+        "metrics": metrics,
+        "events": sorted(events.items()),
+        "errors": errors,
+        "records": len(records),
+    }
+
+
+def render_report(records: list) -> str:
+    """Human-readable report of a record list (see module docstring)."""
+    summary = summarize_trace(records)
+    lines = [f"TRACE REPORT — {summary['records']} records"]
+
+    if summary["spans"]:
+        lines.append("")
+        lines.append(
+            f"{'span':<34} {'count':>7} {'total s':>10} {'mean s':>10} {'max s':>10}"
+        )
+        for row in summary["spans"]:
+            lines.append(
+                f"{row['name']:<34} {row['count']:>7d} {row['total']:>10.4f} "
+                f"{row['mean']:>10.4f} {row['max']:>10.4f}"
+            )
+
+    if summary["metrics"]:
+        lines.append("")
+        lines.append(f"{'metric':<34} {'kind':>9}  value")
+        for record in summary["metrics"]:
+            lines.append(
+                f"{record['name']:<34} {record['kind']:>9}  "
+                f"{_metric_value(record)}"
+            )
+
+    if summary["events"]:
+        lines.append("")
+        lines.append("events")
+        for name, count in summary["events"]:
+            lines.append(f"  {name:<32} x {count}")
+
+    if summary["errors"]:
+        lines.append("")
+        lines.append("spans that exited with an error")
+        for item in summary["errors"]:
+            lines.append(f"  {item['name']}: {item['error']}")
+
+    return "\n".join(lines)
+
+
+def report_file(path: str) -> str:
+    """Read ``path`` and render its report (the CLI entry point)."""
+    return render_report(read_trace(path))
+
+
+def _metric_value(record: dict) -> str:
+    if record["kind"] == "counter":
+        return _num(record.get("value"))
+    if record["kind"] == "gauge":
+        return f"{_num(record.get('value'))} ({record.get('updates', 0)} updates)"
+    return (
+        f"count={record.get('count', 0)} mean={_num(record.get('mean'))} "
+        f"min={_num(record.get('min'))} max={_num(record.get('max'))} "
+        f"sum={_num(record.get('sum'))}"
+    )
+
+
+def _num(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..netlist.design import Design
 from .density import ElectrostaticDensity
 from .initial import clamp_to_die, initial_place
@@ -175,16 +176,28 @@ class GlobalPlacer:
 
     def run(self) -> GlobalPlaceResult:
         """Place the design; returns the convergence record."""
+        with obs.span("gp/run") as run_span:
+            result = self._run()
+            run_span.set(
+                iterations=result.iterations,
+                hpwl=result.hpwl,
+                overflow=result.overflow,
+                converged=result.converged,
+            )
+        return result
+
+    def _run(self) -> GlobalPlaceResult:
         start = time.perf_counter()
         params = self.params
         design = self.design
         if self._seed_positions:
-            if params.initial_placer == "quadratic":
-                from .quadratic import initial_place_quadratic
+            with obs.span("gp/initial_place", placer=params.initial_placer):
+                if params.initial_placer == "quadratic":
+                    from .quadratic import initial_place_quadratic
 
-                initial_place_quadratic(design, params)
-            else:
-                initial_place(design, params)
+                    initial_place_quadratic(design, params)
+                else:
+                    initial_place(design, params)
         clamp_to_die(design)
 
         base_gamma = params.gamma_scale * max(self.density.bin_w, self.density.bin_h)
@@ -205,38 +218,44 @@ class GlobalPlacer:
         converged = False
         state = PlacerState(self)
 
+        overflow_hist = obs.histogram("gp/overflow")
+        hpwl_hist = obs.histogram("gp/hpwl")
         for k in range(params.max_iters):
             self.iteration = k
-            z = optimizer.step()
-            x, y = self._unpack(z)
-            design.x[:] = x
-            design.y[:] = y
-            self.overflow = self._eval_overflow
-            self.hpwl = self.wirelength.hpwl(x, y)
+            with obs.span("gp/iteration", i=k) as it_span:
+                z = optimizer.step()
+                x, y = self._unpack(z)
+                design.x[:] = x
+                design.y[:] = y
+                self.overflow = self._eval_overflow
+                self.hpwl = self.wirelength.hpwl(x, y)
 
-            # Penalty-factor schedule (ePlace): reward HPWL reduction.
-            delta = self.hpwl - hpwl_prev
-            mu = params.lambda_mu_max ** (1.0 - delta / hpwl_ref)
-            mu = float(np.clip(mu, params.lambda_mu_min, params.lambda_mu_max))
-            self.penalty_factor *= mu
-            hpwl_prev = self.hpwl
-            self.gamma = gamma_schedule(base_gamma, self.overflow)
+                # Penalty-factor schedule (ePlace): reward HPWL reduction.
+                delta = self.hpwl - hpwl_prev
+                mu = params.lambda_mu_max ** (1.0 - delta / hpwl_ref)
+                mu = float(np.clip(mu, params.lambda_mu_min, params.lambda_mu_max))
+                self.penalty_factor *= mu
+                hpwl_prev = self.hpwl
+                self.gamma = gamma_schedule(base_gamma, self.overflow)
 
-            history.append(
-                IterationRecord(k, self.hpwl, self.overflow, self.penalty_factor, self.gamma)
-            )
-            if params.verbose and k % 25 == 0:
-                print(
-                    f"  iter {k:4d}  hpwl {self.hpwl:.4g}  ovf {self.overflow:.4f}"
-                    f"  lambda {self.penalty_factor:.3g}"
+                history.append(
+                    IterationRecord(k, self.hpwl, self.overflow, self.penalty_factor, self.gamma)
                 )
+                overflow_hist.observe(self.overflow)
+                hpwl_hist.observe(self.hpwl)
+                if params.verbose and k % 25 == 0:
+                    print(
+                        f"  iter {k:4d}  hpwl {self.hpwl:.4g}  ovf {self.overflow:.4f}"
+                        f"  lambda {self.penalty_factor:.3g}"
+                    )
 
-            self._objective_changed = False
-            for hook in self.hooks:
-                if hook(state):
-                    self._objective_changed = True
-            if self._objective_changed:
-                optimizer.reset_momentum()
+                self._objective_changed = False
+                for hook in self.hooks:
+                    if hook(state):
+                        self._objective_changed = True
+                if self._objective_changed:
+                    optimizer.reset_momentum()
+                it_span.set(hpwl=self.hpwl, overflow=self.overflow)
 
             if self.overflow < params.target_overflow and k >= params.min_iters:
                 converged = True

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
+
 
 class NesterovOptimizer:
     """Accelerated gradient descent over concatenated ``(x, y)`` vectors.
@@ -58,6 +60,7 @@ class NesterovOptimizer:
 
     def step(self) -> np.ndarray:
         """One accelerated iteration; returns the new major solution."""
+        evals_before = self.grad_evals
         if self._g_v is None:
             self._g_v = self._grad_fn(self.v)
             self.grad_evals += 1
@@ -77,6 +80,9 @@ class NesterovOptimizer:
                 break
             alpha = alpha_hat
         self.u, self.v, self._a, self._g_v, self._alpha = accepted
+        obs.counter("gp/grad_evals").inc(self.grad_evals - evals_before)
+        if attempt:
+            obs.counter("gp/backtracks").inc(attempt)
         return self.u
 
 

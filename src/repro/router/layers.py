@@ -16,7 +16,6 @@ import numpy as np
 
 from ..netlist.design import Design
 from ..netlist.technology import HORIZONTAL
-from .grid import RoutingGrid
 from .router import RouteReport
 
 

@@ -14,6 +14,8 @@ import heapq
 
 import numpy as np
 
+from .. import obs
+
 _DIRS = ((1, 0), (-1, 0), (0, 1), (0, -1))  # dx, dy
 _H = 0  # horizontal movement kind
 _V = 1
@@ -38,6 +40,7 @@ def maze_route(
         ``(h_cells, v_cells)`` flat index arrays, or ``None`` when no
         path exists in the window.
     """
+    obs.counter("maze/calls").inc()
     nx, ny = cost_h.shape
     xlo = max(min(gx0, gx1) - margin, 0)
     xhi = min(max(gx0, gx1) + margin, nx - 1)
@@ -53,8 +56,10 @@ def maze_route(
     best[start] = 0.0
     frontier = [(_heuristic(gx0, gy0, gx1, gy1), 0.0, start)]
     goal_state = None
+    pops = 0
     while frontier:
         f, g, state = heapq.heappop(frontier)
+        pops += 1
         if g > best.get(state, np.inf):
             continue
         x, y, last = state
@@ -81,7 +86,9 @@ def maze_route(
                 heapq.heappush(
                     frontier, (ng + _heuristic(nx_, ny_, gx1, gy1), ng, nstate)
                 )
+    obs.histogram("maze/pops").observe(pops)
     if goal_state is None:
+        obs.counter("maze/no_path").inc()
         return None
     return _reconstruct(goal_state, came, ny)
 

@@ -20,12 +20,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..netlist.design import Design
 from ..rsmt import build_rsmt
 from .cost import CostModel, CostParams
 from .grid import DemandMaps, RoutingGrid, build_grid
 from .maze import maze_route
-from .pattern import best_pattern_route, route_cost
+from .pattern import best_pattern_route
 
 
 @dataclass
@@ -88,6 +89,18 @@ class GlobalRouter:
 
     def run(self) -> RouteReport:
         """Route the design at its current placement."""
+        with obs.span("route/run") as run_span:
+            report = self._run()
+            run_span.set(
+                hof=report.hof,
+                vof=report.vof,
+                wirelength=report.wirelength,
+                rounds=report.rounds,
+                segments=report.num_segments,
+            )
+        return report
+
+    def _run(self) -> RouteReport:
         start = time.perf_counter()
         params = self.params
         design = self.design
@@ -96,7 +109,9 @@ class GlobalRouter:
         cost_model = CostModel(grid, demand, params.cost)
 
         self._add_pin_demand(grid, demand)
-        segments = self._build_segments(grid)
+        with obs.span("route/rsmt") as rsmt_span:
+            segments = self._build_segments(grid)
+            rsmt_span.set(segments=len(segments))
         routes = [None] * len(segments)
         dmd_h = demand.dmd_h.ravel()
         dmd_v = demand.dmd_v.ravel()
@@ -105,46 +120,56 @@ class GlobalRouter:
         cost_v_flat = cost_v.ravel()
 
         # Initial pass: short segments first so long ones see congestion.
-        order = sorted(
-            range(len(segments)),
-            key=lambda i: abs(segments[i][0] - segments[i][2])
-            + abs(segments[i][1] - segments[i][3]),
-        )
-        for i in order:
-            gx0, gy0, gx1, gy1 = segments[i]
-            route = best_pattern_route(
-                gx0, gy0, gx1, gy1, grid.ny, cost_h_flat, cost_v_flat,
-                use_z=params.use_z_patterns,
+        with obs.span("route/initial_pass", segments=len(segments)):
+            order = sorted(
+                range(len(segments)),
+                key=lambda i: abs(segments[i][0] - segments[i][2])
+                + abs(segments[i][1] - segments[i][3]),
             )
-            routes[i] = route
-            self._commit(route, +1.0, dmd_h, dmd_v, cost_model, cost_h_flat, cost_v_flat)
+            for i in order:
+                gx0, gy0, gx1, gy1 = segments[i]
+                route = best_pattern_route(
+                    gx0, gy0, gx1, gy1, grid.ny, cost_h_flat, cost_v_flat,
+                    use_z=params.use_z_patterns,
+                )
+                routes[i] = route
+                self._commit(route, +1.0, dmd_h, dmd_v, cost_model, cost_h_flat, cost_v_flat)
 
         overflow_history = [demand.overflow_ratio(grid)]
+        rip_ups = obs.counter("route/rip_ups")
         rounds = 0
         for rnd in range(params.rrr_rounds):
             hof, vof = demand.overflow_ratio(grid)
             if hof <= 0.0 and vof <= 0.0:
                 break
             rounds += 1
-            cost_model.bump_history()
-            cost_h, cost_v = cost_model.cost_maps()
-            cost_h_flat = cost_h.ravel()
-            cost_v_flat = cost_v.ravel()
-            margin = params.maze_margin + rnd * params.maze_margin_growth
-            victims = self._select_victims(routes, grid, demand)
-            for i in victims[: params.max_reroute_per_round]:
-                gx0, gy0, gx1, gy1 = segments[i]
-                self._commit(
-                    routes[i], -1.0, dmd_h, dmd_v, cost_model, cost_h_flat, cost_v_flat
+            with obs.span("route/rrr_round", round=rnd) as round_span:
+                cost_model.bump_history()
+                cost_h, cost_v = cost_model.cost_maps()
+                cost_h_flat = cost_h.ravel()
+                cost_v_flat = cost_v.ravel()
+                margin = params.maze_margin + rnd * params.maze_margin_growth
+                victims = self._select_victims(routes, grid, demand)
+                rerouted = victims[: params.max_reroute_per_round]
+                rip_ups.inc(len(rerouted))
+                for i in rerouted:
+                    gx0, gy0, gx1, gy1 = segments[i]
+                    self._commit(
+                        routes[i], -1.0, dmd_h, dmd_v, cost_model, cost_h_flat, cost_v_flat
+                    )
+                    new_route = maze_route(gx0, gy0, gx1, gy1, cost_h, cost_v, margin)
+                    if new_route is None:
+                        new_route = routes[i]
+                    routes[i] = new_route
+                    self._commit(
+                        new_route, +1.0, dmd_h, dmd_v, cost_model, cost_h_flat, cost_v_flat
+                    )
+                overflow_history.append(demand.overflow_ratio(grid))
+                round_span.set(
+                    rerouted=len(rerouted),
+                    hof=overflow_history[-1][0],
+                    vof=overflow_history[-1][1],
                 )
-                new_route = maze_route(gx0, gy0, gx1, gy1, cost_h, cost_v, margin)
-                if new_route is None:
-                    new_route = routes[i]
-                routes[i] = new_route
-                self._commit(
-                    new_route, +1.0, dmd_h, dmd_v, cost_model, cost_h_flat, cost_v_flat
-                )
-            overflow_history.append(demand.overflow_ratio(grid))
 
         hof, vof = demand.overflow_ratio(grid)
         wirelength, via_count = self._wirelength_and_vias(routes, grid)

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from .. import obs
 
 #: Event kinds emitted by the runtime layers.
 TASK_STARTED = "task_started"
@@ -59,10 +61,23 @@ class Telemetry:
         self._born = time.perf_counter()
 
     def emit(self, event: RunEvent) -> None:
-        """Record ``event`` and forward it to every sink."""
+        """Record ``event``, mirror it into the trace, and fan it out.
+
+        Every telemetry event also lands in the current
+        :mod:`repro.obs` trace (as a ``runtime/<kind>`` event), so task
+        lifecycles share a timeline with the flow's spans.
+        """
         self.counters[event.kind] = self.counters.get(event.kind, 0) + 1
         if event.kind in (TASK_FINISHED, TASK_FAILED):
             self.task_seconds += event.wall_time
+        if obs.is_enabled():
+            obs.event(
+                "runtime/" + event.kind,
+                key=event.key,
+                wall_time=event.wall_time,
+                attempt=event.attempt,
+                detail=event.detail,
+            )
         for sink in self.sinks:
             sink(event)
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from .space import Space
 from .tpe import TPESampler
 
@@ -100,12 +101,22 @@ def minimize(
         k = min(batch_size, max_evals - len(trials))
         batch = [sampler.suggest(space, observations, rng) for _ in range(k)]
         if evaluator is None:
-            losses = [float(objective(params)) for params in batch]
+            losses = []
+            for offset, params in enumerate(batch):
+                with obs.span("tpe/trial", index=len(trials) + offset) as trial_span:
+                    loss = float(objective(params))
+                    trial_span.set(loss=loss)
+                losses.append(loss)
         else:
-            losses = [float(loss) for loss in evaluator(batch)]
+            with obs.span("tpe/batch", size=len(batch), index=len(trials)):
+                losses = [float(loss) for loss in evaluator(batch)]
             if len(losses) != len(batch):
                 raise ValueError("evaluator returned a mismatched batch")
+            for offset, loss in enumerate(losses):
+                obs.event("tpe/trial", index=len(trials) + offset, loss=loss)
+        loss_hist = obs.histogram("tpe/loss")
         for params, loss in zip(batch, losses):
+            loss_hist.observe(loss)
             trial = Trial(params=params, loss=loss, index=len(trials))
             trials.append(trial)
             observations.append((params, loss))

@@ -1,7 +1,6 @@
 """Tests for the comparison flows (WL-driven, RePlAce-like, commercial)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import (
     CommercialLikeParams,

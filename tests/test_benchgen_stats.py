@@ -8,7 +8,6 @@ from repro.benchgen import (
     rent_exponent,
     wirelength_distribution,
 )
-from repro.placer import GlobalPlacer, PlacementParams
 
 
 class TestNetlistStats:

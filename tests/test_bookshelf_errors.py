@@ -1,6 +1,5 @@
 """Failure-injection tests for serialization and loading."""
 
-import os
 
 import pytest
 

@@ -18,6 +18,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["generate", "OR1200", "--scale", "0.002", "--out", "/tmp/x"],
+            ["place", "OR1200", "--flow", "puffer", "--trace", "/tmp/t.jsonl"],
+            ["route", "/tmp/dir", "OR1200", "--trace", "/tmp/t.jsonl"],
+            ["explore", "--design", "OR1200", "--budget", "4", "--jobs", "2",
+             "--trace", "/tmp/t.jsonl"],
+            ["suite", "--scale", "0.002", "--designs", "OR1200", "--resume",
+             "--trace", "/tmp/t.jsonl"],
+            ["report", "/tmp/t.jsonl"],
+        ],
+        ids=lambda argv: argv[0],
+    )
+    def test_every_subcommand_round_trips(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+    def test_trace_flag_defaults_to_none(self):
+        for argv in (
+            ["place", "OR1200"],
+            ["route", "d", "n"],
+            ["explore"],
+            ["suite"],
+        ):
+            assert build_parser().parse_args(argv).trace is None
+
+    def test_place_flow_choices_come_from_facade(self):
+        from repro import api
+
+        for flow in api.FLOWS:
+            args = build_parser().parse_args(["place", "OR1200", "--flow", flow])
+            assert args.flow == flow
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["place", "OR1200", "--flow", "bogus"])
+
     def test_generate_args(self):
         args = build_parser().parse_args(
             ["generate", "OR1200", "--scale", "0.002", "--out", "/tmp/x"]
@@ -82,3 +118,42 @@ class TestCommands:
         assert code == 0
         params = json.loads(out_file.read_text())
         assert "mu" in params and "legalizer" in params
+
+
+class TestTracing:
+    def test_place_trace_smoke(self, tmp_path, capsys):
+        """End-to-end: place with --trace, then report the trace."""
+        from repro import obs
+
+        trace = tmp_path / "place.jsonl"
+        code = run_cli(
+            "place", "OR1200", "--scale", "0.002", "--max-iters", "300",
+            "--route", "--trace", str(trace),
+        )
+        assert code == 0
+        records = obs.read_trace(trace)
+        spans = {r["name"] for r in records if r["type"] == "span"}
+        assert {
+            "api/run", "gp/iteration", "puffer/padding_round",
+            "puffer/legalization", "route/run",
+        } <= spans
+
+        assert run_cli("report", str(trace)) == 0
+        out = capsys.readouterr().out
+        assert "TRACE REPORT" in out
+        assert "gp/iteration" in out
+
+    def test_explore_trace_has_tpe_trials(self, tmp_path, capsys):
+        from repro import obs
+
+        trace = tmp_path / "explore.jsonl"
+        code = run_cli(
+            "explore", "--design", "OR1200", "--scale", "0.0015",
+            "--budget", "3", "--trace", str(trace),
+        )
+        assert code == 0
+        spans = {
+            r["name"] for r in obs.read_trace(trace) if r["type"] == "span"
+        }
+        assert "tpe/trial" in spans
+        assert "explore/stage" in spans

@@ -47,7 +47,6 @@ class TestRouterNegotiation:
         from repro.legalizer import legalize_abacus
         from repro.placer import GlobalPlacer
         from repro.router import GlobalRouter, RouterParams
-        from repro.router.grid import build_grid
 
         GlobalPlacer(small_design, PlacementParams(max_iters=300)).run()
         legalize_abacus(small_design)

@@ -1,7 +1,5 @@
 """Tests for the strategy exploration (Algorithms 2 and 3)."""
 
-import numpy as np
-import pytest
 
 from repro.core import StrategyParams, default_space
 from repro.core.exploration import (

@@ -1,6 +1,5 @@
 """Tests for post-routing layer assignment."""
 
-import numpy as np
 import pytest
 
 from repro.router import GlobalRouter, assign_layers, format_layer_table

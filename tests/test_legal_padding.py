@@ -1,7 +1,6 @@
 """Tests for discrete padding (Eq. 17) and the legalization area cap."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for the bounded A* maze router."""
 
 import numpy as np
-import pytest
 
 from repro.router import maze_route
 

@@ -1,7 +1,6 @@
 """Tests for the Nesterov optimizer on analytic objectives."""
 
 import numpy as np
-import pytest
 
 from repro.placer import NesterovOptimizer
 

@@ -9,6 +9,8 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.api",
+    "repro.obs",
     "repro.netlist",
     "repro.benchgen",
     "repro.placer",

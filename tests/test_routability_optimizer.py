@@ -1,11 +1,10 @@
 """Tests for the routability optimizer hook and the PUFFER flow."""
 
-import numpy as np
 import pytest
 
 from repro.core import PufferPlacer, RoutabilityOptimizer, StrategyParams
 from repro.netlist import check_legal
-from repro.placer import GlobalPlacer, PlacementParams
+from repro.placer import PlacementParams
 
 
 class FakeState:

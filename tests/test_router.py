@@ -1,10 +1,9 @@
 """Integration tests for the global router."""
 
-import numpy as np
 import pytest
 
 from repro.placer import GlobalPlacer, PlacementParams
-from repro.router import GlobalRouter, RouteReport, RouterParams
+from repro.router import GlobalRouter, RouterParams
 
 
 @pytest.fixture(scope="module")

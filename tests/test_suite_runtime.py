@@ -5,7 +5,7 @@ import pytest
 from repro.baselines import place_replace_like, place_wirelength_driven
 from repro.benchgen import make_design
 from repro.evalkit import SuiteRunConfig, run_suite
-from repro.evalkit.runner import default_flows, run_benchmark, suite_cell_key
+from repro.evalkit.runner import default_flows, suite_cell_key
 from repro.router import GlobalRouter
 from repro.runtime import Journal, Telemetry
 

@@ -1,6 +1,5 @@
 """Tests for the ASCII trend charts."""
 
-import pytest
 
 from repro.evalkit import convergence_chart, sparkline
 from repro.placer.engine import IterationRecord

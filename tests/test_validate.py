@@ -1,7 +1,5 @@
 """Tests for design validation and legality checking."""
 
-import numpy as np
-import pytest
 
 from repro.netlist import (
     DesignBuilder,
