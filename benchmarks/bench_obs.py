@@ -84,7 +84,7 @@ def main(argv=None) -> int:
         "disabled_spread_pct": round(100.0 * disabled_spread, 2),
         "disabled_budget_pct": 100.0 * DISABLED_SLOWDOWN_BUDGET,
     }
-    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

@@ -76,7 +76,7 @@ def main(argv=None) -> int:
         "warm_cache_speedup": round(serial_wall / max(warm_wall, 1e-9), 3),
         "warm_cache_hits": cache_hits,
     }
-    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

@@ -15,10 +15,44 @@ import pytest
 from repro.benchgen import env_scale
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+os.makedirs(OUT_DIR, exist_ok=True)
+
+#: whole-flow comparisons that rerun the placer many times; ``--quick``
+#: smoke mode (the nightly CI job) skips these.
+SLOW_FILES = {
+    "test_ablation_expansion.py",
+    "test_ablation_features.py",
+    "test_ablation_initial_placer.py",
+    "test_ablation_recycling.py",
+    "test_ablation_router.py",
+    "test_exploration_transfer.py",
+    "test_ext_detailed_place.py",
+    "test_table2_comparison.py",
+}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="smoke mode: skip slow-marked benchmarks and halve the scale",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if os.path.basename(str(item.fspath)) in SLOW_FILES:
+            item.add_marker(pytest.mark.slow)
+    if config.getoption("--quick"):
+        skip = pytest.mark.skip(reason="--quick smoke mode")
+        for item in items:
+            if "slow" in item.keywords:
+                item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")
-def scale() -> float:
+def scale(request) -> float:
+    if request.config.getoption("--quick"):
+        return env_scale(default=0.002)
     return env_scale(default=0.004)
 
 

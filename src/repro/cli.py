@@ -22,7 +22,7 @@ import argparse
 import json
 import sys
 
-from . import api
+from . import api, kernels
 from .benchgen import make_design, suite_names
 from .netlist import load_design, save_design
 from .placer import PlacementParams
@@ -86,6 +86,11 @@ def _add_runtime_args(parser, jobs: bool = True) -> None:
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="stream a repro.obs JSONL trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--kernels", default=None, choices=list(kernels.BACKENDS),
+        help="numpy kernel backend for the hot paths "
+        f"(default: ${kernels.ENV_VAR} or 'vectorized')",
     )
     if not jobs:
         return
@@ -251,6 +256,8 @@ def cmd_report(args) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "kernels", None):
+        kernels.use(args.kernels)
     handlers = {
         "generate": cmd_generate,
         "place": cmd_place,

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .. import obs
+from .. import kernels, obs
 from ..netlist.design import Design
 from ..router.grid import RoutingGrid
 from ..rsmt import build_rsmt
@@ -141,30 +141,44 @@ def accumulate_demand(
         count (reused by the pin-density features).
     """
     with obs.span("congestion/demand", nets=len(topologies)) as span:
-        dmd_h = np.zeros((grid.nx, grid.ny))
-        dmd_v = np.zeros((grid.nx, grid.ny))
-        i_segments = []
-        for topo in topologies:
-            gx, gy, is_pin = topo.gx, topo.gy, topo.is_pin
-            for a, b in topo.edges:
-                ax, ay, bx, by = int(gx[a]), int(gy[a]), int(gx[b]), int(gy[b])
-                if ay == by and ax != bx:
-                    lo, hi = (ax, bx) if ax < bx else (bx, ax)
-                    dmd_h[lo : hi + 1, ay] += 1.0
-                    lo_pin, hi_pin = (is_pin[a], is_pin[b]) if ax < bx else (is_pin[b], is_pin[a])
-                    i_segments.append(ISegment(True, ay, lo, hi, bool(lo_pin), bool(hi_pin)))
-                elif ax == bx and ay != by:
-                    lo, hi = (ay, by) if ay < by else (by, ay)
-                    dmd_v[ax, lo : hi + 1] += 1.0
-                    lo_pin, hi_pin = (is_pin[a], is_pin[b]) if ay < by else (is_pin[b], is_pin[a])
-                    i_segments.append(ISegment(False, ax, lo, hi, bool(lo_pin), bool(hi_pin)))
-                elif ax != bx and ay != by:
-                    xlo, xhi = (ax, bx) if ax < bx else (bx, ax)
-                    ylo, yhi = (ay, by) if ay < by else (by, ay)
-                    dx = xhi - xlo
-                    dy = yhi - ylo
-                    dmd_h[xlo : xhi + 1, ylo : yhi + 1] += 1.0 / (dy + 1)
-                    dmd_v[xlo : xhi + 1, ylo : yhi + 1] += 1.0 / (dx + 1)
+        ax, ay, bx, by, a_pin, b_pin = _edge_endpoints(topologies)
+        xlo = np.minimum(ax, bx)
+        xhi = np.maximum(ax, bx)
+        ylo = np.minimum(ay, by)
+        yhi = np.maximum(ay, by)
+        dx = xhi - xlo
+        dy = yhi - ylo
+        # Every edge is a weighted rectangle on each map: straight edges
+        # carry unit demand along their row/column (the 1/(d+1) weight
+        # degenerates to 1); L-shaped edges spread the average over the
+        # bbox.  A zero extent contributes nothing in that direction.
+        mh = dx > 0
+        mv = dy > 0
+        dmd_h = kernels.rect_add(
+            grid.nx, grid.ny,
+            xlo[mh], xhi[mh], ylo[mh], yhi[mh], 1.0 / (dy[mh] + 1.0),
+        )
+        dmd_v = kernels.rect_add(
+            grid.nx, grid.ny,
+            xlo[mv], xhi[mv], ylo[mv], yhi[mv], 1.0 / (dx[mv] + 1.0),
+        )
+        # Straight edges, in edge order, feed the detour expansion.
+        straight = np.flatnonzero(mh ^ mv)
+        horiz = mh[straight]
+        a_first = np.where(
+            horiz, ax[straight] < bx[straight], ay[straight] < by[straight]
+        )
+        i_segments = [
+            ISegment(hz, f, lo, hi, lp, hp)
+            for hz, f, lo, hi, lp, hp in zip(
+                horiz.tolist(),
+                np.where(horiz, ylo[straight], xlo[straight]).tolist(),
+                np.where(horiz, xlo[straight], ylo[straight]).tolist(),
+                np.where(horiz, xhi[straight], yhi[straight]).tolist(),
+                np.where(a_first, a_pin[straight], b_pin[straight]).tolist(),
+                np.where(a_first, b_pin[straight], a_pin[straight]).tolist(),
+            )
+        ]
         pin_count = np.zeros((grid.nx, grid.ny))
         if design.num_pins:
             px, py = design.pin_positions()
@@ -173,5 +187,34 @@ def accumulate_demand(
             if pin_penalty > 0:
                 dmd_h += pin_penalty * pin_count
                 dmd_v += pin_penalty * pin_count
-        span.set(segments=len(i_segments))
+        span.set(segments=len(i_segments), backend=kernels.current())
     return DemandResult(dmd_h, dmd_v, pin_count, i_segments)
+
+
+def _edge_endpoints(topologies: list) -> tuple:
+    """Endpoint Gcell coordinates and pin flags of every two-point net,
+    concatenated across topologies in edge order."""
+    ax, ay, bx, by, a_pin, b_pin = [], [], [], [], [], []
+    for topo in topologies:
+        if len(topo.edges) == 0:
+            continue
+        a = topo.edges[:, 0]
+        b = topo.edges[:, 1]
+        ax.append(topo.gx[a])
+        ay.append(topo.gy[a])
+        bx.append(topo.gx[b])
+        by.append(topo.gy[b])
+        a_pin.append(topo.is_pin[a])
+        b_pin.append(topo.is_pin[b])
+    if not ax:
+        empty = np.zeros(0, dtype=np.int64)
+        flags = np.zeros(0, dtype=bool)
+        return empty, empty, empty, empty, flags, flags
+    return (
+        np.concatenate(ax),
+        np.concatenate(ay),
+        np.concatenate(bx),
+        np.concatenate(by),
+        np.concatenate(a_pin),
+        np.concatenate(b_pin),
+    )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels, obs
 from ..netlist.design import Design
 from ..router.grid import RoutingGrid, build_grid
 
@@ -34,26 +35,29 @@ def rudy_maps(
         ``(dmd_h, dmd_v, grid)`` demand arrays of shape ``(nx, ny)``.
     """
     grid = grid or build_grid(design)
-    dmd_h = np.zeros((grid.nx, grid.ny))
-    dmd_v = np.zeros((grid.nx, grid.ny))
     xlo, ylo, xhi, yhi = design.net_bboxes()
     degrees = design.net_degrees()
-
-    for net in np.flatnonzero(degrees >= 2):
-        gx0, gy0 = grid.gcell_of(xlo[net], ylo[net])
-        gx1, gy1 = grid.gcell_of(xhi[net], yhi[net])
+    nets = np.flatnonzero(degrees >= 2)
+    with obs.span("congestion/rudy", nets=len(nets)) as span:
+        gx0, gy0 = grid.gcell_of(xlo[nets], ylo[nets])
+        gx1, gy1 = grid.gcell_of(xhi[nets], yhi[nets])
         nx_cells = gx1 - gx0 + 1
         ny_cells = gy1 - gy0 + 1
         # One horizontal track across the bbox per covered row, averaged
         # over the rows, and symmetrically for vertical.
-        dmd_h[gx0 : gx1 + 1, gy0 : gy1 + 1] += 1.0 / ny_cells
-        dmd_v[gx0 : gx1 + 1, gy0 : gy1 + 1] += 1.0 / nx_cells
+        dmd_h = kernels.rect_add(
+            grid.nx, grid.ny, gx0, gx1, gy0, gy1, 1.0 / ny_cells
+        )
+        dmd_v = kernels.rect_add(
+            grid.nx, grid.ny, gx0, gx1, gy0, gy1, 1.0 / nx_cells
+        )
 
-    if pin_penalty > 0 and design.num_pins:
-        px, py = design.pin_positions()
-        pgx, pgy = grid.gcell_of(px, py)
-        np.add.at(dmd_h, (pgx, pgy), pin_penalty)
-        np.add.at(dmd_v, (pgx, pgy), pin_penalty)
+        if pin_penalty > 0 and design.num_pins:
+            px, py = design.pin_positions()
+            pgx, pgy = grid.gcell_of(px, py)
+            np.add.at(dmd_h, (pgx, pgy), pin_penalty)
+            np.add.at(dmd_v, (pgx, pgy), pin_penalty)
+        span.set(backend=kernels.current())
     return dmd_h, dmd_v, grid
 
 

@@ -1,0 +1,108 @@
+"""Dispatchable numpy kernels for the measured hot paths.
+
+The congestion estimator, the RUDY baseline, the electrostatic density
+map, and the maze router all funnel their inner loops through this
+module.  Two interchangeable backends implement every kernel:
+
+* ``"vectorized"`` (the default) — whole-batch numpy formulations
+  (:mod:`repro.kernels.vectorized`).
+* ``"reference"`` — the original per-object loops, kept as the golden
+  implementation (:mod:`repro.kernels.reference`).
+
+Select a backend globally with :func:`use`, temporarily with
+:func:`using`, per process with the ``REPRO_KERNELS`` environment
+variable, or per CLI run with ``--kernels``.  Backends agree to
+``allclose`` tolerance (``rtol=1e-9``, plus ``atol`` of a few ulps of
+the accumulated magnitude) on the map kernels and to equal path cost on
+the maze kernel; ``tests/test_kernels.py`` holds the golden-equivalence
+suite and ``benchmarks/bench_kernels.py`` the speedup measurements.
+
+Kernel inventory (full contracts in the backend docstrings):
+
+* ``rect_add(nx, ny, x0, x1, y0, y1, w, out=None)`` — weighted
+  inclusive-rectangle accumulation (RSMT demand, RUDY).
+* ``bin_overlap(xlo, xhi, ylo, yhi, ix0, iy0, kx, ky, scale, dim,
+  bin_w, bin_h)`` — smoothed movable-area (charge density) map.
+* ``rect_area(x0, x1, y0, y1, dim, bin_w, bin_h)`` — exact per-bin
+  overlap area of fixed rectangles.
+* ``maze_search(gx0, gy0, gx1, gy1, cost_h, cost_v, xlo, xhi, ylo,
+  yhi)`` — windowed cheapest path with run-based turn accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+
+from . import reference, vectorized
+
+BACKENDS = ("vectorized", "reference")
+ENV_VAR = "REPRO_KERNELS"
+
+_MODULES = {"vectorized": vectorized, "reference": reference}
+
+
+def _validated(name: str) -> str:
+    if name not in _MODULES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+def _from_env() -> str:
+    name = os.environ.get(ENV_VAR, "vectorized")
+    if name not in _MODULES:
+        warnings.warn(
+            f"{ENV_VAR}={name!r} is not one of {BACKENDS}; using 'vectorized'",
+            stacklevel=2,
+        )
+        return "vectorized"
+    return name
+
+
+_active = _from_env()
+
+
+def current() -> str:
+    """Name of the active backend."""
+    return _active
+
+
+def use(name: str) -> str:
+    """Select the active backend; returns the previous one."""
+    global _active
+    previous = _active
+    _active = _validated(name)
+    return previous
+
+
+@contextmanager
+def using(name: str):
+    """Temporarily select a backend for the enclosed block."""
+    previous = use(name)
+    try:
+        yield
+    finally:
+        use(previous)
+
+
+def rect_add(*args, **kwargs):
+    """Weighted inclusive-rectangle accumulation (active backend)."""
+    return _MODULES[_active].rect_add(*args, **kwargs)
+
+
+def bin_overlap(*args, **kwargs):
+    """Smoothed movable-area (charge density) map (active backend)."""
+    return _MODULES[_active].bin_overlap(*args, **kwargs)
+
+
+def rect_area(*args, **kwargs):
+    """Exact per-bin overlap area of rectangles (active backend)."""
+    return _MODULES[_active].rect_area(*args, **kwargs)
+
+
+def maze_search(*args, **kwargs):
+    """Windowed cheapest-path maze search (active backend)."""
+    return _MODULES[_active].maze_search(*args, **kwargs)

@@ -1,0 +1,199 @@
+"""Reference (loop-based) kernel implementations.
+
+These are the original hot-path loops, preserved verbatim so the
+vectorized backend always has a golden implementation to be checked
+against (``tests/test_kernels.py``) and measured against
+(``benchmarks/bench_kernels.py``).  Semantics — including accumulation
+order and the boundary-bin clamping of the density kernel — are the
+contract; the vectorized backend must agree to the tolerances stated in
+:mod:`repro.kernels`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from .. import obs
+
+# ----------------------------------------------------------------------
+# Weighted-rectangle accumulation (demand / RUDY rasterization)
+# ----------------------------------------------------------------------
+
+
+def rect_add(nx, ny, x0, x1, y0, y1, w, out=None):
+    """Add ``w[i]`` to ``out[x0[i]:x1[i]+1, y0[i]:y1[i]+1]`` per rectangle.
+
+    Bounds are inclusive Gcell indices, assumed in range.  ``w`` may be a
+    scalar or a per-rectangle array.  Rectangles are applied in order
+    with one slice-add each (the historical per-net loop).
+    """
+    if out is None:
+        out = np.zeros((nx, ny))
+    ww = np.broadcast_to(np.asarray(w, dtype=np.float64), np.shape(x0))
+    for rx0, rx1, ry0, ry1, rw in zip(
+        np.asarray(x0).tolist(),
+        np.asarray(x1).tolist(),
+        np.asarray(y0).tolist(),
+        np.asarray(y1).tolist(),
+        ww.tolist(),
+    ):
+        out[rx0 : rx1 + 1, ry0 : ry1 + 1] += rw
+    return out
+
+
+# ----------------------------------------------------------------------
+# Movable-cell bin overlap (electrostatic charge density)
+# ----------------------------------------------------------------------
+
+
+def bin_overlap(xlo, xhi, ylo, yhi, ix0, iy0, kx, ky, scale, dim, bin_w, bin_h):
+    """Smoothed movable-area map by per-offset clamped accumulation.
+
+    Coordinates are die-relative cell extents; ``ix0``/``iy0`` the bin of
+    the low edge; ``kx``/``ky`` the maximum bin span.  Matches the
+    historical ePlace loop, including the boundary behaviour: bin indices
+    are clamped to ``dim - 1``, so cells whose span sticks past the last
+    bin re-accumulate that boundary bin once per clamped offset.
+    """
+    rho = np.zeros((dim, dim))
+    if len(xlo) == 0:
+        return rho
+    flat = rho.ravel()
+    for dxk in range(kx):
+        ix = np.clip(ix0 + dxk, 0, dim - 1)
+        ox = np.clip(
+            np.minimum(xhi, (ix + 1) * bin_w) - np.maximum(xlo, ix * bin_w),
+            0.0,
+            None,
+        )
+        for dyk in range(ky):
+            iy = np.clip(iy0 + dyk, 0, dim - 1)
+            oy = np.clip(
+                np.minimum(yhi, (iy + 1) * bin_h) - np.maximum(ylo, iy * bin_h),
+                0.0,
+                None,
+            )
+            np.add.at(flat, ix * dim + iy, ox * oy * scale)
+    return rho
+
+
+# ----------------------------------------------------------------------
+# Fixed-rectangle rasterization (exact per-bin overlap area)
+# ----------------------------------------------------------------------
+
+
+def rect_area(x0, x1, y0, y1, dim, bin_w, bin_h):
+    """Exact per-bin overlap area of die-relative rectangles.
+
+    The historical ``_rasterize_fixed`` inner loops: for every rectangle,
+    walk its covered bin range and add the x/y overlap product.  Inputs
+    are assumed clipped to the die (``0 <= x0 < x1 <= dim * bin_w``).
+    """
+    out = np.zeros((dim, dim))
+    for rx0, rx1, ry0, ry1 in zip(
+        np.asarray(x0).tolist(),
+        np.asarray(x1).tolist(),
+        np.asarray(y0).tolist(),
+        np.asarray(y1).tolist(),
+    ):
+        ix0 = int(rx0 / bin_w)
+        ix1 = min(int(math.ceil(rx1 / bin_w)), dim)
+        iy0 = int(ry0 / bin_h)
+        iy1 = min(int(math.ceil(ry1 / bin_h)), dim)
+        for i in range(max(ix0, 0), ix1):
+            ox = min(rx1, (i + 1) * bin_w) - max(rx0, i * bin_w)
+            if ox <= 0:
+                continue
+            for j in range(max(iy0, 0), iy1):
+                oy = min(ry1, (j + 1) * bin_h) - max(ry0, j * bin_h)
+                if oy > 0:
+                    out[i, j] += ox * oy
+    return out
+
+
+# ----------------------------------------------------------------------
+# Maze search (A* with run-based turn accounting)
+# ----------------------------------------------------------------------
+
+_DIRS = ((1, 0), (-1, 0), (0, 1), (0, -1))  # dx, dy
+_H = 0  # horizontal movement kind
+_V = 1
+
+
+def maze_search(gx0, gy0, gx1, gy1, cost_h, cost_v, xlo, xhi, ylo, yhi):
+    """A* from ``(gx0, gy0)`` to ``(gx1, gy1)`` inside the given window.
+
+    Costs charge the entered Gcell in the movement direction and, on
+    turns (or when leaving the start), additionally charge the corner
+    cell in the new direction.  Returns ``(h_cells, v_cells)`` flat index
+    arrays, or ``None`` when no path exists in the window.
+    """
+    ny = cost_h.shape[1]
+    # State: (x, y, last_dir) with last_dir in {H, V, 2=start}.
+    best = {}
+    came = {}
+    start = (gx0, gy0, 2)
+    best[start] = 0.0
+    frontier = [(_heuristic(gx0, gy0, gx1, gy1), 0.0, start)]
+    goal_state = None
+    pops = 0
+    while frontier:
+        f, g, state = heapq.heappop(frontier)
+        pops += 1
+        if g > best.get(state, np.inf):
+            continue
+        x, y, last = state
+        if x == gx1 and y == gy1:
+            goal_state = state
+            break
+        for dx, dy in _DIRS:
+            nx_, ny_ = x + dx, y + dy
+            if not (xlo <= nx_ <= xhi and ylo <= ny_ <= yhi):
+                continue
+            move = _H if dy == 0 else _V
+            step = cost_h[nx_, ny_] if move == _H else cost_v[nx_, ny_]
+            turn = 0.0
+            if last == 2:
+                # Leaving the start: charge the start cell in this direction.
+                turn = cost_h[x, y] if move == _H else cost_v[x, y]
+            elif last != move:
+                turn = cost_h[x, y] if move == _H else cost_v[x, y]
+            ng = g + step + turn
+            nstate = (nx_, ny_, move)
+            if ng < best.get(nstate, np.inf) - 1e-12:
+                best[nstate] = ng
+                came[nstate] = state
+                heapq.heappush(
+                    frontier, (ng + _heuristic(nx_, ny_, gx1, gy1), ng, nstate)
+                )
+    obs.histogram("maze/pops").observe(pops)
+    if goal_state is None:
+        return None
+    return _reconstruct(goal_state, came, ny)
+
+
+def _heuristic(x: int, y: int, tx: int, ty: int) -> float:
+    return abs(x - tx) + abs(y - ty)
+
+
+def _reconstruct(goal, came, ny: int):
+    """Charged-cell lists from the predecessor chain."""
+    h_cells = []
+    v_cells = []
+    state = goal
+    while state in came:
+        prev = came[state]
+        x, y, move = state
+        px, py, plast = prev
+        (h_cells if move == _H else v_cells).append(x * ny + y)
+        # Turn (or start) charge on the corner cell.
+        if plast == 2 or plast != move:
+            (h_cells if move == _H else v_cells).append(px * ny + py)
+        state = prev
+    return (
+        np.unique(np.asarray(h_cells, dtype=np.int64)),
+        np.unique(np.asarray(v_cells, dtype=np.int64)),
+    )

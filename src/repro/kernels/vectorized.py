@@ -1,0 +1,336 @@
+"""Vectorized (batched numpy) kernel implementations.
+
+Each function is a whole-batch reformulation of the corresponding loop
+in :mod:`repro.kernels.reference`:
+
+* :func:`rect_add` — 2D difference-array: scatter the four signed
+  corners of every rectangle with one ``np.add.at``, then integrate with
+  two cumulative sums.  O(rects + grid) instead of O(rects x area).
+* :func:`bin_overlap` — closed-form bin coverage (in bin units) plus a
+  ``bincount`` per (dx, dy) bin offset accumulated into shifted views.
+  Cells whose clamped bin span would alias the boundary bin (the
+  reference's ``np.clip(..., dim - 1)`` re-accumulation) take a separate
+  exact path so the boundary quirk is reproduced bit-for-bit in shape.
+* :func:`rect_area` — per-axis coverage matrices contracted with one
+  matmul: ``out = covx.T @ covy``.
+* :func:`maze_search` — label-correcting wavefront: directional
+  min-scans relax entire straight runs per sweep, so the sweep count is
+  bounded by the number of turns on the optimal path, not its length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import obs
+
+# ----------------------------------------------------------------------
+# Weighted-rectangle accumulation (demand / RUDY rasterization)
+# ----------------------------------------------------------------------
+
+
+def rect_add(nx, ny, x0, x1, y0, y1, w, out=None):
+    """Add ``w[i]`` to ``out[x0[i]:x1[i]+1, y0[i]:y1[i]+1]`` per rectangle.
+
+    Difference-array formulation: each rectangle contributes four signed
+    corner impulses; a double cumulative sum recovers the dense map.
+    Agrees with the reference to float64 summation-order tolerance.
+    """
+    if out is None:
+        out = np.zeros((nx, ny))
+    x0 = np.asarray(x0, dtype=np.int64)
+    if len(x0) == 0:
+        return out
+    x1 = np.asarray(x1, dtype=np.int64)
+    y0 = np.asarray(y0, dtype=np.int64)
+    y1 = np.asarray(y1, dtype=np.int64)
+    ww = np.ascontiguousarray(
+        np.broadcast_to(np.asarray(w, dtype=np.float64), x0.shape)
+    )
+    diff = np.zeros((nx + 1, ny + 1))
+    np.add.at(diff, (x0, y0), ww)
+    np.add.at(diff, (x1 + 1, y0), -ww)
+    np.add.at(diff, (x0, y1 + 1), -ww)
+    np.add.at(diff, (x1 + 1, y1 + 1), ww)
+    np.cumsum(diff, axis=0, out=diff)
+    np.cumsum(diff, axis=1, out=diff)
+    out += diff[:nx, :ny]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Movable-cell bin overlap (electrostatic charge density)
+# ----------------------------------------------------------------------
+
+
+def bin_overlap(xlo, xhi, ylo, yhi, ix0, iy0, kx, ky, scale, dim, bin_w, bin_h):
+    """Smoothed movable-area map, batched over all cells at once.
+
+    Interior cells (bin span entirely inside the grid) use closed-form
+    per-offset coverage in bin units and one ``bincount`` per (dx, dy)
+    offset pair, added into the offset-shifted view of the map.  Cells
+    whose span would be clamped at the boundary replay the reference's
+    clamped-index accumulation exactly (including the boundary-bin
+    re-accumulation) on the small clamped subset.
+    """
+    rho = np.zeros((dim, dim))
+    n = len(xlo)
+    if n == 0:
+        return rho
+    scale = np.broadcast_to(np.asarray(scale, dtype=np.float64), (n,))
+    # Closed-form pass over every cell: offset (a, b) contributions land
+    # in the (a, b)-shifted view, which silently *drops* spill past the
+    # last bin instead of clamping it like the reference does.  The few
+    # boundary cells are then corrected: remove their closed-form terms,
+    # re-add them with the reference's clamped indices.  Precondition
+    # (guaranteed by the die-clipped extents): 0 <= ix0, iy0 < dim.
+    _overlap_closed_form(rho, xlo, xhi, ylo, yhi, ix0, iy0, kx, ky, scale,
+                         bin_w, bin_h)
+    edge = (ix0 > dim - kx) | (iy0 > dim - ky) | (ix0 < 0) | (iy0 < 0)
+    if edge.any():
+        e = np.flatnonzero(edge)
+        _overlap_edge_fix(rho, xlo[e], xhi[e], ylo[e], yhi[e], ix0[e], iy0[e],
+                          kx, ky, scale[e], bin_w, bin_h)
+    return rho
+
+
+def _coverage(lo, hi, i0, k, inv):
+    """Per-offset bin coverage columns, in bin units: column ``j`` is the
+    overlap of ``[lo, hi]`` with the ``(i0 + j)``-th bin."""
+    a = hi * inv
+    a -= i0
+    b = lo * inv
+    b -= i0
+    col = np.minimum(a, 1.0)
+    col -= b
+    cols = [col]
+    for j in range(1, k):
+        col = a - j
+        np.minimum(col, 1.0, out=col)
+        np.clip(col, 0.0, None, out=col)
+        cols.append(col)
+    return cols
+
+
+def _overlap_closed_form(rho, xlo, xhi, ylo, yhi, ix0, iy0, kx, ky, scale,
+                         bin_w, bin_h):
+    """Closed-form coverage + one ``bincount`` per offset pair, added
+    into the offset-shifted view of the map."""
+    dim = rho.shape[0]
+    oxs = _coverage(xlo, xhi, ix0, kx, 1.0 / bin_w)
+    oys = _coverage(ylo, yhi, iy0, ky, 1.0 / bin_h)
+    # Fold the per-cell scale and the bin area (bin-unit -> area) into x.
+    s = scale * (bin_w * bin_h)
+    for col in oxs:
+        col *= s
+    base = ix0 * dim
+    base += iy0
+    size = dim * dim
+    prod = np.empty_like(s)
+    for a in range(kx):
+        for b in range(ky):
+            np.multiply(oxs[a], oys[b], out=prod)
+            m = np.bincount(base, weights=prod, minlength=size)
+            rho[a:, b:] += m.reshape(dim, dim)[: dim - a or None, : dim - b or None]
+
+
+def _overlap_edge_fix(rho, xlo, xhi, ylo, yhi, ix0, iy0, kx, ky, scale,
+                      bin_w, bin_h):
+    """Swap boundary cells' closed-form terms for reference-clamped ones."""
+    dim = rho.shape[0]
+    size = dim * dim
+    s = scale * (bin_w * bin_h)
+    # Remove: the identical closed-form weights, at their unclamped
+    # (in-grid only) positions — cancels what the main pass added.
+    ox = np.stack(_coverage(xlo, xhi, ix0, kx, 1.0 / bin_w), axis=1) * s[:, None]
+    oy = np.stack(_coverage(ylo, yhi, iy0, ky, 1.0 / bin_h), axis=1)
+    ixs = ix0[:, None] + np.arange(kx)[None, :]
+    iys = iy0[:, None] + np.arange(ky)[None, :]
+    wgt = ox[:, :, None] * oy[:, None, :]
+    flat = ixs[:, :, None] * dim + iys[:, None, :]
+    ok = ((ixs >= 0) & (ixs < dim))[:, :, None] & ((iys >= 0) & (iys < dim))[:, None, :]
+    rho -= np.bincount(flat[ok], weights=wgt[ok], minlength=size).reshape(dim, dim)
+    # Add: the reference accumulation — offsets clamped to the last bin,
+    # overlap recomputed against the clamped bin.
+    ix = np.clip(ixs, 0, dim - 1)
+    ox = np.clip(
+        np.minimum(xhi[:, None], (ix + 1) * bin_w)
+        - np.maximum(xlo[:, None], ix * bin_w),
+        0.0,
+        None,
+    )
+    iy = np.clip(iys, 0, dim - 1)
+    oy = np.clip(
+        np.minimum(yhi[:, None], (iy + 1) * bin_h)
+        - np.maximum(ylo[:, None], iy * bin_h),
+        0.0,
+        None,
+    )
+    wgt = ox[:, :, None] * oy[:, None, :] * scale[:, None, None]
+    flat = ix[:, :, None] * dim + iy[:, None, :]
+    rho += np.bincount(
+        flat.ravel(), weights=wgt.ravel(), minlength=size
+    ).reshape(dim, dim)
+
+
+# ----------------------------------------------------------------------
+# Fixed-rectangle rasterization (exact per-bin overlap area)
+# ----------------------------------------------------------------------
+
+
+def rect_area(x0, x1, y0, y1, dim, bin_w, bin_h):
+    """Exact per-bin overlap area via per-axis coverage + one matmul.
+
+    ``covx[i, b]`` is the x-extent rectangle ``i`` covers in bin column
+    ``b`` (and ``covy`` its y counterpart); the per-bin area summed over
+    rectangles is exactly ``covx.T @ covy``.
+    """
+    out = np.zeros((dim, dim))
+    x0 = np.asarray(x0, dtype=np.float64)
+    if len(x0) == 0:
+        return out
+    x1 = np.asarray(x1, dtype=np.float64)
+    y0 = np.asarray(y0, dtype=np.float64)
+    y1 = np.asarray(y1, dtype=np.float64)
+    edges_x = np.arange(dim + 1) * bin_w
+    edges_y = np.arange(dim + 1) * bin_h
+    covx = np.minimum(x1[:, None], edges_x[None, 1:]) - np.maximum(
+        x0[:, None], edges_x[None, :-1]
+    )
+    np.clip(covx, 0.0, None, out=covx)
+    covy = np.minimum(y1[:, None], edges_y[None, 1:]) - np.maximum(
+        y0[:, None], edges_y[None, :-1]
+    )
+    np.clip(covy, 0.0, None, out=covy)
+    out += covx.T @ covy
+    return out
+
+
+# ----------------------------------------------------------------------
+# Maze search (label-correcting wavefront with directional scans)
+# ----------------------------------------------------------------------
+
+_H = 0
+_V = 1
+
+
+def maze_search(gx0, gy0, gx1, gy1, cost_h, cost_v, xlo, xhi, ylo, yhi):
+    """Batched wavefront search with the reference cost semantics.
+
+    ``gH[x, y]`` / ``gV[x, y]`` hold the cheapest cost of reaching the
+    cell with a last move in that direction.  Each sweep first forms the
+    pre-move potential ``a = min(g_same, g_other + turn_charge)``, then
+    relaxes entire straight runs with prefix/suffix min-scans along each
+    axis (the batched neighbor expansion), so convergence takes on the
+    order of the optimal path's turn count.  The path is recovered by
+    walking cost-consistent predecessors; charged cells match the
+    reference accounting (entered cell in the move direction, corner
+    cell on turns and at the start).
+    """
+    ny_full = cost_h.shape[1]
+    ch = np.ascontiguousarray(cost_h[xlo : xhi + 1, ylo : yhi + 1])
+    cv = np.ascontiguousarray(cost_v[xlo : xhi + 1, ylo : yhi + 1])
+    w, h = ch.shape
+    sx, sy = gx0 - xlo, gy0 - ylo
+    tx, ty = gx1 - xlo, gy1 - ylo
+
+    gH = np.full((w, h), np.inf)
+    gV = np.full((w, h), np.inf)
+    # Seed the four moves out of the start (entered cell + start charge).
+    if sx + 1 < w:
+        gH[sx + 1, sy] = ch[sx + 1, sy] + ch[sx, sy]
+    if sx >= 1:
+        gH[sx - 1, sy] = ch[sx - 1, sy] + ch[sx, sy]
+    if sy + 1 < h:
+        gV[sx, sy + 1] = cv[sx, sy + 1] + cv[sx, sy]
+    if sy >= 1:
+        gV[sx, sy - 1] = cv[sx, sy - 1] + cv[sx, sy]
+
+    sh = np.cumsum(ch, axis=0)  # inclusive prefix of H step costs
+    sv = np.cumsum(cv, axis=1)
+    ph = sh - ch  # exclusive prefix
+    pv = sv - cv
+
+    converged = False
+    sweeps = 0
+    for _ in range(2 * w * h + 8):
+        sweeps += 1
+        aH = np.minimum(gH, gV + ch)
+        aV = np.minimum(gV, gH + cv)
+        # Straight H runs: cost k -> x (rightward) is sh[x] - sh[k], so
+        # cand[x] = sh[x] + min_{k<x}(aH[k] - sh[k]); leftward uses the
+        # exclusive prefix ph symmetrically.  One min-scan per direction.
+        newH = gH.copy()
+        run = np.minimum.accumulate(aH - sh, axis=0)
+        np.minimum(newH[1:], run[:-1] + sh[1:], out=newH[1:])
+        run = np.minimum.accumulate((aH + ph)[::-1], axis=0)[::-1]
+        np.minimum(newH[:-1], run[1:] - ph[:-1], out=newH[:-1])
+        newV = gV.copy()
+        run = np.minimum.accumulate(aV - sv, axis=1)
+        np.minimum(newV[:, 1:], run[:, :-1] + sv[:, 1:], out=newV[:, 1:])
+        run = np.minimum.accumulate((aV + pv)[:, ::-1], axis=1)[:, ::-1]
+        np.minimum(newV[:, :-1], run[:, 1:] - pv[:, :-1], out=newV[:, :-1])
+        if np.array_equal(newH, gH) and np.array_equal(newV, gV):
+            converged = True
+            break
+        gH, gV = newH, newV
+    obs.histogram("maze/sweeps").observe(sweeps)
+    if not converged:
+        return None
+
+    return _backtrack(gH, gV, ch, cv, sx, sy, tx, ty, xlo, ylo, ny_full)
+
+
+def _backtrack(gH, gV, ch, cv, sx, sy, tx, ty, xlo, ylo, ny_full):
+    """Charged-cell lists by walking cost-consistent predecessors."""
+    w, h = ch.shape
+    use_h = gH[tx, ty] <= gV[tx, ty]
+    g = gH[tx, ty] if use_h else gV[tx, ty]
+    if not np.isfinite(g):
+        return None
+    h_cells = []
+    v_cells = []
+    x, y, d = tx, ty, (_H if use_h else _V)
+    for _ in range(4 * w * h + 8):
+        cells = h_cells if d == _H else v_cells
+        cells.append((x + xlo) * ny_full + (y + ylo))
+        step = ch[x, y] if d == _H else cv[x, y]
+        tol = 1e-9 * (1.0 + abs(g))
+        # Direct move out of the start?
+        if d == _H and y == sy and abs(x - sx) == 1:
+            if abs(ch[x, y] + ch[sx, sy] - g) <= tol:
+                cells.append((sx + xlo) * ny_full + (sy + ylo))
+                return _as_routes(h_cells, v_cells)
+        if d == _V and x == sx and abs(y - sy) == 1:
+            if abs(cv[x, y] + cv[sx, sy] - g) <= tol:
+                cells.append((sx + xlo) * ny_full + (sy + ylo))
+                return _as_routes(h_cells, v_cells)
+        g_same = gH if d == _H else gV
+        g_turn = gV if d == _H else gH
+        preds = ((x - 1, y), (x + 1, y)) if d == _H else ((x, y - 1), (x, y + 1))
+        found = False
+        for px, py in preds:  # straight continuation first
+            if 0 <= px < w and 0 <= py < h and abs(g_same[px, py] + step - g) <= tol:
+                x, y, g = px, py, g_same[px, py]
+                found = True
+                break
+        if not found:
+            for px, py in preds:  # then a turn (corner charge on pred)
+                if not (0 <= px < w and 0 <= py < h):
+                    continue
+                corner = ch[px, py] if d == _H else cv[px, py]
+                if abs(g_turn[px, py] + corner + step - g) <= tol:
+                    cells.append((px + xlo) * ny_full + (py + ylo))
+                    x, y, g, d = px, py, g_turn[px, py], (_V if d == _H else _H)
+                    found = True
+                    break
+        if not found:
+            return None
+    return None
+
+
+def _as_routes(h_cells, v_cells):
+    return (
+        np.unique(np.asarray(h_cells, dtype=np.int64)),
+        np.unique(np.asarray(v_cells, dtype=np.int64)),
+    )

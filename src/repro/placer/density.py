@@ -18,6 +18,7 @@ import math
 import numpy as np
 from scipy.fft import dctn, idctn
 
+from .. import kernels, obs
 from ..netlist.design import Design
 from .params import PlacementParams
 
@@ -97,62 +98,46 @@ class ElectrostaticDensity:
         """Smoothed movable-area map for cell centers ``x, y``."""
         die = self._design.die
         dim = self.dim
-        rho = np.zeros((dim, dim))
         if len(self._mov_idx) == 0:
-            return rho
-        cx = np.clip(x[self._mov_idx], die.xlo, die.xhi)
-        cy = np.clip(y[self._mov_idx], die.ylo, die.yhi)
-        xlo = np.clip(cx - self._w_s / 2, die.xlo, die.xhi) - die.xlo
-        xhi = np.clip(cx + self._w_s / 2, die.xlo, die.xhi) - die.xlo
-        ylo = np.clip(cy - self._h_s / 2, die.ylo, die.yhi) - die.ylo
-        yhi = np.clip(cy + self._h_s / 2, die.ylo, die.yhi) - die.ylo
-        ix0 = np.floor(xlo / self.bin_w).astype(np.int64)
-        iy0 = np.floor(ylo / self.bin_h).astype(np.int64)
-        flat = rho.ravel()
-        for dxk in range(self._kx):
-            ix = np.clip(ix0 + dxk, 0, dim - 1)
-            ox = np.clip(
-                np.minimum(xhi, (ix + 1) * self.bin_w) - np.maximum(xlo, ix * self.bin_w),
-                0.0,
-                None,
+            return np.zeros((dim, dim))
+        with obs.span("density/movable", cells=len(self._mov_idx)) as span:
+            cx = np.clip(x[self._mov_idx], die.xlo, die.xhi)
+            cy = np.clip(y[self._mov_idx], die.ylo, die.yhi)
+            xlo = np.clip(cx - self._w_s / 2, die.xlo, die.xhi) - die.xlo
+            xhi = np.clip(cx + self._w_s / 2, die.xlo, die.xhi) - die.xlo
+            ylo = np.clip(cy - self._h_s / 2, die.ylo, die.yhi) - die.ylo
+            yhi = np.clip(cy + self._h_s / 2, die.ylo, die.yhi) - die.ylo
+            ix0 = np.floor(xlo / self.bin_w).astype(np.int64)
+            iy0 = np.floor(ylo / self.bin_h).astype(np.int64)
+            rho = kernels.bin_overlap(
+                xlo, xhi, ylo, yhi, ix0, iy0,
+                self._kx, self._ky, self._scale, dim, self.bin_w, self.bin_h,
             )
-            for dyk in range(self._ky):
-                iy = np.clip(iy0 + dyk, 0, dim - 1)
-                oy = np.clip(
-                    np.minimum(yhi, (iy + 1) * self.bin_h)
-                    - np.maximum(ylo, iy * self.bin_h),
-                    0.0,
-                    None,
-                )
-                np.add.at(flat, ix * dim + iy, ox * oy * self._scale)
+            span.set(backend=kernels.current())
         return rho
 
     def _rasterize_fixed(self) -> np.ndarray:
         """Exact per-bin area of fixed objects, clipped at the bin area."""
         dim = self.dim
         die = self._design.die
-        fixed = np.zeros((dim, dim))
-        for cell in np.flatnonzero(~self._design.movable):
-            rect = self._design.cell_rect(int(cell))
-            clipped = rect.intersection(die)
-            if clipped is None:
-                continue
-            ix0 = int((clipped.xlo - die.xlo) / self.bin_w)
-            ix1 = min(int(math.ceil((clipped.xhi - die.xlo) / self.bin_w)), dim)
-            iy0 = int((clipped.ylo - die.ylo) / self.bin_h)
-            iy1 = min(int(math.ceil((clipped.yhi - die.ylo) / self.bin_h)), dim)
-            for i in range(max(ix0, 0), ix1):
-                ox = min(clipped.xhi, die.xlo + (i + 1) * self.bin_w) - max(
-                    clipped.xlo, die.xlo + i * self.bin_w
-                )
-                if ox <= 0:
-                    continue
-                for j in range(max(iy0, 0), iy1):
-                    oy = min(clipped.yhi, die.ylo + (j + 1) * self.bin_h) - max(
-                        clipped.ylo, die.ylo + j * self.bin_h
-                    )
-                    if oy > 0:
-                        fixed[i, j] += ox * oy
+        design = self._design
+        fixed_idx = np.flatnonzero(~design.movable)
+        if len(fixed_idx) == 0:
+            return np.zeros((dim, dim))
+        with obs.span("density/fixed", cells=len(fixed_idx)) as span:
+            hw = design.w[fixed_idx] / 2.0
+            hh = design.h[fixed_idx] / 2.0
+            # Die-relative clipped extents; drop objects fully outside.
+            x0 = np.maximum(design.x[fixed_idx] - hw, die.xlo) - die.xlo
+            x1 = np.minimum(design.x[fixed_idx] + hw, die.xhi) - die.xlo
+            y0 = np.maximum(design.y[fixed_idx] - hh, die.ylo) - die.ylo
+            y1 = np.minimum(design.y[fixed_idx] + hh, die.yhi) - die.ylo
+            keep = (x1 > x0) & (y1 > y0)
+            fixed = kernels.rect_area(
+                x0[keep], x1[keep], y0[keep], y1[keep],
+                dim, self.bin_w, self.bin_h,
+            )
+            span.set(backend=kernels.current())
         return np.minimum(fixed, self.bin_area)
 
     # ------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Bounded A* maze routing on the Gcell grid.
+"""Bounded maze routing on the Gcell grid.
 
 Used by the rip-up-and-reroute phase for segments that pattern routing
 cannot place without overflow.  The search is restricted to the segment
@@ -6,19 +6,18 @@ bounding box expanded by a margin; costs charge the entered Gcell in the
 movement direction and, on turns, additionally charge the corner Gcell in
 the new direction — consistent with the run-based accounting of
 :mod:`repro.router.pattern`.
+
+The search itself lives in :mod:`repro.kernels` (``maze_search``): the
+``"reference"`` backend is the historical A*, the ``"vectorized"``
+backend a batched label-correcting wavefront.  Both return the same
+charged-cell accounting at equal path cost.
 """
 
 from __future__ import annotations
 
-import heapq
-
 import numpy as np
 
-from .. import obs
-
-_DIRS = ((1, 0), (-1, 0), (0, 1), (0, -1))  # dx, dy
-_H = 0  # horizontal movement kind
-_V = 1
+from .. import kernels, obs
 
 
 def maze_route(
@@ -30,7 +29,7 @@ def maze_route(
     cost_v: np.ndarray,
     margin: int,
 ) -> "tuple | None":
-    """A* from ``(gx0, gy0)`` to ``(gx1, gy1)`` inside an expanded bbox.
+    """Cheapest path from ``(gx0, gy0)`` to ``(gx1, gy1)`` in an expanded bbox.
 
     Args:
         cost_h, cost_v: 2D per-Gcell direction costs (>= 1).
@@ -48,70 +47,9 @@ def maze_route(
     yhi = min(max(gy0, gy1) + margin, ny - 1)
     if gx0 == gx1 and gy0 == gy1:
         return np.zeros(0, np.int64), np.zeros(0, np.int64)
-
-    # State: (x, y, last_dir) with last_dir in {H, V, 2=start}.
-    best = {}
-    came = {}
-    start = (gx0, gy0, 2)
-    best[start] = 0.0
-    frontier = [(_heuristic(gx0, gy0, gx1, gy1), 0.0, start)]
-    goal_state = None
-    pops = 0
-    while frontier:
-        f, g, state = heapq.heappop(frontier)
-        pops += 1
-        if g > best.get(state, np.inf):
-            continue
-        x, y, last = state
-        if x == gx1 and y == gy1:
-            goal_state = state
-            break
-        for dx, dy in _DIRS:
-            nx_, ny_ = x + dx, y + dy
-            if not (xlo <= nx_ <= xhi and ylo <= ny_ <= yhi):
-                continue
-            move = _H if dy == 0 else _V
-            step = cost_h[nx_, ny_] if move == _H else cost_v[nx_, ny_]
-            turn = 0.0
-            if last == 2:
-                # Leaving the start: charge the start cell in this direction.
-                turn = cost_h[x, y] if move == _H else cost_v[x, y]
-            elif last != move:
-                turn = cost_h[x, y] if move == _H else cost_v[x, y]
-            ng = g + step + turn
-            nstate = (nx_, ny_, move)
-            if ng < best.get(nstate, np.inf) - 1e-12:
-                best[nstate] = ng
-                came[nstate] = state
-                heapq.heappush(
-                    frontier, (ng + _heuristic(nx_, ny_, gx1, gy1), ng, nstate)
-                )
-    obs.histogram("maze/pops").observe(pops)
-    if goal_state is None:
-        obs.counter("maze/no_path").inc()
-        return None
-    return _reconstruct(goal_state, came, ny)
-
-
-def _heuristic(x: int, y: int, tx: int, ty: int) -> float:
-    return abs(x - tx) + abs(y - ty)
-
-
-def _reconstruct(goal, came, ny: int):
-    """Charged-cell lists from the predecessor chain."""
-    h_cells = []
-    v_cells = []
-    state = goal
-    while state in came:
-        prev = came[state]
-        x, y, move = state
-        px, py, plast = prev
-        (h_cells if move == _H else v_cells).append(x * ny + y)
-        # Turn (or start) charge on the corner cell.
-        if plast == 2 or plast != move:
-            (h_cells if move == _H else v_cells).append(px * ny + py)
-        state = prev
-    return (
-        np.unique(np.asarray(h_cells, dtype=np.int64)),
-        np.unique(np.asarray(v_cells, dtype=np.int64)),
+    route = kernels.maze_search(
+        gx0, gy0, gx1, gy1, cost_h, cost_v, xlo, xhi, ylo, yhi
     )
+    if route is None:
+        obs.counter("maze/no_path").inc()
+    return route

@@ -9,6 +9,12 @@ from repro.benchgen import GeneratorSpec, generate_design
 from repro.netlist import DesignBuilder, Rect, Technology
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under ``tests/`` is the tier-1 gate (see ROADMAP.md)."""
+    for item in items:
+        item.add_marker(pytest.mark.tier1)
+
+
 def build_tiny_design(name: str = "tiny", num_cells: int = 8, die: float = 64.0):
     """A deterministic hand-built design: a chain of cells plus one IO."""
     tech = Technology()

@@ -1,0 +1,394 @@
+"""Golden-equivalence suite for :mod:`repro.kernels`.
+
+Every kernel is checked vectorized-vs-reference on randomized inputs —
+property-style: many seeded draws covering varying net degrees, designs
+with macros/blockages, empty and single-pin nets, cells clamped at the
+die boundary, and adversarial cost maps for the maze.  Tolerances: map
+kernels agree to ``allclose(rtol=1e-9, atol=1e-9)`` (the backends sum
+the same terms in different orders); the maze agrees on path *cost* to
+``1e-6`` relative (ties may break to a different equal-cost path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.benchgen import GeneratorSpec, generate_design
+from repro.core.congestion import CongestionEstimator
+from repro.core.demand import accumulate_demand, build_topologies
+from repro.core.rudy import rudy_maps
+from repro.netlist import DesignBuilder, Rect, Technology
+from repro.placer.density import ElectrostaticDensity
+from repro.placer.params import PlacementParams
+from repro.router.grid import build_grid
+from repro.router.maze import maze_route
+
+MAPS_TOL = dict(rtol=1e-9, atol=1e-9)
+
+
+def both_backends(fn):
+    """Evaluate ``fn()`` under each backend; returns (reference, vectorized)."""
+    with kernels.using("reference"):
+        ref = fn()
+    with kernels.using("vectorized"):
+        vec = fn()
+    return ref, vec
+
+
+# ----------------------------------------------------------------------
+# Dispatch layer
+# ----------------------------------------------------------------------
+
+
+class TestDispatch:
+    def test_default_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+        assert kernels._from_env() == "vectorized"
+
+    def test_use_returns_previous_and_switches(self):
+        ambient = kernels.current()
+        previous = kernels.use("reference")
+        try:
+            assert previous == ambient
+            assert kernels.current() == "reference"
+        finally:
+            kernels.use(previous)
+
+    def test_using_restores_on_exit_and_error(self):
+        ambient = kernels.current()
+        other = "reference" if ambient == "vectorized" else "vectorized"
+        with kernels.using(other):
+            assert kernels.current() == other
+        assert kernels.current() == ambient
+        with pytest.raises(RuntimeError):
+            with kernels.using(other):
+                raise RuntimeError("boom")
+        assert kernels.current() == ambient
+
+    def test_unknown_backend_rejected(self):
+        ambient = kernels.current()
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.use("numba")
+        assert kernels.current() == ambient
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "reference")
+        assert kernels._from_env() == "reference"
+        monkeypatch.setenv(kernels.ENV_VAR, "bogus")
+        with pytest.warns(UserWarning, match="REPRO_KERNELS"):
+            assert kernels._from_env() == "vectorized"
+
+
+# ----------------------------------------------------------------------
+# rect_add
+# ----------------------------------------------------------------------
+
+
+class TestRectAdd:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_rects(self, seed):
+        rng = np.random.default_rng(seed)
+        nx, ny = rng.integers(2, 60, 2)
+        n = int(rng.integers(0, 400))
+        x0 = rng.integers(0, nx, n)
+        x1 = np.minimum(x0 + rng.integers(0, nx, n), nx - 1)
+        y0 = rng.integers(0, ny, n)
+        y1 = np.minimum(y0 + rng.integers(0, ny, n), ny - 1)
+        w = rng.random(n) * 3.0
+        ref, vec = both_backends(
+            lambda: kernels.rect_add(nx, ny, x0, x1, y0, y1, w)
+        )
+        np.testing.assert_allclose(vec, ref, **MAPS_TOL)
+        # Total mass is exactly the weighted covered area.
+        area = (x1 - x0 + 1.0) * (y1 - y0 + 1.0)
+        assert vec.sum() == pytest.approx((w * area).sum(), rel=1e-9)
+
+    def test_scalar_weight_and_out_accumulation(self):
+        x0 = np.array([0, 2])
+        x1 = np.array([4, 2])
+        y0 = np.array([1, 0])
+        y1 = np.array([1, 4])
+        start = np.full((5, 5), 7.0)
+        ref, vec = both_backends(
+            lambda: kernels.rect_add(5, 5, x0, x1, y0, y1, 0.5, out=start.copy())
+        )
+        np.testing.assert_allclose(vec, ref, **MAPS_TOL)
+        assert vec[0, 0] == 7.0
+        assert vec[0, 1] == 7.5
+        assert vec[2, 1] == 8.0  # both rectangles overlap here
+
+    def test_empty_batch(self):
+        empty = np.zeros(0, dtype=np.int64)
+        ref, vec = both_backends(
+            lambda: kernels.rect_add(4, 3, empty, empty, empty, empty, 1.0)
+        )
+        assert ref.shape == vec.shape == (4, 3)
+        assert not vec.any() and not ref.any()
+
+    def test_single_cell_and_full_grid_rects(self):
+        x0 = np.array([3, 0])
+        x1 = np.array([3, 7])
+        y0 = np.array([2, 0])
+        y1 = np.array([2, 7])
+        ref, vec = both_backends(
+            lambda: kernels.rect_add(8, 8, x0, x1, y0, y1, np.array([2.0, 1.0]))
+        )
+        np.testing.assert_allclose(vec, ref, **MAPS_TOL)
+        assert vec[3, 2] == 3.0
+        assert vec[0, 0] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Demand / RUDY rasterization on whole designs
+# ----------------------------------------------------------------------
+
+
+def _random_design(seed: int):
+    rng = np.random.default_rng(seed)
+    spec = GeneratorSpec(
+        name=f"prop{seed}",
+        num_cells=int(rng.integers(60, 220)),
+        num_nets=int(rng.integers(90, 320)),
+        pins_per_net=float(rng.uniform(2.2, 4.5)),  # varies net degrees
+        num_macros=int(rng.integers(0, 4)),  # macros = routing blockages
+        num_io=int(rng.integers(0, 10)),
+        utilization=float(rng.uniform(0.5, 0.85)),
+        seed=seed,
+    )
+    return generate_design(spec)
+
+
+def _degenerate_design():
+    """Single-pin nets, empty nets, and an all-pins-one-Gcell local net."""
+    tech = Technology()
+    builder = DesignBuilder("degen", tech, Rect(0, 0, 64, 64))
+    cells = [builder.add_cell(f"c{i}", 2, tech.row_height) for i in range(6)]
+    empty = builder.add_net("empty")  # no pins at all
+    single = builder.add_net("single")  # one pin: skipped by the estimator
+    builder.add_pin(cells[0], single)
+    local = builder.add_net("local")  # all pins in one Gcell
+    for cell in cells[:3]:
+        builder.add_pin(cell, local)
+    spread = builder.add_net("spread")
+    for cell in cells:
+        builder.add_pin(cell, spread, dx=0.5)
+    design = builder.build()
+    # Cluster the local net's cells; spread the rest to distinct Gcells.
+    design.x[:] = [4.0, 4.5, 5.0, 20.0, 40.0, 60.0]
+    design.y[:] = [4.0, 4.2, 4.4, 30.0, 10.0, 50.0]
+    assert empty != single
+    return design
+
+
+class TestDemandEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_designs(self, seed):
+        design = _random_design(seed)
+        grid = build_grid(design)
+        topologies = build_topologies(design, grid)
+        ref, vec = both_backends(
+            lambda: accumulate_demand(design, grid, topologies)
+        )
+        np.testing.assert_allclose(vec.dmd_h, ref.dmd_h, **MAPS_TOL)
+        np.testing.assert_allclose(vec.dmd_v, ref.dmd_v, **MAPS_TOL)
+        np.testing.assert_array_equal(vec.pin_count, ref.pin_count)
+        # The I-segment inventory feeds the (order-sensitive) detour
+        # expansion: it must match exactly, in order.
+        assert vec.i_segments == ref.i_segments
+
+    def test_degenerate_nets(self):
+        design = _degenerate_design()
+        grid = build_grid(design)
+        topologies = build_topologies(design, grid)
+        ref, vec = both_backends(
+            lambda: accumulate_demand(design, grid, topologies)
+        )
+        np.testing.assert_allclose(vec.dmd_h, ref.dmd_h, **MAPS_TOL)
+        np.testing.assert_allclose(vec.dmd_v, ref.dmd_v, **MAPS_TOL)
+        assert vec.i_segments == ref.i_segments
+
+    def test_no_topologies(self, tiny_design):
+        grid = build_grid(tiny_design)
+        ref, vec = both_backends(
+            lambda: accumulate_demand(tiny_design, grid, [])
+        )
+        np.testing.assert_allclose(vec.dmd_h, ref.dmd_h, **MAPS_TOL)
+        assert vec.i_segments == [] and ref.i_segments == []
+
+    def test_estimator_end_to_end(self, small_design):
+        def estimate():
+            cmap, _, _ = CongestionEstimator(small_design).estimate()
+            return cmap
+
+        ref, vec = both_backends(estimate)
+        np.testing.assert_allclose(vec.dmd_h, ref.dmd_h, **MAPS_TOL)
+        np.testing.assert_allclose(vec.dmd_v, ref.dmd_v, **MAPS_TOL)
+
+
+class TestRudyEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_designs(self, seed):
+        design = _random_design(seed)
+        ref, vec = both_backends(lambda: rudy_maps(design)[:2])
+        np.testing.assert_allclose(vec[0], ref[0], **MAPS_TOL)
+        np.testing.assert_allclose(vec[1], ref[1], **MAPS_TOL)
+
+    def test_degenerate_nets(self):
+        design = _degenerate_design()
+        ref, vec = both_backends(lambda: rudy_maps(design)[:2])
+        np.testing.assert_allclose(vec[0], ref[0], **MAPS_TOL)
+        np.testing.assert_allclose(vec[1], ref[1], **MAPS_TOL)
+
+
+# ----------------------------------------------------------------------
+# Density maps
+# ----------------------------------------------------------------------
+
+
+class TestDensityEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_movable_and_fixed_maps(self, seed):
+        design = _random_design(seed)
+
+        def build():
+            system = ElectrostaticDensity(design, PlacementParams())
+            return system.fixed_map, system.movable_density(design.x, design.y)
+
+        (ref_fixed, ref_mov), (vec_fixed, vec_mov) = both_backends(build)
+        np.testing.assert_allclose(vec_fixed, ref_fixed, **MAPS_TOL)
+        np.testing.assert_allclose(vec_mov, ref_mov, **MAPS_TOL)
+
+    def test_boundary_clamped_cells(self, small_design):
+        """Cells pushed onto the die edges hit the reference's
+        boundary-bin re-accumulation; the vectorized backend must
+        reproduce it."""
+        design = small_design
+        system = ElectrostaticDensity(design, PlacementParams())
+        mov = system.movable_indices
+        x = design.x.copy()
+        y = design.y.copy()
+        die = design.die
+        x[mov[: len(mov) // 2]] = die.xhi
+        y[mov[len(mov) // 3 :]] = die.yhi
+        x[mov[-3:]] = die.xlo
+        y[mov[-3:]] = die.ylo
+        ref, vec = both_backends(lambda: system.movable_density(x, y))
+        np.testing.assert_allclose(vec, ref, **MAPS_TOL)
+
+    def test_padded_sizes(self, small_design):
+        """set_sizes (PUFFER padding) changes the bin span; both
+        backends must track it."""
+        design = small_design
+        system = ElectrostaticDensity(design, PlacementParams())
+        rng = np.random.default_rng(7)
+        system.set_sizes(
+            design.w * (1.0 + rng.random(design.num_cells)),
+            design.h.copy(),
+        )
+        ref, vec = both_backends(
+            lambda: system.movable_density(design.x, design.y)
+        )
+        np.testing.assert_allclose(vec, ref, **MAPS_TOL)
+
+    def test_area_preserved(self, small_design):
+        system = ElectrostaticDensity(small_design, PlacementParams())
+        rho = system.movable_density(small_design.x, small_design.y)
+        assert rho.sum() == pytest.approx(system.charge.sum(), rel=1e-6)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rect_area_random(self, seed):
+        rng = np.random.default_rng(seed)
+        dim = int(rng.integers(4, 32))
+        bin_w, bin_h = rng.uniform(0.5, 3.0, 2)
+        n = int(rng.integers(0, 50))
+        x0 = rng.uniform(0, dim * bin_w * 0.9, n)
+        x1 = x0 + rng.uniform(0.01, dim * bin_w * 0.5, n)
+        x1 = np.minimum(x1, dim * bin_w)
+        y0 = rng.uniform(0, dim * bin_h * 0.9, n)
+        y1 = np.minimum(y0 + rng.uniform(0.01, dim * bin_h * 0.5, n), dim * bin_h)
+        ref, vec = both_backends(
+            lambda: kernels.rect_area(x0, x1, y0, y1, dim, bin_w, bin_h)
+        )
+        np.testing.assert_allclose(vec, ref, rtol=1e-9, atol=1e-12)
+        assert vec.sum() == pytest.approx(((x1 - x0) * (y1 - y0)).sum(), rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Maze search
+# ----------------------------------------------------------------------
+
+
+def _route_cost(route, cost_h, cost_v):
+    h_cells, v_cells = route
+    return cost_h.ravel()[h_cells].sum() + cost_v.ravel()[v_cells].sum()
+
+
+class TestMazeEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_costs_equal_path_cost(self, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(12):
+            nx, ny = rng.integers(3, 28, 2)
+            cost_h = 1.0 + 9.0 * rng.random((nx, ny))
+            cost_v = 1.0 + 9.0 * rng.random((nx, ny))
+            if rng.random() < 0.4:  # congestion walls
+                cost_h[int(rng.integers(0, nx)), :] += 500.0
+                cost_v[:, int(rng.integers(0, ny))] += 500.0
+            gx0, gy0 = int(rng.integers(0, nx)), int(rng.integers(0, ny))
+            gx1, gy1 = int(rng.integers(0, nx)), int(rng.integers(0, ny))
+            if (gx0, gy0) == (gx1, gy1):
+                continue
+            margin = int(rng.integers(0, 5))
+            ref, vec = both_backends(
+                lambda: maze_route(gx0, gy0, gx1, gy1, cost_h, cost_v, margin)
+            )
+            assert (ref is None) == (vec is None)
+            if ref is None:
+                continue
+            ref_cost = _route_cost(ref, cost_h, cost_v)
+            vec_cost = _route_cost(vec, cost_h, cost_v)
+            assert vec_cost == pytest.approx(ref_cost, rel=1e-6)
+            # Both endpoints are charged by any valid route.
+            for route in (ref, vec):
+                cells = np.concatenate(route)
+                assert gx0 * ny + gy0 in cells
+                assert gx1 * ny + gy1 in cells
+
+    def test_straight_paths_identical(self):
+        cost = np.ones((10, 10))
+        for backend in kernels.BACKENDS:
+            with kernels.using(backend):
+                h, v = maze_route(1, 5, 8, 5, cost, cost, 2)
+                assert len(v) == 0
+                np.testing.assert_array_equal(
+                    h, np.arange(1, 9) * 10 + 5
+                )
+                h, v = maze_route(3, 2, 3, 7, cost, cost, 2)
+                assert len(h) == 0
+                np.testing.assert_array_equal(
+                    v, 3 * 10 + np.arange(2, 8)
+                )
+
+    def test_same_cell_route_is_empty(self):
+        cost = np.ones((6, 6))
+        for backend in kernels.BACKENDS:
+            with kernels.using(backend):
+                h, v = maze_route(2, 2, 2, 2, cost, cost, 3)
+                assert len(h) == 0 and len(v) == 0
+
+    def test_detour_around_wall(self):
+        cost_h = np.ones((9, 9))
+        cost_v = np.ones((9, 9))
+        cost_h[4, :] = 1000.0  # entering column 4 horizontally is painful
+        cost_v[4, :] = 1000.0
+        cost_h[4, 8] = 1.0  # except at the top
+        cost_v[4, 8] = 1.0
+        ref, vec = both_backends(
+            lambda: maze_route(0, 0, 8, 0, cost_h, cost_v, 8)
+        )
+        ref_cost = _route_cost(ref, cost_h, cost_v)
+        vec_cost = _route_cost(vec, cost_h, cost_v)
+        assert vec_cost == pytest.approx(ref_cost, rel=1e-9)
+        assert ref_cost < 100.0  # both detoured over the top
