@@ -137,6 +137,11 @@ class RunConfig:
         placement: global-placement engine parameters.
         router: evaluation-router parameters.
         strategy: PUFFER strategy parameters (``None`` = defaults).
+        verify: invariant-checker level — ``"off"`` (default),
+            ``"cheap"`` (placement legality + padding accounting), or
+            ``"full"`` (adds netlist integrity and routing accounting).
+            Checkers run post-legalization and, when routing, post-route;
+            the report lands on :attr:`RunResult.verify_report`.
     """
 
     scale: float = 0.004
@@ -144,6 +149,7 @@ class RunConfig:
     placement: PlacementParams = field(default_factory=PlacementParams)
     router: RouterParams = field(default_factory=RouterParams)
     strategy: StrategyParams | None = None
+    verify: str = "off"
 
 
 @dataclass
@@ -160,6 +166,8 @@ class RunResult:
         route_report: router evaluation, when ``route=True``.
         legality: :func:`repro.netlist.check_legal` report, when
             ``verify_legal=True``.
+        verify_report: :class:`repro.verify.VerifyReport` of the
+            invariant checkers, when ``config.verify != "off"``.
     """
 
     design: Design
@@ -169,6 +177,7 @@ class RunResult:
     place_seconds: float
     route_report: object | None = None
     legality: object | None = None
+    verify_report: object | None = None
 
 
 def run(
@@ -179,6 +188,7 @@ def run(
     trace=None,
     route: bool = False,
     verify_legal: bool = False,
+    verify: str | None = None,
 ) -> RunResult:
     """Place ``design`` with ``flow`` — the unified entry point.
 
@@ -193,14 +203,22 @@ def run(
             :func:`repro.obs.tracing`.
         route: also evaluate the result with the global router.
         verify_legal: also run the legality checker on the result.
+        verify: invariant-checker level override; defaults to
+            ``config.verify``.
 
     Returns:
         A :class:`RunResult`.
 
     Raises:
         UnknownFlowError: for an unrecognized flow name.
+        ValueError: for an unrecognized verify level.
     """
+    from .verify import LEVELS
+
     config = config or RunConfig()
+    verify = config.verify if verify is None else verify
+    if verify not in LEVELS:
+        raise ValueError(f"unknown verify level {verify!r}; expected one of {LEVELS}")
     flow_name, flow_fn = resolve_flow(flow, strategy=config.strategy)
     with obs.tracing(trace):
         with obs.span("api/run", flow=flow_name) as run_span:
@@ -212,7 +230,14 @@ def run(
             place_seconds = time.perf_counter() - start
             report = GlobalRouter(design, config.router).run() if route else None
             legality = check_legal(design) if verify_legal else None
+            verify_report = (
+                _verify_run(design, config, flow_result, report, verify)
+                if verify != "off"
+                else None
+            )
             run_span.set(hpwl=design.hpwl(), place_seconds=place_seconds)
+            if verify_report is not None:
+                run_span.set(verify_errors=len(verify_report.errors))
     return RunResult(
         design=design,
         flow=flow_name,
@@ -221,7 +246,36 @@ def run(
         place_seconds=place_seconds,
         route_report=report,
         legality=legality,
+        verify_report=verify_report,
     )
+
+
+def _verify_run(design, config: RunConfig, flow_result, route_report, level: str):
+    """Post-legalization / post-route invariant checking for :func:`run`.
+
+    Pulls the padding arrays off the flow result when the flow exposes
+    them (the PUFFER flow does) and the routing maps off the route
+    report when the run routed, so the padding and routing checkers have
+    their inputs whenever they can.
+    """
+    from .legalizer import DEFAULT_AREA_CAP
+    from .verify import VerifyContext, run_checkers
+
+    area_cap = (
+        config.strategy.legal_area_cap
+        if config.strategy is not None
+        else DEFAULT_AREA_CAP
+    )
+    ctx = VerifyContext(
+        design=design,
+        pad=getattr(flow_result, "padding", None),
+        padded_widths=getattr(flow_result, "legal_widths", None),
+        area_cap=area_cap,
+        grid=getattr(route_report, "grid", None),
+        demand=getattr(route_report, "demand", None),
+        route_report=route_report,
+    )
+    return run_checkers(ctx, level=level)
 
 
 def route(design: Design, config: RunConfig | None = None, *, trace=None):
@@ -260,6 +314,7 @@ def suite(
         router=config.router,
         benchmarks=benchmarks,
         seed=config.seed,
+        verify=config.verify,
     )
     with obs.tracing(trace):
         return run_suite(

@@ -9,6 +9,11 @@ Commands:
 * ``explore``   — run the strategy exploration on a small design.
 * ``suite``     — the Table-II comparison across the benchmark suite.
 * ``report``    — summarize a :mod:`repro.obs` trace file.
+* ``verify``    — invariant checkers + cross-backend differential
+  harness (:mod:`repro.verify`); ``--quick`` is the CI smoke mode.
+
+``place`` and ``suite`` additionally take ``--verify {off,cheap,full}``
+to run the invariant checkers on every produced placement.
 
 Every run command is a thin wrapper over :mod:`repro.api`; flow
 resolution and orchestration live behind that facade.  The shared
@@ -47,7 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--max-iters", type=int, default=900)
     place.add_argument("--out", help="directory to save the placed design")
     place.add_argument("--route", action="store_true", help="evaluate with the router")
-    _add_runtime_args(place, jobs=False)
+    _add_runtime_args(place, jobs=False, verify=True)
 
     route = sub.add_parser("route", help="route a saved placement")
     route.add_argument("directory")
@@ -69,17 +74,33 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument(
         "--seed", type=int, default=0, help="benchmark-generation seed offset"
     )
-    _add_runtime_args(suite)
+    _add_runtime_args(suite, verify=True)
 
     report = sub.add_parser("report", help="summarize a repro.obs trace")
     report.add_argument("trace", help="path to a JSONL trace file")
+
+    verify = sub.add_parser(
+        "verify", help="invariant + cross-backend differential verification"
+    )
+    verify.add_argument("--design", default="OR1200", choices=suite_names())
+    verify.add_argument("--scale", type=float, default=0.004)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: smaller design, fewer placer iterations",
+    )
+    verify.add_argument(
+        "--out", help="write the machine-readable JSON report to this path"
+    )
+    _add_runtime_args(verify, jobs=False)
     return parser
 
 
-def _add_runtime_args(parser, jobs: bool = True) -> None:
+def _add_runtime_args(parser, jobs: bool = True, verify: bool = False) -> None:
     """The shared execution flags.
 
-    Every run command gets ``--trace``; commands that go through
+    Every run command gets ``--trace``; ``verify=True`` adds the
+    ``--verify`` checker-level flag; commands that go through
     :mod:`repro.runtime` (``jobs=True``) additionally get the
     worker/cache/resume flags.
     """
@@ -92,6 +113,11 @@ def _add_runtime_args(parser, jobs: bool = True) -> None:
         help="numpy kernel backend for the hot paths "
         f"(default: ${kernels.ENV_VAR} or 'vectorized')",
     )
+    if verify:
+        parser.add_argument(
+            "--verify", default="off", choices=["off", "cheap", "full"],
+            help="run the repro.verify invariant checkers on the result",
+        )
     if not jobs:
         return
     parser.add_argument(
@@ -134,7 +160,9 @@ def cmd_generate(args) -> int:
 
 def cmd_place(args) -> int:
     config = api.RunConfig(
-        scale=args.scale, placement=PlacementParams(max_iters=args.max_iters)
+        scale=args.scale,
+        placement=PlacementParams(max_iters=args.max_iters),
+        verify=args.verify,
     )
     result = api.run(
         args.design,
@@ -147,10 +175,20 @@ def cmd_place(args) -> int:
     print(f"{args.flow}: HPWL {result.hpwl:.6g}, legal={result.legality.ok}")
     if args.route:
         print(result.route_report.summary())
+    verify_ok = True
+    if result.verify_report is not None:
+        verify_ok = result.verify_report.ok
+        print(
+            f"verify[{args.verify}]: {len(result.verify_report.checkers_run)} "
+            f"checkers, {len(result.verify_report.errors)} errors, "
+            f"{len(result.verify_report.warnings)} warnings"
+        )
+        for violation in result.verify_report.violations:
+            print(f"  {violation}")
     if args.out:
         save_design(result.design, args.out)
         print(f"saved to {args.out}")
-    return 0 if result.legality.ok else 1
+    return 0 if result.legality.ok and verify_ok else 1
 
 
 def cmd_route(args) -> int:
@@ -230,7 +268,7 @@ def cmd_suite(args) -> int:
 
     telemetry = Telemetry()
     rows = api.suite(
-        api.RunConfig(scale=args.scale, seed=args.seed),
+        api.RunConfig(scale=args.scale, seed=args.seed, verify=args.verify),
         benchmarks=args.designs,
         trace=args.trace,
         progress=lambda r: print(
@@ -254,6 +292,24 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from . import obs
+    from .verify import run_differential
+
+    with obs.tracing(args.trace):
+        report = run_differential(
+            design=args.design,
+            scale=args.scale,
+            seed=args.seed,
+            quick=args.quick,
+        )
+    print(report.summary())
+    if args.out:
+        report.to_json(args.out)
+        print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "kernels", None):
@@ -265,6 +321,7 @@ def main(argv=None) -> int:
         "explore": cmd_explore,
         "suite": cmd_suite,
         "report": cmd_report,
+        "verify": cmd_verify,
     }
     return handlers[args.command](args)
 

@@ -42,6 +42,11 @@ class PufferResult:
         total_padding_area: padded area carried into legalization.
         legal_displacement: total legalization displacement.
         events: the flow trace.
+        padding: per-cell *continuous* padding accumulated by the
+            routability optimizer (the input of Eq. 17).
+        legal_widths: per-cell legalization footprint widths
+            (``design.w`` plus the capped discrete padding) — what the
+            :mod:`repro.verify` padding checker audits.
     """
 
     global_place: GlobalPlaceResult
@@ -51,6 +56,8 @@ class PufferResult:
     total_padding_area: float
     legal_displacement: float
     events: list = field(default_factory=list)
+    padding: object | None = None
+    legal_widths: object | None = None
 
 
 class PufferPlacer:
@@ -155,4 +162,6 @@ class PufferPlacer:
             total_padding_area=self.optimizer.padding.total_padding_area,
             legal_displacement=legal.total_displacement,
             events=events,
+            padding=self.optimizer.padding.pad.copy(),
+            legal_widths=widths,
         )

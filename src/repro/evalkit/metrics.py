@@ -17,7 +17,14 @@ PASS_THRESHOLD = 1.0  # percent, the paper's industrial pass criterion
 
 @dataclass
 class PlacerMetrics:
-    """One (benchmark, placer) evaluation row."""
+    """One (benchmark, placer) evaluation row.
+
+    ``violations`` counts the error-severity findings of the
+    :mod:`repro.verify` checkers when the suite ran with verification
+    enabled (always ``0`` with ``verify="off"``); the suite runner
+    fails loudly on any non-zero count rather than aggregating
+    silently-illegal numbers into Table II.
+    """
 
     benchmark: str
     placer: str
@@ -26,6 +33,7 @@ class PlacerMetrics:
     wirelength: float
     runtime: float
     hpwl: float = 0.0
+    violations: int = 0
 
     @property
     def passes_h(self) -> bool:

@@ -70,6 +70,11 @@ class SuiteRunConfig:
             every :func:`repro.benchgen.make_design` call so serial and
             parallel runs generate identical designs and the runtime
             cache key fully determines the generated netlist.
+        verify: :mod:`repro.verify` checker level per cell (``"off"``,
+            ``"cheap"``, ``"full"``).  When enabled, each row records
+            its error-severity violation count and :func:`run_suite`
+            raises :class:`repro.verify.VerificationError` if any cell
+            produced violations.
     """
 
     scale: float = 0.004
@@ -77,6 +82,7 @@ class SuiteRunConfig:
     router: RouterParams = field(default_factory=RouterParams)
     benchmarks: list | None = None
     seed: int = 0
+    verify: str = "off"
 
 
 def suite_cell_key(
@@ -105,6 +111,10 @@ def suite_cell_key(
         "router": config.router,
         "strategy": strategy,
     }
+    if config.verify != "off":
+        # Only key on the level when it changes what the row records, so
+        # enabling verification never invalidates existing `off` caches.
+        payload["verify"] = config.verify
     if flow is not None:
         payload["flow_impl"] = (
             f"{getattr(flow, '__module__', '?')}.{getattr(flow, '__qualname__', '?')}"
@@ -127,10 +137,14 @@ def run_benchmark(name: str, flow, config: SuiteRunConfig, flow_name: str) -> Pl
             seed=config.seed,
             placement=config.placement,
             router=config.router,
+            verify=config.verify,
         ),
         route=True,
     )
     report = result.route_report
+    violations = (
+        len(result.verify_report.errors) if result.verify_report is not None else 0
+    )
     return PlacerMetrics(
         benchmark=name,
         placer=flow_name,
@@ -139,6 +153,7 @@ def run_benchmark(name: str, flow, config: SuiteRunConfig, flow_name: str) -> Pl
         wirelength=report.wirelength,
         runtime=result.place_seconds,
         hpwl=result.hpwl,
+        violations=violations,
     )
 
 
@@ -238,6 +253,13 @@ def run_suite(
 
     def settle(cell, key, row, journal_it: bool) -> None:
         rows[cell] = row
+        if getattr(row, "violations", 0):
+            obs.event(
+                "suite/cell_violations",
+                benchmark=cell[0],
+                flow=cell[1],
+                violations=row.violations,
+            )
         if cache is not None:
             cache.put(key, row)
         if journal is not None and journal_it:
@@ -303,4 +325,16 @@ def run_suite(
 
         executor.run(tasks, on_result=on_result)
 
-    return [rows[cell] for cell in cells]
+    ordered = [rows[cell] for cell in cells]
+    illegal = [row for row in ordered if getattr(row, "violations", 0)]
+    if illegal:
+        from ..verify import VerificationError
+
+        offenders = ", ".join(
+            f"{row.benchmark}/{row.placer} ({row.violations})" for row in illegal
+        )
+        raise VerificationError(
+            f"suite produced invariant violations in {len(illegal)} cells: {offenders}",
+            rows=ordered,
+        )
+    return ordered

@@ -66,8 +66,9 @@ def legalize_abacus(
         widths: per-cell *footprint* widths (defaults to ``design.w``);
             PUFFER passes padded widths here.  Cells are centered in
             their footprint.
-        max_row_search: cap on the row-distance search radius (defaults
-            to the full row count).
+        max_row_search: inclusive cap on the row-distance search radius;
+            ``0`` restricts every cell to its home row, ``None`` (the
+            default) searches all rows.
 
     Returns:
         Displacement statistics.  Raises ``RuntimeError`` when a cell
@@ -97,7 +98,9 @@ def _legalize_abacus(
         states[row] = [_SegmentState(s) for s in segs]
     site = design.technology.site_width
     row_height = design.technology.row_height
-    max_row_search = max_row_search or index.num_rows
+    # `is None`, not falsiness: an explicit 0 means home-row-only.
+    if max_row_search is None:
+        max_row_search = index.num_rows
 
     cells = np.flatnonzero(design.movable & ~design.is_macro)
     order = cells[np.argsort(design.x[cells], kind="stable")]
@@ -115,8 +118,6 @@ def _legalize_abacus(
         home = index.nearest_row(ty)
         best = None  # (cost, state, trial_tuple)
         for radius in range(index.num_rows):
-            if radius > max_row_search:
-                break
             rows = {home - radius, home + radius}
             y_cost = (radius * row_height) ** 2 if radius else 0.0
             if best is not None and y_cost >= best[0]:
@@ -135,6 +136,10 @@ def _legalize_abacus(
                     cost = (x_final - tx) ** 2 + dy * dy
                     if best is None or cost < best[0]:
                         best = (cost, state, row, x_final)
+            # Radius cap checked *after* the radius is searched, so the
+            # cap is inclusive and 0 still visits the home row.
+            if radius >= max_row_search:
+                break
         if best is None:
             failed += 1
             continue

@@ -4,18 +4,25 @@ Global placement carries continuous padding; legalization requires cell
 footprints to be whole site multiples.  Paper Eq. (17) discretizes the
 padding with a staircase function
 
-``DisPad(c) = floor(theta * (Pad(c)/mp + 1/2))``
+``DisPad(c) = floor(theta * Pad(c)/mp + 1/2)``
 
 where ``mp`` is the maximum padding over all cells and ``theta`` is a
-strategy parameter.  The total padded area is capped (the paper uses 5 %
-of the movable area): while over budget, the cells with the *smallest*
-padding inside each discrete level are relegated one level down.
+strategy parameter — half-up rounding of ``theta * Pad(c)/mp``, with the
+``+ 1/2`` *inside* the floor argument.  (A transcription that reads it
+as ``floor(theta * (Pad(c)/mp + 1/2))`` hands every epsilon-padded cell
+``floor(theta/2)`` levels; ``repro.verify``'s padding checker and the
+regression tests in ``tests/test_legal_padding.py`` pin the correct
+form.)  The total padded area is capped (the paper uses 5 % of the
+movable area): while over budget, the cells with the *smallest*
+continuous padding inside each discrete level are relegated one level
+down.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..netlist.design import Design
 
 DEFAULT_AREA_CAP = 0.05
@@ -40,7 +47,9 @@ def discretize_padding(
     mp = pad.max()
     if mp <= 0.0:
         return np.zeros_like(pad)
-    levels = np.floor(theta * (pad / mp + 0.5)).astype(np.int64)
+    # Half-up rounding of theta * pad/mp: the +1/2 belongs inside the
+    # floor argument (Eq. 17), so a vanishing pad maps to level 0.
+    levels = np.floor(theta * pad / mp + 0.5).astype(np.int64)
     levels[pad <= 0.0] = 0
     return levels * site_width
 
@@ -49,20 +58,32 @@ def cap_padding_area(
     design: Design,
     dis_pad: np.ndarray,
     area_cap: float = DEFAULT_AREA_CAP,
+    *,
+    pad: np.ndarray | None = None,
+    max_rounds: int = 10_000,
 ) -> np.ndarray:
     """Enforce the total-padding-area budget of Sec. III-D.
 
     While the padded area exceeds ``area_cap`` times the movable cell
-    area, pick the cells with the smallest continuous padding in each
-    occupied discrete level and relegate them one level down.  Here the
-    per-level orderings use the discrete pad itself as the tie-break
-    carrier, so relegation removes one site from the currently weakest
-    padded cells level by level.
+    area, pick the cells with the *smallest continuous padding* in each
+    occupied discrete level and relegate them one level down — the
+    paper-faithful order: the cells whose padding demand was weakest
+    lose their site first.  When ``pad`` is not supplied the cells of a
+    level are indistinguishable by padding, and the smallest-height
+    cells (the cheapest area-wise) are relegated instead.
+
+    If the budget is still exceeded after ``max_rounds`` relegation
+    rounds, the loop stops and the truncation is reported through the
+    observability layer (``legalize/padding_cap_exhausted`` counter and
+    event) instead of silently returning an over-budget result.
 
     Args:
         design: provides cell heights and the movable mask.
         dis_pad: per-cell discrete padding widths (modified copy returned).
         area_cap: maximum padded area as a fraction of movable area.
+        pad: per-cell continuous padding, used to order relegation
+            within a level.
+        max_rounds: guard on the relegation loop.
 
     Returns:
         The capped per-cell discrete padding widths.
@@ -71,12 +92,13 @@ def cap_padding_area(
     movable = design.movable & ~design.is_macro
     budget = area_cap * design.movable_area
     site = design.technology.site_width
+    order_key = design.h if pad is None else np.asarray(pad, dtype=np.float64)
 
     def padded_area() -> float:
         return float((dis_pad[movable] * design.h[movable]).sum())
 
     guard = 0
-    while padded_area() > budget and guard < 10_000:
+    while padded_area() > budget and guard < max_rounds:
         guard += 1
         levels = np.unique(dis_pad[movable & (dis_pad > 0)])
         if len(levels) == 0:
@@ -87,16 +109,24 @@ def cap_padding_area(
             idx = np.flatnonzero(mask)
             if len(idx) == 0:
                 continue
-            # Relegate the smallest-height (cheapest) half of the level,
-            # at least one cell, by one site.
+            # Relegate the weakest quarter of the level, at least one
+            # cell, by one site.
             count = max(len(idx) // 4, 1)
-            chosen = idx[np.argsort(design.h[idx])[:count]]
+            chosen = idx[np.argsort(order_key[idx], kind="stable")[:count]]
             dis_pad[chosen] = np.maximum(dis_pad[chosen] - site, 0.0)
             removed = True
             if padded_area() <= budget:
                 break
         if not removed:
             break
+    if padded_area() > budget:
+        obs.counter("legalize/padding_cap_exhausted").inc()
+        obs.event(
+            "legalize/padding_cap_exhausted",
+            rounds=guard,
+            padded_area=padded_area(),
+            budget=budget,
+        )
     return dis_pad
 
 
@@ -114,7 +144,7 @@ def padded_widths(
     """
     site = design.technology.site_width
     dis = discretize_padding(pad, theta, site)
-    dis = cap_padding_area(design, dis, area_cap)
+    dis = cap_padding_area(design, dis, area_cap, pad=pad)
     widths = design.w.copy()
     movable = design.movable & ~design.is_macro
     widths[movable] += dis[movable]

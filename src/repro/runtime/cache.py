@@ -65,6 +65,14 @@ def stable_hash(payload) -> str:
     Returns:
         A 64-character SHA-256 hex digest, stable across processes,
         platforms, and dict insertion orders.
+
+    Note:
+        Dict *keys* are canonicalized through ``str()``, so ``{1: v}``
+        and ``{"1": v}`` hash identically.  This is deliberate: JSON
+        round-trips (the journal, CLI-parsed configs) stringify keys,
+        and a key must survive that round-trip.  Payloads whose keys
+        differ only in type are therefore indistinguishable — use
+        string keys in configuration payloads.
     """
     text = json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,147 @@
+"""Structured verification findings.
+
+Checkers never raise on a bad placement — they *describe* it.  Every
+finding is a :class:`Violation` carrying the checker that produced it, a
+severity, the affected cell/net ids, and the measured-vs-allowed
+quantities, so reports can be rendered for humans, serialized for CI,
+or counted by the observability layer without re-parsing messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Recognized severities, most severe first.  ``error`` marks a broken
+#: invariant (the result must not be trusted); ``warning`` marks a
+#: suspicious but usable condition.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken (or suspicious) invariant.
+
+    Attributes:
+        checker: name of the checker that found it (e.g.
+            ``"placement/overlap"``).
+        severity: one of :data:`SEVERITIES`.
+        message: human-readable description.
+        cells: affected cell ids (possibly truncated; see ``message``).
+        nets: affected net ids.
+        measured: the offending measured quantity, when scalar.
+        allowed: the bound the measurement violated, when scalar.
+    """
+
+    checker: str
+    severity: str
+    message: str
+    cells: tuple = ()
+    nets: tuple = ()
+    measured: float | None = None
+    allowed: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; expected one of {SEVERITIES}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        record = {
+            "checker": self.checker,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.cells:
+            record["cells"] = [int(c) for c in self.cells]
+        if self.nets:
+            record["nets"] = [int(n) for n in self.nets]
+        if self.measured is not None:
+            record["measured"] = float(self.measured)
+        if self.allowed is not None:
+            record["allowed"] = float(self.allowed)
+        return record
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.checker}: {self.message}"
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a checker run: all findings plus what actually ran.
+
+    ``checkers_run`` matters as much as ``violations`` — a report with
+    zero findings from zero checkers proves nothing, and CI consumers
+    should assert on both.
+    """
+
+    violations: list = field(default_factory=list)
+    checkers_run: list = field(default_factory=list)
+
+    @property
+    def errors(self) -> list:
+        """Error-severity violations."""
+        return [v for v in self.violations if v.severity == "error"]
+
+    @property
+    def warnings(self) -> list:
+        """Warning-severity violations."""
+        return [v for v in self.violations if v.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no error-severity violation was found."""
+        return not self.errors
+
+    def counts(self) -> dict:
+        """Violation count per checker (only checkers with findings)."""
+        out: dict = {}
+        for v in self.violations:
+            out[v.checker] = out.get(v.checker, 0) + 1
+        return out
+
+    def merge(self, other: "VerifyReport") -> "VerifyReport":
+        """Fold ``other`` into this report (returns ``self``)."""
+        self.violations.extend(other.violations)
+        self.checkers_run.extend(
+            name for name in other.checkers_run if name not in self.checkers_run
+        )
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (machine-readable CI output)."""
+        return {
+            "ok": self.ok,
+            "checkers_run": list(self.checkers_run),
+            "num_errors": len(self.errors),
+            "num_warnings": len(self.warnings),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def __str__(self) -> str:
+        lines = [
+            f"verify: {len(self.checkers_run)} checkers, "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings"
+        ]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+class VerificationError(RuntimeError):
+    """A verified run produced error-severity violations.
+
+    Raised by consumers that must fail loudly (the suite runner, the
+    CLI) rather than hand silently-illegal numbers downstream.
+
+    Attributes:
+        report: the offending :class:`VerifyReport` (or ``None`` when
+            the caller aggregated violations another way).
+        rows: optional partial results the caller computed before
+            failing, so a loud failure does not discard finished work.
+    """
+
+    def __init__(self, message: str, report=None, rows=None) -> None:
+        super().__init__(message)
+        self.report = report
+        self.rows = rows

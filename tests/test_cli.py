@@ -29,6 +29,7 @@ class TestParser:
             ["suite", "--scale", "0.002", "--designs", "OR1200", "--resume",
              "--trace", "/tmp/t.jsonl"],
             ["report", "/tmp/t.jsonl"],
+            ["verify", "--design", "OR1200", "--quick", "--out", "/tmp/d.json"],
         ],
         ids=lambda argv: argv[0],
     )
@@ -65,6 +66,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["generate", "NOPE", "--out", "/tmp/x"])
 
+    def test_verify_flag_defaults_off(self):
+        assert build_parser().parse_args(["place", "OR1200"]).verify == "off"
+        assert build_parser().parse_args(["suite"]).verify == "off"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["place", "OR1200", "--verify", "bogus"])
+
 
 class TestCommands:
     def test_generate_and_route(self, tmp_path, capsys):
@@ -91,6 +98,16 @@ class TestCommands:
             "--flow", "wirelength", "--max-iters", "300",
         )
         assert code == 0
+
+    def test_place_with_verify(self, capsys):
+        code = run_cli(
+            "place", "OR1200", "--scale", "0.002", "--flow", "puffer",
+            "--max-iters", "300", "--verify", "cheap",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verify[cheap]" in out
+        assert "0 errors" in out
 
     def test_suite_subset(self, capsys):
         code = run_cli("suite", "--scale", "0.002", "--designs", "OR1200")

@@ -4,7 +4,9 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import obs
 from repro.legalizer import cap_padding_area, discretize_padding, padded_widths
+from repro.obs import Tracer
 
 
 class TestDiscretize:
@@ -15,9 +17,23 @@ class TestDiscretize:
     def test_max_pad_gets_top_level(self):
         pad = np.array([0.0, 1.0, 2.0, 4.0])
         out = discretize_padding(pad, theta=4.0, site_width=1.0)
-        # DisPad(max) = floor(theta * (1 + 1/2)) = 6 sites.
-        assert out[-1] == 6.0
+        # Eq. 17: DisPad(max) = floor(theta * 1 + 1/2) = theta sites.
+        assert out[-1] == 4.0
         assert out[0] == 0.0
+
+    def test_half_up_rounding(self):
+        # theta * pad/mp = [0.5, 1.0, 1.5, 4.0] -> half-up = [1, 1, 2, 4].
+        pad = np.array([0.5, 1.0, 1.5, 4.0])
+        out = discretize_padding(pad, theta=4.0, site_width=1.0)
+        assert np.array_equal(out, [1.0, 1.0, 2.0, 4.0])
+
+    def test_small_pad_regression(self):
+        # The mis-transcribed floor(theta * (pad/mp + 1/2)) hands every
+        # epsilon-padded cell floor(theta/2) levels; Eq. 17 gives 0.
+        pad = np.array([1e-9, 1.0])
+        out = discretize_padding(pad, theta=4.0, site_width=1.0)
+        assert out[0] == 0.0
+        assert out[1] == 4.0
 
     def test_monotone_in_pad(self):
         pad = np.linspace(0, 10, 50)
@@ -69,6 +85,43 @@ class TestAreaCap:
         original = dis.copy()
         cap_padding_area(small_design, dis, area_cap=0.01)
         assert np.array_equal(dis, original)
+
+    def test_smallest_continuous_pad_relegated_first(self, small_design):
+        # All cells share one discrete level; the quarter with the
+        # smallest *continuous* padding must lose a site first.
+        movable = small_design.movable & ~small_design.is_macro
+        dis = np.where(movable, 2.0, 0.0)
+        rng = np.random.default_rng(0)
+        pad = np.where(movable, rng.uniform(0.1, 1.0, small_design.num_cells), 0.0)
+        capped = cap_padding_area(
+            small_design, dis, area_cap=0.04, pad=pad, max_rounds=1
+        )
+        relegated = np.flatnonzero(movable & (capped < dis))
+        kept = np.flatnonzero(movable & (capped == dis))
+        assert len(relegated) > 0 and len(kept) > 0
+        assert pad[relegated].max() <= pad[kept].min() + 1e-12
+
+    def test_guard_exhaustion_reported(self, small_design):
+        # A one-round guard cannot reach a near-zero budget: the cap
+        # must report the truncation through the obs counter + event.
+        movable = small_design.movable & ~small_design.is_macro
+        dis = np.where(movable, 8.0, 0.0)
+        tracer = Tracer()
+        with obs.tracing(tracer):
+            capped = cap_padding_area(
+                small_design, dis, area_cap=1e-6, max_rounds=1
+            )
+        budget = 1e-6 * small_design.movable_area
+        assert (capped[movable] * small_design.h[movable]).sum() > budget
+        assert tracer.counter("legalize/padding_cap_exhausted").value == 1
+
+    def test_no_report_when_budget_met(self, small_design):
+        movable = small_design.movable & ~small_design.is_macro
+        dis = np.where(movable, 1.0, 0.0)
+        tracer = Tracer()
+        with obs.tracing(tracer):
+            cap_padding_area(small_design, dis, area_cap=0.5)
+        assert tracer.counter("legalize/padding_cap_exhausted").value == 0
 
 
 class TestPaddedWidths:

@@ -99,6 +99,57 @@ class TestAbacus:
         legalize_abacus(placed)
         assert np.array_equal(placed.x[fixed], x0)
 
+    def test_max_row_search_zero_pins_home_row(self):
+        # Regression: `max_row_search or num_rows` treated an explicit 0
+        # as "search everything"; 0 must mean home-row-only.
+        tech = Technology()
+        b = DesignBuilder("sparse", tech, Rect(0, 0, 64, 64))
+        for i in range(8):
+            b.add_cell(f"c{i}", 4, tech.row_height, x=8 * i + 4, y=8 * i + 4)
+        d = b.build()
+        index = SegmentIndex.build(d)
+        movable = np.flatnonzero(d.movable & ~d.is_macro)
+        home = {
+            int(c): index.nearest_row(d.y[c] - d.h[c] / 2) for c in movable
+        }
+        legalize_abacus(d, max_row_search=0)
+        assert check_legal(d).ok
+        for c in movable:
+            assert index.nearest_row(d.y[c] - d.h[c] / 2) == home[int(c)]
+
+    def test_max_row_search_zero_fails_on_full_home_row(self):
+        # Nine 8-wide cells target one 64-wide row.  Home-row-only must
+        # fail loudly; the old falsy check silently searched every row.
+        def overfull():
+            tech = Technology()
+            b = DesignBuilder("full", tech, Rect(0, 0, 64, 16))
+            for i in range(9):
+                b.add_cell(f"c{i}", 8, tech.row_height, x=7 * i + 4, y=4)
+            return b.build()
+
+        with pytest.raises(RuntimeError):
+            legalize_abacus(overfull(), max_row_search=0)
+        d = overfull()
+        legalize_abacus(d)  # unrestricted search spills to row 1
+        assert check_legal(d).ok
+
+    def test_max_row_search_radius_is_inclusive(self, placed):
+        # A cap of r may move a cell at most r rows from its home row.
+        index = SegmentIndex.build(placed)
+        row_height = placed.technology.row_height
+        movable = np.flatnonzero(placed.movable & ~placed.is_macro)
+        home = {
+            int(c): index.nearest_row(placed.y[c] - placed.h[c] / 2)
+            for c in movable
+        }
+        result = legalize_abacus(placed, max_row_search=2)
+        assert result.num_cells == len(movable)
+        for c in movable:
+            row = index.nearest_row(placed.y[c] - placed.h[c] / 2)
+            assert abs(index.row_ys[row] - index.row_ys[home[int(c)]]) <= (
+                2 * row_height + 1e-9
+            )
+
 
 class TestTetris:
     def test_produces_legal_placement(self, placed):

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.dplace",
     "repro.runtime",
     "repro.evalkit",
+    "repro.verify",
 ]
 
 

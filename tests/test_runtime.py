@@ -72,6 +72,13 @@ class TestStableHash:
         assert stable_hash({"x": np.int64(3)}) == stable_hash({"x": 3})
         assert stable_hash({"x": np.float64(0.25)}) == stable_hash({"x": 0.25})
 
+    def test_int_and_str_dict_keys_collide(self):
+        # Documented behavior: dict keys canonicalize through str() so
+        # keys survive a JSON round-trip; {1: v} and {"1": v} are the
+        # same payload.  Values keep their types ({"a": 1} != {"a": "1"}).
+        assert stable_hash({1: "v"}) == stable_hash({"1": "v"})
+        assert stable_hash({"a": 1}) != stable_hash({"a": "1"})
+
     def test_unhashable_payload_raises(self):
         with pytest.raises(TypeError):
             stable_hash({"fn": lambda: None})
@@ -217,6 +224,38 @@ class TestArtifactCache:
         key = stable_hash({"a": 1})
         cache.put(key, None)
         assert cache.get(key) is None
+
+    def test_put_cleans_tmp_file_when_replace_fails(self, tmp_path, monkeypatch):
+        from repro.runtime import cache as cache_mod
+
+        cache = ArtifactCache(str(tmp_path))
+        key = stable_hash({"a": 1})
+
+        def failing_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache_mod.os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            cache.put(key, 42)
+        monkeypatch.undo()
+        leftovers = [
+            name
+            for _dir, _sub, files in os.walk(str(tmp_path))
+            for name in files
+        ]
+        assert leftovers == []
+        assert cache.get(key) is MISSING
+
+    def test_clear_keeps_counters(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = stable_hash({"a": 1})
+        cache.put(key, 42)
+        assert cache.get(key) == 42
+        cache.clear()
+        # clear() drops entries, not the handle's hit/miss history.
+        assert cache.stats() == {"hits": 1, "misses": 0}
+        assert cache.get(key) is MISSING
+        assert cache.stats() == {"hits": 1, "misses": 1}
 
 
 class TestJournal:
