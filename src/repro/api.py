@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import functools
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from . import obs
@@ -43,6 +44,7 @@ from .netlist import check_legal
 from .netlist.design import Design
 from .placer import PlacementParams
 from .router import GlobalRouter, RouterParams
+from .schema import dataclass_from_dict, dataclass_to_dict
 
 
 class UnknownFlowError(ValueError):
@@ -142,6 +144,13 @@ class RunConfig:
             ``"full"`` (adds netlist integrity and routing accounting).
             Checkers run post-legalization and, when routing, post-route;
             the report lands on :attr:`RunResult.verify_report`.
+
+    A ``RunConfig`` is the service wire format: :meth:`to_dict` /
+    :meth:`from_dict` round-trip losslessly (``schema_version``-stamped,
+    unknown keys rejected), and :func:`repro.runtime.cache.stable_hash`
+    of :meth:`to_dict` is a reproducible cross-process cache key.
+    Validation happens at construction — a bad ``verify`` level raises
+    here, not mid-run.
     """
 
     scale: float = 0.004
@@ -150,6 +159,37 @@ class RunConfig:
     router: RouterParams = field(default_factory=RouterParams)
     strategy: StrategyParams | None = None
     verify: str = "off"
+
+    def __post_init__(self) -> None:
+        from .verify import LEVELS
+
+        if self.verify not in LEVELS:
+            raise ValueError(
+                f"unknown verify level {self.verify!r}; expected one of {LEVELS}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-safe wire dict; nested params carry their own versions."""
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        """Rebuild from :meth:`to_dict`.
+
+        Raises:
+            repro.schema.SchemaError: on unknown keys or an unsupported
+                ``schema_version`` (at any nesting level).
+            ValueError: on a bad ``verify`` level (via ``__post_init__``).
+        """
+        return dataclass_from_dict(
+            cls,
+            data,
+            nested={
+                "placement": PlacementParams.from_dict,
+                "router": RouterParams.from_dict,
+                "strategy": StrategyParams.from_dict,
+            },
+        )
 
 
 @dataclass
@@ -178,6 +218,86 @@ class RunResult:
     route_report: object | None = None
     legality: object | None = None
     verify_report: object | None = None
+
+    def to_summary(self) -> dict:
+        """A JSON-safe summary of the run (the service result format).
+
+        Carries everything a remote caller can consume — metrics, not
+        live objects: the placed :attr:`design` itself stays behind.
+        """
+        summary = {
+            "design": self.design.name,
+            "flow": self.flow,
+            "hpwl": float(self.hpwl),
+            "place_seconds": float(self.place_seconds),
+            "route": _route_report_summary(self.route_report),
+            "legal": None if self.legality is None else bool(self.legality.ok),
+            "verify": None,
+        }
+        if self.verify_report is not None:
+            summary["verify"] = {
+                "ok": bool(self.verify_report.ok),
+                "errors": len(self.verify_report.errors),
+                "warnings": len(self.verify_report.warnings),
+            }
+        return summary
+
+
+def _route_report_summary(report) -> dict | None:
+    """JSON-safe metrics of a :class:`repro.router.RouteReport`."""
+    if report is None:
+        return None
+    return {
+        "hof": float(report.hof),
+        "vof": float(report.vof),
+        "total_overflow": float(report.total_overflow),
+        "wirelength": float(report.wirelength),
+        "runtime": float(report.runtime),
+        "rounds": int(report.rounds),
+        "num_segments": int(report.num_segments),
+        "via_count": int(report.via_count),
+    }
+
+
+@dataclass
+class RouteResult:
+    """Outcome of :func:`route`, mirroring :class:`RunResult`.
+
+    Attributes:
+        design: the routed design (unchanged by routing).
+        route_report: the :class:`repro.router.RouteReport`.
+        route_seconds: wall time of the routing call.
+
+    Attribute access that falls through to the underlying report
+    (``result.hof``, ``result.summary()``, …) still works as a
+    deprecation shim for callers written against the old bare-report
+    return shape of :func:`route`, with a :class:`DeprecationWarning`.
+    """
+
+    design: Design
+    route_report: object
+    route_seconds: float
+
+    def to_summary(self) -> dict:
+        """A JSON-safe summary of the route (the service result format)."""
+        return {
+            "design": self.design.name,
+            "hpwl": float(self.design.hpwl()),
+            "route_seconds": float(self.route_seconds),
+            "route": _route_report_summary(self.route_report),
+        }
+
+    def __getattr__(self, name: str):
+        # Deprecation shim: ``route()`` used to return the bare report.
+        report = object.__getattribute__(self, "route_report")
+        value = getattr(report, name)
+        warnings.warn(
+            f"accessing {name!r} on RouteResult is deprecated; use "
+            f"RouteResult.route_report.{name}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return value
 
 
 def run(
@@ -278,11 +398,21 @@ def _verify_run(design, config: RunConfig, flow_result, route_report, level: str
     return run_checkers(ctx, level=level)
 
 
-def route(design: Design, config: RunConfig | None = None, *, trace=None):
-    """Route an already-placed design and return the route report."""
+def route(design: Design, config: RunConfig | None = None, *, trace=None) -> RouteResult:
+    """Route an already-placed design.
+
+    Returns:
+        A typed :class:`RouteResult`.  (Older callers that treated the
+        return value as the bare :class:`repro.router.RouteReport` keep
+        working through a deprecation shim.)
+    """
     config = config or RunConfig()
     with obs.tracing(trace):
-        return GlobalRouter(design, config.router).run()
+        with obs.span("api/route", design=design.name):
+            start = time.perf_counter()
+            report = GlobalRouter(design, config.router).run()
+            route_seconds = time.perf_counter() - start
+    return RouteResult(design=design, route_report=report, route_seconds=route_seconds)
 
 
 def suite(
@@ -331,12 +461,17 @@ def suite(
         )
 
 
+#: Sentinel distinguishing "``rng`` not passed" from any real seed value.
+_UNSET = object()
+
+
 def explore(
     design: str = "OR1200",
     *,
     scale: float = 0.008,
     budget: int = 12,
-    rng=7,
+    seed: int = 7,
+    rng=_UNSET,
     trace=None,
     batch_size: int = 1,
     evaluator=None,
@@ -348,7 +483,8 @@ def explore(
         scale: benchmark-generation scale.
         budget: global-stage evaluation budget (group stages derive
             their budget and patience from it, as the CLI always has).
-        rng: RNG seed.
+        seed: RNG seed (named like :attr:`RunConfig.seed`; the old
+            ``rng=`` keyword still works with a ``DeprecationWarning``).
         trace: observability target (path or tracer).
         batch_size: TPE candidates per round.
         evaluator: optional parallel batch evaluator.
@@ -362,6 +498,13 @@ def explore(
         strategy_exploration,
     )
 
+    if rng is not _UNSET:
+        warnings.warn(
+            "explore(rng=...) is deprecated; use seed= (like RunConfig.seed)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        seed = rng
     objective = make_placement_objective(SuiteDesignFactory(design, scale))
     with obs.tracing(trace):
         return strategy_exploration(
@@ -370,7 +513,7 @@ def explore(
             group_evals=max(budget // 3, 3),
             patience=max(budget // 3, 3),
             max_group_rounds=1,
-            rng=rng,
+            rng=seed,
             batch_size=batch_size,
             evaluator=evaluator,
         )
@@ -379,6 +522,7 @@ def explore(
 __all__ = [
     "FLOWS",
     "FLOW_ALIASES",
+    "RouteResult",
     "RunConfig",
     "RunResult",
     "TABLE2_COLUMNS",

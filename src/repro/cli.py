@@ -11,6 +11,9 @@ Commands:
 * ``report``    — summarize a :mod:`repro.obs` trace file.
 * ``verify``    — invariant checkers + cross-backend differential
   harness (:mod:`repro.verify`); ``--quick`` is the CI smoke mode.
+* ``serve``     — boot the async placement job server (:mod:`repro.serve`).
+* ``submit``    — post a placement job to a running server.
+* ``jobs``      — list, inspect, or cancel jobs on a running server.
 
 ``place`` and ``suite`` additionally take ``--verify {off,cheap,full}``
 to run the invariant checkers on every produced placement.
@@ -79,6 +82,48 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="summarize a repro.obs trace")
     report.add_argument("trace", help="path to a JSONL trace file")
 
+    serve = sub.add_parser("serve", help="run the placement job server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8180,
+                       help="bind port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent placement workers")
+    serve.add_argument("--capacity", type=int, default=8,
+                       help="bounded queue size (backpressure beyond it)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="artifact cache for result memoization")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="default per-job timeout in seconds")
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="stream a repro.obs JSONL trace of the server to PATH",
+    )
+
+    submit = sub.add_parser("submit", help="submit a job to a running server")
+    submit.add_argument("design", choices=suite_names())
+    submit.add_argument("--flow", choices=list(api.FLOWS), default="puffer")
+    submit.add_argument("--scale", type=float, default=0.004)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--max-iters", type=int, default=900)
+    submit.add_argument("--route", action="store_true",
+                        help="also evaluate with the global router")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="per-job timeout in seconds")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and print the result")
+    submit.add_argument("--wait-timeout", type=float, default=None,
+                        help="give up polling after this many seconds")
+    _add_server_args(submit)
+
+    jobs = sub.add_parser("jobs", help="inspect jobs on a running server")
+    jobs.add_argument("job", nargs="?", default=None,
+                      help="job id to show (omit to list all jobs)")
+    jobs.add_argument("--state", default=None,
+                      help="filter the listing by lifecycle state")
+    jobs.add_argument("--cancel", metavar="JOB",
+                      help="cancel the given job instead of listing")
+    _add_server_args(jobs)
+
     verify = sub.add_parser(
         "verify", help="invariant + cross-backend differential verification"
     )
@@ -139,6 +184,12 @@ def _add_runtime_args(parser, jobs: bool = True, verify: bool = False) -> None:
     )
 
 
+def _add_server_args(parser) -> None:
+    """Address flags shared by the server-client commands."""
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8180)
+
+
 DEFAULT_RUNTIME_DIR = ".repro_runtime"
 
 
@@ -193,8 +244,8 @@ def cmd_place(args) -> int:
 
 def cmd_route(args) -> int:
     design = load_design(args.directory, args.name)
-    report = api.route(design, trace=args.trace)
-    print(report.summary())
+    result = api.route(design, trace=args.trace)
+    print(result.route_report.summary())
     return 0
 
 
@@ -235,7 +286,7 @@ def cmd_explore(args) -> int:
         args.design,
         scale=args.scale,
         budget=args.budget,
-        rng=7,
+        seed=7,
         trace=args.trace,
         batch_size=batch_size,
         evaluator=evaluator,
@@ -310,6 +361,113 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from . import obs
+    from .serve import HttpServer, PlacementService, ServiceConfig
+
+    async def _serve() -> None:
+        service = PlacementService(
+            ServiceConfig(
+                workers=args.workers,
+                capacity=args.capacity,
+                cache_dir=args.cache_dir,
+                default_timeout=args.timeout,
+            )
+        )
+        await service.start()
+        server = HttpServer(service, host=args.host, port=args.port)
+        host, port = await server.start()
+        print(f"serving placements on http://{host}:{port}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining...", flush=True)
+            await server.close()
+            await service.stop()
+            counts = service.counts
+            print(
+                f"served {counts['submitted']} jobs "
+                f"({counts['done']} done, {counts['failed']} failed, "
+                f"{counts['cancelled']} cancelled, "
+                f"{counts['cache_hits']} cache hits)"
+            )
+
+    with obs.tracing(args.trace):
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .serve import HttpServiceClient, QueueFullError
+
+    config = api.RunConfig(
+        scale=args.scale,
+        seed=args.seed,
+        placement=PlacementParams(max_iters=args.max_iters),
+    )
+    client = HttpServiceClient(args.host, args.port)
+    try:
+        job = client.submit(
+            args.design,
+            flow=args.flow,
+            config=config,
+            route=args.route,
+            timeout=args.timeout,
+        )
+    except QueueFullError as exc:
+        print(f"rejected: {exc}", file=sys.stderr)
+        return 2
+    print(f"{job['id']} {job['state']}")
+    if not args.wait:
+        return 0
+    if job["state"] not in ("done", "failed", "cancelled"):
+        job = client.wait(job["id"], timeout=args.wait_timeout)
+    print(f"{job['id']} {job['state']}"
+          + (" (cache hit)" if job["cache_hit"] else ""))
+    if job["state"] == "done":
+        print(json.dumps(job["result"], indent=2))
+        return 0
+    print(f"error: {job['error']}", file=sys.stderr)
+    return 1
+
+
+def cmd_jobs(args) -> int:
+    from .serve import HttpServiceClient, ServeError
+
+    client = HttpServiceClient(args.host, args.port)
+    if args.cancel:
+        try:
+            job = client.cancel(args.cancel)
+        except ServeError as exc:  # unknown job / already terminal
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"{job['id']} {job['state']}")
+        return 0
+    if args.job:
+        try:
+            job = client.status(args.job)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(job, indent=2))
+        return 0
+    jobs = client.jobs(args.state)
+    for job in jobs:
+        extra = " (cache hit)" if job["cache_hit"] else ""
+        print(f"{job['id']:10s} {job['state']:10s} "
+              f"{job['request']['design']} {job['request']['flow']}{extra}")
+    if not jobs:
+        print("no jobs")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "kernels", None):
@@ -322,6 +480,9 @@ def main(argv=None) -> int:
         "suite": cmd_suite,
         "report": cmd_report,
         "verify": cmd_verify,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "jobs": cmd_jobs,
     }
     return handlers[args.command](args)
 

@@ -73,13 +73,29 @@ class StrategyParams:
         values.update(kwargs)
         return StrategyParams(**values)
 
+    def to_dict(self) -> dict:
+        """JSON-safe wire dict (see :mod:`repro.schema`)."""
+        from ..schema import dataclass_to_dict
+
+        return dataclass_to_dict(self)
+
     @classmethod
     def from_dict(cls, values: dict) -> "StrategyParams":
-        """Build params from an exploration configuration dict.
+        """Build params from an exploration configuration or wire dict.
 
         Unknown keys raise; missing keys keep their defaults.  ``xi`` and
-        ``kernel_size`` are coerced to int.
+        ``kernel_size`` are coerced to int.  A ``schema_version`` key
+        (stamped by :meth:`to_dict`) is validated and stripped.
         """
+        from ..schema import SCHEMA_VERSION, SchemaError
+
+        values = dict(values)
+        version = values.pop("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"StrategyParams schema_version {version!r} is not supported "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
         known = {f.name for f in fields(cls)}
         unknown = set(values) - known
         if unknown:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..schema import dataclass_from_dict, dataclass_to_dict
+
 
 @dataclass
 class PlacementParams:
@@ -44,6 +46,15 @@ class PlacementParams:
     initial_placer: str = "star"
     seed: int = 7
     verbose: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-safe wire dict (see :mod:`repro.schema`)."""
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlacementParams":
+        """Rebuild from :meth:`to_dict`; unknown keys raise ``SchemaError``."""
+        return dataclass_from_dict(cls, data)
 
     def validate(self) -> None:
         """Raise ``ValueError`` on out-of-range settings."""

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..schema import dataclass_from_dict, dataclass_to_dict
 from .grid import DemandMaps, RoutingGrid
 
 
@@ -28,6 +29,15 @@ class CostParams:
     congestion_weight: float = 16.0
     history_increment: float = 1.0
     slack: float = 0.9
+
+    def to_dict(self) -> dict:
+        """JSON-safe wire dict (see :mod:`repro.schema`)."""
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostParams":
+        """Rebuild from :meth:`to_dict`; unknown keys raise ``SchemaError``."""
+        return dataclass_from_dict(cls, data)
 
 
 class CostModel:

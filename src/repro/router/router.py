@@ -52,6 +52,19 @@ class RouterParams:
     pin_demand: float = 0.05
     use_z_patterns: bool = False
 
+    def to_dict(self) -> dict:
+        """JSON-safe wire dict (``cost`` nests its own versioned dict)."""
+        from ..schema import dataclass_to_dict
+
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RouterParams":
+        """Rebuild from :meth:`to_dict`; unknown keys raise ``SchemaError``."""
+        from ..schema import dataclass_from_dict
+
+        return dataclass_from_dict(cls, data, nested={"cost": CostParams.from_dict})
+
 
 @dataclass
 class RouteReport:

@@ -177,6 +177,18 @@ class TaskExecutor:
             results[task.key] = self._run_inline(task, on_result)
         return [results[k] for k in keys]
 
+    def run_one(self, task: Task) -> TaskResult:
+        """Execute a single task and return its :class:`TaskResult`.
+
+        The submission hook used by the :mod:`repro.serve` worker pool:
+        each service worker owns an inline executor and funnels one job
+        at a time through it, inheriting the retry/backoff accounting
+        and telemetry of :meth:`run`.  Safe to call concurrently from
+        several threads on an inline (``jobs=1``) executor — the inline
+        path keeps no shared mutable state beyond telemetry.
+        """
+        return self.run([task])[0]
+
     def map(self, fn, items: list, key_prefix: str = "item") -> list:
         """Apply ``fn`` to every item, preserving order; raise on failure.
 

@@ -1,0 +1,113 @@
+"""Wire-safe serialization of configuration dataclasses.
+
+The serving layer (:mod:`repro.serve`) and the artifact cache both need
+configurations that survive a process boundary: a ``RunConfig`` posted
+as JSON to the job server must reconstruct bit-identically on the other
+side, and its :func:`repro.runtime.cache.stable_hash` key must come out
+the same in every process.  This module provides the two generic halves
+of that contract:
+
+* :func:`dataclass_to_dict` — a JSON-safe ``dict`` of a configuration
+  dataclass, stamped with :data:`SCHEMA_VERSION` so readers can detect
+  incompatible producers.  Nested dataclasses serialize through their
+  own ``to_dict`` when they define one.
+* :func:`dataclass_from_dict` — the inverse: validates the schema
+  version, **rejects unknown keys** (typos fail at the boundary, not
+  mid-run), rebuilds nested dataclasses, and lets the target class's
+  ``__post_init__`` do semantic validation.
+
+``to_dict()``/``from_dict()`` pairs on :class:`repro.api.RunConfig`,
+:class:`repro.placer.PlacementParams`,
+:class:`repro.router.RouterParams`, and
+:class:`repro.core.StrategyParams` are thin wrappers over these.
+Everything emitted is JSON-native (str/int/float/bool/None/dict/list),
+so ``json.loads(json.dumps(cfg.to_dict()))`` is lossless — Python floats
+round-trip exactly through JSON's repr-based encoding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Version stamped into every ``to_dict()`` payload.  Bump on any
+#: incompatible field change; ``from_dict`` rejects other versions.
+SCHEMA_VERSION = 1
+
+
+class SchemaError(ValueError):
+    """A wire payload that cannot become a valid configuration."""
+
+
+def _encode(value):
+    """Reduce ``value`` to JSON-native structure."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        to_dict = getattr(value, "to_dict", None)
+        return to_dict() if to_dict is not None else dataclass_to_dict(value)
+    if isinstance(value, dict):
+        return {str(k): _encode(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(v) for v in value]
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return _encode(value.item())
+    raise SchemaError(f"cannot serialize {type(value).__name__} for the wire")
+
+
+def dataclass_to_dict(obj) -> dict:
+    """A JSON-safe dict of dataclass ``obj``, stamped with the version.
+
+    Field order follows the dataclass definition, with
+    ``schema_version`` first.  Nested dataclasses carry their own
+    version stamp, so each level validates independently on read.
+    """
+    out = {"schema_version": SCHEMA_VERSION}
+    for f in dataclasses.fields(obj):
+        out[f.name] = _encode(getattr(obj, f.name))
+    return out
+
+
+def dataclass_from_dict(cls, data, nested: dict | None = None):
+    """Rebuild ``cls`` from a :func:`dataclass_to_dict` payload.
+
+    Args:
+        cls: target dataclass type.
+        data: the wire dict.  ``schema_version`` is optional (hand-built
+            dicts omit it) but must equal :data:`SCHEMA_VERSION` when
+            present.  Missing fields keep their dataclass defaults.
+        nested: ``field name -> callable(dict) -> value`` for fields
+            that are themselves dataclasses; skipped when the field's
+            payload is ``None``.
+
+    Raises:
+        SchemaError: on a non-dict payload, an unsupported
+            ``schema_version``, or any unknown key.
+    """
+    if not isinstance(data, dict):
+        raise SchemaError(
+            f"{cls.__name__} payload must be a dict, got {type(data).__name__}"
+        )
+    data = dict(data)
+    version = data.pop("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"{cls.__name__} schema_version {version!r} is not supported "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SchemaError(f"unknown {cls.__name__} keys: {unknown}")
+    kwargs = {}
+    for name, value in data.items():
+        build = (nested or {}).get(name)
+        kwargs[name] = build(value) if build is not None and value is not None else value
+    return cls(**kwargs)
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "dataclass_from_dict",
+    "dataclass_to_dict",
+]

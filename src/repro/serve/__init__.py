@@ -1,0 +1,67 @@
+"""Placement-as-a-service: the async job server over the run facade.
+
+After PRs 1–4 every placement still required importing the package
+in-process; this package is the step from library to system.  A
+:class:`PlacementService` accepts serialized, versioned
+:class:`repro.api.RunConfig` payloads (see :mod:`repro.schema`), runs
+them through a bounded queue and worker pool on the
+:mod:`repro.runtime` executor, memoizes results in the artifact cache,
+and exposes the whole thing over JSON-HTTP (:class:`HttpServer`) or
+in-process (:class:`ServiceClient`):
+
+    service = PlacementService(ServiceConfig(workers=2, capacity=8))
+    await service.start()
+    client = ServiceClient(service)
+    summary = await client.run("OR1200", config=RunConfig(scale=0.002))
+
+From the shell: ``repro serve`` boots the HTTP server, ``repro submit``
+posts a job and optionally waits, ``repro jobs`` inspects or cancels.
+Backpressure is explicit — a full queue rejects with a retry-after hint
+(HTTP 429) rather than buffering without bound — and shutdown drains:
+accepted jobs finish, new submissions are refused.
+"""
+
+from .client import HttpServiceClient, JobFailedError, ServiceClient, make_request
+from .http import HttpServer
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL,
+    Job,
+    JobStateError,
+    JobStore,
+    QueueFullError,
+    ServeError,
+    ServiceClosedError,
+    UnknownJobError,
+)
+from .service import PlacementService, ServiceConfig, execute_request
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "HttpServer",
+    "HttpServiceClient",
+    "Job",
+    "JobFailedError",
+    "JobStateError",
+    "JobStore",
+    "PlacementService",
+    "QUEUED",
+    "QueueFullError",
+    "RUNNING",
+    "STATES",
+    "ServeError",
+    "ServiceClient",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "TERMINAL",
+    "UnknownJobError",
+    "execute_request",
+    "make_request",
+]

@@ -1,0 +1,198 @@
+"""Clients of the placement service.
+
+* :class:`ServiceClient` — in-process, async: wraps a running
+  :class:`~repro.serve.service.PlacementService` directly (no sockets).
+  This is what tests and the strategy-exploration loop use — the
+  service becomes a callable evaluation backend.
+* :class:`HttpServiceClient` — synchronous, over :mod:`http.client`:
+  what ``repro submit`` / ``repro jobs`` use to talk to a ``repro
+  serve`` process.  Raises the same typed errors as the service
+  (:class:`QueueFullError` on 429 with the server's retry-after, …) so
+  callers handle backpressure identically in and out of process.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from .jobs import (
+    DONE,
+    JobStateError,
+    QueueFullError,
+    ServeError,
+    ServiceClosedError,
+    UnknownJobError,
+)
+
+
+class JobFailedError(ServeError):
+    """A waited-on job reached ``failed`` or ``cancelled``.
+
+    Attributes:
+        job: the terminal job (a :class:`~repro.serve.jobs.Job` for the
+            in-process client, a wire dict for the HTTP client).
+    """
+
+    def __init__(self, job) -> None:
+        self.job = job
+        state = job.state if hasattr(job, "state") else job["state"]
+        error = job.error if hasattr(job, "error") else job.get("error")
+        job_id = job.id if hasattr(job, "id") else job["id"]
+        super().__init__(f"job {job_id} {state}: {error or 'no result'}")
+
+
+def make_request(design: str, *, flow: str = "puffer", config=None,
+                 route: bool = False, timeout: float | None = None) -> dict:
+    """Build the JSON-safe wire request both clients POST.
+
+    ``config`` may be a :class:`repro.api.RunConfig` (serialized via
+    ``to_dict``), an already-serialized wire dict, or ``None``.
+    """
+    if config is not None and hasattr(config, "to_dict"):
+        config = config.to_dict()
+    request: dict = {"design": design, "flow": flow}
+    if config is not None:
+        request["config"] = config
+    if route:
+        request["route"] = True
+    if timeout is not None:
+        request["timeout"] = timeout
+    return request
+
+
+class ServiceClient:
+    """In-process async client over a started :class:`PlacementService`."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    async def submit(self, design: str, **kwargs):
+        """Submit and return the :class:`~repro.serve.jobs.Job`."""
+        return self.service.submit(make_request(design, **kwargs))
+
+    async def wait(self, job_id: str, timeout: float | None = None):
+        """Await the job's terminal state and return it."""
+        return await self.service.wait(job_id, timeout=timeout)
+
+    async def run(self, design: str, *, wait_timeout: float | None = None,
+                  **kwargs) -> dict:
+        """Submit, await completion, and return the result summary.
+
+        Raises:
+            JobFailedError: the job failed or was cancelled.
+        """
+        job = await self.submit(design, **kwargs)
+        job = await self.wait(job.id, timeout=wait_timeout)
+        if job.state != DONE:
+            raise JobFailedError(job)
+        return job.result
+
+    def status(self, job_id: str):
+        return self.service.status(job_id)
+
+    def cancel(self, job_id: str):
+        return self.service.cancel(job_id)
+
+    def healthz(self) -> dict:
+        return self.service.healthz()
+
+    def metrics(self) -> dict:
+        return self.service.metrics()
+
+
+class HttpServiceClient:
+    """Synchronous JSON client for a ``repro serve`` endpoint.
+
+    Args:
+        host, port: the server address.
+        timeout: socket timeout per request, seconds.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8180,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload)
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = conn.getresponse()
+            data = json.loads(response.read().decode("utf-8") or "{}")
+            status = response.status
+            retry_after = response.getheader("Retry-After")
+        finally:
+            conn.close()
+        if status < 400:
+            return data
+        self._raise(status, data.get("error", f"HTTP {status}"), retry_after)
+
+    def _raise(self, status: int, message: str, retry_after) -> None:
+        if status == 429:
+            # Capacity isn't on the wire; keep the server's message.
+            raise QueueFullError(capacity=-1,
+                                 retry_after=float(retry_after or 1.0),
+                                 message=message)
+        if status == 404:
+            raise UnknownJobError("<remote>", message=message)
+        if status == 409:
+            raise JobStateError(message)
+        if status == 503:
+            raise ServiceClosedError(message)
+        if status == 400:
+            raise ValueError(message)
+        raise ServeError(f"HTTP {status}: {message}")
+
+    # -- operations ----------------------------------------------------
+
+    def submit(self, design: str, **kwargs) -> dict:
+        """POST the job; returns its wire dict (``state`` = ``queued``
+        or already ``done`` on a cache hit)."""
+        return self._request("POST", "/jobs", make_request(design, **kwargs))
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self, state: str | None = None) -> list:
+        path = "/jobs" if state is None else f"/jobs?state={state}"
+        return self._request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def wait(self, job_id: str, timeout: float | None = None,
+             poll: float = 0.25) -> dict:
+        """Poll until the job is terminal; returns its wire dict."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {job['state']}")
+            time.sleep(poll)
+
+    def run(self, design: str, *, wait_timeout: float | None = None,
+            poll: float = 0.25, **kwargs) -> dict:
+        """Submit, poll to completion, and return the result summary."""
+        job = self.submit(design, **kwargs)
+        if job["state"] != DONE:
+            job = self.wait(job["id"], timeout=wait_timeout, poll=poll)
+        if job["state"] != DONE:
+            raise JobFailedError(job)
+        return job["result"]

@@ -1,0 +1,207 @@
+"""JSON-over-HTTP front end of the placement service (stdlib only).
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` —
+no framework, no threads — translating requests into
+:class:`~repro.serve.service.PlacementService` calls:
+
+====== ==================== ==========================================
+Method Path                 Action
+====== ==================== ==========================================
+GET    ``/healthz``         liveness + queue/job counts
+GET    ``/metrics``         service counters and obs instruments
+POST   ``/jobs``            submit a placement job (``202 Accepted``)
+GET    ``/jobs``            list jobs (``?state=`` filters)
+GET    ``/jobs/<id>``       one job's status/result
+DELETE ``/jobs/<id>``       cancel a job
+====== ==================== ==========================================
+
+Error mapping: validation problems are ``400``, unknown ids ``404``,
+illegal lifecycle moves ``409``, a full queue ``429`` with a
+``Retry-After`` header, drain ``503``.  Every response is JSON and every
+connection is single-shot (``Connection: close``) — clients here are
+submission scripts and pollers, not browsers holding keep-alives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from http import HTTPStatus
+
+from ..schema import SchemaError
+from .jobs import (
+    JobStateError,
+    QueueFullError,
+    ServiceClosedError,
+    UnknownJobError,
+)
+
+#: Request-size guards (a placement request is a few KB of JSON).
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+
+class _HttpError(Exception):
+    """Internal: abort the request with ``status`` and a JSON error."""
+
+    def __init__(self, status: HTTPStatus, message: str, headers=None) -> None:
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+        super().__init__(message)
+
+
+class HttpServer:
+    """Serves a :class:`PlacementService` over HTTP.
+
+    Args:
+        service: the (started) service to expose.
+        host: bind address.
+        port: bind port (``0`` picks a free one; see :attr:`port` after
+            :meth:`start`).
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 8180) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple:
+        """Bind and start accepting; returns the actual ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # One request per connection
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                status, payload, headers = self._dispatch(method, path, body)
+            except _HttpError as err:
+                status, payload, headers = err.status, {"error": err.message}, err.headers
+            await self._respond(writer, status, payload, headers)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> tuple:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _HttpError(HTTPStatus.REQUEST_HEADER_FIELDS_TOO_LARGE,
+                             "headers too large") from None
+        if len(head) > MAX_HEADER_BYTES:
+            raise _HttpError(HTTPStatus.REQUEST_HEADER_FIELDS_TOO_LARGE,
+                             "headers too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            raise _HttpError(HTTPStatus.BAD_REQUEST, f"bad request line: {lines[0]!r}")
+        method, path, _version = parts
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _sep, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(HTTPStatus.REQUEST_ENTITY_TOO_LARGE, "body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, body
+
+    def _dispatch(self, method: str, path: str, body: bytes) -> tuple:
+        path, _sep, query = path.partition("?")
+        if path == "/healthz" and method == "GET":
+            return HTTPStatus.OK, self.service.healthz(), {}
+        if path == "/metrics" and method == "GET":
+            return HTTPStatus.OK, self.service.metrics(), {}
+        if path == "/jobs":
+            if method == "POST":
+                return self._submit(body)
+            if method == "GET":
+                state = _query_param(query, "state")
+                jobs = [job.to_wire() for job in self.service.jobs(state)]
+                return HTTPStatus.OK, {"jobs": jobs}, {}
+            raise _HttpError(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} /jobs")
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            return self._job_op(method, job_id)
+        raise _HttpError(HTTPStatus.NOT_FOUND, f"no route for {path}")
+
+    def _submit(self, body: bytes) -> tuple:
+        try:
+            request = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(HTTPStatus.BAD_REQUEST, f"bad JSON body: {exc}") from None
+        try:
+            job = self.service.submit(request)
+        except QueueFullError as exc:
+            raise _HttpError(
+                HTTPStatus.TOO_MANY_REQUESTS, str(exc),
+                headers={"Retry-After": f"{exc.retry_after:g}"},
+            ) from None
+        except ServiceClosedError as exc:
+            raise _HttpError(HTTPStatus.SERVICE_UNAVAILABLE, str(exc)) from None
+        except (SchemaError, ValueError, KeyError) as exc:
+            # SchemaError/UnknownFlowError are ValueErrors; KeyError is
+            # StrategyParams' unknown-parameter rejection.
+            raise _HttpError(HTTPStatus.BAD_REQUEST, str(exc)) from None
+        return HTTPStatus.ACCEPTED, job.to_wire(), {}
+
+    def _job_op(self, method: str, job_id: str) -> tuple:
+        try:
+            if method == "GET":
+                return HTTPStatus.OK, self.service.status(job_id).to_wire(), {}
+            if method == "DELETE":
+                return HTTPStatus.OK, self.service.cancel(job_id).to_wire(), {}
+        except UnknownJobError as exc:
+            raise _HttpError(HTTPStatus.NOT_FOUND, str(exc)) from None
+        except JobStateError as exc:
+            raise _HttpError(HTTPStatus.CONFLICT, str(exc)) from None
+        raise _HttpError(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} /jobs/<id>")
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: HTTPStatus,
+                       payload: dict, headers: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status.value} {status.phrase}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        head.extend(f"{name}: {value}" for name, value in headers.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+
+def _query_param(query: str, name: str) -> str | None:
+    for pair in query.split("&"):
+        key, _sep, value = pair.partition("=")
+        if key == name and value:
+            return value
+    return None

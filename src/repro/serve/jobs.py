@@ -1,0 +1,187 @@
+"""Typed job lifecycle and store for the placement service.
+
+A job moves through the lifecycle::
+
+    queued ──────────────► running ──► done / failed
+       │                      │
+       ├──► done (cache hit)  └──► cancelled
+       └──► cancelled
+
+Transitions are enforced — an illegal move raises :class:`JobStateError`
+instead of silently corrupting the store — and every state change stamps
+a wall-clock time so ``repro jobs`` can show queue latency and run time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+#: Lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: States a job never leaves.
+TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+#: Legal transitions.  ``queued -> done`` is the submit-time cache hit.
+_TRANSITIONS = {
+    QUEUED: frozenset({RUNNING, DONE, CANCELLED}),
+    RUNNING: frozenset({DONE, FAILED, CANCELLED}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+
+class ServeError(Exception):
+    """Base class of service-boundary errors."""
+
+
+class QueueFullError(ServeError):
+    """The bounded job queue rejected a submission (backpressure).
+
+    Attributes:
+        retry_after: hint, in seconds, before the client should retry
+            (becomes the HTTP ``Retry-After`` header).
+    """
+
+    def __init__(self, capacity: int, retry_after: float,
+                 message: str | None = None) -> None:
+        self.capacity = capacity
+        self.retry_after = retry_after
+        super().__init__(
+            message
+            or f"job queue is full (capacity {capacity}); retry in {retry_after:g}s"
+        )
+
+
+class UnknownJobError(ServeError, KeyError):
+    """A job id with no entry in the store."""
+
+    def __init__(self, job_id: str, message: str | None = None) -> None:
+        self.job_id = job_id
+        self._message = message or f"unknown job {job_id!r}"
+        super().__init__(self._message)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes its argument; keep the message plain
+        # so it survives the HTTP error round-trip unmangled.
+        return self._message
+
+
+class JobStateError(ServeError):
+    """An illegal lifecycle transition (e.g. cancelling a done job)."""
+
+
+class ServiceClosedError(ServeError):
+    """A submission after the service began draining."""
+
+
+@dataclass
+class Job:
+    """One placement request and its lifecycle.
+
+    Attributes:
+        id: store-unique identifier (``job-N``).
+        request: the validated wire request (JSON-safe dict).
+        key: memoization key — ``stable_hash`` of the serialized config.
+        state: current lifecycle state.
+        result: JSON-safe result summary once ``done``.
+        error: terminal error message once ``failed``.
+        cache_hit: whether the result came from the artifact cache.
+        timeout: per-job wall-clock budget in seconds (``None`` = none).
+        submitted_at / started_at / finished_at: ``time.time()`` stamps.
+    """
+
+    id: str
+    request: dict
+    key: str
+    state: str = QUEUED
+    result: dict | None = None
+    error: str | None = None
+    cache_hit: bool = False
+    timeout: float | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL
+
+    def transition(self, state: str) -> None:
+        """Move to ``state``, stamping times; illegal moves raise."""
+        if state not in _TRANSITIONS:
+            raise JobStateError(f"unknown job state {state!r}")
+        if state not in _TRANSITIONS[self.state]:
+            raise JobStateError(
+                f"job {self.id} cannot move {self.state!r} -> {state!r}"
+            )
+        self.state = state
+        now = time.time()
+        if state == RUNNING:
+            self.started_at = now
+        elif state in TERMINAL:
+            self.finished_at = now
+
+    def to_wire(self) -> dict:
+        """The JSON-safe status dict served over HTTP."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "key": self.key,
+            "request": self.request,
+            "result": self.result,
+            "error": self.error,
+            "cache_hit": self.cache_hit,
+            "timeout": self.timeout,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class JobStore:
+    """Insertion-ordered registry of every job the service has seen."""
+
+    def __init__(self) -> None:
+        self._jobs: dict = {}
+        self._ids = itertools.count(1)
+
+    def create(self, request: dict, key: str, timeout: float | None = None) -> Job:
+        """Register a fresh ``queued`` job for ``request``."""
+        job = Job(id=f"job-{next(self._ids)}", request=request, key=key,
+                  timeout=timeout)
+        self._jobs[job.id] = job
+        return job
+
+    def get(self, job_id: str) -> Job:
+        """The job for ``job_id``; raises :class:`UnknownJobError`."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(job_id) from None
+
+    def jobs(self, state: str | None = None) -> list:
+        """All jobs in submission order, optionally filtered by state."""
+        jobs = list(self._jobs.values())
+        if state is not None:
+            jobs = [job for job in jobs if job.state == state]
+        return jobs
+
+    def counts(self) -> dict:
+        """``state -> count`` over every state (zeros included)."""
+        counts = dict.fromkeys(STATES, 0)
+        for job in self._jobs.values():
+            counts[job.state] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._jobs)

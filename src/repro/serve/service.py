@@ -1,0 +1,396 @@
+"""The asynchronous placement service: queue, workers, memoization.
+
+:class:`PlacementService` is the transport-independent core that both
+the HTTP front end (:mod:`repro.serve.http`) and the in-process
+:class:`repro.serve.client.ServiceClient` drive:
+
+* a **bounded queue** (``ServiceConfig.capacity``) with explicit
+  backpressure — a full queue rejects the submission with
+  :class:`~repro.serve.jobs.QueueFullError` carrying a retry-after hint
+  instead of buffering unboundedly;
+* a **worker pool** of asyncio tasks, each delegating the CPU-heavy
+  placement to a thread running the :class:`repro.runtime.TaskExecutor`
+  submission hook (:meth:`~repro.runtime.TaskExecutor.run_one`);
+* **memoization** through :class:`repro.runtime.ArtifactCache`, keyed by
+  :func:`repro.runtime.stable_hash` of the normalized request (the
+  serialized :class:`repro.api.RunConfig` wire dict), so a duplicate
+  submission is served from disk without consuming queue capacity;
+* per-job **timeout** and **cancellation**, and a graceful
+  :meth:`~PlacementService.drain` that stops intake and lets accepted
+  jobs finish.
+
+Requests are validated *at the boundary*: a bad config, flow, or verify
+level raises before a job is created, so the queue only ever holds
+runnable work.  Everything narrates into :mod:`repro.obs` —
+``serve/request`` and ``serve/job`` spans, a ``serve/queue_depth``
+gauge, and per-outcome counters — all visible on ``/metrics``.
+
+A note on timeouts: placement runs in a thread, and Python threads
+cannot be preempted, so a timed-out or cancelled *running* job is marked
+``failed``/``cancelled`` and its result discarded while the worker
+thread runs to completion in the background (the same documented
+degradation as the runtime's inline executor).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from .. import obs
+from ..runtime import ArtifactCache, Task, TaskExecutor, stable_hash
+from ..runtime.cache import MISSING
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobStateError,
+    JobStore,
+    QueueFullError,
+    ServiceClosedError,
+)
+
+
+def execute_request(request: dict) -> dict:
+    """Run one normalized placement request and return its summary.
+
+    The module-level worker function of the service (picklable, so the
+    pool can later move across process boundaries): rebuilds the
+    :class:`repro.api.RunConfig` from the wire dict, places through
+    :func:`repro.api.run`, and returns the JSON-safe
+    :meth:`~repro.api.RunResult.to_summary`.
+    """
+    from .. import api
+
+    config = api.RunConfig.from_dict(request.get("config") or {})
+    result = api.run(
+        request["design"],
+        flow=request.get("flow", "puffer"),
+        config=config,
+        route=bool(request.get("route", False)),
+    )
+    return result.to_summary()
+
+
+@dataclass
+class ServiceConfig:
+    """Deployment knobs of :class:`PlacementService`.
+
+    Attributes:
+        workers: concurrent placement workers (asyncio tasks, each
+            executing one job at a time in a thread).
+        capacity: bounded-queue size; submissions beyond it are rejected
+            with a retry-after hint (backpressure, not buffering).
+        cache_dir: artifact-cache directory enabling result memoization
+            across jobs *and* server restarts (``None`` disables).
+        default_timeout: per-job wall-clock budget in seconds when the
+            request does not carry its own (``None`` = unlimited).
+        retry_after: seconds hinted to rejected clients.
+    """
+
+    workers: int = 2
+    capacity: int = 8
+    cache_dir: str | None = None
+    default_timeout: float | None = None
+    retry_after: float = 0.5
+
+
+class PlacementService:
+    """Transport-independent async job service over the placement flows.
+
+    Args:
+        config: deployment knobs (defaults throughout when omitted).
+        runner: ``callable(request dict) -> result dict`` executed in a
+            worker thread; defaults to :func:`execute_request`.  Tests
+            inject fakes here to exercise the lifecycle without placing.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, runner=None) -> None:
+        self.config = config or ServiceConfig()
+        if self.config.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.config.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._runner = runner or execute_request
+        self._store = JobStore()
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.capacity)
+        self._cache = (
+            ArtifactCache(self.config.cache_dir) if self.config.cache_dir else None
+        )
+        self._executor = TaskExecutor(jobs=1, retries=0)
+        self._workers: list = []
+        self._done_events: dict = {}
+        self._cancel_events: dict = {}
+        self._draining = False
+        self.started_at = time.time()
+        self.counts = {
+            "submitted": 0,
+            "rejected": 0,
+            "done": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "cache_hits": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "PlacementService":
+        """Spawn the worker pool (idempotent).  Must run on the loop."""
+        if self._workers:
+            return self
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.config.workers)
+        ]
+        return self
+
+    async def drain(self) -> None:
+        """Stop intake and wait for every accepted job to finish."""
+        self._draining = True
+        await self._queue.join()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain, then retire the worker pool."""
+        await self.drain()
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+
+    # ------------------------------------------------------------------
+    # Request boundary
+    # ------------------------------------------------------------------
+
+    def submit(self, request: dict) -> Job:
+        """Validate and enqueue ``request``; returns the created job.
+
+        The request is a JSON-safe dict: ``design`` (suite benchmark
+        name, required), ``flow`` (default ``"puffer"``), ``config``
+        (a :meth:`repro.api.RunConfig.to_dict` payload, default config
+        when omitted), ``route`` (bool), ``timeout`` (seconds).
+
+        Raises:
+            ServiceClosedError: after :meth:`drain` began.
+            QueueFullError: backpressure — queue at capacity.
+            repro.schema.SchemaError / ValueError /
+            repro.api.UnknownFlowError: invalid request payloads.
+        """
+        with obs.span("serve/request", op="submit"):
+            if self._draining:
+                raise ServiceClosedError("service is draining; not accepting jobs")
+            normalized, timeout = self._normalize(request)
+            if self._queue.full():
+                self.counts["rejected"] += 1
+                obs.counter("serve/rejected").inc()
+                raise QueueFullError(self.config.capacity, self.config.retry_after)
+            job = self._store.create(normalized, key=stable_hash(normalized),
+                                     timeout=timeout)
+            self._done_events[job.id] = asyncio.Event()
+            self._cancel_events[job.id] = asyncio.Event()
+            self.counts["submitted"] += 1
+            obs.counter("serve/submitted").inc()
+            cached = self._cache_lookup(job)
+            if cached is not MISSING:
+                self._finish(job, DONE, result=cached, cache_hit=True)
+                return job
+            self._queue.put_nowait(job)
+            self._set_depth()
+            return job
+
+    def status(self, job_id: str) -> Job:
+        """The job for ``job_id`` (raises :class:`UnknownJobError`)."""
+        with obs.span("serve/request", op="status"):
+            return self._store.get(job_id)
+
+    def jobs(self, state: str | None = None) -> list:
+        """All jobs in submission order, optionally filtered by state."""
+        with obs.span("serve/request", op="jobs"):
+            return self._store.jobs(state)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: immediate when queued, best-effort when running.
+
+        A running job's worker thread cannot be preempted; the job is
+        marked ``cancelled`` (and its result discarded) as soon as the
+        worker observes the cancellation.
+
+        Raises:
+            UnknownJobError: no such job.
+            JobStateError: the job already reached a terminal state.
+        """
+        with obs.span("serve/request", op="cancel", job=job_id):
+            job = self._store.get(job_id)
+            if job.terminal:
+                raise JobStateError(f"job {job_id} is already {job.state}")
+            if job.state == QUEUED:
+                # Stays in the asyncio queue; the worker skips it.
+                self._finish(job, CANCELLED)
+            else:
+                self._cancel_events[job.id].set()
+            return job
+
+    async def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Await a job's terminal state and return it."""
+        job = self._store.get(job_id)
+        await asyncio.wait_for(self._done_events[job_id].wait(), timeout)
+        return job
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """The ``/healthz`` payload."""
+        return {
+            "ok": True,
+            "status": "draining" if self._draining else "serving",
+            "uptime_seconds": time.time() - self.started_at,
+            "queue_depth": self._queue.qsize(),
+            "capacity": self.config.capacity,
+            "workers": self.config.workers,
+            "jobs": self._store.counts(),
+        }
+
+    def metrics(self) -> dict:
+        """The ``/metrics`` payload: service counters + obs instruments."""
+        payload = {
+            "queue_depth": self._queue.qsize(),
+            "capacity": self.config.capacity,
+            "workers": self.config.workers,
+            "counters": dict(self.counts),
+            "cache": self._cache.stats() if self._cache is not None else None,
+        }
+        if obs.is_enabled():
+            payload["obs"] = obs.get_tracer().metrics()
+        return payload
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _normalize(self, request: dict) -> tuple:
+        """Boundary validation -> (normal-form request, timeout).
+
+        The normal form is what the memo key hashes: explicit flow and
+        route flag plus the fully-expanded config wire dict, so
+        ``{"design": "OR1200"}`` and the same request spelled with an
+        explicit default config memoize identically.
+        """
+        from .. import api
+
+        if not isinstance(request, dict):
+            raise ValueError(f"request must be a dict, got {type(request).__name__}")
+        design = request.get("design")
+        if not isinstance(design, str) or not design:
+            raise ValueError("request needs a 'design' benchmark name")
+        flow = request.get("flow", "puffer")
+        if not isinstance(flow, str):
+            raise ValueError("request 'flow' must be a flow name")
+        api.resolve_flow(flow)  # raises UnknownFlowError early
+        config = api.RunConfig.from_dict(request.get("config") or {})
+        timeout = request.get("timeout", self.config.default_timeout)
+        if timeout is not None:
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise ValueError("request 'timeout' must be positive")
+        unknown = set(request) - {"design", "flow", "config", "route", "timeout"}
+        if unknown:
+            raise ValueError(f"unknown request keys: {sorted(unknown)}")
+        normalized = {
+            "design": design,
+            "flow": flow,
+            "route": bool(request.get("route", False)),
+            "config": config.to_dict(),
+        }
+        return normalized, timeout
+
+    def _cache_lookup(self, job: Job):
+        if self._cache is None:
+            return MISSING
+        value = self._cache.get(job.key)
+        return value
+
+    def _set_depth(self) -> None:
+        obs.gauge("serve/queue_depth").set(self._queue.qsize())
+
+    def _finish(self, job: Job, state: str, result=None, error=None,
+                cache_hit: bool = False) -> None:
+        job.transition(state)
+        job.result = result
+        job.error = error
+        job.cache_hit = cache_hit
+        self.counts[state] += 1
+        obs.counter(f"serve/{state}").inc()
+        if cache_hit:
+            self.counts["cache_hits"] += 1
+            obs.counter("serve/cache_hit").inc()
+        self._done_events[job.id].set()
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self._queue.get()
+            try:
+                self._set_depth()
+                if job.state == QUEUED:  # skip jobs cancelled while queued
+                    await self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    async def _run_job(self, job: Job) -> None:
+        job.transition(RUNNING)
+        cancel_event = self._cancel_events[job.id]
+        loop = asyncio.get_running_loop()
+        with obs.span("serve/job", job=job.id, design=job.request["design"],
+                      flow=job.request["flow"]) as sp:
+            exec_future = loop.run_in_executor(None, self._execute, job)
+            cancel_task = asyncio.create_task(cancel_event.wait())
+            done, _pending = await asyncio.wait(
+                {exec_future, cancel_task},
+                timeout=job.timeout,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if exec_future in done:
+                cancel_task.cancel()
+                self._settle(job, exec_future)
+            elif cancel_task in done:
+                self._abandon(exec_future)
+                self._finish(job, CANCELLED)
+            else:  # per-job timeout
+                cancel_task.cancel()
+                self._abandon(exec_future)
+                self._finish(job, FAILED,
+                             error=f"timeout after {job.timeout:g}s")
+            sp.set(state=job.state, cache_hit=job.cache_hit)
+
+    def _settle(self, job: Job, exec_future) -> None:
+        """Record a completed executor future onto the job."""
+        try:
+            task_result = exec_future.result()
+        except BaseException as exc:  # executor-layer failure
+            self._finish(job, FAILED, error=f"{type(exc).__name__}: {exc}")
+            return
+        if not task_result.ok:
+            self._finish(job, FAILED, error=str(task_result.error))
+            return
+        result = task_result.value
+        if self._cache is not None:
+            self._cache.put(job.key, result)
+        self._finish(job, DONE, result=result)
+
+    def _execute(self, job: Job):
+        """Thread-side: funnel the job through the runtime executor."""
+        task = Task(key=job.id, fn=self._runner, args=(job.request,), retries=0)
+        return self._executor.run_one(task)
+
+    @staticmethod
+    def _abandon(exec_future) -> None:
+        """Detach from a thread we cannot stop; swallow its outcome."""
+        exec_future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )

@@ -117,6 +117,89 @@ class TestLegacyWrappersDelegate:
             _default_flow_cell("OR1200", "Bogus", SuiteRunConfig(scale=0.002), None)
 
 
+class TestRouteResult:
+    @pytest.fixture(scope="class")
+    def routed(self):
+        from repro.benchgen import make_design
+
+        design = make_design("OR1200", scale=0.002)
+        api.run(design, flow="wirelength")
+        return api.route(design)
+
+    def test_route_returns_typed_result(self, routed):
+        assert isinstance(routed, api.RouteResult)
+        assert routed.route_seconds > 0
+        assert routed.route_report.wirelength > 0
+
+    def test_route_summary_is_json_safe(self, routed):
+        import json
+
+        summary = routed.to_summary()
+        json.dumps(summary)
+        assert summary["design"] == "OR1200"
+        assert summary["route"]["wirelength"] == pytest.approx(
+            routed.route_report.wirelength
+        )
+        assert summary["route"]["total_overflow"] == pytest.approx(
+            routed.route_report.total_overflow
+        )
+
+    def test_old_return_shape_shims_with_deprecation(self, routed):
+        with pytest.warns(DeprecationWarning, match="route_report"):
+            assert routed.hof == routed.route_report.hof
+        with pytest.warns(DeprecationWarning):
+            assert "HOF" in routed.summary()
+
+    def test_missing_attribute_still_raises(self, routed):
+        with pytest.raises(AttributeError):
+            routed.not_a_metric
+
+
+class TestRunSummary:
+    def test_run_summary_is_json_safe(self):
+        import json
+
+        result = api.run(
+            "OR1200", config=api.RunConfig(scale=0.002), verify_legal=True
+        )
+        summary = result.to_summary()
+        json.dumps(summary)
+        assert summary["design"] == "OR1200"
+        assert summary["flow"] == "puffer"
+        assert summary["hpwl"] == pytest.approx(result.hpwl)
+        assert summary["legal"] is True
+        assert summary["route"] is None
+        assert summary["verify"] is None
+
+
+class TestExploreSeedNaming:
+    @pytest.fixture()
+    def capture_exploration(self, monkeypatch):
+        from repro.core import exploration
+
+        calls = {}
+
+        def fake_exploration(objective, **kwargs):
+            calls.update(kwargs)
+            return "report"
+
+        monkeypatch.setattr(exploration, "strategy_exploration", fake_exploration)
+        return calls
+
+    def test_seed_keyword_threads_through(self, capture_exploration):
+        assert api.explore("OR1200", seed=11) == "report"
+        assert capture_exploration["rng"] == 11
+
+    def test_rng_keyword_deprecated_but_works(self, capture_exploration):
+        with pytest.warns(DeprecationWarning, match="seed="):
+            api.explore("OR1200", rng=13)
+        assert capture_exploration["rng"] == 13
+
+    def test_default_seed_matches_old_rng_default(self, capture_exploration):
+        api.explore("OR1200")
+        assert capture_exploration["rng"] == 7
+
+
 class TestSuiteAndExplore:
     def test_suite_facade_matches_runner(self, tmp_path):
         rows = api.suite(

@@ -30,6 +30,11 @@ class TestParser:
              "--trace", "/tmp/t.jsonl"],
             ["report", "/tmp/t.jsonl"],
             ["verify", "--design", "OR1200", "--quick", "--out", "/tmp/d.json"],
+            ["serve", "--port", "0", "--workers", "3", "--capacity", "5",
+             "--cache-dir", "/tmp/c", "--trace", "/tmp/t.jsonl"],
+            ["submit", "OR1200", "--scale", "0.002", "--route", "--wait",
+             "--port", "8181"],
+            ["jobs", "--state", "done", "--port", "8181"],
         ],
         ids=lambda argv: argv[0],
     )
@@ -65,6 +70,19 @@ class TestParser:
     def test_unknown_design_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["generate", "NOPE", "--out", "/tmp/x"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8180
+        assert args.workers == 2
+        assert args.capacity == 8
+        assert args.cache_dir is None
+
+    def test_jobs_cancel_flag(self):
+        args = build_parser().parse_args(["jobs", "--cancel", "job-3"])
+        assert args.cancel == "job-3"
+        assert args.job is None
 
     def test_verify_flag_defaults_off(self):
         assert build_parser().parse_args(["place", "OR1200"]).verify == "off"
@@ -135,6 +153,72 @@ class TestCommands:
         assert code == 0
         params = json.loads(out_file.read_text())
         assert "mu" in params and "legalizer" in params
+
+
+class TestServeCommands:
+    """submit/jobs drive a live (fake-runner) server over HTTP."""
+
+    @pytest.fixture()
+    def server(self):
+        import asyncio
+        import threading
+
+        from repro.serve import HttpServer, PlacementService, ServiceConfig
+
+        def runner(request):
+            return {"design": request["design"], "hpwl": 42.0}
+
+        started = threading.Event()
+        box = {}
+
+        def thread_main():
+            async def amain():
+                service = PlacementService(
+                    ServiceConfig(workers=1, capacity=4), runner=runner
+                )
+                await service.start()
+                http = HttpServer(service, port=0)
+                _host, port = await http.start()
+                box["port"] = port
+                box["stop"] = asyncio.Event()
+                started.set()
+                await box["stop"].wait()
+                await http.close()
+                await service.stop()
+
+            box["loop"] = asyncio.new_event_loop()
+            box["loop"].run_until_complete(amain())
+            box["loop"].close()
+
+        thread = threading.Thread(target=thread_main, daemon=True)
+        thread.start()
+        assert started.wait(10)
+        yield box["port"]
+        box["loop"].call_soon_threadsafe(box["stop"].set)
+        thread.join(10)
+
+    def test_submit_wait_and_jobs(self, server, capsys):
+        code = run_cli(
+            "submit", "OR1200", "--scale", "0.002", "--wait",
+            "--wait-timeout", "30", "--port", str(server),
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert '"hpwl": 42.0' in out
+
+        assert run_cli("jobs", "--port", str(server)) == 0
+        out = capsys.readouterr().out
+        assert "job-1" in out and "done" in out
+
+        assert run_cli("jobs", "job-1", "--port", str(server)) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["state"] == "done"
+
+    def test_submit_without_wait_returns_queued(self, server, capsys):
+        assert run_cli("submit", "OR1200", "--port", str(server)) == 0
+        out = capsys.readouterr().out
+        assert "job-1" in out
 
 
 class TestTracing:

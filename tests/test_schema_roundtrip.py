@@ -1,0 +1,174 @@
+"""Wire-format tests: versioned, lossless config round-trips (repro.schema)."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.core import StrategyParams
+from repro.placer import PlacementParams
+from repro.router import RouterParams
+from repro.router.cost import CostParams
+from repro.runtime import stable_hash
+from repro.schema import SCHEMA_VERSION, SchemaError
+from repro.verify import LEVELS
+
+fast_settings = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+positive = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False)
+
+placement_params = st.builds(
+    PlacementParams,
+    target_density=st.floats(0.1, 1.0),
+    grid_dim=st.one_of(st.none(), st.integers(8, 256)),
+    target_overflow=st.floats(0.01, 0.5),
+    max_iters=st.integers(30, 2000),
+    min_iters=st.integers(1, 30),
+    gamma_scale=positive,
+    initial_noise=st.floats(0.0, 2.0),
+    initial_placer=st.sampled_from(["star", "quadratic"]),
+    seed=st.integers(0, 2**31),
+    verbose=st.booleans(),
+)
+
+router_params = st.builds(
+    RouterParams,
+    rrr_rounds=st.integers(0, 8),
+    cost=st.builds(
+        CostParams,
+        congestion_weight=positive,
+        history_increment=st.floats(0.0, 10.0),
+        slack=st.floats(0.1, 1.0),
+    ),
+    maze_margin=st.integers(0, 20),
+    pin_demand=st.floats(0.0, 1.0),
+    use_z_patterns=st.booleans(),
+)
+
+strategy_params = st.builds(
+    StrategyParams,
+    alpha_local_cg=finite,
+    beta=finite,
+    mu=positive,
+    xi=st.integers(0, 10),
+    kernel_size=st.integers(1, 9),
+    legal_area_cap=st.floats(0.0, 0.5),
+    legalizer=st.sampled_from(["abacus", "tetris"]),
+)
+
+run_configs = st.builds(
+    api.RunConfig,
+    scale=positive,
+    seed=st.integers(0, 2**31),
+    placement=placement_params,
+    router=router_params,
+    strategy=st.one_of(st.none(), strategy_params),
+    verify=st.sampled_from(LEVELS),
+)
+
+
+class TestRandomizedRoundTrips:
+    @given(config=run_configs)
+    @fast_settings
+    def test_runconfig_round_trips_bit_identically(self, config):
+        assert api.RunConfig.from_dict(config.to_dict()) == config
+
+    @given(config=run_configs)
+    @fast_settings
+    def test_runconfig_survives_json(self, config):
+        wire = json.loads(json.dumps(config.to_dict()))
+        assert api.RunConfig.from_dict(wire) == config
+
+    @given(config=run_configs)
+    @fast_settings
+    def test_cache_key_reproducible_across_serialization(self, config):
+        """The memo key of a config equals the key of its round-trip."""
+        wire = json.loads(json.dumps(config.to_dict()))
+        rebuilt = api.RunConfig.from_dict(wire)
+        assert stable_hash(config.to_dict()) == stable_hash(rebuilt.to_dict())
+
+    @given(params=placement_params)
+    @fast_settings
+    def test_placement_params_round_trip(self, params):
+        assert PlacementParams.from_dict(params.to_dict()) == params
+
+    @given(params=router_params)
+    @fast_settings
+    def test_router_params_round_trip_with_nested_cost(self, params):
+        rebuilt = RouterParams.from_dict(json.loads(json.dumps(params.to_dict())))
+        assert rebuilt == params
+        assert isinstance(rebuilt.cost, CostParams)
+
+    @given(params=strategy_params)
+    @fast_settings
+    def test_strategy_params_round_trip(self, params):
+        assert StrategyParams.from_dict(params.to_dict()) == params
+
+
+class TestBoundaryValidation:
+    def test_schema_version_stamped_everywhere(self):
+        wire = api.RunConfig().to_dict()
+        assert wire["schema_version"] == SCHEMA_VERSION
+        assert wire["placement"]["schema_version"] == SCHEMA_VERSION
+        assert wire["router"]["schema_version"] == SCHEMA_VERSION
+        assert wire["router"]["cost"]["schema_version"] == SCHEMA_VERSION
+
+    def test_unsupported_version_rejected(self):
+        wire = api.RunConfig().to_dict()
+        wire["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="schema_version"):
+            api.RunConfig.from_dict(wire)
+
+    def test_nested_version_rejected(self):
+        wire = api.RunConfig().to_dict()
+        wire["placement"]["schema_version"] = 99
+        with pytest.raises(SchemaError, match="PlacementParams"):
+            api.RunConfig.from_dict(wire)
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(SchemaError, match="sale"):
+            api.RunConfig.from_dict({"sale": 0.004})
+
+    def test_unknown_nested_key_rejected(self):
+        with pytest.raises(SchemaError, match="max_itters"):
+            api.RunConfig.from_dict({"placement": {"max_itters": 100}})
+
+    def test_bad_verify_level_raises_at_construction(self):
+        with pytest.raises(ValueError, match="verify level"):
+            api.RunConfig(verify="paranoid")
+        with pytest.raises(ValueError, match="verify level"):
+            api.RunConfig.from_dict({"verify": "paranoid"})
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(SchemaError, match="dict"):
+            api.RunConfig.from_dict([1, 2, 3])
+
+    def test_missing_keys_keep_defaults(self):
+        config = api.RunConfig.from_dict({"scale": 0.002})
+        assert config.scale == 0.002
+        assert config.seed == api.RunConfig().seed
+        assert config.placement == PlacementParams()
+
+    def test_strategy_none_round_trips(self):
+        config = api.RunConfig()
+        assert config.to_dict()["strategy"] is None
+        assert api.RunConfig.from_dict(config.to_dict()).strategy is None
+
+    def test_strategy_exploration_dicts_still_accepted(self):
+        """The pre-wire exploration call style keeps working."""
+        params = StrategyParams.from_dict({"xi": 4.6, "kernel_size": 5.2})
+        assert params.xi == 5 and params.kernel_size == 5
+        with pytest.raises(KeyError):
+            StrategyParams.from_dict({"not_a_knob": 1.0})
+
+    def test_suite_level_config_fails_early_not_late(self):
+        """api.suite() can no longer thread an invalid verify level in."""
+        with pytest.raises(ValueError, match="verify level"):
+            api.suite(api.RunConfig(verify="sometimes"))

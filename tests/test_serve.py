@@ -1,0 +1,501 @@
+"""Tests for the placement job service (repro.serve)."""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro import api, obs
+from repro.runtime import stable_hash
+from repro.serve import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    HttpServer,
+    HttpServiceClient,
+    Job,
+    JobFailedError,
+    JobStateError,
+    JobStore,
+    PlacementService,
+    QueueFullError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceClosedError,
+    UnknownJobError,
+    execute_request,
+    make_request,
+)
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+def make_service(runner, **kwargs):
+    defaults = dict(workers=1, capacity=4)
+    defaults.update(kwargs)
+    return PlacementService(ServiceConfig(**defaults), runner=runner)
+
+
+def quick_runner(request):
+    """Fast fake placement: returns a deterministic summary."""
+    return {"design": request["design"], "hpwl": 42.0}
+
+
+class TestJobLifecycle:
+    def test_legal_path_queued_running_done(self):
+        job = Job(id="job-1", request={}, key="k")
+        assert job.state == QUEUED and not job.terminal
+        job.transition(RUNNING)
+        assert job.started_at is not None
+        job.transition(DONE)
+        assert job.terminal and job.finished_at is not None
+
+    def test_cache_hit_shortcut_queued_to_done(self):
+        job = Job(id="job-1", request={}, key="k")
+        job.transition(DONE)
+        assert job.state == DONE
+
+    @pytest.mark.parametrize("terminal", [DONE, FAILED, CANCELLED])
+    def test_terminal_states_are_final(self, terminal):
+        job = Job(id="job-1", request={}, key="k")
+        job.transition(RUNNING if terminal != DONE else DONE)
+        if terminal != DONE:
+            job.transition(terminal)
+        with pytest.raises(JobStateError):
+            job.transition(RUNNING)
+
+    def test_queued_cannot_fail_directly(self):
+        job = Job(id="job-1", request={}, key="k")
+        with pytest.raises(JobStateError):
+            job.transition(FAILED)
+
+    def test_unknown_state_rejected(self):
+        job = Job(id="job-1", request={}, key="k")
+        with pytest.raises(JobStateError):
+            job.transition("exploded")
+
+    def test_store_counts_and_order(self):
+        store = JobStore()
+        a = store.create({"n": 1}, key="ka")
+        b = store.create({"n": 2}, key="kb")
+        assert [j.id for j in store.jobs()] == [a.id, b.id]
+        a.transition(RUNNING)
+        assert store.counts()[RUNNING] == 1
+        assert store.counts()[QUEUED] == 1
+        assert [j.id for j in store.jobs(state=QUEUED)] == [b.id]
+
+    def test_store_unknown_id(self):
+        with pytest.raises(UnknownJobError):
+            JobStore().get("job-404")
+
+    def test_wire_dict_is_json_safe(self):
+        job = Job(id="job-1", request={"design": "OR1200"}, key="k")
+        json.dumps(job.to_wire())
+
+
+class TestServiceLifecycle:
+    def test_submit_runs_to_done(self):
+        async def main():
+            service = await make_service(quick_runner).start()
+            client = ServiceClient(service)
+            result = await client.run("OR1200", wait_timeout=10)
+            assert result == {"design": "OR1200", "hpwl": 42.0}
+            job = service.jobs()[0]
+            assert job.state == DONE
+            assert job.started_at >= job.submitted_at
+            assert job.finished_at >= job.started_at
+            await service.stop()
+
+        run_async(main())
+
+    def test_runner_exception_marks_failed(self):
+        def broken(request):
+            raise RuntimeError("no routes for you")
+
+        async def main():
+            service = await make_service(broken).start()
+            client = ServiceClient(service)
+            with pytest.raises(JobFailedError, match="no routes"):
+                await client.run("OR1200", wait_timeout=10)
+            assert service.jobs()[0].state == FAILED
+            await service.stop()
+
+        run_async(main())
+
+    def test_per_job_timeout_fails_the_job(self):
+        release = threading.Event()
+
+        def slow(request):
+            release.wait(5)
+            return {}
+
+        async def main():
+            service = await make_service(slow).start()
+            job = service.submit(make_request("OR1200", timeout=0.1))
+            job = await service.wait(job.id, timeout=10)
+            assert job.state == FAILED
+            assert "timeout" in job.error
+            release.set()
+            await service.stop()
+
+        run_async(main())
+
+    def test_cancel_queued_job(self):
+        release = threading.Event()
+
+        def slow(request):
+            release.wait(5)
+            return {}
+
+        async def main():
+            # workers=1: the second job stays queued while the first runs.
+            service = await make_service(slow).start()
+            first = service.submit(make_request("OR1200"))
+            second = service.submit(make_request("OR1200", flow="replace"))
+            await asyncio.sleep(0.05)
+            cancelled = service.cancel(second.id)
+            assert cancelled.state == CANCELLED
+            release.set()
+            first = await service.wait(first.id, timeout=10)
+            assert first.state == DONE
+            await service.stop()
+
+        run_async(main())
+
+    def test_cancel_running_job_best_effort(self):
+        release = threading.Event()
+
+        def slow(request):
+            release.wait(5)
+            return {}
+
+        async def main():
+            service = await make_service(slow).start()
+            job = service.submit(make_request("OR1200"))
+            while job.state != RUNNING:
+                await asyncio.sleep(0.01)
+            service.cancel(job.id)
+            job = await service.wait(job.id, timeout=10)
+            assert job.state == CANCELLED
+            release.set()
+            await service.stop()
+
+        run_async(main())
+
+    def test_cancel_terminal_job_conflicts(self):
+        async def main():
+            service = await make_service(quick_runner).start()
+            job = service.submit(make_request("OR1200"))
+            await service.wait(job.id, timeout=10)
+            with pytest.raises(JobStateError):
+                service.cancel(job.id)
+            await service.stop()
+
+        run_async(main())
+
+    def test_drain_refuses_new_work_and_finishes_accepted(self):
+        async def main():
+            service = await make_service(quick_runner).start()
+            job = service.submit(make_request("OR1200"))
+            await service.drain()
+            assert service.status(job.id).state == DONE
+            with pytest.raises(ServiceClosedError):
+                service.submit(make_request("OR1200"))
+            assert service.healthz()["status"] == "draining"
+            await service.stop()
+
+        run_async(main())
+
+
+class TestValidationBoundary:
+    def test_missing_design_rejected(self):
+        async def main():
+            service = await make_service(quick_runner).start()
+            with pytest.raises(ValueError, match="design"):
+                service.submit({})
+            await service.stop()
+
+        run_async(main())
+
+    def test_unknown_flow_rejected_at_submit(self):
+        async def main():
+            service = await make_service(quick_runner).start()
+            with pytest.raises(api.UnknownFlowError):
+                service.submit({"design": "OR1200", "flow": "bogus"})
+            await service.stop()
+
+        run_async(main())
+
+    def test_bad_config_rejected_at_submit(self):
+        async def main():
+            service = await make_service(quick_runner).start()
+            with pytest.raises(Exception, match="verify"):
+                service.submit(
+                    {"design": "OR1200", "config": {"verify": "paranoid"}}
+                )
+            with pytest.raises(Exception, match="unknown"):
+                service.submit(
+                    {"design": "OR1200", "config": {"scalee": 0.002}}
+                )
+            await service.stop()
+
+        run_async(main())
+
+    def test_unknown_request_key_rejected(self):
+        async def main():
+            service = await make_service(quick_runner).start()
+            with pytest.raises(ValueError, match="unknown request keys"):
+                service.submit({"design": "OR1200", "designn": "typo"})
+            await service.stop()
+
+        run_async(main())
+
+    def test_memo_key_is_normal_form(self):
+        """A bare request and its fully-spelled equivalent share a key."""
+        async def main():
+            service = await make_service(quick_runner, capacity=8).start()
+            bare = service.submit({"design": "OR1200"})
+            spelled = service.submit(
+                {
+                    "design": "OR1200",
+                    "flow": "puffer",
+                    "route": False,
+                    "config": api.RunConfig().to_dict(),
+                }
+            )
+            assert bare.key == spelled.key
+            assert bare.key == stable_hash(bare.request)
+            await service.stop()
+
+        run_async(main())
+
+
+class TestConcurrentSubmissions:
+    """The issue's integration scenario: 8 jobs against a capacity-2 queue."""
+
+    def test_backpressure_completion_cache_and_trace(self, tmp_path):
+        release = threading.Event()
+        calls = []
+
+        def gated(request):
+            calls.append(request["design"])
+            release.wait(10)
+            return {"design": request["design"], "hpwl": 1.0}
+
+        tracer = obs.Tracer(sinks=[obs.JsonlSink(tmp_path / "serve.jsonl")])
+        accepted, rejections = [], []
+
+        async def main():
+            service = PlacementService(
+                ServiceConfig(workers=1, capacity=2,
+                              cache_dir=str(tmp_path / "cache")),
+                runner=gated,
+            )
+            await service.start()
+            for seed in range(8):
+                config = api.RunConfig(scale=0.002, seed=seed)
+                try:
+                    accepted.append(
+                        service.submit(make_request("OR1200", config=config))
+                    )
+                except QueueFullError as exc:
+                    rejections.append(exc)
+            # Capacity 2 + one in flight: at most 3 accepted, rest rejected
+            # with a retry-after hint.
+            assert len(accepted) >= 1
+            assert len(rejections) == 8 - len(accepted)
+            assert rejections and all(r.retry_after > 0 for r in rejections)
+            release.set()
+            jobs = [await service.wait(job.id, timeout=30) for job in accepted]
+            assert all(job.state == DONE for job in jobs)
+
+            # Duplicate configs are served from the artifact cache without
+            # touching the queue or the runner again.
+            runs_before = len(calls)
+            duplicate = service.submit(
+                make_request("OR1200", config=api.RunConfig(scale=0.002, seed=0))
+            )
+            assert duplicate.state == DONE
+            assert duplicate.cache_hit
+            assert duplicate.key == accepted[0].key
+            assert len(calls) == runs_before
+            assert service.counts["cache_hits"] == 1
+            assert service.metrics()["counters"]["rejected"] == len(rejections)
+            await service.stop()
+
+        with obs.tracing(tracer):
+            run_async(main())
+        tracer.close()
+
+        records = obs.read_trace(tmp_path / "serve.jsonl")
+        spans = {r["name"] for r in records if r["type"] == "span"}
+        assert "serve/request" in spans
+        assert "serve/job" in spans
+        metrics = {r["name"]: r for r in records if r["type"] == "metric"}
+        assert "serve/queue_depth" in metrics
+        assert metrics["serve/queue_depth"]["updates"] > 0
+        assert metrics["serve/rejected"]["value"] == len(rejections)
+        # Every accepted job ran under a serve/job span; the cache-hit
+        # duplicate never reached a worker, so it adds no span.
+        job_spans = [r for r in records
+                     if r["type"] == "span" and r["name"] == "serve/job"]
+        assert len(job_spans) == len(accepted)
+
+
+class TestHttpEndpoints:
+    @staticmethod
+    def serve_in_thread(runner, config=None):
+        """Run service + HTTP server in a background event loop.
+
+        Returns ``(client, shutdown)``.
+        """
+        started = threading.Event()
+        box = {}
+
+        def thread_main():
+            async def amain():
+                service = PlacementService(
+                    config or ServiceConfig(workers=1, capacity=4),
+                    runner=runner,
+                )
+                await service.start()
+                server = HttpServer(service, port=0)
+                host, port = await server.start()
+                box["addr"] = (host, port)
+                box["stop"] = asyncio.Event()
+                started.set()
+                await box["stop"].wait()
+                await server.close()
+                await service.stop()
+
+            box["loop"] = asyncio.new_event_loop()
+            box["loop"].run_until_complete(amain())
+            box["loop"].close()
+
+        thread = threading.Thread(target=thread_main, daemon=True)
+        thread.start()
+        assert started.wait(10)
+
+        def shutdown():
+            box["loop"].call_soon_threadsafe(box["stop"].set)
+            thread.join(10)
+
+        return HttpServiceClient(*box["addr"]), shutdown
+
+    def test_full_http_roundtrip(self):
+        client, shutdown = self.serve_in_thread(quick_runner)
+        try:
+            health = client.healthz()
+            assert health["ok"] and health["status"] == "serving"
+
+            job = client.submit("OR1200", config=api.RunConfig(scale=0.002))
+            assert job["state"] in ("queued", "running", "done")
+            job = client.wait(job["id"], timeout=10, poll=0.02)
+            assert job["state"] == "done"
+            assert job["result"]["hpwl"] == 42.0
+
+            listing = client.jobs()
+            assert [j["id"] for j in listing] == [job["id"]]
+            assert client.jobs(state="done")
+            assert client.jobs(state="failed") == []
+
+            metrics = client.metrics()
+            assert metrics["counters"]["done"] == 1
+        finally:
+            shutdown()
+
+    def test_http_error_mapping(self):
+        release = threading.Event()
+
+        def slow(request):
+            release.wait(5)
+            return {}
+
+        client, shutdown = self.serve_in_thread(
+            slow, ServiceConfig(workers=1, capacity=1)
+        )
+        try:
+            with pytest.raises(UnknownJobError):
+                client.status("job-404")
+            with pytest.raises(ValueError, match="flow"):
+                client.submit("OR1200", flow="bogus")
+
+            first = client.submit("OR1200")
+            second = client.submit("OR1200", flow="replace")
+            with pytest.raises(QueueFullError) as info:
+                for seed in range(3):
+                    client.submit("OR1200", flow="wirelength",
+                                  config=api.RunConfig(seed=seed))
+            assert info.value.retry_after > 0
+
+            cancelled = client.cancel(second["id"])
+            assert cancelled["state"] == "cancelled"
+            release.set()
+            done = client.wait(first["id"], timeout=10, poll=0.02)
+            assert done["state"] == "done"
+            with pytest.raises(JobStateError):
+                client.cancel(first["id"])
+        finally:
+            shutdown()
+
+    def test_http_run_raises_on_failure(self):
+        def broken(request):
+            raise RuntimeError("kaboom")
+
+        client, shutdown = self.serve_in_thread(broken)
+        try:
+            with pytest.raises(JobFailedError, match="kaboom"):
+                client.run("OR1200", wait_timeout=10, poll=0.02)
+        finally:
+            shutdown()
+
+
+class TestRealPlacement:
+    def test_end_to_end_placement_through_the_service(self, tmp_path):
+        """The real runner places a tiny design and returns a summary."""
+        from repro.placer import PlacementParams
+
+        config = api.RunConfig(
+            scale=0.0015,
+            placement=PlacementParams(max_iters=80),
+        )
+
+        async def main():
+            service = PlacementService(
+                ServiceConfig(workers=1, capacity=2,
+                              cache_dir=str(tmp_path / "cache"))
+            )
+            await service.start()
+            client = ServiceClient(service)
+            result = await client.run("OR1200", config=config, wait_timeout=300)
+            assert result["design"] == "OR1200"
+            assert result["flow"] == "puffer"
+            assert result["hpwl"] > 0
+            assert result["place_seconds"] > 0
+            json.dumps(result)  # wire-safe
+            # Same config again: served from the cache, bit-identical.
+            again = await client.submit("OR1200", config=config)
+            assert again.state == DONE and again.cache_hit
+            assert again.result == result
+            await service.stop()
+
+        run_async(main())
+
+    def test_execute_request_summary_shape(self):
+        summary = execute_request(
+            {
+                "design": "OR1200",
+                "flow": "wirelength",
+                "config": api.RunConfig(scale=0.0015).to_dict(),
+            }
+        )
+        assert summary["flow"] == "wirelength"
+        assert summary["route"] is None
+        assert summary["verify"] is None
+        json.dumps(summary)
