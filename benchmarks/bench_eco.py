@@ -1,0 +1,106 @@
+"""Benchmark incremental (ECO) edits against a full cold rerun.
+
+Converges one session on a medium synthetic design, then applies a
+stream of single-cell resize edits incrementally.  The headline metric
+is ``resize_speedup``: the converged cold start (global placement +
+routing from scratch — exactly the work a rerun of the full flow would
+repeat for every edit) divided by the mean per-edit incremental repair
+time.  The issue's acceptance floor is 10x, enforced by
+``check_regression.py`` regardless of baseline availability.
+
+Writes ``benchmarks/out/BENCH_eco.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_eco.py [--scale S] [--edits N]
+        [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+import numpy as np
+
+from repro import api
+from repro.eco import EcoSession, ResizeCell
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="OR1200")
+    parser.add_argument("--scale", type=float, default=0.004)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--edits", type=int, default=8)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: smaller design, fewer edits",
+    )
+    parser.add_argument("--out", default=os.path.join(OUT_DIR, "BENCH_eco.json"))
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.scale = min(args.scale, 0.002)
+        args.edits = min(args.edits, 4)
+
+    session = EcoSession(
+        args.design, config=api.RunConfig(scale=args.scale, seed=args.seed)
+    )
+    baseline = session.start()
+    cold = sum(baseline.seconds.get(k, 0.0) for k in ("place", "route"))
+    print(
+        f"{args.design} @ scale {args.scale}: "
+        f"{session.design.num_cells} cells, cold start {cold:.3f}s "
+        f"(HPWL {baseline.hpwl:.6g}, HOF {baseline.hof:.3f}%)"
+    )
+
+    rng = np.random.default_rng(args.seed)
+    movable = np.flatnonzero(session.design.movable & ~session.design.is_macro)
+    edit_seconds, dirty_cells = [], []
+    for i in range(args.edits):
+        cell = int(rng.choice(movable))
+        grow = float(rng.uniform(1.0, 4.0))
+        step = session.apply(
+            ResizeCell(cell=cell, width=float(session.design.w[cell]) + grow)
+        )
+        edit_seconds.append(step.seconds["total"])
+        dirty_cells.append(step.dirty_cells)
+        print(
+            f"  edit {i + 1}: resize cell {cell} (+{grow:.2f}) "
+            f"{step.seconds['total']:.4f}s, {step.dirty_cells} dirty cells"
+            + (f", fallbacks {step.full_fallbacks}" if step.full_fallbacks else "")
+        )
+
+    resize_mean = float(np.mean(edit_seconds))
+    speedup = cold / max(resize_mean, 1e-9)
+    print(f"incremental resize: {resize_mean:.4f}s mean -> {speedup:.1f}x speedup")
+
+    report = {
+        "bench": "eco",
+        "design": args.design,
+        "scale": args.scale,
+        "seed": args.seed,
+        "edits": args.edits,
+        "quick": args.quick,
+        "cells": int(session.design.num_cells),
+        "cold_seconds": round(cold, 4),
+        "resize_seconds": round(resize_mean, 4),
+        "resize_speedup": round(speedup, 2),
+        "dirty_cells_mean": round(float(np.mean(dirty_cells)), 1),
+        "hpwl": float(session.design.hpwl()),
+        "hof": float(session.route_report.hof),
+        "vof": float(session.route_report.vof),
+    }
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,12 +39,16 @@ CONFIG_KEYS = {
     "BENCH_runtime.json": ("scale", "designs", "jobs"),
     "BENCH_obs.json": ("design", "scale", "repeats"),
     "BENCH_kernels.json": ("quick", "config"),
+    "BENCH_eco.json": ("design", "scale", "seed", "edits", "quick"),
 }
 
 #: absolute speedup floors (report file -> {metric: floor}), checked on
 #: the fresh report regardless of baseline availability.
 FLOORS = {
     "BENCH_kernels.json": {"demand_speedup": 3.0, "density_speedup": 3.0},
+    # The issue's acceptance bar: a single-cell resize through the ECO
+    # session must beat a cold place+route rerun by >= 10x.
+    "BENCH_eco.json": {"resize_speedup": 10.0},
 }
 
 SECONDS_GRACE = 0.05

@@ -14,6 +14,10 @@ Commands:
 * ``serve``     — boot the async placement job server (:mod:`repro.serve`).
 * ``submit``    — post a placement job to a running server.
 * ``jobs``      — list, inspect, or cancel jobs on a running server.
+* ``eco``       — incremental placement sessions (:mod:`repro.eco`):
+  ``eco run`` converges locally and applies deltas from a JSON file;
+  ``eco open`` / ``eco delta`` / ``eco show`` / ``eco sessions`` /
+  ``eco close`` drive the stateful sessions API of a running server.
 
 ``place`` and ``suite`` additionally take ``--verify {off,cheap,full}``
 to run the invariant checkers on every produced placement.
@@ -123,6 +127,72 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument("--cancel", metavar="JOB",
                       help="cancel the given job instead of listing")
     _add_server_args(jobs)
+
+    eco = sub.add_parser("eco", help="incremental placement sessions (ECO)")
+    eco_sub = eco.add_subparsers(dest="eco_command", required=True)
+
+    eco_run = eco_sub.add_parser(
+        "run", help="local session: converge once, apply deltas from a JSON file"
+    )
+    eco_run.add_argument("design", choices=suite_names())
+    eco_run.add_argument("--scale", type=float, default=0.004)
+    eco_run.add_argument("--seed", type=int, default=0)
+    eco_run.add_argument(
+        "--deltas", metavar="PATH",
+        help="JSON file with a list of delta wire dicts to apply in order",
+    )
+    eco_run.add_argument(
+        "--verify", default="cheap", choices=["off", "cheap", "full"],
+        help="invariant-checker level run after every delta",
+    )
+    eco_run.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache; a repeated cold start restores from disk",
+    )
+    eco_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="stream a repro.obs JSONL trace of the session to PATH",
+    )
+
+    eco_open = eco_sub.add_parser("open", help="open a session on a running server")
+    eco_open.add_argument("design", choices=suite_names())
+    eco_open.add_argument("--scale", type=float, default=0.004)
+    eco_open.add_argument("--seed", type=int, default=0)
+    eco_open.add_argument("--verify", default="cheap",
+                          choices=["off", "cheap", "full"])
+    eco_open.add_argument("--wait", action="store_true",
+                          help="poll until the cold start finishes")
+    eco_open.add_argument("--wait-timeout", type=float, default=None)
+    _add_server_args(eco_open)
+
+    eco_sessions = eco_sub.add_parser("sessions", help="list server sessions")
+    _add_server_args(eco_sessions)
+
+    eco_show = eco_sub.add_parser("show", help="show one session")
+    eco_show.add_argument("session")
+    _add_server_args(eco_show)
+
+    eco_delta = eco_sub.add_parser(
+        "delta", help="submit an incremental delta to a session"
+    )
+    eco_delta.add_argument("session")
+    eco_delta.add_argument(
+        "--json", dest="payload", metavar="JSON",
+        help="delta wire dict, e.g. "
+        '\'{"kind": "resize_cell", "cell": 7, "width": 12.0}\'',
+    )
+    eco_delta.add_argument(
+        "--file", dest="payload_file", metavar="PATH",
+        help="read the delta wire dict from a JSON file",
+    )
+    eco_delta.add_argument("--wait", action="store_true",
+                           help="poll until the delta finishes")
+    eco_delta.add_argument("--wait-timeout", type=float, default=None)
+    _add_server_args(eco_delta)
+
+    eco_close = eco_sub.add_parser("close", help="close a session (GC its state)")
+    eco_close.add_argument("session")
+    _add_server_args(eco_close)
 
     verify = sub.add_parser(
         "verify", help="invariant + cross-backend differential verification"
@@ -468,6 +538,168 @@ def cmd_jobs(args) -> int:
     return 0
 
 
+def cmd_eco(args) -> int:
+    handlers = {
+        "run": _eco_run,
+        "open": _eco_open,
+        "sessions": _eco_sessions,
+        "show": _eco_show,
+        "delta": _eco_delta,
+        "close": _eco_close,
+    }
+    return handlers[args.eco_command](args)
+
+
+def _format_eco_step(summary: dict) -> str:
+    verify = summary.get("verify")
+    verify_text = (
+        "" if verify is None
+        else f"  verify {'OK' if verify['ok'] else 'FAIL'}"
+        f" ({verify['errors']}E/{verify['warnings']}W)"
+    )
+    return (
+        f"v{summary['version']:<3d} {summary['kind']:16s} "
+        f"HPWL {summary['hpwl']:.6g}  HOF {summary['hof']:.3f}%  "
+        f"VOF {summary['vof']:.3f}%  "
+        f"dirty {summary['dirty_cells']} cells / {summary['dirty_nets']} nets  "
+        f"{summary['seconds'].get('total', 0.0):.3f}s{verify_text}"
+    )
+
+
+def _eco_run(args) -> int:
+    from . import obs
+    from .eco import EcoSession
+    from .runtime import ArtifactCache
+
+    config = api.RunConfig(scale=args.scale, seed=args.seed)
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    deltas = []
+    if args.deltas:
+        with open(args.deltas) as f:
+            deltas = json.load(f)
+        if not isinstance(deltas, list):
+            print("error: --deltas file must hold a JSON list", file=sys.stderr)
+            return 1
+    with obs.tracing(args.trace):
+        session = EcoSession(args.design, config=config, cache=cache)
+        base = session.start()
+        print(_format_eco_step(base.to_summary()))
+        incremental = 0.0
+        ok = True
+        for payload in deltas:
+            step = session.apply(payload, verify=args.verify)
+            summary = step.to_summary()
+            print(_format_eco_step(summary))
+            incremental += summary["seconds"]["total"]
+            if summary["verify"] is not None and not summary["verify"]["ok"]:
+                ok = False
+    cold = sum(base.seconds.get(k, 0.0) for k in ("place", "route"))
+    if deltas:
+        per_delta = incremental / len(deltas)
+        print(
+            f"{len(deltas)} deltas in {incremental:.3f}s "
+            f"({per_delta:.3f}s each; cold run was {cold:.3f}s"
+            + (f", {cold / per_delta:.1f}x speedup)" if per_delta > 0 else ")")
+        )
+    return 0 if ok else 1
+
+
+def _eco_open(args) -> int:
+    from .serve import HttpServiceClient
+
+    config = api.RunConfig(scale=args.scale, seed=args.seed)
+    client = HttpServiceClient(args.host, args.port)
+    session = client.create_session(args.design, config=config, verify=args.verify)
+    print(f"{session['id']} {session['state']}")
+    if not args.wait:
+        return 0
+    session = client.wait_session(session["id"], timeout=args.wait_timeout)
+    print(f"{session['id']} {session['state']}")
+    if session["state"] != "ready":
+        print(f"error: {session.get('error')}", file=sys.stderr)
+        return 1
+    print(json.dumps(session["baseline"], indent=2))
+    return 0
+
+
+def _eco_sessions(args) -> int:
+    from .serve import HttpServiceClient
+
+    sessions = HttpServiceClient(args.host, args.port).sessions()
+    for session in sessions:
+        print(
+            f"{session['id']:10s} {session['state']:12s} "
+            f"{session['request']['design']} v{session['version']} "
+            f"({len(session['deltas'])} deltas)"
+        )
+    if not sessions:
+        print("no sessions")
+    return 0
+
+
+def _eco_show(args) -> int:
+    from .serve import HttpServiceClient, ServeError
+
+    try:
+        session = HttpServiceClient(args.host, args.port).session(args.session)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(session, indent=2))
+    return 0
+
+
+def _eco_delta(args) -> int:
+    from .serve import HttpServiceClient, ServeError
+
+    if bool(args.payload) == bool(args.payload_file):
+        print("error: provide exactly one of --json or --file", file=sys.stderr)
+        return 1
+    if args.payload_file:
+        with open(args.payload_file) as f:
+            payload = json.load(f)
+    else:
+        payload = json.loads(args.payload)
+    client = HttpServiceClient(args.host, args.port)
+    try:
+        record = client.submit_delta(args.session, payload)
+    except (ServeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{record['id']} {record['state']}")
+    if not args.wait:
+        return 0
+    import time
+
+    deadline = (None if args.wait_timeout is None
+                else time.monotonic() + args.wait_timeout)
+    while record["state"] in ("queued", "running"):
+        if deadline is not None and time.monotonic() >= deadline:
+            print(f"error: delta {record['id']} still {record['state']}",
+                  file=sys.stderr)
+            return 1
+        time.sleep(0.25)
+        record = client.delta(args.session, record["id"])
+    print(f"{record['id']} {record['state']}")
+    if record["state"] != "done":
+        print(f"error: {record.get('error')}", file=sys.stderr)
+        return 1
+    print(_format_eco_step(record["result"]))
+    return 0
+
+
+def _eco_close(args) -> int:
+    from .serve import HttpServiceClient, ServeError
+
+    try:
+        session = HttpServiceClient(args.host, args.port).close_session(args.session)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{session['id']} {session['state']}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "kernels", None):
@@ -483,6 +715,7 @@ def main(argv=None) -> int:
         "serve": cmd_serve,
         "submit": cmd_submit,
         "jobs": cmd_jobs,
+        "eco": cmd_eco,
     }
     return handlers[args.command](args)
 

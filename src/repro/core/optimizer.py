@@ -51,6 +51,8 @@ class RoutabilityOptimizer:
         estimator_params: EstimatorParams | None = None,
         feature_params: FeatureParams | None = None,
         min_gap: int = 5,
+        initial_padding=None,
+        initial_round: int = 0,
     ) -> None:
         self.design = design
         self.strategy = strategy or StrategyParams()
@@ -61,7 +63,12 @@ class RoutabilityOptimizer:
         if feature_params is None:
             feature_params = FeatureParams(kernel_size=self.strategy.kernel_size)
         self.extractor = FeatureExtractor(design, feature_params)
-        self.padding = PaddingEngine(design, self.strategy)
+        self.padding = PaddingEngine(
+            design,
+            self.strategy,
+            initial_pad=initial_padding,
+            initial_round=initial_round,
+        )
         self.min_gap = min_gap
         self.calls = 0
         self.last_call_iteration = -10**9

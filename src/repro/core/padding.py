@@ -51,17 +51,46 @@ class PaddingRound:
 
 
 class PaddingEngine:
-    """Accumulates per-cell padding widths across routability rounds."""
+    """Accumulates per-cell padding widths across routability rounds.
 
-    def __init__(self, design: Design, params: StrategyParams) -> None:
+    Args:
+        design: design being placed.
+        params: strategy parameters.
+        initial_pad: warm-start padding carried over from a previous
+            converged run (:mod:`repro.eco` sessions).  The recycling
+            mechanism of Eq. (15) is explicitly built around padding
+            history surviving across rounds; seeding it across *runs*
+            extends the same mechanism to delta workloads.  The array is
+            copied; cells that are fixed or macros in this design are
+            zeroed.
+        initial_round: round counter the warm start resumes from (the
+            utilization schedule of Eq. (16) continues rather than
+            restarting at ``pu_low``).
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        params: StrategyParams,
+        initial_pad: np.ndarray | None = None,
+        initial_round: int = 0,
+    ) -> None:
         self.design = design
         self.params = params
         n = design.num_cells
-        self.pad = np.zeros(n)  # accumulated padding width per cell
-        self.pad_times = np.zeros(n, dtype=np.int64)  # pt(c)
-        self.round_index = 0
-        self.history: list = []
         self._movable = design.movable & ~design.is_macro
+        if initial_pad is not None:
+            if len(initial_pad) != n:
+                raise ValueError(
+                    f"initial_pad length {len(initial_pad)} != {n} cells"
+                )
+            self.pad = np.asarray(initial_pad, dtype=np.float64).copy()
+            self.pad[~self._movable] = 0.0
+        else:
+            self.pad = np.zeros(n)  # accumulated padding width per cell
+        self.pad_times = np.zeros(n, dtype=np.int64)  # pt(c)
+        self.round_index = int(initial_round)
+        self.history: list = []
         self.available_area = self._available_area()
 
     def _available_area(self) -> float:

@@ -35,19 +35,23 @@ class IncrementalHpwl:
         return self._total
 
     def _net_box(self, net: int, overrides: dict) -> tuple:
-        """Net bbox with per-cell position overrides applied."""
+        """Net bbox with per-cell position overrides applied.
+
+        A single numpy gather over the net's pins; the (typically tiny)
+        ``overrides`` dict is applied as per-cell masks on top.
+        """
         design = self.design
         pins = design.pins_of_net(net)
-        xs = np.empty(len(pins))
-        ys = np.empty(len(pins))
-        for i, p in enumerate(pins):
-            cell = int(design.pin_cell[p])
-            if cell in overrides:
-                cx, cy = overrides[cell]
-            else:
-                cx, cy = design.x[cell], design.y[cell]
-            xs[i] = cx + design.pin_dx[p]
-            ys[i] = cy + design.pin_dy[p]
+        cells = design.pin_cell[pins]
+        dx = design.pin_dx[pins]
+        dy = design.pin_dy[pins]
+        xs = design.x[cells] + dx
+        ys = design.y[cells] + dy
+        for cell, (cx, cy) in overrides.items():
+            mask = cells == int(cell)
+            if mask.any():
+                xs[mask] = cx + dx[mask]
+                ys[mask] = cy + dy[mask]
         return (float(xs.min()), float(xs.max()), float(ys.min()), float(ys.max()))
 
     def _affected_nets(self, cells) -> set:

@@ -1,0 +1,35 @@
+"""Incremental placement sessions (ECO mode).
+
+Converge once with the full PUFFER flow, then apply typed deltas —
+resize/add/remove cells, move a macro, change a strategy knob — and pay
+only for the dirtied region: warm-started global placement with recycled
+padding, dirty-row re-legalization, and windowed incremental rerouting.
+"""
+
+from .deltas import (
+    DELTA_KINDS,
+    AddCell,
+    ChangeStrategy,
+    MoveMacro,
+    RemoveCell,
+    ResizeCell,
+    delta_from_dict,
+)
+from .dirty import DirtySet, compute_dirty, nets_of_cells
+from .session import EcoParams, EcoResult, EcoSession
+
+__all__ = [
+    "AddCell",
+    "ChangeStrategy",
+    "DELTA_KINDS",
+    "DirtySet",
+    "EcoParams",
+    "EcoResult",
+    "EcoSession",
+    "MoveMacro",
+    "RemoveCell",
+    "ResizeCell",
+    "compute_dirty",
+    "delta_from_dict",
+    "nets_of_cells",
+]

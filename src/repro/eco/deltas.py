@@ -1,0 +1,162 @@
+"""Typed, versioned deltas — the ECO session wire format.
+
+Every edit a client can apply to a converged placement is a small
+dataclass with a ``kind`` tag.  The wire shape follows the conventions
+of :mod:`repro.schema`: every payload is stamped with
+``schema_version``, unknown keys are rejected at the boundary, and
+``json.loads(json.dumps(d.to_dict()))`` is lossless.  The dispatcher
+:func:`delta_from_dict` turns an incoming payload back into the right
+delta type (or raises :class:`repro.schema.SchemaError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..schema import SchemaError, dataclass_from_dict, dataclass_to_dict
+
+
+def _wire(obj, kind: str) -> dict:
+    data = dataclass_to_dict(obj)
+    data["kind"] = kind
+    return data
+
+
+def _unwire(cls, kind: str, data: dict) -> dict:
+    data = dict(data)
+    got = data.pop("kind", kind)
+    if got != kind:
+        raise SchemaError(f"expected delta kind {kind!r}, got {got!r}")
+    return data
+
+
+@dataclass
+class ResizeCell:
+    """Change a standard cell's footprint (ECO resize / swap).
+
+    Attributes:
+        cell: index of the movable standard cell.
+        width: new cell width (database units).
+        height: new height; ``None`` keeps the current (row) height.
+    """
+
+    cell: int
+    width: float
+    height: float | None = None
+
+    KIND = "resize_cell"
+
+    def to_dict(self) -> dict:
+        return _wire(self, self.KIND)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResizeCell":
+        return dataclass_from_dict(cls, _unwire(cls, cls.KIND, data))
+
+
+@dataclass
+class MoveMacro:
+    """Move a fixed macro to a new lower-left corner."""
+
+    macro: int
+    x: float
+    y: float
+
+    KIND = "move_macro"
+
+    def to_dict(self) -> dict:
+        return _wire(self, self.KIND)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MoveMacro":
+        return dataclass_from_dict(cls, _unwire(cls, cls.KIND, data))
+
+
+@dataclass
+class AddCell:
+    """Insert a new movable standard cell (e.g. an ECO buffer).
+
+    Attributes:
+        name: unique cell name.
+        width / height: footprint.
+        x / y: seed position (the session legalizes it).
+        nets: names of existing nets the new cell's center pin joins.
+    """
+
+    name: str
+    width: float
+    height: float
+    x: float
+    y: float
+    nets: list = field(default_factory=list)
+
+    KIND = "add_cell"
+
+    def to_dict(self) -> dict:
+        return _wire(self, self.KIND)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AddCell":
+        return dataclass_from_dict(cls, _unwire(cls, cls.KIND, data))
+
+
+@dataclass
+class RemoveCell:
+    """Delete a movable standard cell (its pins leave their nets)."""
+
+    cell: int
+
+    KIND = "remove_cell"
+
+    def to_dict(self) -> dict:
+        return _wire(self, self.KIND)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RemoveCell":
+        return dataclass_from_dict(cls, _unwire(cls, cls.KIND, data))
+
+
+@dataclass
+class ChangeStrategy:
+    """Change one :class:`repro.core.StrategyParams` knob.
+
+    Triggers a warm-started global re-place (padding recycled via the
+    paper's Eq. 15) rather than a local repair.
+    """
+
+    param: str
+    value: float
+
+    KIND = "change_strategy"
+
+    def to_dict(self) -> dict:
+        return _wire(self, self.KIND)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChangeStrategy":
+        return dataclass_from_dict(cls, _unwire(cls, cls.KIND, data))
+
+
+#: kind tag -> delta class, the dispatch table of :func:`delta_from_dict`.
+DELTA_KINDS = {
+    cls.KIND: cls
+    for cls in (ResizeCell, MoveMacro, AddCell, RemoveCell, ChangeStrategy)
+}
+
+
+def delta_from_dict(data: dict):
+    """Rebuild a typed delta from its wire dict.
+
+    Raises:
+        repro.schema.SchemaError: on a missing/unknown ``kind``, an
+            unsupported ``schema_version``, or unknown keys.
+    """
+    if not isinstance(data, dict):
+        raise SchemaError(f"delta payload must be a dict, got {type(data).__name__}")
+    kind = data.get("kind")
+    cls = DELTA_KINDS.get(kind)
+    if cls is None:
+        raise SchemaError(
+            f"unknown delta kind {kind!r}; expected one of {sorted(DELTA_KINDS)}"
+        )
+    return cls.from_dict(data)

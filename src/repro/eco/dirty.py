@@ -1,0 +1,124 @@
+"""Dirty-set computation: which cells, rows, and Gcells an edit touches.
+
+An ECO edit invalidates a neighbourhood, not the die: the edited cells
+themselves, every cell whose footprint intersects the edit's inflated
+bounding boxes (they may need to shift during re-legalization), the rows
+those boxes cover, and the Gcell window the router must renegotiate.
+The margins come from :class:`repro.eco.session.EcoParams`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist.design import Design
+from ..router.grid import RoutingGrid
+
+
+@dataclass
+class DirtySet:
+    """What one delta invalidates.
+
+    Attributes:
+        cells: indices of movable standard cells to re-legalize.
+        nets: net indices whose topology/pins moved (to re-route).
+        rows: row indices covered by the dirty geometry.
+        window: inclusive ``(gx_lo, gy_lo, gx_hi, gy_hi)`` Gcell box
+            for the router's local negotiation, or ``None`` when the
+            edit has no geometric footprint.
+        fraction: dirty movable-cell fraction (drives the fall-back to
+            a full warm re-place).
+    """
+
+    cells: np.ndarray
+    nets: np.ndarray
+    rows: np.ndarray
+    window: tuple | None
+    fraction: float
+
+
+def nets_of_cells(design: Design, cells) -> np.ndarray:
+    """Net ids with at least one pin on any of ``cells``."""
+    cells = np.asarray(cells, dtype=np.int64)
+    if len(cells) == 0:
+        return np.zeros(0, dtype=np.int64)
+    on_cells = np.isin(design.pin_cell, cells)
+    return np.unique(design.pin_net[on_cells]).astype(np.int64)
+
+
+def compute_dirty(
+    design: Design,
+    grid: RoutingGrid,
+    seed_cells,
+    boxes,
+    margin_sites: int,
+    margin_rows: int,
+    route_margin_gcells: int,
+    extra_nets=None,
+) -> DirtySet:
+    """Grow ``seed_cells`` and geometry ``boxes`` into a full dirty set.
+
+    Args:
+        seed_cells: cells directly named by the delta.
+        boxes: ``(xlo, ylo, xhi, yhi)`` rectangles invalidated by the
+            edit — typically the old *and* new footprints of each edited
+            cell — inflated here by the legalization margins.
+        extra_nets: nets dirtied independently of cell membership (e.g.
+            the nets of a removed cell, whose pins no longer exist).
+    """
+    tech = design.technology
+    mx = margin_sites * tech.site_width
+    my = margin_rows * tech.row_height
+
+    dirty = np.zeros(design.num_cells, dtype=bool)
+    seed_cells = np.asarray(list(seed_cells), dtype=np.int64)
+    if len(seed_cells):
+        dirty[seed_cells] = True
+
+    std = design.movable & ~design.is_macro
+    x, y, w, h = design.x, design.y, design.w, design.h
+    inflated = []
+    for xlo, ylo, xhi, yhi in boxes:
+        xlo, ylo, xhi, yhi = xlo - mx, ylo - my, xhi + mx, yhi + my
+        inflated.append((xlo, ylo, xhi, yhi))
+        hit = (x < xhi) & (x + w > xlo) & (y < yhi) & (y + h > ylo)
+        dirty |= std & hit
+    dirty &= std | np.isin(
+        np.arange(design.num_cells), seed_cells
+    )  # macros/fixed never re-legalize unless explicitly seeded
+
+    cells = np.nonzero(dirty)[0].astype(np.int64)
+    nets = nets_of_cells(design, cells)
+    if extra_nets is not None and len(extra_nets):
+        nets = np.unique(
+            np.concatenate([nets, np.asarray(extra_nets, dtype=np.int64)])
+        )
+
+    rh = tech.row_height
+    row_set = set()
+    for xlo, ylo, xhi, yhi in inflated:
+        lo = int(np.floor((ylo - design.die.ylo) / rh))
+        hi = int(np.floor((yhi - design.die.ylo) / rh))
+        row_set.update(range(max(lo, 0), hi + 1))
+    rows = np.asarray(sorted(row_set), dtype=np.int64)
+
+    window = None
+    if inflated:
+        xlo = min(b[0] for b in inflated)
+        ylo = min(b[1] for b in inflated)
+        xhi = max(b[2] for b in inflated)
+        yhi = max(b[3] for b in inflated)
+        gx, gy = grid.gcell_of(np.asarray([xlo, xhi]), np.asarray([ylo, yhi]))
+        m = int(route_margin_gcells)
+        window = (
+            max(int(gx[0]) - m, 0),
+            max(int(gy[0]) - m, 0),
+            min(int(gx[1]) + m, grid.nx - 1),
+            min(int(gy[1]) + m, grid.ny - 1),
+        )
+
+    movable_std = int(std.sum())
+    fraction = len(cells) / max(movable_std, 1)
+    return DirtySet(cells=cells, nets=nets, rows=rows, window=window, fraction=fraction)

@@ -1,6 +1,8 @@
-"""Legalization: Abacus, Tetris fallback, and discrete padding."""
+"""Legalization: Abacus, Tetris fallback, discrete padding, and
+dirty-region re-legalization."""
 
 from .abacus import LegalizeResult, legalize_abacus
+from .incremental import legalize_region
 from .padding import (
     DEFAULT_AREA_CAP,
     cap_padding_area,
@@ -19,6 +21,7 @@ __all__ = [
     "cap_padding_area",
     "discretize_padding",
     "legalize_abacus",
+    "legalize_region",
     "legalize_tetris",
     "padded_widths",
 ]

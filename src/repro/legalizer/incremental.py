@@ -1,0 +1,68 @@
+"""Dirty-region re-legalization over the existing Abacus path.
+
+An ECO edit (resize, add, macro move) invalidates legality only in a
+small neighbourhood; re-running Abacus over the whole design throws away
+the work the converged run already paid for.  :func:`legalize_region`
+re-legalizes *only* the dirty cells: every other cell is temporarily
+treated as fixed, so the standard segment construction of
+:mod:`repro.legalizer.rows` subtracts them from the free intervals and
+the unmodified Abacus dynamic program places the dirty cells into the
+remaining gaps with minimal displacement.
+
+Because previously legalized cells sit on site boundaries, the snapped
+segments stay site-aligned and the composed placement remains legal —
+the property :mod:`repro.verify`'s placement checkers audit after every
+incremental step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import obs
+from ..netlist.design import Design
+from .abacus import LegalizeResult, legalize_abacus
+
+
+def legalize_region(
+    design: Design,
+    cells,
+    widths: np.ndarray | None = None,
+    max_row_search: int | None = None,
+) -> LegalizeResult:
+    """Re-legalize only ``cells``, keeping every other cell in place.
+
+    Args:
+        design: the placed design; only the dirty cells' positions are
+            overwritten.
+        cells: indices of the dirty movable standard cells (fixed cells
+            and macros among them are ignored).
+        widths: per-cell footprint widths (PUFFER's padded widths);
+            defaults to ``design.w``.
+        max_row_search: inclusive row-distance search cap handed to
+            Abacus — small radii keep the incremental step local.
+
+    Returns:
+        The Abacus :class:`~repro.legalizer.abacus.LegalizeResult` over
+        the dirty cells.  Raises ``RuntimeError`` (like
+        :func:`legalize_abacus`) when a dirty cell fits nowhere within
+        the search radius; callers widen the region or fall back to a
+        full legalization.
+    """
+    cells = np.asarray(cells, dtype=np.int64)
+    dirty = np.zeros(design.num_cells, dtype=bool)
+    if len(cells):
+        dirty[cells] = True
+    saved = design.movable
+    with obs.span("legalize/region", cells=int(dirty.sum())) as span:
+        try:
+            # Non-dirty cells become blockers for segment construction;
+            # the Abacus path itself is unchanged.
+            design.movable = saved & dirty
+            result = legalize_abacus(
+                design, widths=widths, max_row_search=max_row_search
+            )
+        finally:
+            design.movable = saved
+        span.set(displacement=result.total_displacement)
+    return result

@@ -12,7 +12,13 @@ from .technology import (
     reduced_metal_stack,
 )
 from .bookshelf import load_design, save_design
-from .transform import clone_design, extract_window, mirror_horizontal
+from .transform import (
+    add_cell,
+    clone_design,
+    extract_window,
+    mirror_horizontal,
+    remove_cell,
+)
 from .validate import ValidationReport, check_legal, validate_design
 
 __all__ = [
@@ -26,6 +32,7 @@ __all__ = [
     "Technology",
     "VERTICAL",
     "ValidationReport",
+    "add_cell",
     "bounding_box",
     "check_legal",
     "clamp",
@@ -35,6 +42,7 @@ __all__ = [
     "load_design",
     "mirror_horizontal",
     "reduced_metal_stack",
+    "remove_cell",
     "save_design",
     "validate_design",
 ]

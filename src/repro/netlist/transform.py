@@ -1,10 +1,13 @@
-"""Design transformations: cloning, mirroring, and window extraction.
+"""Design transformations: cloning, mirroring, window extraction, and
+topology edits.
 
 Utilities an open-source placement framework needs around the core:
 deep-copying a design so flows can run side by side, mirroring a
-placement (symmetry checks and test-data augmentation), and extracting
-the subcircuit inside a window (debugging congestion hotspots at full
-fidelity without the whole chip).
+placement (symmetry checks and test-data augmentation), extracting the
+subcircuit inside a window (debugging congestion hotspots at full
+fidelity without the whole chip), and the single-cell topology edits
+(:func:`add_cell`, :func:`remove_cell`) that back :mod:`repro.eco`'s
+incremental-placement deltas.
 """
 
 from __future__ import annotations
@@ -50,6 +53,156 @@ def mirror_horizontal(design: Design) -> None:
     die = design.die
     design.x[:] = die.xlo + die.xhi - design.x
     design.pin_dx[:] = -design.pin_dx
+
+
+def add_cell(
+    design: Design,
+    name: str,
+    width: float,
+    height: float,
+    x: float | None = None,
+    y: float | None = None,
+    nets: list | None = None,
+) -> tuple:
+    """A new design with one extra movable standard cell appended.
+
+    The cell connects to the named *existing* nets through center pins
+    (``dx = dy = 0``), the shape :mod:`repro.eco`'s ``AddCell`` delta
+    uses.  Topology arrays are rebuilt (a :class:`Design` is frozen);
+    positions and every other cell are carried over unchanged, and the
+    new cell's index is ``design.num_cells`` of the input.
+
+    Args:
+        design: source design (not mutated).
+        name: new cell's name (must be unique).
+        width, height: cell dimensions.
+        x, y: initial center (defaults to the die center).
+        nets: names of existing nets to connect to.
+
+    Returns:
+        ``(new_design, new_cell_index)``.
+
+    Raises:
+        ValueError: duplicate cell name, non-positive size, or an
+            unknown net name.
+    """
+    if name in design.cell_names:
+        raise ValueError(f"duplicate cell name {name!r}")
+    if width <= 0 or height <= 0:
+        raise ValueError(f"cell {name!r}: non-positive size {width}x{height}")
+    net_index = {n: i for i, n in enumerate(design.net_names)}
+    net_ids = []
+    for net_name in nets or []:
+        if net_name not in net_index:
+            raise ValueError(f"unknown net {net_name!r}")
+        net_ids.append(net_index[net_name])
+
+    new_cell = design.num_cells
+    center = design.die.center
+    px = center.x if x is None else float(x)
+    py = center.y if y is None else float(y)
+
+    # Rebuild the net CSR with one extra pin per connected net.
+    extra = np.bincount(net_ids, minlength=design.num_nets) if net_ids else np.zeros(
+        design.num_nets, dtype=np.int64
+    )
+    degrees = np.diff(design.net_start) + extra
+    net_start = np.zeros(design.num_nets + 1, dtype=np.int64)
+    np.cumsum(degrees, out=net_start[1:])
+
+    num_pins = design.num_pins + len(net_ids)
+    pin_cell = np.concatenate(
+        [design.pin_cell, np.full(len(net_ids), new_cell, dtype=np.int64)]
+    )
+    pin_net = np.concatenate(
+        [design.pin_net, np.asarray(net_ids, dtype=np.int64)]
+    )
+    pin_dx = np.concatenate([design.pin_dx, np.zeros(len(net_ids))])
+    pin_dy = np.concatenate([design.pin_dy, np.zeros(len(net_ids))])
+    # Regroup pins by net: stable sort of pin ids by their net keeps the
+    # original relative pin order within every net.
+    net_pins = np.argsort(pin_net, kind="stable").astype(np.int64)
+
+    new_design = Design(
+        name=design.name,
+        technology=design.technology,
+        die=design.die,
+        cell_names=list(design.cell_names) + [name],
+        w=np.append(design.w, float(width)),
+        h=np.append(design.h, float(height)),
+        x=np.append(design.x, px),
+        y=np.append(design.y, py),
+        movable=np.append(design.movable, True),
+        is_macro=np.append(design.is_macro, False),
+        net_names=list(design.net_names),
+        net_start=net_start,
+        net_pins=net_pins,
+        pin_cell=pin_cell,
+        pin_net=pin_net,
+        pin_dx=pin_dx,
+        pin_dy=pin_dy,
+        blockages=list(design.blockages),
+    )
+    assert new_design.num_pins == num_pins
+    return new_design, new_cell
+
+
+def remove_cell(design: Design, cell: int) -> Design:
+    """A new design with ``cell`` (and its pins) removed.
+
+    Cell indices above ``cell`` shift down by one; nets keep their
+    remaining pins (a net left with fewer than two pins is retained —
+    the integrity checker flags it as a warning, matching
+    :func:`extract_window`'s convention).  Only movable standard cells
+    can be removed.
+
+    Args:
+        design: source design (not mutated).
+        cell: index of the cell to remove.
+
+    Returns:
+        The new :class:`Design`.
+
+    Raises:
+        ValueError: out-of-range index, or a fixed/macro cell.
+    """
+    if not 0 <= cell < design.num_cells:
+        raise ValueError(f"cell index {cell} out of range")
+    if not design.movable[cell] or design.is_macro[cell]:
+        raise ValueError(f"cell {design.cell_names[cell]!r} is not a movable standard cell")
+
+    keep_pins = design.pin_cell != cell
+    pin_net = design.pin_net[keep_pins]
+    pin_cell = design.pin_cell[keep_pins]
+    pin_cell = np.where(pin_cell > cell, pin_cell - 1, pin_cell)
+
+    degrees = np.bincount(pin_net, minlength=design.num_nets)
+    net_start = np.zeros(design.num_nets + 1, dtype=np.int64)
+    np.cumsum(degrees, out=net_start[1:])
+    net_pins = np.argsort(pin_net, kind="stable").astype(np.int64)
+
+    keep_cells = np.ones(design.num_cells, dtype=bool)
+    keep_cells[cell] = False
+    return Design(
+        name=design.name,
+        technology=design.technology,
+        die=design.die,
+        cell_names=[n for i, n in enumerate(design.cell_names) if i != cell],
+        w=design.w[keep_cells],
+        h=design.h[keep_cells],
+        x=design.x[keep_cells],
+        y=design.y[keep_cells],
+        movable=design.movable[keep_cells],
+        is_macro=design.is_macro[keep_cells],
+        net_names=list(design.net_names),
+        net_start=net_start,
+        net_pins=net_pins,
+        pin_cell=pin_cell,
+        pin_net=pin_net,
+        pin_dx=design.pin_dx[keep_pins],
+        pin_dy=design.pin_dy[keep_pins],
+        blockages=list(design.blockages),
+    )
 
 
 def extract_window(design: Design, window: Rect, name: str | None = None) -> Design:

@@ -11,7 +11,15 @@ from .pattern import (
     straight_route,
     z_route,
 )
-from .router import GlobalRouter, RouteReport, RouterParams
+from .incremental import reroute_nets
+from .router import (
+    GlobalRouter,
+    RouteReport,
+    RouterParams,
+    RouteState,
+    build_net_segments,
+    wirelength_and_vias,
+)
 
 __all__ = [
     "CostModel",
@@ -20,15 +28,19 @@ __all__ = [
     "GlobalRouter",
     "LayerUsage",
     "RouteReport",
+    "RouteState",
     "RouterParams",
     "RoutingGrid",
     "assign_layers",
     "best_pattern_route",
     "build_grid",
+    "build_net_segments",
     "format_layer_table",
     "l_route",
     "maze_route",
+    "reroute_nets",
     "route_cost",
     "straight_route",
+    "wirelength_and_vias",
     "z_route",
 ]

@@ -80,6 +80,7 @@ class RouteReport:
     grid: RoutingGrid
     demand: DemandMaps
     overflow_history: list = field(default_factory=list)
+    state: "RouteState | None" = field(default=None, repr=False)
 
     @property
     def total_overflow(self) -> float:
@@ -93,12 +94,178 @@ class RouteReport:
         )
 
 
-class GlobalRouter:
-    """Congestion-negotiating global router over the Gcell grid."""
+@dataclass
+class RouteState:
+    """Retained routing state for incremental reroutes.
 
-    def __init__(self, design: Design, params: RouterParams | None = None) -> None:
+    Captured by ``GlobalRouter(..., keep_state=True)`` and consumed by
+    :func:`repro.router.incremental.reroute_nets`: everything needed to
+    rip up the segments of a handful of nets, reroute them against live
+    congestion, and report fresh metrics without touching the rest of
+    the solution.
+    """
+
+    grid: RoutingGrid
+    demand: DemandMaps
+    cost_model: CostModel
+    segments: list
+    seg_net: np.ndarray
+    routes: list
+    pin_flat: np.ndarray
+    params: RouterParams
+
+
+# ----------------------------------------------------------------------
+# Reusable pieces (shared by the full run and incremental reroutes)
+# ----------------------------------------------------------------------
+
+
+def pin_flat_indices(design: Design, grid: RoutingGrid) -> np.ndarray:
+    """Flat Gcell index (``gx * ny + gy``) of every pin."""
+    if design.num_pins == 0:
+        return np.zeros(0, dtype=np.int64)
+    px, py = design.pin_positions()
+    gx, gy = grid.gcell_of(px, py)
+    return (gx * grid.ny + gy).astype(np.int64)
+
+
+def build_net_segments(
+    design: Design, grid: RoutingGrid, nets=None
+) -> tuple:
+    """Two-point RSMT segments (Gcell coords) plus their owning net ids.
+
+    Args:
+        nets: net indices to decompose; defaults to every net.
+
+    Returns:
+        ``(segments, seg_net)`` — a list of ``(gx0, gy0, gx1, gy1)``
+        tuples and a parallel int64 array of net ids.
+    """
+    px, py = design.pin_positions()
+    gx, gy = grid.gcell_of(px, py)
+    net_ids = range(design.num_nets) if nets is None else nets
+    segments = []
+    seg_net = []
+    for net in net_ids:
+        pins = design.pins_of_net(net)
+        if len(pins) < 2:
+            continue
+        pts = np.unique(
+            np.stack([gx[pins], gy[pins]], axis=1), axis=0
+        )
+        if len(pts) < 2:
+            continue
+        topo = build_rsmt(pts[:, 0].astype(float), pts[:, 1].astype(float))
+        tx = np.round(topo.x).astype(np.int64)
+        ty = np.round(topo.y).astype(np.int64)
+        for a, b in topo.edges:
+            segments.append((int(tx[a]), int(ty[a]), int(tx[b]), int(ty[b])))
+            seg_net.append(int(net))
+    return segments, np.asarray(seg_net, dtype=np.int64)
+
+
+def commit_route(route, sign, dmd_h, dmd_v, cost_model, cost_h_flat, cost_v_flat):
+    """Apply a route's demand and refresh costs on the touched cells."""
+    h_cells, v_cells = route
+    params = cost_model.params
+    grid = cost_model.grid
+    if len(h_cells):
+        np.add.at(dmd_h, h_cells, sign)
+        capn = np.maximum(grid.cap_h.ravel()[h_cells], 1.0)
+        over = np.maximum(
+            dmd_h[h_cells] + 1.0 - params.slack * grid.cap_h.ravel()[h_cells], 0.0
+        )
+        cost_h_flat[h_cells] = (
+            1.0 + params.congestion_weight * over / capn
+            + cost_model.hist_h.ravel()[h_cells]
+        )
+    if len(v_cells):
+        np.add.at(dmd_v, v_cells, sign)
+        capn = np.maximum(grid.cap_v.ravel()[v_cells], 1.0)
+        over = np.maximum(
+            dmd_v[v_cells] + 1.0 - params.slack * grid.cap_v.ravel()[v_cells], 0.0
+        )
+        cost_v_flat[v_cells] = (
+            1.0 + params.congestion_weight * over / capn
+            + cost_model.hist_v.ravel()[v_cells]
+        )
+
+
+def select_victims(routes, grid: RoutingGrid, demand: DemandMaps, window=None,
+                   baseline=None) -> list:
+    """Routes passing through overflowed Gcells, worst offenders first.
+
+    Args:
+        window: optional inclusive ``(gx_lo, gy_lo, gx_hi, gy_hi)``
+            Gcell box; overflow outside it is ignored, restricting the
+            rip-up to a dirty region.
+        baseline: optional ``(over_h, over_v)`` overflow maps from an
+            earlier point in time; only overflow *in excess of* the
+            baseline scores, so residual congestion a converged run
+            already accepted does not trigger fresh rip-ups.
+    """
+    over_h, over_v = demand.overflow_maps(grid)
+    if baseline is not None:
+        over_h = np.maximum(over_h - np.clip(baseline[0], 0.0, None), 0.0)
+        over_v = np.maximum(over_v - np.clip(baseline[1], 0.0, None), 0.0)
+    if window is not None:
+        gx_lo, gy_lo, gx_hi, gy_hi = window
+        mask = np.zeros((grid.nx, grid.ny), dtype=bool)
+        mask[
+            max(gx_lo, 0): gx_hi + 1,
+            max(gy_lo, 0): gy_hi + 1,
+        ] = True
+        over_h = np.where(mask, over_h, 0.0)
+        over_v = np.where(mask, over_v, 0.0)
+    over_h_flat = over_h.ravel()
+    over_v_flat = over_v.ravel()
+    scored = []
+    for i, route in enumerate(routes):
+        if route is None:
+            continue
+        h_cells, v_cells = route
+        score = 0.0
+        if len(h_cells):
+            score += float(over_h_flat[h_cells].sum())
+        if len(v_cells):
+            score += float(over_v_flat[v_cells].sum())
+        if score > 0:
+            scored.append((score, i))
+    scored.sort(reverse=True)
+    return [i for _, i in scored]
+
+
+def wirelength_and_vias(routes, grid: RoutingGrid) -> tuple:
+    """Total routed length plus via count (Gcells used in both
+    directions by the same route are layer changes)."""
+    total = 0.0
+    vias = 0
+    for h_cells, v_cells in routes:
+        total += len(h_cells) * grid.gcell_w + len(v_cells) * grid.gcell_h
+        if len(h_cells) and len(v_cells):
+            vias += len(np.intersect1d(h_cells, v_cells, assume_unique=False))
+    return total, vias
+
+
+class GlobalRouter:
+    """Congestion-negotiating global router over the Gcell grid.
+
+    Args:
+        keep_state: retain the full routing state (demand, per-net
+            segments, routes) on ``RouteReport.state`` so
+            :func:`repro.router.incremental.reroute_nets` can later rip
+            up and reroute individual nets.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        params: RouterParams | None = None,
+        keep_state: bool = False,
+    ) -> None:
         self.design = design
         self.params = params or RouterParams()
+        self.keep_state = keep_state
 
     def run(self) -> RouteReport:
         """Route the design at its current placement."""
@@ -121,9 +288,9 @@ class GlobalRouter:
         demand = DemandMaps.zeros(grid)
         cost_model = CostModel(grid, demand, params.cost)
 
-        self._add_pin_demand(grid, demand)
+        pin_flat = self._add_pin_demand(grid, demand)
         with obs.span("route/rsmt") as rsmt_span:
-            segments = self._build_segments(grid)
+            segments, seg_net = build_net_segments(design, grid)
             rsmt_span.set(segments=len(segments))
         routes = [None] * len(segments)
         dmd_h = demand.dmd_h.ravel()
@@ -146,7 +313,7 @@ class GlobalRouter:
                     use_z=params.use_z_patterns,
                 )
                 routes[i] = route
-                self._commit(route, +1.0, dmd_h, dmd_v, cost_model, cost_h_flat, cost_v_flat)
+                commit_route(route, +1.0, dmd_h, dmd_v, cost_model, cost_h_flat, cost_v_flat)
 
         overflow_history = [demand.overflow_ratio(grid)]
         rip_ups = obs.counter("route/rip_ups")
@@ -162,19 +329,19 @@ class GlobalRouter:
                 cost_h_flat = cost_h.ravel()
                 cost_v_flat = cost_v.ravel()
                 margin = params.maze_margin + rnd * params.maze_margin_growth
-                victims = self._select_victims(routes, grid, demand)
+                victims = select_victims(routes, grid, demand)
                 rerouted = victims[: params.max_reroute_per_round]
                 rip_ups.inc(len(rerouted))
                 for i in rerouted:
                     gx0, gy0, gx1, gy1 = segments[i]
-                    self._commit(
+                    commit_route(
                         routes[i], -1.0, dmd_h, dmd_v, cost_model, cost_h_flat, cost_v_flat
                     )
                     new_route = maze_route(gx0, gy0, gx1, gy1, cost_h, cost_v, margin)
                     if new_route is None:
                         new_route = routes[i]
                     routes[i] = new_route
-                    self._commit(
+                    commit_route(
                         new_route, +1.0, dmd_h, dmd_v, cost_model, cost_h_flat, cost_v_flat
                     )
                 overflow_history.append(demand.overflow_ratio(grid))
@@ -185,7 +352,19 @@ class GlobalRouter:
                 )
 
         hof, vof = demand.overflow_ratio(grid)
-        wirelength, via_count = self._wirelength_and_vias(routes, grid)
+        wirelength, via_count = wirelength_and_vias(routes, grid)
+        state = None
+        if self.keep_state:
+            state = RouteState(
+                grid=grid,
+                demand=demand,
+                cost_model=cost_model,
+                segments=segments,
+                seg_net=seg_net,
+                routes=routes,
+                pin_flat=pin_flat,
+                params=params,
+            )
         return RouteReport(
             hof=hof,
             vof=vof,
@@ -197,94 +376,16 @@ class GlobalRouter:
             grid=grid,
             demand=demand,
             overflow_history=overflow_history,
+            state=state,
         )
 
     # ------------------------------------------------------------------
     # Pieces
     # ------------------------------------------------------------------
 
-    def _add_pin_demand(self, grid: RoutingGrid, demand: DemandMaps) -> None:
-        if self.params.pin_demand <= 0 or self.design.num_pins == 0:
-            return
-        px, py = self.design.pin_positions()
-        gx, gy = grid.gcell_of(px, py)
-        flat = gx * grid.ny + gy
-        np.add.at(demand.dmd_h.ravel(), flat, self.params.pin_demand)
-        np.add.at(demand.dmd_v.ravel(), flat, self.params.pin_demand)
-
-    def _build_segments(self, grid: RoutingGrid) -> list:
-        """Two-point segments (Gcell coords) from per-net RSMTs."""
-        design = self.design
-        px, py = design.pin_positions()
-        gx, gy = grid.gcell_of(px, py)
-        segments = []
-        for net in range(design.num_nets):
-            pins = design.pins_of_net(net)
-            if len(pins) < 2:
-                continue
-            pts = np.unique(
-                np.stack([gx[pins], gy[pins]], axis=1), axis=0
-            )
-            if len(pts) < 2:
-                continue
-            topo = build_rsmt(pts[:, 0].astype(float), pts[:, 1].astype(float))
-            tx = np.round(topo.x).astype(np.int64)
-            ty = np.round(topo.y).astype(np.int64)
-            for a, b in topo.edges:
-                segments.append((int(tx[a]), int(ty[a]), int(tx[b]), int(ty[b])))
-        return segments
-
-    def _commit(self, route, sign, dmd_h, dmd_v, cost_model, cost_h_flat, cost_v_flat):
-        """Apply a route's demand and refresh costs on the touched cells."""
-        h_cells, v_cells = route
-        params = cost_model.params
-        grid = cost_model.grid
-        if len(h_cells):
-            np.add.at(dmd_h, h_cells, sign)
-            capn = np.maximum(grid.cap_h.ravel()[h_cells], 1.0)
-            over = np.maximum(
-                dmd_h[h_cells] + 1.0 - params.slack * grid.cap_h.ravel()[h_cells], 0.0
-            )
-            cost_h_flat[h_cells] = (
-                1.0 + params.congestion_weight * over / capn
-                + cost_model.hist_h.ravel()[h_cells]
-            )
-        if len(v_cells):
-            np.add.at(dmd_v, v_cells, sign)
-            capn = np.maximum(grid.cap_v.ravel()[v_cells], 1.0)
-            over = np.maximum(
-                dmd_v[v_cells] + 1.0 - params.slack * grid.cap_v.ravel()[v_cells], 0.0
-            )
-            cost_v_flat[v_cells] = (
-                1.0 + params.congestion_weight * over / capn
-                + cost_model.hist_v.ravel()[v_cells]
-            )
-
-    def _select_victims(self, routes, grid: RoutingGrid, demand: DemandMaps) -> list:
-        """Segments passing through overflowed Gcells, worst offenders first."""
-        over_h, over_v = demand.overflow_maps(grid)
-        over_h_flat = over_h.ravel()
-        over_v_flat = over_v.ravel()
-        scored = []
-        for i, route in enumerate(routes):
-            h_cells, v_cells = route
-            score = 0.0
-            if len(h_cells):
-                score += float(over_h_flat[h_cells].sum())
-            if len(v_cells):
-                score += float(over_v_flat[v_cells].sum())
-            if score > 0:
-                scored.append((score, i))
-        scored.sort(reverse=True)
-        return [i for _, i in scored]
-
-    def _wirelength_and_vias(self, routes, grid: RoutingGrid) -> tuple:
-        """Total routed length plus via count (Gcells used in both
-        directions by the same route are layer changes)."""
-        total = 0.0
-        vias = 0
-        for h_cells, v_cells in routes:
-            total += len(h_cells) * grid.gcell_w + len(v_cells) * grid.gcell_h
-            if len(h_cells) and len(v_cells):
-                vias += len(np.intersect1d(h_cells, v_cells, assume_unique=False))
-        return total, vias
+    def _add_pin_demand(self, grid: RoutingGrid, demand: DemandMaps) -> np.ndarray:
+        flat = pin_flat_indices(self.design, grid)
+        if self.params.pin_demand > 0 and len(flat):
+            np.add.at(demand.dmd_h.ravel(), flat, self.params.pin_demand)
+            np.add.at(demand.dmd_v.ravel(), flat, self.params.pin_demand)
+        return flat

@@ -19,9 +19,20 @@ posts a job and optionally waits, ``repro jobs`` inspects or cancels.
 Backpressure is explicit — a full queue rejects with a retry-after hint
 (HTTP 429) rather than buffering without bound — and shutdown drains:
 accepted jobs finish, new submissions are refused.
+
+The service also hosts **stateful ECO sessions** (:mod:`repro.eco`):
+``POST /sessions`` converges a design once, ``POST
+/sessions/<id>/deltas`` applies incremental edits against the retained
+state, and draining closes (GCs) every open session.
 """
 
-from .client import HttpServiceClient, JobFailedError, ServiceClient, make_request
+from .client import (
+    HttpServiceClient,
+    JobFailedError,
+    ServiceClient,
+    make_request,
+    make_session_request,
+)
 from .http import HttpServer
 from .jobs import (
     CANCELLED,
@@ -40,6 +51,15 @@ from .jobs import (
     UnknownJobError,
 )
 from .service import PlacementService, ServiceConfig, execute_request
+from .sessions import (
+    SESSION_STATES,
+    DeltaJob,
+    Session,
+    SessionManager,
+    SessionStateError,
+    UnknownDeltaError,
+    UnknownSessionError,
+)
 
 __all__ = [
     "CANCELLED",
@@ -51,17 +71,25 @@ __all__ = [
     "JobFailedError",
     "JobStateError",
     "JobStore",
+    "DeltaJob",
     "PlacementService",
     "QUEUED",
     "QueueFullError",
     "RUNNING",
+    "SESSION_STATES",
     "STATES",
     "ServeError",
     "ServiceClient",
     "ServiceClosedError",
     "ServiceConfig",
+    "Session",
+    "SessionManager",
+    "SessionStateError",
     "TERMINAL",
+    "UnknownDeltaError",
     "UnknownJobError",
+    "UnknownSessionError",
     "execute_request",
     "make_request",
+    "make_session_request",
 ]

@@ -62,6 +62,25 @@ def make_request(design: str, *, flow: str = "puffer", config=None,
     return request
 
 
+def make_session_request(design: str, *, config=None, eco=None,
+                         verify: str | None = None) -> dict:
+    """Build the JSON-safe wire request both clients POST to
+    ``/sessions``.  ``config``/``eco`` may be dataclasses (serialized
+    via ``to_dict``) or already-serialized wire dicts."""
+    if config is not None and hasattr(config, "to_dict"):
+        config = config.to_dict()
+    if eco is not None and hasattr(eco, "to_dict"):
+        eco = eco.to_dict()
+    request: dict = {"design": design}
+    if config is not None:
+        request["config"] = config
+    if eco is not None:
+        request["eco"] = eco
+    if verify is not None:
+        request["verify"] = verify
+    return request
+
+
 class ServiceClient:
     """In-process async client over a started :class:`PlacementService`."""
 
@@ -100,6 +119,43 @@ class ServiceClient:
 
     def metrics(self) -> dict:
         return self.service.metrics()
+
+    # -- ECO sessions --------------------------------------------------
+
+    def create_session(self, design: str, *, config=None, eco=None,
+                       verify: str | None = None):
+        """Open an incremental session; returns the live ``Session``."""
+        return self.service.sessions.create(
+            make_session_request(design, config=config, eco=eco, verify=verify)
+        )
+
+    async def wait_session(self, session_id: str, timeout: float | None = None):
+        """Await the cold start (ready or failed) and return the session."""
+        return await self.service.sessions.wait_ready(session_id, timeout=timeout)
+
+    def submit_delta(self, session_id: str, delta):
+        """Queue one delta (typed or wire dict) against a session."""
+        if hasattr(delta, "to_dict"):
+            delta = delta.to_dict()
+        return self.service.sessions.submit_delta(session_id, delta)
+
+    async def apply_delta(self, session_id: str, delta,
+                          timeout: float | None = None) -> dict:
+        """Submit a delta, await it, and return its result summary.
+
+        Raises:
+            JobFailedError: the delta failed.
+        """
+        record = self.submit_delta(session_id, delta)
+        record = await self.service.sessions.wait_delta(
+            session_id, record.id, timeout=timeout
+        )
+        if record.state != DONE:
+            raise JobFailedError(record)
+        return record.result
+
+    def close_session(self, session_id: str):
+        return self.service.sessions.close(session_id)
 
 
 class HttpServiceClient:
@@ -196,3 +252,58 @@ class HttpServiceClient:
         if job["state"] != DONE:
             raise JobFailedError(job)
         return job["result"]
+
+    # -- ECO sessions --------------------------------------------------
+
+    def create_session(self, design: str, *, config=None, eco=None,
+                       verify: str | None = None) -> dict:
+        """POST the session; returns its wire dict (``initializing``)."""
+        return self._request(
+            "POST", "/sessions",
+            make_session_request(design, config=config, eco=eco, verify=verify),
+        )
+
+    def session(self, session_id: str) -> dict:
+        return self._request("GET", f"/sessions/{session_id}")
+
+    def sessions(self) -> list:
+        return self._request("GET", "/sessions")["sessions"]
+
+    def close_session(self, session_id: str) -> dict:
+        return self._request("DELETE", f"/sessions/{session_id}")
+
+    def wait_session(self, session_id: str, timeout: float | None = None,
+                     poll: float = 0.25) -> dict:
+        """Poll until the cold start finishes; returns the wire dict."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            session = self.session(session_id)
+            if session["state"] != "initializing":
+                return session
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(f"session {session_id} still initializing")
+            time.sleep(poll)
+
+    def submit_delta(self, session_id: str, delta) -> dict:
+        """POST one delta (typed or wire dict); returns its wire dict."""
+        if hasattr(delta, "to_dict"):
+            delta = delta.to_dict()
+        return self._request("POST", f"/sessions/{session_id}/deltas", delta)
+
+    def delta(self, session_id: str, delta_id: str) -> dict:
+        return self._request("GET", f"/sessions/{session_id}/deltas/{delta_id}")
+
+    def apply_delta(self, session_id: str, delta,
+                    wait_timeout: float | None = None,
+                    poll: float = 0.25) -> dict:
+        """Submit a delta, poll to completion, return its result summary."""
+        record = self.submit_delta(session_id, delta)
+        deadline = None if wait_timeout is None else time.monotonic() + wait_timeout
+        while record["state"] in ("queued", "running"):
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(f"delta {record['id']} still {record['state']}")
+            time.sleep(poll)
+            record = self.delta(session_id, record["id"])
+        if record["state"] != DONE:
+            raise JobFailedError(record)
+        return record["result"]

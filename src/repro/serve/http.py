@@ -13,6 +13,13 @@ POST   ``/jobs``            submit a placement job (``202 Accepted``)
 GET    ``/jobs``            list jobs (``?state=`` filters)
 GET    ``/jobs/<id>``       one job's status/result
 DELETE ``/jobs/<id>``       cancel a job
+POST   ``/sessions``        open an ECO session (``202 Accepted``)
+GET    ``/sessions``        list sessions
+GET    ``/sessions/<id>``   one session's status + delta history
+DELETE ``/sessions/<id>``   close a session (GC its retained state)
+POST   ``/sessions/<id>/deltas``        submit an incremental delta
+GET    ``/sessions/<id>/deltas``        list the session's deltas
+GET    ``/sessions/<id>/deltas/<did>``  one delta's status/result
 ====== ==================== ==========================================
 
 Error mapping: validation problems are ``400``, unknown ids ``404``,
@@ -34,6 +41,11 @@ from .jobs import (
     QueueFullError,
     ServiceClosedError,
     UnknownJobError,
+)
+from .sessions import (
+    SessionStateError,
+    UnknownDeltaError,
+    UnknownSessionError,
 )
 
 #: Request-size guards (a placement request is a few KB of JSON).
@@ -151,6 +163,15 @@ class HttpServer:
         if path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
             return self._job_op(method, job_id)
+        if path == "/sessions":
+            if method == "POST":
+                return self._create_session(body)
+            if method == "GET":
+                sessions = [s.to_wire() for s in self.service.sessions.sessions()]
+                return HTTPStatus.OK, {"sessions": sessions}, {}
+            raise _HttpError(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} /sessions")
+        if path.startswith("/sessions/"):
+            return self._session_op(method, path[len("/sessions/"):], body)
         raise _HttpError(HTTPStatus.NOT_FOUND, f"no route for {path}")
 
     def _submit(self, body: bytes) -> tuple:
@@ -184,6 +205,70 @@ class HttpServer:
         except JobStateError as exc:
             raise _HttpError(HTTPStatus.CONFLICT, str(exc)) from None
         raise _HttpError(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} /jobs/<id>")
+
+    # -- sessions ------------------------------------------------------
+
+    @staticmethod
+    def _parse_body(body: bytes) -> dict:
+        try:
+            return json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(HTTPStatus.BAD_REQUEST, f"bad JSON body: {exc}") from None
+
+    def _create_session(self, body: bytes) -> tuple:
+        request = self._parse_body(body)
+        try:
+            session = self.service.sessions.create(request)
+        except ServiceClosedError as exc:
+            raise _HttpError(HTTPStatus.SERVICE_UNAVAILABLE, str(exc)) from None
+        except (SchemaError, ValueError, KeyError) as exc:
+            raise _HttpError(HTTPStatus.BAD_REQUEST, str(exc)) from None
+        return HTTPStatus.ACCEPTED, session.to_wire(), {}
+
+    def _session_op(self, method: str, rest: str, body: bytes) -> tuple:
+        parts = [p for p in rest.split("/") if p]
+        manager = self.service.sessions
+        try:
+            if len(parts) == 1:
+                if method == "GET":
+                    return HTTPStatus.OK, manager.get(parts[0]).to_wire(), {}
+                if method == "DELETE":
+                    return HTTPStatus.OK, manager.close(parts[0]).to_wire(), {}
+                raise _HttpError(HTTPStatus.METHOD_NOT_ALLOWED,
+                                 f"{method} /sessions/<id>")
+            if len(parts) == 2 and parts[1] == "deltas":
+                if method == "POST":
+                    return self._submit_delta(parts[0], body)
+                if method == "GET":
+                    session = manager.get(parts[0])
+                    deltas = [d.to_wire() for d in session.deltas.values()]
+                    return HTTPStatus.OK, {"deltas": deltas}, {}
+                raise _HttpError(HTTPStatus.METHOD_NOT_ALLOWED,
+                                 f"{method} /sessions/<id>/deltas")
+            if len(parts) == 3 and parts[1] == "deltas" and method == "GET":
+                return HTTPStatus.OK, manager.delta(parts[0], parts[2]).to_wire(), {}
+        except (UnknownSessionError, UnknownDeltaError) as exc:
+            raise _HttpError(HTTPStatus.NOT_FOUND, str(exc)) from None
+        raise _HttpError(HTTPStatus.NOT_FOUND, f"no route for /sessions/{rest}")
+
+    def _submit_delta(self, session_id: str, body: bytes) -> tuple:
+        payload = self._parse_body(body)
+        try:
+            delta = self.service.sessions.submit_delta(session_id, payload)
+        except QueueFullError as exc:
+            raise _HttpError(
+                HTTPStatus.TOO_MANY_REQUESTS, str(exc),
+                headers={"Retry-After": f"{exc.retry_after:g}"},
+            ) from None
+        except ServiceClosedError as exc:
+            raise _HttpError(HTTPStatus.SERVICE_UNAVAILABLE, str(exc)) from None
+        except UnknownSessionError as exc:
+            raise _HttpError(HTTPStatus.NOT_FOUND, str(exc)) from None
+        except SessionStateError as exc:
+            raise _HttpError(HTTPStatus.CONFLICT, str(exc)) from None
+        except (SchemaError, ValueError, KeyError) as exc:
+            raise _HttpError(HTTPStatus.BAD_REQUEST, str(exc)) from None
+        return HTTPStatus.ACCEPTED, delta.to_wire(), {}
 
     async def _respond(self, writer: asyncio.StreamWriter, status: HTTPStatus,
                        payload: dict, headers: dict) -> None:

@@ -53,6 +53,7 @@ from .jobs import (
     QueueFullError,
     ServiceClosedError,
 )
+from .sessions import SessionManager
 
 
 def execute_request(request: dict) -> dict:
@@ -109,13 +110,15 @@ class PlacementService:
             inject fakes here to exercise the lifecycle without placing.
     """
 
-    def __init__(self, config: ServiceConfig | None = None, runner=None) -> None:
+    def __init__(self, config: ServiceConfig | None = None, runner=None,
+                 session_engine_factory=None) -> None:
         self.config = config or ServiceConfig()
         if self.config.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.config.capacity < 1:
             raise ValueError("capacity must be >= 1")
         self._runner = runner or execute_request
+        self.sessions = SessionManager(engine_factory=session_engine_factory)
         self._store = JobStore()
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.capacity)
         self._cache = (
@@ -151,8 +154,13 @@ class PlacementService:
         return self
 
     async def drain(self) -> None:
-        """Stop intake and wait for every accepted job to finish."""
+        """Stop intake and wait for every accepted job to finish.
+
+        Open ECO sessions are closed (their retained state GC'd) —
+        incremental work cannot outlive the service that holds it.
+        """
         self._draining = True
+        self.sessions.close_all()
         await self._queue.join()
 
     async def stop(self) -> None:
@@ -255,6 +263,7 @@ class PlacementService:
             "capacity": self.config.capacity,
             "workers": self.config.workers,
             "jobs": self._store.counts(),
+            "sessions": self.sessions.counts(),
         }
 
     def metrics(self) -> dict:

@@ -90,8 +90,65 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["place", "OR1200", "--verify", "bogus"])
 
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["eco", "run", "OR1200", "--scale", "0.002", "--seed", "1",
+             "--deltas", "/tmp/edits.json", "--verify", "full",
+             "--cache-dir", "/tmp/c", "--trace", "/tmp/t.jsonl"],
+            ["eco", "open", "OR1200", "--scale", "0.002", "--verify", "full",
+             "--wait", "--wait-timeout", "60", "--port", "8181"],
+            ["eco", "sessions", "--port", "8181"],
+            ["eco", "show", "sess-1"],
+            ["eco", "delta", "sess-1", "--json",
+             '{"kind": "resize_cell", "cell": 7, "width": 12.0}', "--wait"],
+            ["eco", "close", "sess-1"],
+        ],
+        ids=lambda argv: argv[1],
+    )
+    def test_eco_subcommands_round_trip(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == "eco"
+        assert args.eco_command == argv[1]
+
+    def test_eco_run_defaults(self):
+        args = build_parser().parse_args(["eco", "run", "OR1200"])
+        assert args.scale == 0.004
+        assert args.seed == 0
+        assert args.deltas is None
+        assert args.verify == "cheap"
+        assert args.cache_dir is None
+
+    def test_eco_delta_payload_flags(self):
+        args = build_parser().parse_args(
+            ["eco", "delta", "sess-1", "--file", "/tmp/d.json"]
+        )
+        assert args.payload is None
+        assert args.payload_file == "/tmp/d.json"
+        assert args.wait is False
+
+    def test_eco_rejects_bad_input(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eco"])  # subcommand is required
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eco", "run", "NOT_A_DESIGN"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eco", "run", "OR1200", "--verify", "bogus"])
+
 
 class TestCommands:
+    def test_eco_delta_requires_exactly_one_payload(self, capsys):
+        assert run_cli("eco", "delta", "sess-1") == 1
+        err = capsys.readouterr().err
+        assert "exactly one of --json or --file" in err
+
+        assert run_cli(
+            "eco", "delta", "sess-1",
+            "--json", '{"kind": "resize_cell"}', "--file", "/tmp/d.json",
+        ) == 1
+        err = capsys.readouterr().err
+        assert "exactly one of --json or --file" in err
+
     def test_generate_and_route(self, tmp_path, capsys):
         assert run_cli("generate", "OR1200", "--scale", "0.002", "--out", str(tmp_path)) == 0
         out = capsys.readouterr().out

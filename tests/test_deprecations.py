@@ -1,0 +1,91 @@
+"""The PR-5 deprecation shims: warn exactly once per use, still delegate.
+
+Two shims are under contract here:
+
+* ``api.explore(rng=...)`` — the pre-rename seed keyword;
+* bare report attribute access on :class:`api.RouteResult`
+  (``result.hof`` instead of ``result.route_report.hof``).
+"""
+
+import warnings
+from types import SimpleNamespace
+
+import pytest
+
+from repro import api
+
+
+def deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestExploreRngShim:
+    @pytest.fixture
+    def capture_exploration(self, monkeypatch):
+        """Stub the actual exploration loop; record the seed it was
+        handed so the test proves delegation without a real run."""
+        calls = {}
+
+        def fake_exploration(objective, **kwargs):
+            calls.update(kwargs)
+            return SimpleNamespace(best=None)
+
+        import repro.core.exploration as exploration
+
+        monkeypatch.setattr(exploration, "strategy_exploration",
+                            fake_exploration)
+        return calls
+
+    def test_rng_warns_exactly_once_and_delegates(self, capture_exploration):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            api.explore("OR1200", scale=0.002, budget=3, rng=99)
+        emitted = deprecations(caught)
+        assert len(emitted) == 1
+        assert "rng" in str(emitted[0].message)
+        assert "seed" in str(emitted[0].message)
+        assert capture_exploration["rng"] == 99  # rng= still wins
+
+    def test_seed_keyword_is_silent(self, capture_exploration):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            api.explore("OR1200", scale=0.002, budget=3, seed=5)
+        assert deprecations(caught) == []
+        assert capture_exploration["rng"] == 5
+
+
+class TestRouteResultShim:
+    @pytest.fixture
+    def result(self, tiny_design):
+        report = SimpleNamespace(hof=1.25, vof=0.5,
+                                 summary=lambda: {"hof": 1.25})
+        return api.RouteResult(design=tiny_design, route_report=report,
+                               route_seconds=0.1)
+
+    def test_bare_access_warns_exactly_once_and_delegates(self, result):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            value = result.hof
+        emitted = deprecations(caught)
+        assert len(emitted) == 1
+        assert "route_report" in str(emitted[0].message)
+        assert value == 1.25
+
+    def test_each_access_is_one_warning(self, result):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert result.hof == 1.25
+            assert result.summary() == {"hof": 1.25}
+        assert len(deprecations(caught)) == 2
+
+    def test_new_spelling_is_silent(self, result):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert result.route_report.hof == 1.25
+            assert result.route_seconds == 0.1
+            assert result.design.num_cells > 0
+        assert deprecations(caught) == []
+
+    def test_missing_attribute_still_raises(self, result):
+        with pytest.raises(AttributeError):
+            result.not_a_metric

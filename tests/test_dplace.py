@@ -152,3 +152,50 @@ class TestDetailedPlacer:
         legalize_abacus(legal_design, widths=widths)
         DetailedPlacer(legal_design, widths=widths).run(passes=1)
         assert check_legal(legal_design).ok
+
+
+class TestNetBoxVectorization:
+    """The vectorized gather in ``_net_box`` must match the reference
+    per-pin loop on randomized overrides (issue satellite)."""
+
+    @staticmethod
+    def reference_net_box(design, net, overrides):
+        xs, ys = [], []
+        for p in design.pins_of_net(net):
+            cell = int(design.pin_cell[p])
+            cx, cy = overrides.get(cell, (design.x[cell], design.y[cell]))
+            xs.append(float(cx) + float(design.pin_dx[p]))
+            ys.append(float(cy) + float(design.pin_dy[p]))
+        return (min(xs), max(xs), min(ys), max(ys))
+
+    def test_randomized_equivalence_with_loop(self, legal_design, rng):
+        evaluator = IncrementalHpwl(legal_design)
+        movable = np.flatnonzero(legal_design.movable)
+        for _ in range(50):
+            net = int(rng.integers(legal_design.num_nets))
+            if len(legal_design.pins_of_net(net)) == 0:
+                continue
+            chosen = rng.choice(movable, size=int(rng.integers(0, 4)),
+                                replace=False)
+            overrides = {
+                int(c): (
+                    float(rng.uniform(0, legal_design.die.xhi)),
+                    float(rng.uniform(0, legal_design.die.yhi)),
+                )
+                for c in chosen
+            }
+            expected = self.reference_net_box(legal_design, net, overrides)
+            assert evaluator._net_box(net, overrides) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_override_of_foreign_cell_is_inert(self, legal_design):
+        evaluator = IncrementalHpwl(legal_design)
+        net = next(n for n in range(legal_design.num_nets)
+                   if len(legal_design.pins_of_net(net := n)) > 0)
+        on_net = {int(c) for c in legal_design.pin_cell[
+            legal_design.pins_of_net(net)]}
+        foreign = next(c for c in range(legal_design.num_cells)
+                       if c not in on_net)
+        clean = evaluator._net_box(net, {})
+        assert evaluator._net_box(net, {foreign: (0.0, 0.0)}) == clean

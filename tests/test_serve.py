@@ -499,3 +499,108 @@ class TestRealPlacement:
         assert summary["route"] is None
         assert summary["verify"] is None
         json.dumps(summary)
+
+
+class TestHttpDrainAndCancellation:
+    """Issue scenario: graceful drain and queued-job cancellation as a
+    client on the wire sees them (503s, 409s, terminal states)."""
+
+    @staticmethod
+    def serve_in_thread(runner, config=None):
+        """Like TestHttpEndpoints.serve_in_thread, but also exposes the
+        service and its loop so tests can drive drain() mid-flight."""
+        started = threading.Event()
+        box = {}
+
+        def thread_main():
+            async def amain():
+                service = PlacementService(
+                    config or ServiceConfig(workers=1, capacity=4),
+                    runner=runner,
+                )
+                await service.start()
+                server = HttpServer(service, port=0)
+                box["addr"] = await server.start()
+                box["service"] = service
+                box["stop"] = asyncio.Event()
+                started.set()
+                await box["stop"].wait()
+                await server.close()
+                await service.stop()
+
+            box["loop"] = asyncio.new_event_loop()
+            box["loop"].run_until_complete(amain())
+            box["loop"].close()
+
+        thread = threading.Thread(target=thread_main, daemon=True)
+        thread.start()
+        assert started.wait(10)
+
+        def shutdown():
+            box["loop"].call_soon_threadsafe(box["stop"].set)
+            thread.join(10)
+
+        return HttpServiceClient(*box["addr"]), box, shutdown
+
+    def test_drain_503_while_finishing_queued_work(self):
+        release = threading.Event()
+
+        def gated(request):
+            release.wait(10)
+            return {"design": request["design"], "hpwl": 1.0}
+
+        client, box, shutdown = self.serve_in_thread(gated)
+        try:
+            # One running, one still queued behind the single worker.
+            running = client.submit("OR1200")
+            queued = client.submit("OR1200", flow="replace")
+
+            drain = asyncio.run_coroutine_threadsafe(
+                box["service"].drain(), box["loop"]
+            )
+            # Drain refuses new submissions immediately with a 503 ...
+            with pytest.raises(ServiceClosedError):
+                client.submit("OR1200", flow="wirelength")
+            assert client.healthz()["status"] == "draining"
+            # ... while already-accepted work is still finished.
+            release.set()
+            drain.result(timeout=10)
+            assert client.status(running["id"])["state"] == "done"
+            assert client.status(queued["id"])["state"] == "done"
+            assert client.status(queued["id"])["result"]["hpwl"] == 1.0
+        finally:
+            release.set()
+            shutdown()
+
+    def test_cancel_queued_job_over_http(self):
+        release = threading.Event()
+
+        def gated(request):
+            release.wait(10)
+            return {}
+
+        client, box, shutdown = self.serve_in_thread(
+            gated, ServiceConfig(workers=1, capacity=4)
+        )
+        try:
+            running = client.submit("OR1200")
+            queued = client.submit("OR1200", flow="replace")
+            assert client.status(queued["id"])["state"] == "queued"
+
+            cancelled = client.cancel(queued["id"])
+            assert cancelled["state"] == "cancelled"
+            # Cancelling a terminal job is a 409 conflict, not a retry.
+            with pytest.raises(JobStateError):
+                client.cancel(queued["id"])
+
+            release.set()
+            done = client.wait(running["id"], timeout=10, poll=0.02)
+            assert done["state"] == "done"
+            # The cancelled job never ran: no result, state preserved.
+            assert client.status(queued["id"])["state"] == "cancelled"
+            assert client.status(queued["id"])["result"] is None
+            states = {j["id"]: j["state"] for j in client.jobs()}
+            assert states[queued["id"]] == "cancelled"
+        finally:
+            release.set()
+            shutdown()
