@@ -1,0 +1,175 @@
+"""Benchmark the serving tier: process shards vs single-process threads.
+
+Drives hundreds of concurrent submits through an in-process
+:class:`repro.serve.PlacementService` twice — once in the PR-5
+single-process thread mode, once on two process shards — with the same
+hog-mix workload: many short CPU-bound jobs plus a few multi-second
+"hog" jobs submitted under a short per-job timeout.
+
+The headline metric is ``shard_speedup`` (shard-mode jobs/sec over
+thread-mode jobs/sec).  It measures an honest capability difference,
+not scheduling luck: in thread mode a timed-out hog is only *marked*
+failed — its thread keeps burning the GIL/CPU until the hog finishes,
+throttling every short job behind it.  A process shard enforces the
+timeout by killing the worker, so the core actually comes back.  The
+acceptance floor (>= 2x, ``check_regression.py``) is enforced
+regardless of baseline availability; committed baselines additionally
+gate the short-job p50/p99 latency and jobs/sec.
+
+Writes ``benchmarks/out/BENCH_serve.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--jobs N] [--hogs N]
+        [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import threading
+import time
+
+from repro.serve import PlacementService, ServiceConfig
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: Seeds at or above this mark a hog job (the runner spins longer).
+HOG_SEED_BASE = 1_000_000
+
+SHORT_SPIN_SECONDS = 0.02
+HOG_SPIN_SECONDS = 12.0
+HOG_TIMEOUT_SECONDS = 0.15
+
+#: Ends abandoned thread-mode hog spins once a mode's measurement is
+#: done (a shard-mode hog never sees it — its process is killed, which
+#: is the point).  Without this the bench would idle out the leftover
+#: spins between modes.
+_STOP_SPINNING = threading.Event()
+
+
+def _spin(seconds: float) -> None:
+    """Busy-spin (CPU-bound, holds the GIL) for ``seconds``."""
+    end = time.perf_counter() + seconds
+    while time.perf_counter() < end and not _STOP_SPINNING.is_set():
+        pass
+
+
+def bench_runner(request):
+    """Picklable fake placement: short spin, or a hog spin for hog seeds."""
+    seed = request["config"]["seed"]
+    hog = seed >= HOG_SEED_BASE
+    _spin(HOG_SPIN_SECONDS if hog else SHORT_SPIN_SECONDS)
+    return {"seed": seed, "hog": hog}
+
+
+def build_requests(jobs: int, hogs: int) -> list:
+    """The submission mix: hogs spread evenly through the short jobs."""
+    requests = [
+        {"design": "OR1200", "config": {"seed": seed}}
+        for seed in range(1, jobs + 1)
+    ]
+    stride = max(1, jobs // max(hogs, 1))
+    for i in range(hogs):
+        requests.insert(
+            i * (stride + 1),
+            {
+                "design": "OR1200",
+                "config": {"seed": HOG_SEED_BASE + i},
+                "timeout": HOG_TIMEOUT_SECONDS,
+            },
+        )
+    return requests
+
+
+async def run_mode(mode: str, requests: list) -> dict:
+    if mode == "shards":
+        config = ServiceConfig(shards=2, capacity=len(requests) + 4)
+    else:
+        config = ServiceConfig(workers=2, capacity=len(requests) + 4)
+    service = PlacementService(config, runner=bench_runner)
+    _STOP_SPINNING.clear()  # before start(): shard workers fork a copy
+    await service.start()
+    start = time.perf_counter()
+    jobs = [service.submit(request) for request in requests]
+    await asyncio.gather(*(service.wait(job.id) for job in jobs))
+    wall = time.perf_counter() - start
+    _STOP_SPINNING.set()  # release abandoned thread-mode hog spins
+    await service.stop()
+
+    shorts = [job for job in jobs if job.request["config"]["seed"] < HOG_SEED_BASE]
+    hogs = [job for job in jobs if job not in shorts]
+    latencies = sorted(job.finished_at - job.submitted_at for job in shorts)
+    done = sum(job.state == "done" for job in shorts)
+    return {
+        "wall_seconds": wall,
+        "jobs_per_sec": done / wall,
+        "done": done,
+        "hogs_timed_out": sum(job.state == "failed" for job in hogs),
+        "p50_seconds": latencies[len(latencies) // 2],
+        "p99_seconds": latencies[min(len(latencies) - 1,
+                                     int(len(latencies) * 0.99))],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=200,
+                        help="short jobs per mode")
+    parser.add_argument("--hogs", type=int, default=6,
+                        help="hog jobs per mode (spin long, short timeout)")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: fewer short jobs",
+    )
+    parser.add_argument("--out", default=os.path.join(OUT_DIR, "BENCH_serve.json"))
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.jobs = min(args.jobs, 60)
+
+    requests = build_requests(args.jobs, args.hogs)
+    print(f"{args.jobs} short jobs + {args.hogs} hogs "
+          f"({HOG_SPIN_SECONDS:g}s spin, {HOG_TIMEOUT_SECONDS:g}s timeout) "
+          f"per mode")
+
+    results = {}
+    for mode in ("threads", "shards"):
+        results[mode] = asyncio.run(run_mode(mode, requests))
+        r = results[mode]
+        print(
+            f"  {mode:8s}: {r['wall_seconds']:.2f}s wall, "
+            f"{r['jobs_per_sec']:.1f} jobs/s, "
+            f"p50 {r['p50_seconds']:.3f}s, p99 {r['p99_seconds']:.3f}s, "
+            f"{r['hogs_timed_out']}/{args.hogs} hogs timed out"
+        )
+
+    speedup = results["shards"]["jobs_per_sec"] / results["threads"]["jobs_per_sec"]
+    print(f"process shards vs threads: {speedup:.2f}x jobs/sec")
+
+    report = {
+        "bench": "serve",
+        "jobs": args.jobs,
+        "hogs": args.hogs,
+        "quick": args.quick,
+        "thread_wall_seconds": round(results["threads"]["wall_seconds"], 3),
+        "shard_wall_seconds": round(results["shards"]["wall_seconds"], 3),
+        "thread_jobs_per_sec": round(results["threads"]["jobs_per_sec"], 2),
+        "shard_jobs_per_sec": round(results["shards"]["jobs_per_sec"], 2),
+        "shard_p50_seconds": round(results["shards"]["p50_seconds"], 4),
+        "shard_p99_seconds": round(results["shards"]["p99_seconds"], 4),
+        "shard_speedup": round(speedup, 2),
+        "hogs_timed_out": results["shards"]["hogs_timed_out"],
+    }
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ CONFIG_KEYS = {
     "BENCH_obs.json": ("design", "scale", "repeats"),
     "BENCH_kernels.json": ("quick", "config"),
     "BENCH_eco.json": ("design", "scale", "seed", "edits", "quick"),
+    "BENCH_serve.json": ("jobs", "hogs", "quick"),
 }
 
 #: absolute speedup floors (report file -> {metric: floor}), checked on
@@ -49,6 +50,10 @@ FLOORS = {
     # The issue's acceptance bar: a single-cell resize through the ECO
     # session must beat a cold place+route rerun by >= 10x.
     "BENCH_eco.json": {"resize_speedup": 10.0},
+    # The serving-tier acceptance bar: two process shards must at least
+    # double thread-mode jobs/sec on the hog-mix workload (timeouts
+    # that kill the worker reclaim the core; thread mode cannot).
+    "BENCH_serve.json": {"shard_speedup": 2.0},
 }
 
 SECONDS_GRACE = 0.05

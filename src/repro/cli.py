@@ -11,9 +11,13 @@ Commands:
 * ``report``    — summarize a :mod:`repro.obs` trace file.
 * ``verify``    — invariant checkers + cross-backend differential
   harness (:mod:`repro.verify`); ``--quick`` is the CI smoke mode.
-* ``serve``     — boot the async placement job server (:mod:`repro.serve`).
-* ``submit``    — post a placement job to a running server.
-* ``jobs``      — list, inspect, or cancel jobs on a running server.
+* ``serve``     — boot the async placement job server (:mod:`repro.serve`);
+  ``--shards N`` runs placements on worker process shards and
+  ``--client-weight`` tunes the fair queue.
+* ``submit``    — post a placement job to a running server;
+  ``--follow`` streams its progress events live.
+* ``jobs``      — list, inspect (``--events``), or cancel jobs on a
+  running server.
 * ``eco``       — incremental placement sessions (:mod:`repro.eco`):
   ``eco run`` converges locally and applies deltas from a JSON file;
   ``eco open`` / ``eco delta`` / ``eco show`` / ``eco sessions`` /
@@ -91,9 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8180,
                        help="bind port (0 picks a free one)")
     serve.add_argument("--workers", type=int, default=2,
-                       help="concurrent placement workers")
+                       help="concurrent in-process placement workers "
+                       "(ignored when --shards is set)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="worker *process* shards; a crashed or "
+                       "timed-out worker fails only its job")
     serve.add_argument("--capacity", type=int, default=8,
                        help="bounded queue size (backpressure beyond it)")
+    serve.add_argument(
+        "--client-weight", action="append", default=None,
+        metavar="CLIENT=W",
+        help="fair-queue weight for a client id (repeatable), "
+        "e.g. --client-weight batch=1 --client-weight interactive=3",
+    )
     serve.add_argument("--cache-dir", default=None,
                        help="artifact cache for result memoization")
     serve.add_argument("--timeout", type=float, default=None,
@@ -113,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also evaluate with the global router")
     submit.add_argument("--timeout", type=float, default=None,
                         help="per-job timeout in seconds")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority (larger = more important; "
+                        "may shed lower-priority queued work when full)")
+    submit.add_argument("--client-id", default=None,
+                        help="fair-queue bucket the job schedules from")
+    submit.add_argument("--follow", action="store_true",
+                        help="stream the job's progress events until it "
+                        "finishes, then print the result")
     submit.add_argument("--wait", action="store_true",
                         help="poll until the job finishes and print the result")
     submit.add_argument("--wait-timeout", type=float, default=None,
@@ -126,6 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="filter the listing by lifecycle state")
     jobs.add_argument("--cancel", metavar="JOB",
                       help="cancel the given job instead of listing")
+    jobs.add_argument("--events", metavar="JOB",
+                      help="print the given job's event stream so far")
     _add_server_args(jobs)
 
     eco = sub.add_parser("eco", help="incremental placement sessions (ECO)")
@@ -437,6 +461,20 @@ def cmd_serve(args) -> int:
     from . import obs
     from .serve import HttpServer, PlacementService, ServiceConfig
 
+    weights = {}
+    for spec in args.client_weight or []:
+        client, sep, weight = spec.partition("=")
+        if not sep or not client:
+            print(f"error: --client-weight wants CLIENT=W, got {spec!r}",
+                  file=sys.stderr)
+            return 1
+        try:
+            weights[client] = int(weight)
+        except ValueError:
+            print(f"error: --client-weight weight must be an int: {spec!r}",
+                  file=sys.stderr)
+            return 1
+
     async def _serve() -> None:
         service = PlacementService(
             ServiceConfig(
@@ -444,12 +482,17 @@ def cmd_serve(args) -> int:
                 capacity=args.capacity,
                 cache_dir=args.cache_dir,
                 default_timeout=args.timeout,
+                shards=args.shards,
+                client_weights=weights or None,
             )
         )
         await service.start()
         server = HttpServer(service, host=args.host, port=args.port)
         host, port = await server.start()
-        print(f"serving placements on http://{host}:{port}", flush=True)
+        mode = (f"{args.shards} process shards" if args.shards
+                else f"{args.workers} thread workers")
+        print(f"serving placements on http://{host}:{port} ({mode})",
+              flush=True)
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -474,6 +517,18 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _format_event(event) -> str:
+    """One ``repro submit --follow`` line per JobEvent."""
+    if event.kind == "state":
+        return f"[{event.seq}] state {event.state}"
+    progress = event.progress
+    metrics = " ".join(
+        f"{name}={value:.6g}" for name, value in sorted(progress.metrics.items())
+    )
+    line = f"[{event.seq}] progress {progress.stage} step={progress.step}"
+    return f"{line} {metrics}" if metrics else line
+
+
 def cmd_submit(args) -> int:
     from .serve import HttpServiceClient, QueueFullError
 
@@ -490,15 +545,22 @@ def cmd_submit(args) -> int:
             config=config,
             route=args.route,
             timeout=args.timeout,
+            priority=args.priority,
+            client_id=args.client_id,
         )
     except QueueFullError as exc:
         print(f"rejected: {exc}", file=sys.stderr)
         return 2
     print(f"{job['id']} {job['state']}")
-    if not args.wait:
+    if not (args.wait or args.follow):
         return 0
     if job["state"] not in ("done", "failed", "cancelled"):
-        job = client.wait(job["id"], timeout=args.wait_timeout)
+        if args.follow:
+            for event in client.follow(job["id"], timeout=args.wait_timeout):
+                print(_format_event(event), flush=True)
+            job = client.status(job["id"])
+        else:
+            job = client.wait(job["id"], timeout=args.wait_timeout)
     print(f"{job['id']} {job['state']}"
           + (" (cache hit)" if job["cache_hit"] else ""))
     if job["state"] == "done":
@@ -519,6 +581,17 @@ def cmd_jobs(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         print(f"{job['id']} {job['state']}")
+        return 0
+    if args.events:
+        try:
+            events = client.events(args.events)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for event in events:
+            print(_format_event(event))
+        if not events:
+            print("no events")
         return 0
     if args.job:
         try:

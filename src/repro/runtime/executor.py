@@ -29,11 +29,22 @@ Fault model:
 Timeouts are enforced only in pool mode — inline execution cannot
 preempt a running Python call, so ``jobs=1`` runs every task to
 completion (documented degradation, mirrored by the tests).
+
+Long-lived services (:mod:`repro.serve`) use two extra knobs:
+``persistent=True`` keeps one process pool alive across ``run()``
+calls instead of building and tearing one down per batch (call
+:meth:`TaskExecutor.close` when done), and ``force_pool=True`` sends
+work to the pool even at ``jobs=1`` — a single-process *shard* whose
+tasks can crash, hang, time out, or be :meth:`~TaskExecutor.abort`-ed
+without taking the parent down.  Aborting terminates the live workers,
+so whatever is in flight fails through the ordinary crash-quarantine
+path and the pool is rebuilt for the next task.
 """
 
 from __future__ import annotations
 
 import concurrent.futures as cf
+import os
 import pickle
 import time
 import traceback
@@ -54,6 +65,11 @@ from .progress import (
 
 #: Scheduler poll interval (seconds) while futures are in flight.
 _TICK = 0.05
+
+
+def _warmup() -> int:
+    """No-op task used by :meth:`TaskExecutor.warm` to spawn workers."""
+    return os.getpid()
 
 
 @dataclass
@@ -124,6 +140,11 @@ class TaskExecutor:
         telemetry: optional :class:`Telemetry` receiving run events.
         mp_context: ``multiprocessing`` context (``None`` = platform
             default; tests use it to force ``spawn``).
+        persistent: keep one process pool alive across ``run()`` calls
+            (the serving shards); call :meth:`close` to release it.
+        force_pool: use the process pool even at ``jobs=1`` instead of
+            degrading to inline execution — isolates every picklable
+            task in a worker process.
     """
 
     def __init__(
@@ -134,6 +155,8 @@ class TaskExecutor:
         timeout: float | None = None,
         telemetry: Telemetry | None = None,
         mp_context=None,
+        persistent: bool = False,
+        force_pool: bool = False,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -143,6 +166,9 @@ class TaskExecutor:
         self.timeout = timeout
         self.telemetry = telemetry or Telemetry()
         self.mp_context = mp_context
+        self.persistent = persistent
+        self.force_pool = force_pool
+        self._pool: cf.ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -165,7 +191,7 @@ class TaskExecutor:
         if len(set(keys)) != len(keys):
             raise ValueError("task keys must be unique")
         results: dict = {}
-        if self.jobs <= 1:
+        if self.jobs <= 1 and not self.force_pool:
             for task in tasks:
                 results[task.key] = self._run_inline(task, on_result)
             return [results[k] for k in keys]
@@ -260,6 +286,14 @@ class TaskExecutor:
             max_workers=self.jobs, mp_context=self.mp_context
         )
 
+    def _acquire_pool(self) -> cf.ProcessPoolExecutor:
+        """The pool for one ``run()``: fresh, or the retained one."""
+        if self.persistent:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool
+        return self._make_pool()
+
     def _kill_pool(self, pool: cf.ProcessPoolExecutor) -> None:
         """Tear a pool down hard, terminating any hung workers."""
         processes = getattr(pool, "_processes", None) or {}
@@ -270,6 +304,46 @@ class TaskExecutor:
                 pass
         pool.shutdown(wait=False, cancel_futures=True)
 
+    def warm(self) -> None:
+        """Spawn the persistent pool's worker processes eagerly.
+
+        Forking is safest before the caller grows helper threads, so
+        services call this once at startup from their main thread.  A
+        no-op unless the executor is persistent and pool-capable.
+        """
+        if not (self.persistent and (self.jobs > 1 or self.force_pool)):
+            return
+        pool = self._acquire_pool()
+        futures = [pool.submit(_warmup) for _ in range(self.jobs)]
+        for future in futures:
+            future.result()
+
+    def abort(self) -> None:
+        """Terminate the persistent pool's workers (best effort).
+
+        Whatever is in flight fails through the crash-quarantine path
+        of the scheduling loop — the observable outcome of the aborted
+        task is a ``WorkerCrashError`` once its retry budget is spent —
+        and the pool is rebuilt for the next task.  Callers use this to
+        actually stop a running task, which cooperative cancellation
+        cannot do.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except (OSError, ValueError, AttributeError):
+                pass
+
+    def close(self) -> None:
+        """Release the persistent pool (idempotent)."""
+        if self._pool is not None:
+            self._kill_pool(self._pool)
+            self._pool = None
+
     def _run_pool(self, tasks: list, results: dict, on_result) -> None:
         # Ready queue entries are (task, attempt, ready_at); the ready_at
         # stamp implements non-blocking retry backoff.
@@ -278,7 +352,7 @@ class TaskExecutor:
         # Keys quarantined after a multi-task pool break: probed one at a
         # time so a repeat break implicates exactly one task.
         suspects: set = set()
-        pool = self._make_pool()
+        pool = self._acquire_pool()
         try:
             while queue or inflight:
                 now = time.perf_counter()
@@ -293,7 +367,14 @@ class TaskExecutor:
                     start = time.perf_counter()
                     timeout = self.timeout if task.timeout is None else task.timeout
                     deadline = None if timeout is None else start + timeout
-                    future = pool.submit(task.fn, *task.args, **task.kwargs)
+                    try:
+                        future = pool.submit(task.fn, *task.args, **task.kwargs)
+                    except (BrokenProcessPool, RuntimeError):
+                        # A persistent pool aborted (or broken) between
+                        # batches: rebuild and resubmit without penalty.
+                        queue.append((task, attempt, 0.0))
+                        pool = self._restart_pool(pool, "broken at submit")
+                        break
                     inflight[future] = _Flight(task, attempt, start, deadline)
 
                 if not inflight:
@@ -376,12 +457,16 @@ class TaskExecutor:
                             queue.append((flight.task, flight.attempt, 0.0))
                     pool = self._restart_pool(pool, "hung worker")
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if not self.persistent:
+                pool.shutdown(wait=False, cancel_futures=True)
 
     def _restart_pool(self, pool, why: str) -> cf.ProcessPoolExecutor:
         self._kill_pool(pool)
         self._emit(POOL_RESTARTED, detail=why)
-        return self._make_pool()
+        fresh = self._make_pool()
+        if self.persistent:
+            self._pool = fresh
+        return fresh
 
     # ------------------------------------------------------------------
     # Attempt accounting

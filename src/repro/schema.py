@@ -105,8 +105,96 @@ def dataclass_from_dict(cls, data, nested: dict | None = None):
     return cls(**kwargs)
 
 
+#: Event kinds a job stream may carry.  ``state`` marks a lifecycle
+#: transition (queued/running/done/failed/cancelled); ``progress`` wraps
+#: a :class:`JobProgress` sample from inside the running placement.
+EVENT_KINDS = ("state", "progress")
+
+#: Progress stages, mapping 1:1 onto the ``repro.obs`` span names the
+#: placement flow already emits.
+PROGRESS_STAGES = {
+    "gp/iteration": "gp",
+    "puffer/padding_round": "padding",
+    "route/rrr_round": "route",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class JobProgress:
+    """One progress sample from inside a running placement.
+
+    ``stage`` names the loop that produced the sample (``gp``,
+    ``padding``, ``route``); ``step`` is that loop's counter (gp
+    iteration, padding round, RRR round); ``metrics`` carries whatever
+    scalars the span recorded (``hpwl``, ``overflow``, ...).
+    """
+
+    stage: str
+    step: int
+    metrics: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.stage not in PROGRESS_STAGES.values():
+            raise SchemaError(
+                f"unknown progress stage {self.stage!r}; "
+                f"expected one of {sorted(set(PROGRESS_STAGES.values()))}"
+            )
+        if not isinstance(self.step, int) or isinstance(self.step, bool) or self.step < 0:
+            raise SchemaError(f"progress step must be a non-negative int, got {self.step!r}")
+
+    def to_dict(self) -> dict:
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data) -> "JobProgress":
+        return dataclass_from_dict(cls, data)
+
+
+@dataclasses.dataclass(frozen=True)
+class JobEvent:
+    """One entry in a job's ordered event stream.
+
+    Events are totally ordered per job by ``seq`` (0-based, no gaps as
+    published; clients resume with ``?after=<last seen seq>``).  A
+    ``state`` event carries the new lifecycle state in ``state``; a
+    ``progress`` event carries a :class:`JobProgress` in ``progress``.
+    """
+
+    seq: int
+    kind: str
+    job_id: str
+    ts: float
+    state: str | None = None
+    progress: JobProgress | None = None
+
+    def __post_init__(self):
+        if self.kind not in EVENT_KINDS:
+            raise SchemaError(
+                f"unknown event kind {self.kind!r}; expected one of {list(EVENT_KINDS)}"
+            )
+        if not isinstance(self.seq, int) or isinstance(self.seq, bool) or self.seq < 0:
+            raise SchemaError(f"event seq must be a non-negative int, got {self.seq!r}")
+        if self.kind == "state" and not self.state:
+            raise SchemaError("state events must carry a state")
+        if self.kind == "progress" and self.progress is None:
+            raise SchemaError("progress events must carry a progress payload")
+
+    def to_dict(self) -> dict:
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data) -> "JobEvent":
+        return dataclass_from_dict(
+            cls, data, nested={"progress": JobProgress.from_dict}
+        )
+
+
 __all__ = [
+    "EVENT_KINDS",
+    "PROGRESS_STAGES",
     "SCHEMA_VERSION",
+    "JobEvent",
+    "JobProgress",
     "SchemaError",
     "dataclass_from_dict",
     "dataclass_to_dict",

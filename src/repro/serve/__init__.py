@@ -4,35 +4,51 @@ After PRs 1–4 every placement still required importing the package
 in-process; this package is the step from library to system.  A
 :class:`PlacementService` accepts serialized, versioned
 :class:`repro.api.RunConfig` payloads (see :mod:`repro.schema`), runs
-them through a bounded queue and worker pool on the
-:mod:`repro.runtime` executor, memoizes results in the artifact cache,
-and exposes the whole thing over JSON-HTTP (:class:`HttpServer`) or
-in-process (:class:`ServiceClient`):
+them through a bounded fair queue onto **process shards** (persistent
+single-worker :class:`repro.runtime.TaskExecutor` pools — a crashed or
+timed-out worker fails only its job, the shard recycles and the service
+stays up), dedupes identical in-flight configs, memoizes results in the
+artifact cache, and exposes the whole thing over versioned JSON-HTTP
+(:class:`HttpServer`, all routes under ``/v1``) or in-process
+(:class:`ServiceClient`):
 
-    service = PlacementService(ServiceConfig(workers=2, capacity=8))
+    service = PlacementService(ServiceConfig(shards=2, capacity=8))
     await service.start()
     client = ServiceClient(service)
     summary = await client.run("OR1200", config=RunConfig(scale=0.002))
 
-From the shell: ``repro serve`` boots the HTTP server, ``repro submit``
-posts a job and optionally waits, ``repro jobs`` inspects or cancels.
-Backpressure is explicit — a full queue rejects with a retry-after hint
-(HTTP 429) rather than buffering without bound — and shutdown drains:
-accepted jobs finish, new submissions are refused.
+Both clients implement the :class:`BaseClient` protocol — including the
+live event stream: every job publishes :class:`repro.schema.JobEvent`
+records (lifecycle states plus gp-iteration / padding-round / RRR-round
+progress out of the worker process) consumed via ``follow(job_id)`` or
+``GET /v1/jobs/<id>/events`` long-polls.
+
+From the shell: ``repro serve --shards N`` boots the HTTP server,
+``repro submit --follow`` posts a job and streams its progress,
+``repro jobs`` inspects or cancels.  Backpressure is explicit — a full
+queue sheds strictly-lower-priority queued work for a higher-priority
+submission, otherwise rejects with a retry-after hint (HTTP 429) —
+scheduling is weighted round-robin across ``client_id`` buckets, and
+shutdown drains: accepted jobs finish, new submissions are refused.
+The pre-``/v1`` unversioned routes still answer through deprecation
+shims (``Deprecation: true`` + a successor-version ``Link``).
 
 The service also hosts **stateful ECO sessions** (:mod:`repro.eco`):
-``POST /sessions`` converges a design once, ``POST
-/sessions/<id>/deltas`` applies incremental edits against the retained
-state, and draining closes (GCs) every open session.
+``POST /v1/sessions`` converges a design once, ``POST
+/v1/sessions/<id>/deltas`` applies incremental edits against the
+retained state, and draining closes (GCs) every open session.
 """
 
+from ..schema import JobEvent, JobProgress
 from .client import (
+    BaseClient,
     HttpServiceClient,
     JobFailedError,
     ServiceClient,
     make_request,
     make_session_request,
 )
+from .events import EventLog, ProgressWriter, read_new_progress
 from .http import HttpServer
 from .jobs import (
     CANCELLED,
@@ -50,6 +66,7 @@ from .jobs import (
     ServiceClosedError,
     UnknownJobError,
 )
+from .queueing import FairQueue
 from .service import PlacementService, ServiceConfig, execute_request
 from .sessions import (
     SESSION_STATES,
@@ -60,19 +77,27 @@ from .sessions import (
     UnknownDeltaError,
     UnknownSessionError,
 )
+from .shards import ProcessShard
 
 __all__ = [
+    "BaseClient",
     "CANCELLED",
     "DONE",
+    "EventLog",
     "FAILED",
+    "FairQueue",
     "HttpServer",
     "HttpServiceClient",
     "Job",
+    "JobEvent",
     "JobFailedError",
+    "JobProgress",
     "JobStateError",
     "JobStore",
     "DeltaJob",
     "PlacementService",
+    "ProcessShard",
+    "ProgressWriter",
     "QUEUED",
     "QueueFullError",
     "RUNNING",
@@ -92,4 +117,5 @@ __all__ = [
     "execute_request",
     "make_request",
     "make_session_request",
+    "read_new_progress",
 ]

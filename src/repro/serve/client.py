@@ -1,24 +1,39 @@
 """Clients of the placement service.
 
+Both clients implement one protocol, :class:`BaseClient` — same method
+names, same typed errors, same request surface — so tests, the CLI, and
+the exploration loop are written once against the protocol and work
+in-process or over the wire:
+
 * :class:`ServiceClient` — in-process, async: wraps a running
   :class:`~repro.serve.service.PlacementService` directly (no sockets).
   This is what tests and the strategy-exploration loop use — the
   service becomes a callable evaluation backend.
-* :class:`HttpServiceClient` — synchronous, over :mod:`http.client`:
-  what ``repro submit`` / ``repro jobs`` use to talk to a ``repro
-  serve`` process.  Raises the same typed errors as the service
-  (:class:`QueueFullError` on 429 with the server's retry-after, …) so
-  callers handle backpressure identically in and out of process.
+* :class:`HttpServiceClient` — synchronous, over :mod:`http.client`
+  against the ``/v1`` HTTP API: what ``repro submit`` / ``repro jobs``
+  use to talk to a ``repro serve`` process.  Raises the same typed
+  errors as the service (:class:`QueueFullError` on 429 with the
+  server's retry-after, …) so callers handle backpressure identically
+  in and out of process.
+
+Beyond submit/poll, both speak the event stream: ``events`` reads a
+job's ordered :class:`repro.schema.JobEvent` slice, ``follow`` iterates
+events live until the job's terminal state event (the HTTP client
+long-polls ``GET /v1/jobs/<id>/events``), and ``run(progress=...)``
+invokes a callback per event while waiting.
 """
 
 from __future__ import annotations
 
+import abc
 import http.client
 import json
 import time
 
+from ..schema import JobEvent
 from .jobs import (
     DONE,
+    TERMINAL,
     JobStateError,
     QueueFullError,
     ServeError,
@@ -44,11 +59,14 @@ class JobFailedError(ServeError):
 
 
 def make_request(design: str, *, flow: str = "puffer", config=None,
-                 route: bool = False, timeout: float | None = None) -> dict:
+                 route: bool = False, timeout: float | None = None,
+                 priority: int = 0, client_id: str | None = None) -> dict:
     """Build the JSON-safe wire request both clients POST.
 
     ``config`` may be a :class:`repro.api.RunConfig` (serialized via
     ``to_dict``), an already-serialized wire dict, or ``None``.
+    ``priority`` and ``client_id`` are scheduling hints (fair-queue
+    bucket and shed order) and never affect the memoization key.
     """
     if config is not None and hasattr(config, "to_dict"):
         config = config.to_dict()
@@ -59,14 +77,18 @@ def make_request(design: str, *, flow: str = "puffer", config=None,
         request["route"] = True
     if timeout is not None:
         request["timeout"] = timeout
+    if priority:
+        request["priority"] = int(priority)
+    if client_id is not None:
+        request["client_id"] = client_id
     return request
 
 
 def make_session_request(design: str, *, config=None, eco=None,
                          verify: str | None = None) -> dict:
     """Build the JSON-safe wire request both clients POST to
-    ``/sessions``.  ``config``/``eco`` may be dataclasses (serialized
-    via ``to_dict``) or already-serialized wire dicts."""
+    ``/v1/sessions``.  ``config``/``eco`` may be dataclasses
+    (serialized via ``to_dict``) or already-serialized wire dicts."""
     if config is not None and hasattr(config, "to_dict"):
         config = config.to_dict()
     if eco is not None and hasattr(eco, "to_dict"):
@@ -81,7 +103,64 @@ def make_session_request(design: str, *, config=None, eco=None,
     return request
 
 
-class ServiceClient:
+def _is_stream_end(event: JobEvent) -> bool:
+    return event.kind == "state" and event.state in TERMINAL
+
+
+class BaseClient(abc.ABC):
+    """The client protocol both transports implement.
+
+    Method semantics (argument names included) are part of the
+    contract; in-process implementations may be ``async`` where the
+    HTTP client blocks, but names, payload shapes
+    (:class:`~repro.serve.jobs.Job` wire dicts,
+    :class:`repro.schema.JobEvent`), and raised error types match.
+    """
+
+    @abc.abstractmethod
+    def submit(self, design: str, *, flow: str = "puffer", config=None,
+               route: bool = False, timeout: float | None = None,
+               priority: int = 0, client_id: str | None = None):
+        """Submit one placement; returns the created job."""
+
+    @abc.abstractmethod
+    def status(self, job_id: str):
+        """The job's current status."""
+
+    @abc.abstractmethod
+    def cancel(self, job_id: str):
+        """Cancel a queued or running job."""
+
+    @abc.abstractmethod
+    def wait(self, job_id: str, timeout: float | None = None):
+        """Block/await until the job is terminal; returns it."""
+
+    @abc.abstractmethod
+    def run(self, design: str, *, wait_timeout: float | None = None,
+            progress=None, **kwargs):
+        """Submit + wait + return the result summary (or raise
+        :class:`JobFailedError`); ``progress`` is called with every
+        :class:`~repro.schema.JobEvent` observed while waiting."""
+
+    @abc.abstractmethod
+    def events(self, job_id: str, after: int = -1):
+        """The job's ordered events with ``seq > after``."""
+
+    @abc.abstractmethod
+    def follow(self, job_id: str, *, after: int = -1,
+               timeout: float | None = None):
+        """Iterate events live, ending after the terminal state event."""
+
+    @abc.abstractmethod
+    def healthz(self) -> dict:
+        """Liveness payload."""
+
+    @abc.abstractmethod
+    def metrics(self) -> dict:
+        """Counters + instruments payload."""
+
+
+class ServiceClient(BaseClient):
     """In-process async client over a started :class:`PlacementService`."""
 
     def __init__(self, service) -> None:
@@ -96,14 +175,23 @@ class ServiceClient:
         return await self.service.wait(job_id, timeout=timeout)
 
     async def run(self, design: str, *, wait_timeout: float | None = None,
-                  **kwargs) -> dict:
+                  progress=None, **kwargs) -> dict:
         """Submit, await completion, and return the result summary.
+
+        Args:
+            progress: optional callable invoked with every
+                :class:`repro.schema.JobEvent` as it arrives.
 
         Raises:
             JobFailedError: the job failed or was cancelled.
         """
         job = await self.submit(design, **kwargs)
-        job = await self.wait(job.id, timeout=wait_timeout)
+        if progress is not None:
+            async for event in self.follow(job.id, timeout=wait_timeout):
+                progress(event)
+            job = self.status(job.id)
+        else:
+            job = await self.wait(job.id, timeout=wait_timeout)
         if job.state != DONE:
             raise JobFailedError(job)
         return job.result
@@ -113,6 +201,29 @@ class ServiceClient:
 
     def cancel(self, job_id: str):
         return self.service.cancel(job_id)
+
+    def events(self, job_id: str, after: int = -1) -> list:
+        return self.service.events(job_id, after=after)
+
+    async def follow(self, job_id: str, *, after: int = -1,
+                     timeout: float | None = None):
+        """Async-iterate the job's events until its terminal event."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            poll = 10.0
+            if deadline is not None:
+                poll = min(poll, deadline - time.monotonic())
+                if poll <= 0:
+                    raise TimeoutError(f"job {job_id} event stream still open")
+            batch, _done = await self.service.wait_events(
+                job_id, after=after, timeout=poll
+            )
+            for event in batch:
+                yield event
+                if _is_stream_end(event):
+                    return
+            if batch:
+                after = batch[-1].seq
 
     def healthz(self) -> dict:
         return self.service.healthz()
@@ -158,12 +269,13 @@ class ServiceClient:
         return self.service.sessions.close(session_id)
 
 
-class HttpServiceClient:
-    """Synchronous JSON client for a ``repro serve`` endpoint.
+class HttpServiceClient(BaseClient):
+    """Synchronous JSON client for a ``repro serve`` endpoint (``/v1``).
 
     Args:
         host, port: the server address.
-        timeout: socket timeout per request, seconds.
+        timeout: socket timeout per request, seconds.  Long-poll
+            requests extend it by the requested server-side wait.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8180,
@@ -174,9 +286,12 @@ class HttpServiceClient:
 
     # -- transport -----------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 timeout: float | None = None) -> dict:
         body = None if payload is None else json.dumps(payload)
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
         try:
             conn.request(
                 method, path, body=body,
@@ -213,23 +328,55 @@ class HttpServiceClient:
     def submit(self, design: str, **kwargs) -> dict:
         """POST the job; returns its wire dict (``state`` = ``queued``
         or already ``done`` on a cache hit)."""
-        return self._request("POST", "/jobs", make_request(design, **kwargs))
+        return self._request("POST", "/v1/jobs", make_request(design, **kwargs))
 
     def status(self, job_id: str) -> dict:
-        return self._request("GET", f"/jobs/{job_id}")
+        return self._request("GET", f"/v1/jobs/{job_id}")
 
     def jobs(self, state: str | None = None) -> list:
-        path = "/jobs" if state is None else f"/jobs?state={state}"
+        path = "/v1/jobs" if state is None else f"/v1/jobs?state={state}"
         return self._request("GET", path)["jobs"]
 
     def cancel(self, job_id: str) -> dict:
-        return self._request("DELETE", f"/jobs/{job_id}")
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
 
     def healthz(self) -> dict:
-        return self._request("GET", "/healthz")
+        return self._request("GET", "/v1/healthz")
 
     def metrics(self) -> dict:
-        return self._request("GET", "/metrics")
+        return self._request("GET", "/v1/metrics")
+
+    def events(self, job_id: str, after: int = -1,
+               wait: float | None = None) -> list:
+        """GET the job's events past ``after`` as typed
+        :class:`~repro.schema.JobEvent`; ``wait`` long-polls up to that
+        many seconds for the first new event."""
+        path = f"/v1/jobs/{job_id}/events?after={after}"
+        timeout = None
+        if wait:
+            path += f"&wait={wait:g}"
+            timeout = self.timeout + wait
+        payload = self._request("GET", path, timeout=timeout)
+        return [JobEvent.from_dict(event) for event in payload["events"]]
+
+    def follow(self, job_id: str, *, after: int = -1,
+               timeout: float | None = None, wait: float = 10.0):
+        """Yield the job's events live (long-polling) until its
+        terminal state event; raises ``TimeoutError`` past ``timeout``."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            poll = wait
+            if deadline is not None:
+                poll = min(poll, deadline - time.monotonic())
+                if poll <= 0:
+                    raise TimeoutError(f"job {job_id} event stream still open")
+            batch = self.events(job_id, after=after, wait=max(poll, 0.05))
+            for event in batch:
+                yield event
+                if _is_stream_end(event):
+                    return
+            if batch:
+                after = batch[-1].seq
 
     def wait(self, job_id: str, timeout: float | None = None,
              poll: float = 0.25) -> dict:
@@ -244,11 +391,20 @@ class HttpServiceClient:
             time.sleep(poll)
 
     def run(self, design: str, *, wait_timeout: float | None = None,
-            poll: float = 0.25, **kwargs) -> dict:
-        """Submit, poll to completion, and return the result summary."""
+            poll: float = 0.25, progress=None, **kwargs) -> dict:
+        """Submit, wait to completion, and return the result summary.
+
+        With ``progress`` the wait rides the event stream (one callback
+        per :class:`~repro.schema.JobEvent`) instead of status polling.
+        """
         job = self.submit(design, **kwargs)
         if job["state"] != DONE:
-            job = self.wait(job["id"], timeout=wait_timeout, poll=poll)
+            if progress is not None:
+                for event in self.follow(job["id"], timeout=wait_timeout):
+                    progress(event)
+                job = self.status(job["id"])
+            else:
+                job = self.wait(job["id"], timeout=wait_timeout, poll=poll)
         if job["state"] != DONE:
             raise JobFailedError(job)
         return job["result"]
@@ -259,18 +415,18 @@ class HttpServiceClient:
                        verify: str | None = None) -> dict:
         """POST the session; returns its wire dict (``initializing``)."""
         return self._request(
-            "POST", "/sessions",
+            "POST", "/v1/sessions",
             make_session_request(design, config=config, eco=eco, verify=verify),
         )
 
     def session(self, session_id: str) -> dict:
-        return self._request("GET", f"/sessions/{session_id}")
+        return self._request("GET", f"/v1/sessions/{session_id}")
 
     def sessions(self) -> list:
-        return self._request("GET", "/sessions")["sessions"]
+        return self._request("GET", "/v1/sessions")["sessions"]
 
     def close_session(self, session_id: str) -> dict:
-        return self._request("DELETE", f"/sessions/{session_id}")
+        return self._request("DELETE", f"/v1/sessions/{session_id}")
 
     def wait_session(self, session_id: str, timeout: float | None = None,
                      poll: float = 0.25) -> dict:
@@ -288,10 +444,10 @@ class HttpServiceClient:
         """POST one delta (typed or wire dict); returns its wire dict."""
         if hasattr(delta, "to_dict"):
             delta = delta.to_dict()
-        return self._request("POST", f"/sessions/{session_id}/deltas", delta)
+        return self._request("POST", f"/v1/sessions/{session_id}/deltas", delta)
 
     def delta(self, session_id: str, delta_id: str) -> dict:
-        return self._request("GET", f"/sessions/{session_id}/deltas/{delta_id}")
+        return self._request("GET", f"/v1/sessions/{session_id}/deltas/{delta_id}")
 
     def apply_delta(self, session_id: str, delta,
                     wait_timeout: float | None = None,

@@ -2,31 +2,44 @@
 
 A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` —
 no framework, no threads — translating requests into
-:class:`~repro.serve.service.PlacementService` calls:
+:class:`~repro.serve.service.PlacementService` calls.  Every route
+lives under the versioned ``/v1`` prefix and is declared once in
+:data:`ROUTES`, the single route table:
 
-====== ==================== ==========================================
-Method Path                 Action
-====== ==================== ==========================================
-GET    ``/healthz``         liveness + queue/job counts
-GET    ``/metrics``         service counters and obs instruments
-POST   ``/jobs``            submit a placement job (``202 Accepted``)
-GET    ``/jobs``            list jobs (``?state=`` filters)
-GET    ``/jobs/<id>``       one job's status/result
-DELETE ``/jobs/<id>``       cancel a job
-POST   ``/sessions``        open an ECO session (``202 Accepted``)
-GET    ``/sessions``        list sessions
-GET    ``/sessions/<id>``   one session's status + delta history
-DELETE ``/sessions/<id>``   close a session (GC its retained state)
-POST   ``/sessions/<id>/deltas``        submit an incremental delta
-GET    ``/sessions/<id>/deltas``        list the session's deltas
-GET    ``/sessions/<id>/deltas/<did>``  one delta's status/result
-====== ==================== ==========================================
+====== ============================== ================================
+Method Path                           Action
+====== ============================== ================================
+GET    ``/v1/healthz``                liveness + queue/job counts
+GET    ``/v1/metrics``                service counters and obs instruments
+POST   ``/v1/jobs``                   submit a placement job (``202``)
+GET    ``/v1/jobs``                   list jobs (``?state=`` filters)
+GET    ``/v1/jobs/<id>``              one job's status/result
+DELETE ``/v1/jobs/<id>``              cancel a job
+GET    ``/v1/jobs/<id>/events``       the job's event stream
+                                      (``?after=<seq>&wait=<s>`` long-polls)
+POST   ``/v1/sessions``               open an ECO session (``202``)
+GET    ``/v1/sessions``               list sessions
+GET    ``/v1/sessions/<id>``          one session's status + delta history
+DELETE ``/v1/sessions/<id>``          close a session (GC retained state)
+POST   ``/v1/sessions/<id>/deltas``   submit an incremental delta
+GET    ``/v1/sessions/<id>/deltas``   list the session's deltas
+GET    ``/v1/sessions/<id>/deltas/<did>`` one delta's status/result
+====== ============================== ================================
 
-Error mapping: validation problems are ``400``, unknown ids ``404``,
-illegal lifecycle moves ``409``, a full queue ``429`` with a
-``Retry-After`` header, drain ``503``.  Every response is JSON and every
-connection is single-shot (``Connection: close``) — clients here are
-submission scripts and pollers, not browsers holding keep-alives.
+The pre-``/v1`` unversioned paths keep answering through a shim: the
+path is re-matched with ``/v1`` prepended and the response carries
+``Deprecation: true`` plus a ``Link: </v1/...>; rel="successor-version"``
+header pointing at the replacement (pinned by
+``tests/test_deprecations.py``).
+
+Error mapping (one table for every route): validation problems are
+``400``, unknown ids ``404``, illegal lifecycle moves ``409``, a full
+queue ``429`` with a ``Retry-After`` header, drain ``503``.  Every
+response is JSON and every connection is single-shot
+(``Connection: close``) — clients here are submission scripts and
+event followers, not browsers holding keep-alives; the events
+long-poll holds the request open server-side instead of keeping the
+socket across requests.
 """
 
 from __future__ import annotations
@@ -52,6 +65,28 @@ from .sessions import (
 MAX_HEADER_BYTES = 16 * 1024
 MAX_BODY_BYTES = 1024 * 1024
 
+#: Longest server-side hold of an events long-poll, seconds.
+MAX_EVENT_WAIT = 60.0
+
+#: The route table: every (method, path pattern, handler) of the API.
+#: ``{name}`` segments capture path parameters passed to the handler.
+ROUTES = (
+    ("GET", "/v1/healthz", "healthz"),
+    ("GET", "/v1/metrics", "metrics"),
+    ("POST", "/v1/jobs", "submit_job"),
+    ("GET", "/v1/jobs", "list_jobs"),
+    ("GET", "/v1/jobs/{job_id}", "job_status"),
+    ("DELETE", "/v1/jobs/{job_id}", "cancel_job"),
+    ("GET", "/v1/jobs/{job_id}/events", "job_events"),
+    ("POST", "/v1/sessions", "create_session"),
+    ("GET", "/v1/sessions", "list_sessions"),
+    ("GET", "/v1/sessions/{session_id}", "session_status"),
+    ("DELETE", "/v1/sessions/{session_id}", "close_session"),
+    ("POST", "/v1/sessions/{session_id}/deltas", "submit_delta"),
+    ("GET", "/v1/sessions/{session_id}/deltas", "list_deltas"),
+    ("GET", "/v1/sessions/{session_id}/deltas/{delta_id}", "delta_status"),
+)
+
 
 class _HttpError(Exception):
     """Internal: abort the request with ``status`` and a JSON error."""
@@ -61,6 +96,41 @@ class _HttpError(Exception):
         self.message = message
         self.headers = headers or {}
         super().__init__(message)
+
+
+def _segments(path: str) -> list:
+    return [part for part in path.split("/") if part]
+
+
+def _match_route(method: str, path: str):
+    """``(handler name, path params)`` for ``method path``, or raise.
+
+    A path that matches a pattern under a different method is a 405; a
+    path matching nothing returns ``(None, None)`` so the caller can
+    try the deprecation shim before settling on 404.
+    """
+    parts = _segments(path)
+    allowed = set()
+    for route_method, pattern, handler in ROUTES:
+        pattern_parts = _segments(pattern)
+        if len(pattern_parts) != len(parts):
+            continue
+        params = {}
+        for want, got in zip(pattern_parts, parts):
+            if want.startswith("{") and want.endswith("}"):
+                params[want[1:-1]] = got
+            elif want != got:
+                break
+        else:
+            if route_method == method:
+                return handler, params
+            allowed.add(route_method)
+    if allowed:
+        raise _HttpError(
+            HTTPStatus.METHOD_NOT_ALLOWED,
+            f"{method} {path} (allowed: {', '.join(sorted(allowed))})",
+        )
+    return None, None
 
 
 class HttpServer:
@@ -107,7 +177,7 @@ class HttpServer:
         try:
             try:
                 method, path, body = await self._read_request(reader)
-                status, payload, headers = self._dispatch(method, path, body)
+                status, payload, headers = await self._dispatch(method, path, body)
             except _HttpError as err:
                 status, payload, headers = err.status, {"error": err.message}, err.headers
             await self._respond(writer, status, payload, headers)
@@ -146,67 +216,131 @@ class HttpServer:
         body = await reader.readexactly(length) if length else b""
         return method.upper(), path, body
 
-    def _dispatch(self, method: str, path: str, body: bytes) -> tuple:
-        path, _sep, query = path.partition("?")
-        if path == "/healthz" and method == "GET":
-            return HTTPStatus.OK, self.service.healthz(), {}
-        if path == "/metrics" and method == "GET":
-            return HTTPStatus.OK, self.service.metrics(), {}
-        if path == "/jobs":
-            if method == "POST":
-                return self._submit(body)
-            if method == "GET":
-                state = _query_param(query, "state")
-                jobs = [job.to_wire() for job in self.service.jobs(state)]
-                return HTTPStatus.OK, {"jobs": jobs}, {}
-            raise _HttpError(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} /jobs")
-        if path.startswith("/jobs/"):
-            job_id = path[len("/jobs/"):]
-            return self._job_op(method, job_id)
-        if path == "/sessions":
-            if method == "POST":
-                return self._create_session(body)
-            if method == "GET":
-                sessions = [s.to_wire() for s in self.service.sessions.sessions()]
-                return HTTPStatus.OK, {"sessions": sessions}, {}
-            raise _HttpError(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} /sessions")
-        if path.startswith("/sessions/"):
-            return self._session_op(method, path[len("/sessions/"):], body)
-        raise _HttpError(HTTPStatus.NOT_FOUND, f"no route for {path}")
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
 
-    def _submit(self, body: bytes) -> tuple:
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple:
+        path, _sep, query = path.partition("?")
+        shim_headers = {}
+        handler_name, params = _match_route(method, path)
+        if handler_name is None and not path.startswith("/v1/"):
+            handler_name, params = _match_route(method, "/v1" + path)
+            if handler_name is not None:
+                shim_headers = {
+                    "Deprecation": "true",
+                    "Link": f'</v1{path}>; rel="successor-version"',
+                }
+        if handler_name is None:
+            raise _HttpError(HTTPStatus.NOT_FOUND, f"no route for {path}")
+        handler = getattr(self, "_handle_" + handler_name)
         try:
-            request = json.loads(body.decode("utf-8") or "{}")
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise _HttpError(HTTPStatus.BAD_REQUEST, f"bad JSON body: {exc}") from None
-        try:
-            job = self.service.submit(request)
+            status, payload, headers = await handler(params, query, body)
+        except _HttpError as err:
+            err.headers = {**shim_headers, **err.headers}
+            raise
         except QueueFullError as exc:
             raise _HttpError(
                 HTTPStatus.TOO_MANY_REQUESTS, str(exc),
-                headers={"Retry-After": f"{exc.retry_after:g}"},
+                headers={**shim_headers, "Retry-After": f"{exc.retry_after:g}"},
             ) from None
         except ServiceClosedError as exc:
-            raise _HttpError(HTTPStatus.SERVICE_UNAVAILABLE, str(exc)) from None
+            raise _HttpError(HTTPStatus.SERVICE_UNAVAILABLE, str(exc),
+                             headers=dict(shim_headers)) from None
+        except (UnknownJobError, UnknownSessionError, UnknownDeltaError) as exc:
+            raise _HttpError(HTTPStatus.NOT_FOUND, str(exc),
+                             headers=dict(shim_headers)) from None
+        except (JobStateError, SessionStateError) as exc:
+            raise _HttpError(HTTPStatus.CONFLICT, str(exc),
+                             headers=dict(shim_headers)) from None
         except (SchemaError, ValueError, KeyError) as exc:
             # SchemaError/UnknownFlowError are ValueErrors; KeyError is
             # StrategyParams' unknown-parameter rejection.
-            raise _HttpError(HTTPStatus.BAD_REQUEST, str(exc)) from None
+            raise _HttpError(HTTPStatus.BAD_REQUEST, str(exc),
+                             headers=dict(shim_headers)) from None
+        return status, payload, {**shim_headers, **headers}
+
+    # ------------------------------------------------------------------
+    # Handlers (one per ROUTES entry)
+    # ------------------------------------------------------------------
+
+    async def _handle_healthz(self, params, query, body) -> tuple:
+        return HTTPStatus.OK, self.service.healthz(), {}
+
+    async def _handle_metrics(self, params, query, body) -> tuple:
+        return HTTPStatus.OK, self.service.metrics(), {}
+
+    async def _handle_submit_job(self, params, query, body) -> tuple:
+        job = self.service.submit(self._parse_body(body))
         return HTTPStatus.ACCEPTED, job.to_wire(), {}
 
-    def _job_op(self, method: str, job_id: str) -> tuple:
-        try:
-            if method == "GET":
-                return HTTPStatus.OK, self.service.status(job_id).to_wire(), {}
-            if method == "DELETE":
-                return HTTPStatus.OK, self.service.cancel(job_id).to_wire(), {}
-        except UnknownJobError as exc:
-            raise _HttpError(HTTPStatus.NOT_FOUND, str(exc)) from None
-        except JobStateError as exc:
-            raise _HttpError(HTTPStatus.CONFLICT, str(exc)) from None
-        raise _HttpError(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} /jobs/<id>")
+    async def _handle_list_jobs(self, params, query, body) -> tuple:
+        state = _query_param(query, "state")
+        jobs = [job.to_wire() for job in self.service.jobs(state)]
+        return HTTPStatus.OK, {"jobs": jobs}, {}
 
-    # -- sessions ------------------------------------------------------
+    async def _handle_job_status(self, params, query, body) -> tuple:
+        return HTTPStatus.OK, self.service.status(params["job_id"]).to_wire(), {}
+
+    async def _handle_cancel_job(self, params, query, body) -> tuple:
+        return HTTPStatus.OK, self.service.cancel(params["job_id"]).to_wire(), {}
+
+    async def _handle_job_events(self, params, query, body) -> tuple:
+        job_id = params["job_id"]
+        after = _numeric_param(query, "after", int, -1)
+        wait = _numeric_param(query, "wait", float, 0.0)
+        if wait > 0:
+            events, done = await self.service.wait_events(
+                job_id, after=after, timeout=min(wait, MAX_EVENT_WAIT)
+            )
+        else:
+            events = self.service.events(job_id, after=after)
+            done = self.service.status(job_id).terminal
+        next_after = events[-1].seq if events else after
+        payload = {
+            "job_id": job_id,
+            "events": [event.to_dict() for event in events],
+            "next_after": next_after,
+            "stream_done": done,
+        }
+        return HTTPStatus.OK, payload, {}
+
+    async def _handle_create_session(self, params, query, body) -> tuple:
+        session = self.service.sessions.create(self._parse_body(body))
+        return HTTPStatus.ACCEPTED, session.to_wire(), {}
+
+    async def _handle_list_sessions(self, params, query, body) -> tuple:
+        sessions = [s.to_wire() for s in self.service.sessions.sessions()]
+        return HTTPStatus.OK, {"sessions": sessions}, {}
+
+    async def _handle_session_status(self, params, query, body) -> tuple:
+        session = self.service.sessions.get(params["session_id"])
+        return HTTPStatus.OK, session.to_wire(), {}
+
+    async def _handle_close_session(self, params, query, body) -> tuple:
+        session = self.service.sessions.close(params["session_id"])
+        return HTTPStatus.OK, session.to_wire(), {}
+
+    async def _handle_submit_delta(self, params, query, body) -> tuple:
+        delta = self.service.sessions.submit_delta(
+            params["session_id"], self._parse_body(body)
+        )
+        return HTTPStatus.ACCEPTED, delta.to_wire(), {}
+
+    async def _handle_list_deltas(self, params, query, body) -> tuple:
+        session = self.service.sessions.get(params["session_id"])
+        deltas = [d.to_wire() for d in session.deltas.values()]
+        return HTTPStatus.OK, {"deltas": deltas}, {}
+
+    async def _handle_delta_status(self, params, query, body) -> tuple:
+        delta = self.service.sessions.delta(
+            params["session_id"], params["delta_id"]
+        )
+        return HTTPStatus.OK, delta.to_wire(), {}
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
 
     @staticmethod
     def _parse_body(body: bytes) -> dict:
@@ -214,61 +348,6 @@ class HttpServer:
             return json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise _HttpError(HTTPStatus.BAD_REQUEST, f"bad JSON body: {exc}") from None
-
-    def _create_session(self, body: bytes) -> tuple:
-        request = self._parse_body(body)
-        try:
-            session = self.service.sessions.create(request)
-        except ServiceClosedError as exc:
-            raise _HttpError(HTTPStatus.SERVICE_UNAVAILABLE, str(exc)) from None
-        except (SchemaError, ValueError, KeyError) as exc:
-            raise _HttpError(HTTPStatus.BAD_REQUEST, str(exc)) from None
-        return HTTPStatus.ACCEPTED, session.to_wire(), {}
-
-    def _session_op(self, method: str, rest: str, body: bytes) -> tuple:
-        parts = [p for p in rest.split("/") if p]
-        manager = self.service.sessions
-        try:
-            if len(parts) == 1:
-                if method == "GET":
-                    return HTTPStatus.OK, manager.get(parts[0]).to_wire(), {}
-                if method == "DELETE":
-                    return HTTPStatus.OK, manager.close(parts[0]).to_wire(), {}
-                raise _HttpError(HTTPStatus.METHOD_NOT_ALLOWED,
-                                 f"{method} /sessions/<id>")
-            if len(parts) == 2 and parts[1] == "deltas":
-                if method == "POST":
-                    return self._submit_delta(parts[0], body)
-                if method == "GET":
-                    session = manager.get(parts[0])
-                    deltas = [d.to_wire() for d in session.deltas.values()]
-                    return HTTPStatus.OK, {"deltas": deltas}, {}
-                raise _HttpError(HTTPStatus.METHOD_NOT_ALLOWED,
-                                 f"{method} /sessions/<id>/deltas")
-            if len(parts) == 3 and parts[1] == "deltas" and method == "GET":
-                return HTTPStatus.OK, manager.delta(parts[0], parts[2]).to_wire(), {}
-        except (UnknownSessionError, UnknownDeltaError) as exc:
-            raise _HttpError(HTTPStatus.NOT_FOUND, str(exc)) from None
-        raise _HttpError(HTTPStatus.NOT_FOUND, f"no route for /sessions/{rest}")
-
-    def _submit_delta(self, session_id: str, body: bytes) -> tuple:
-        payload = self._parse_body(body)
-        try:
-            delta = self.service.sessions.submit_delta(session_id, payload)
-        except QueueFullError as exc:
-            raise _HttpError(
-                HTTPStatus.TOO_MANY_REQUESTS, str(exc),
-                headers={"Retry-After": f"{exc.retry_after:g}"},
-            ) from None
-        except ServiceClosedError as exc:
-            raise _HttpError(HTTPStatus.SERVICE_UNAVAILABLE, str(exc)) from None
-        except UnknownSessionError as exc:
-            raise _HttpError(HTTPStatus.NOT_FOUND, str(exc)) from None
-        except SessionStateError as exc:
-            raise _HttpError(HTTPStatus.CONFLICT, str(exc)) from None
-        except (SchemaError, ValueError, KeyError) as exc:
-            raise _HttpError(HTTPStatus.BAD_REQUEST, str(exc)) from None
-        return HTTPStatus.ACCEPTED, delta.to_wire(), {}
 
     async def _respond(self, writer: asyncio.StreamWriter, status: HTTPStatus,
                        payload: dict, headers: dict) -> None:
@@ -290,3 +369,15 @@ def _query_param(query: str, name: str) -> str | None:
         if key == name and value:
             return value
     return None
+
+
+def _numeric_param(query: str, name: str, cast, default):
+    raw = _query_param(query, name)
+    if raw is None:
+        return default
+    try:
+        return cast(raw)
+    except ValueError:
+        raise _HttpError(
+            HTTPStatus.BAD_REQUEST, f"query parameter {name!r} must be {cast.__name__}"
+        ) from None

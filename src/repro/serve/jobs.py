@@ -97,6 +97,12 @@ class Job:
         error: terminal error message once ``failed``.
         cache_hit: whether the result came from the artifact cache.
         timeout: per-job wall-clock budget in seconds (``None`` = none).
+        client_id: fair-queue bucket the job dispatches from.
+        priority: scheduling priority (larger int = more important).
+        coalesced: the job attached to an in-flight duplicate instead of
+            queueing its own execution.
+        shard: index of the process shard that ran the job (``None``
+            until running, and always in thread mode).
         submitted_at / started_at / finished_at: ``time.time()`` stamps.
     """
 
@@ -108,6 +114,10 @@ class Job:
     error: str | None = None
     cache_hit: bool = False
     timeout: float | None = None
+    client_id: str = "default"
+    priority: int = 0
+    coalesced: bool = False
+    shard: int | None = None
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -142,6 +152,10 @@ class Job:
             "error": self.error,
             "cache_hit": self.cache_hit,
             "timeout": self.timeout,
+            "client_id": self.client_id,
+            "priority": self.priority,
+            "coalesced": self.coalesced,
+            "shard": self.shard,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -155,10 +169,11 @@ class JobStore:
         self._jobs: dict = {}
         self._ids = itertools.count(1)
 
-    def create(self, request: dict, key: str, timeout: float | None = None) -> Job:
+    def create(self, request: dict, key: str, timeout: float | None = None,
+               client_id: str = "default", priority: int = 0) -> Job:
         """Register a fresh ``queued`` job for ``request``."""
         job = Job(id=f"job-{next(self._ids)}", request=request, key=key,
-                  timeout=timeout)
+                  timeout=timeout, client_id=client_id, priority=priority)
         self._jobs[job.id] = job
         return job
 

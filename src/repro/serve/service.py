@@ -1,46 +1,59 @@
-"""The asynchronous placement service: queue, workers, memoization.
+"""The asynchronous placement service: shards, fairness, memoization, events.
 
 :class:`PlacementService` is the transport-independent core that both
 the HTTP front end (:mod:`repro.serve.http`) and the in-process
 :class:`repro.serve.client.ServiceClient` drive:
 
-* a **bounded queue** (``ServiceConfig.capacity``) with explicit
-  backpressure — a full queue rejects the submission with
-  :class:`~repro.serve.jobs.QueueFullError` carrying a retry-after hint
-  instead of buffering unboundedly;
-* a **worker pool** of asyncio tasks, each delegating the CPU-heavy
-  placement to a thread running the :class:`repro.runtime.TaskExecutor`
-  submission hook (:meth:`~repro.runtime.TaskExecutor.run_one`);
-* **memoization** through :class:`repro.runtime.ArtifactCache`, keyed by
-  :func:`repro.runtime.stable_hash` of the normalized request (the
-  serialized :class:`repro.api.RunConfig` wire dict), so a duplicate
-  submission is served from disk without consuming queue capacity;
-* per-job **timeout** and **cancellation**, and a graceful
-  :meth:`~PlacementService.drain` that stops intake and lets accepted
-  jobs finish.
+* a **bounded fair queue** (:class:`repro.serve.queueing.FairQueue`):
+  per-client weighted round-robin dispatch, priority-first within a
+  client, explicit backpressure via
+  :class:`~repro.serve.jobs.QueueFullError` when full — and, before
+  rejecting, **load-shedding**: a strictly higher-priority submission
+  may evict the lowest-priority queued job instead of bouncing;
+* **execution shards** — with ``ServiceConfig.shards > 0``, one
+  :class:`repro.serve.shards.ProcessShard` per worker runs placements
+  in dedicated worker *processes* through the runtime executor's
+  persistent pool, so timeouts kill hung workers (the CPU comes back), a
+  crashed worker fails only its own job, and cancellation of a running
+  job terminates the process.  ``shards = 0`` keeps the PR-5 thread
+  mode (documented degradations and all);
+* **memoization** through :class:`repro.runtime.ArtifactCache` plus
+  in-flight **coalescing**: a duplicate of a queued/running config
+  attaches to the primary job instead of consuming a queue slot, and
+  mirrors its result on completion (a failed/cancelled primary promotes
+  the first follower to run for real);
+* **progress streaming** — shard workers append gp-iteration /
+  padding-round / RRR-round samples to a per-job progress file; the
+  service pumps new lines into a per-job :class:`~repro.serve.events.EventLog`
+  alongside every lifecycle transition, which
+  ``GET /v1/jobs/<id>/events`` long-polls.
 
 Requests are validated *at the boundary*: a bad config, flow, or verify
 level raises before a job is created, so the queue only ever holds
 runnable work.  Everything narrates into :mod:`repro.obs` —
 ``serve/request`` and ``serve/job`` spans, a ``serve/queue_depth``
-gauge, and per-outcome counters — all visible on ``/metrics``.
+gauge, and per-outcome counters — all visible on ``/v1/metrics``.
 
-A note on timeouts: placement runs in a thread, and Python threads
-cannot be preempted, so a timed-out or cancelled *running* job is marked
-``failed``/``cancelled`` and its result discarded while the worker
-thread runs to completion in the background (the same documented
-degradation as the runtime's inline executor).
+Degradation matrix (also in ``docs/api.md``): in thread mode a
+timed-out or cancelled *running* job is marked terminal but its thread
+runs to completion in the background; in shard mode the worker process
+is killed, so the core is actually reclaimed and the next job starts in
+a fresh worker.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
+import shutil
+import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .. import obs
-from ..runtime import ArtifactCache, Task, TaskExecutor, stable_hash
+from ..runtime import ArtifactCache, Task, TaskExecutor, TaskTimeoutError, stable_hash
 from ..runtime.cache import MISSING
+from .events import EventLog, read_new_progress
 from .jobs import (
     CANCELLED,
     DONE,
@@ -53,14 +66,21 @@ from .jobs import (
     QueueFullError,
     ServiceClosedError,
 )
+from .queueing import FairQueue
 from .sessions import SessionManager
+from .shards import ProcessShard
+
+#: Request keys accepted at submit.
+_REQUEST_KEYS = frozenset(
+    {"design", "flow", "config", "route", "timeout", "priority", "client_id"}
+)
 
 
 def execute_request(request: dict) -> dict:
     """Run one normalized placement request and return its summary.
 
     The module-level worker function of the service (picklable, so the
-    pool can later move across process boundaries): rebuilds the
+    process shards can move it across process boundaries): rebuilds the
     :class:`repro.api.RunConfig` from the wire dict, places through
     :func:`repro.api.run`, and returns the JSON-safe
     :meth:`~repro.api.RunResult.to_summary`.
@@ -82,15 +102,24 @@ class ServiceConfig:
     """Deployment knobs of :class:`PlacementService`.
 
     Attributes:
-        workers: concurrent placement workers (asyncio tasks, each
-            executing one job at a time in a thread).
+        workers: concurrent placement workers in thread mode (ignored
+            when ``shards > 0`` — then there is one worker per shard).
         capacity: bounded-queue size; submissions beyond it are rejected
-            with a retry-after hint (backpressure, not buffering).
+            with a retry-after hint (backpressure, not buffering) unless
+            load-shedding frees a slot.
         cache_dir: artifact-cache directory enabling result memoization
             across jobs *and* server restarts (``None`` disables).
         default_timeout: per-job wall-clock budget in seconds when the
             request does not carry its own (``None`` = unlimited).
         retry_after: seconds hinted to rejected clients.
+        shards: worker *processes*; ``0`` keeps single-process thread
+            execution.  Shards stream progress events and enforce
+            timeouts/cancellation by killing the worker.
+        client_weights: ``client_id -> round-robin weight`` for the fair
+            queue (missing clients weigh 1).
+        progress_dir: directory for per-job progress files (shard mode);
+            ``None`` creates (and owns) a temporary directory.
+        progress_poll: parent-side poll interval for progress files.
     """
 
     workers: int = 2
@@ -98,6 +127,10 @@ class ServiceConfig:
     cache_dir: str | None = None
     default_timeout: float | None = None
     retry_after: float = 0.5
+    shards: int = 0
+    client_weights: dict | None = field(default=None)
+    progress_dir: str | None = None
+    progress_poll: float = 0.04
 
 
 class PlacementService:
@@ -105,9 +138,12 @@ class PlacementService:
 
     Args:
         config: deployment knobs (defaults throughout when omitted).
-        runner: ``callable(request dict) -> result dict`` executed in a
-            worker thread; defaults to :func:`execute_request`.  Tests
-            inject fakes here to exercise the lifecycle without placing.
+        runner: ``callable(request dict) -> result dict``; defaults to
+            :func:`execute_request`.  Tests inject fakes here to
+            exercise the lifecycle without placing.  In shard mode the
+            runner must be picklable to actually cross the process
+            boundary — an unpicklable fake degrades to in-process
+            execution (no progress stream, thread-mode semantics).
     """
 
     def __init__(self, config: ServiceConfig | None = None, runner=None,
@@ -117,14 +153,27 @@ class PlacementService:
             raise ValueError("workers must be >= 1")
         if self.config.capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if self.config.shards < 0:
+            raise ValueError("shards must be >= 0")
         self._runner = runner or execute_request
         self.sessions = SessionManager(engine_factory=session_engine_factory)
         self._store = JobStore()
-        self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.capacity)
+        self._queue = FairQueue(
+            self.config.capacity, weights=self.config.client_weights
+        )
+        self._events = EventLog()
         self._cache = (
             ArtifactCache(self.config.cache_dir) if self.config.cache_dir else None
         )
         self._executor = TaskExecutor(jobs=1, retries=0)
+        self._shards = [ProcessShard(i) for i in range(self.config.shards)]
+        self._progress_dir = self.config.progress_dir
+        self._owns_progress_dir = False
+        if self._shards and self._progress_dir is None:
+            self._progress_dir = tempfile.mkdtemp(prefix="repro-serve-progress-")
+            self._owns_progress_dir = True
+        self._primary: dict = {}    # memo key -> primary job id (non-terminal)
+        self._followers: dict = {}  # primary job id -> [follower job ids]
         self._workers: list = []
         self._done_events: dict = {}
         self._cancel_events: dict = {}
@@ -137,6 +186,8 @@ class PlacementService:
             "failed": 0,
             "cancelled": 0,
             "cache_hits": 0,
+            "coalesced": 0,
+            "shed": 0,
         }
 
     # ------------------------------------------------------------------
@@ -144,13 +195,28 @@ class PlacementService:
     # ------------------------------------------------------------------
 
     async def start(self) -> "PlacementService":
-        """Spawn the worker pool (idempotent).  Must run on the loop."""
+        """Spawn the worker pool (idempotent).  Must run on the loop.
+
+        Shard mode forks the worker processes eagerly here, before the
+        loop accumulates helper threads (fork safety) and before the
+        first job pays the fork latency.
+        """
         if self._workers:
             return self
-        self._workers = [
-            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
-            for i in range(self.config.workers)
-        ]
+        for shard in self._shards:
+            shard.warm()
+        if self._shards:
+            self._workers = [
+                asyncio.create_task(
+                    self._worker(shard), name=f"serve-shard-{shard.index}"
+                )
+                for shard in self._shards
+            ]
+        else:
+            self._workers = [
+                asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+                for i in range(self.config.workers)
+            ]
         return self
 
     async def drain(self) -> None:
@@ -164,12 +230,16 @@ class PlacementService:
         await self._queue.join()
 
     async def stop(self) -> None:
-        """Graceful shutdown: drain, then retire the worker pool."""
+        """Graceful shutdown: drain, then retire workers and shards."""
         await self.drain()
         for worker in self._workers:
             worker.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
+        for shard in self._shards:
+            shard.close()
+        if self._owns_progress_dir and self._progress_dir:
+            shutil.rmtree(self._progress_dir, ignore_errors=True)
 
     # ------------------------------------------------------------------
     # Request boundary
@@ -181,32 +251,59 @@ class PlacementService:
         The request is a JSON-safe dict: ``design`` (suite benchmark
         name, required), ``flow`` (default ``"puffer"``), ``config``
         (a :meth:`repro.api.RunConfig.to_dict` payload, default config
-        when omitted), ``route`` (bool), ``timeout`` (seconds).
+        when omitted), ``route`` (bool), ``timeout`` (seconds),
+        ``priority`` (int, larger = more important, default 0) and
+        ``client_id`` (fair-queue bucket, default ``"default"``).
+        Priority and client id shape *scheduling*, not the work, so
+        they are excluded from the memoization key.
 
         Raises:
             ServiceClosedError: after :meth:`drain` began.
-            QueueFullError: backpressure — queue at capacity.
+            QueueFullError: backpressure — queue at capacity and no
+                strictly lower-priority job available to shed.
             repro.schema.SchemaError / ValueError /
             repro.api.UnknownFlowError: invalid request payloads.
         """
         with obs.span("serve/request", op="submit"):
             if self._draining:
                 raise ServiceClosedError("service is draining; not accepting jobs")
-            normalized, timeout = self._normalize(request)
-            if self._queue.full():
-                self.counts["rejected"] += 1
-                obs.counter("serve/rejected").inc()
-                raise QueueFullError(self.config.capacity, self.config.retry_after)
-            job = self._store.create(normalized, key=stable_hash(normalized),
-                                     timeout=timeout)
-            self._done_events[job.id] = asyncio.Event()
-            self._cancel_events[job.id] = asyncio.Event()
-            self.counts["submitted"] += 1
-            obs.counter("serve/submitted").inc()
-            cached = self._cache_lookup(job)
+            normalized, timeout, client_id, priority = self._normalize(request)
+            key = stable_hash(normalized)
+
+            # Cache hits and coalesced duplicates need no queue slot, so
+            # they are admitted even at capacity.
+            cached = MISSING if self._cache is None else self._cache.get(key)
             if cached is not MISSING:
+                job = self._admit(normalized, key, timeout, client_id, priority)
                 self._finish(job, DONE, result=cached, cache_hit=True)
                 return job
+            primary_id = self._primary.get(key)
+            if primary_id is not None and not self._store.get(primary_id).terminal:
+                job = self._admit(normalized, key, timeout, client_id, priority)
+                job.coalesced = True
+                self._followers.setdefault(primary_id, []).append(job.id)
+                self.counts["coalesced"] += 1
+                obs.counter("serve/coalesced").inc()
+                return job
+
+            if self._queue.full():
+                victim = self._queue.shed_lowest(below=priority)
+                if victim is None:
+                    self.counts["rejected"] += 1
+                    obs.counter("serve/rejected").inc()
+                    raise QueueFullError(self.config.capacity,
+                                         self.config.retry_after)
+                self.counts["shed"] += 1
+                obs.counter("serve/shed").inc()
+                self._finish(
+                    victim, CANCELLED,
+                    error=(
+                        f"load-shed: displaced by a priority-{priority} "
+                        f"submission while queued at priority {victim.priority}"
+                    ),
+                )
+            job = self._admit(normalized, key, timeout, client_id, priority)
+            self._primary[key] = job.id
             self._queue.put_nowait(job)
             self._set_depth()
             return job
@@ -221,12 +318,37 @@ class PlacementService:
         with obs.span("serve/request", op="jobs"):
             return self._store.jobs(state)
 
-    def cancel(self, job_id: str) -> Job:
-        """Cancel a job: immediate when queued, best-effort when running.
+    def events(self, job_id: str, after: int = -1) -> list:
+        """Events of ``job_id`` with ``seq > after`` (non-blocking)."""
+        with obs.span("serve/request", op="events", job=job_id):
+            self._store.get(job_id)  # raises UnknownJobError
+            return self._events.events(job_id, after)
 
-        A running job's worker thread cannot be preempted; the job is
-        marked ``cancelled`` (and its result discarded) as soon as the
-        worker observes the cancellation.
+    async def wait_events(self, job_id: str, after: int = -1,
+                          timeout: float | None = 30.0) -> tuple:
+        """Long-poll for events past ``after``.
+
+        Returns ``(events, stream_done)``: a possibly-empty ordered
+        slice plus whether the job has reached a terminal state (after
+        which no further events will ever arrive).
+        """
+        job = self._store.get(job_id)
+        fresh = self._events.events(job_id, after)
+        if not fresh and not job.terminal:
+            fresh = await self._events.wait(job_id, after, timeout)
+        return fresh, job.terminal
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: immediate when queued, forceful when running
+        on a shard, best-effort in thread mode.
+
+        Queued jobs leave the queue at once (freeing their slot).  A
+        running job on a process shard has its worker process
+        terminated — the executor's crash path surfaces the kill and
+        the shard recycles for the next job.  In thread mode the worker
+        thread cannot be preempted; the job is marked ``cancelled`` and
+        its result discarded while the thread finishes in the
+        background.
 
         Raises:
             UnknownJobError: no such job.
@@ -237,10 +359,13 @@ class PlacementService:
             if job.terminal:
                 raise JobStateError(f"job {job_id} is already {job.state}")
             if job.state == QUEUED:
-                # Stays in the asyncio queue; the worker skips it.
+                self._queue.remove(job)  # no-op for coalesced followers
+                self._set_depth()
                 self._finish(job, CANCELLED)
             else:
                 self._cancel_events[job.id].set()
+                if job.shard is not None and self._shards:
+                    self._shards[job.shard].abort()
             return job
 
     async def wait(self, job_id: str, timeout: float | None = None) -> Job:
@@ -254,24 +379,28 @@ class PlacementService:
     # ------------------------------------------------------------------
 
     def healthz(self) -> dict:
-        """The ``/healthz`` payload."""
+        """The ``/v1/healthz`` payload."""
         return {
             "ok": True,
             "status": "draining" if self._draining else "serving",
             "uptime_seconds": time.time() - self.started_at,
             "queue_depth": self._queue.qsize(),
             "capacity": self.config.capacity,
-            "workers": self.config.workers,
+            "workers": len(self._shards) or self.config.workers,
+            "shards": [shard.describe() for shard in self._shards],
             "jobs": self._store.counts(),
             "sessions": self.sessions.counts(),
         }
 
     def metrics(self) -> dict:
-        """The ``/metrics`` payload: service counters + obs instruments."""
+        """The ``/v1/metrics`` payload: service counters + obs
+        instruments."""
         payload = {
             "queue_depth": self._queue.qsize(),
+            "queue_depths_by_client": self._queue.depths(),
             "capacity": self.config.capacity,
-            "workers": self.config.workers,
+            "workers": len(self._shards) or self.config.workers,
+            "shards": [shard.describe() for shard in self._shards],
             "counters": dict(self.counts),
             "cache": self._cache.stats() if self._cache is not None else None,
         }
@@ -284,12 +413,13 @@ class PlacementService:
     # ------------------------------------------------------------------
 
     def _normalize(self, request: dict) -> tuple:
-        """Boundary validation -> (normal-form request, timeout).
+        """Boundary validation -> (normal form, timeout, client, priority).
 
         The normal form is what the memo key hashes: explicit flow and
         route flag plus the fully-expanded config wire dict, so
         ``{"design": "OR1200"}`` and the same request spelled with an
-        explicit default config memoize identically.
+        explicit default config memoize identically.  Scheduling fields
+        (``priority``, ``client_id``, ``timeout``) never enter the key.
         """
         from .. import api
 
@@ -308,7 +438,13 @@ class PlacementService:
             timeout = float(timeout)
             if timeout <= 0:
                 raise ValueError("request 'timeout' must be positive")
-        unknown = set(request) - {"design", "flow", "config", "route", "timeout"}
+        priority = request.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ValueError("request 'priority' must be an int")
+        client_id = request.get("client_id", "default")
+        if not isinstance(client_id, str) or not client_id:
+            raise ValueError("request 'client_id' must be a non-empty string")
+        unknown = set(request) - _REQUEST_KEYS
         if unknown:
             raise ValueError(f"unknown request keys: {sorted(unknown)}")
         normalized = {
@@ -317,13 +453,22 @@ class PlacementService:
             "route": bool(request.get("route", False)),
             "config": config.to_dict(),
         }
-        return normalized, timeout
+        return normalized, timeout, client_id, priority
 
-    def _cache_lookup(self, job: Job):
-        if self._cache is None:
-            return MISSING
-        value = self._cache.get(job.key)
-        return value
+    def _admit(self, normalized: dict, key: str, timeout, client_id: str,
+               priority: int) -> Job:
+        """Create a job plus its events/waiters bookkeeping."""
+        job = self._store.create(
+            normalized, key=key, timeout=timeout,
+            client_id=client_id, priority=priority,
+        )
+        self._done_events[job.id] = asyncio.Event()
+        self._cancel_events[job.id] = asyncio.Event()
+        self._events.register(job.id)
+        self._events.publish(job.id, "state", state=QUEUED)
+        self.counts["submitted"] += 1
+        obs.counter("serve/submitted").inc()
+        return job
 
     def _set_depth(self) -> None:
         obs.gauge("serve/queue_depth").set(self._queue.qsize())
@@ -339,43 +484,116 @@ class PlacementService:
         if cache_hit:
             self.counts["cache_hits"] += 1
             obs.counter("serve/cache_hit").inc()
+        self._events.publish(job.id, "state", state=state)
         self._done_events[job.id].set()
+        if self._primary.get(job.key) == job.id:
+            del self._primary[job.key]
+            self._settle_followers(job)
 
-    async def _worker(self) -> None:
+    def _settle_followers(self, primary: Job) -> None:
+        """Resolve jobs coalesced onto ``primary`` after it settles.
+
+        A successful primary mirrors its result onto every live
+        follower.  A failed/cancelled primary promotes the first live
+        follower to run for real (the rest re-coalesce onto it); when
+        the queue cannot take it (draining or full), the followers are
+        cancelled with an explanatory error instead of hanging.
+        """
+        followers = self._followers.pop(primary.id, [])
+        pending = [
+            job for job in (self._store.get(fid) for fid in followers)
+            if not job.terminal
+        ]
+        if not pending:
+            return
+        if primary.state == DONE:
+            for job in pending:
+                self._finish(job, DONE, result=primary.result)
+            return
+        if self._draining or self._queue.full():
+            for job in pending:
+                self._finish(
+                    job, CANCELLED,
+                    error=(
+                        f"coalesced onto {primary.id} which was "
+                        f"{primary.state}; queue unavailable for a rerun"
+                    ),
+                )
+            return
+        leader, rest = pending[0], pending[1:]
+        leader.coalesced = False
+        self._primary[leader.key] = leader.id
+        if rest:
+            self._followers[leader.id] = [job.id for job in rest]
+        self._queue.put_nowait(leader)
+        self._set_depth()
+
+    async def _worker(self, shard: ProcessShard | None = None) -> None:
         while True:
             job = await self._queue.get()
             try:
                 self._set_depth()
                 if job.state == QUEUED:  # skip jobs cancelled while queued
-                    await self._run_job(job)
+                    await self._run_job(job, shard)
             finally:
                 self._queue.task_done()
 
-    async def _run_job(self, job: Job) -> None:
+    async def _run_job(self, job: Job, shard: ProcessShard | None = None) -> None:
         job.transition(RUNNING)
+        self._events.publish(job.id, "state", state=RUNNING)
+        if shard is not None:
+            job.shard = shard.index
         cancel_event = self._cancel_events[job.id]
         loop = asyncio.get_running_loop()
+        progress_path = pump = None
+        if shard is not None and self._progress_dir:
+            progress_path = os.path.join(
+                self._progress_dir, f"{job.id}.progress.jsonl"
+            )
         with obs.span("serve/job", job=job.id, design=job.request["design"],
                       flow=job.request["flow"]) as sp:
-            exec_future = loop.run_in_executor(None, self._execute, job)
+            exec_future = loop.run_in_executor(
+                None, self._execute, job, shard, progress_path
+            )
+            if progress_path is not None:
+                pump = asyncio.create_task(self._pump_progress(job, progress_path))
             cancel_task = asyncio.create_task(cancel_event.wait())
+            # In shard mode the executor enforces the real budget by
+            # killing the worker; the loop-side timeout is only a
+            # backstop for inline-degraded runners.
+            wait_timeout = job.timeout
+            if shard is not None and wait_timeout is not None:
+                wait_timeout += 10.0
             done, _pending = await asyncio.wait(
                 {exec_future, cancel_task},
-                timeout=job.timeout,
+                timeout=wait_timeout,
                 return_when=asyncio.FIRST_COMPLETED,
             )
             if exec_future in done:
                 cancel_task.cancel()
-                self._settle(job, exec_future)
+                if cancel_event.is_set():
+                    # Raced a cancel: the shard worker was terminated (or
+                    # the thread result discarded) — cancellation wins.
+                    self._finish(job, CANCELLED)
+                else:
+                    self._settle(job, exec_future)
             elif cancel_task in done:
+                if shard is not None:
+                    shard.abort()
+                    # The kill surfaces through run_one promptly.
+                    await asyncio.wait({exec_future}, timeout=15.0)
                 self._abandon(exec_future)
                 self._finish(job, CANCELLED)
-            else:  # per-job timeout
+            else:  # loop-side timeout backstop
                 cancel_task.cancel()
+                if shard is not None:
+                    shard.abort()
                 self._abandon(exec_future)
                 self._finish(job, FAILED,
                              error=f"timeout after {job.timeout:g}s")
-            sp.set(state=job.state, cache_hit=job.cache_hit)
+            if pump is not None:
+                await pump
+            sp.set(state=job.state, cache_hit=job.cache_hit, shard=job.shard)
 
     def _settle(self, job: Job, exec_future) -> None:
         """Record a completed executor future onto the job."""
@@ -385,21 +603,64 @@ class PlacementService:
             self._finish(job, FAILED, error=f"{type(exc).__name__}: {exc}")
             return
         if not task_result.ok:
-            self._finish(job, FAILED, error=str(task_result.error))
+            error = task_result.error
+            if isinstance(error, TaskTimeoutError) and job.timeout:
+                message = f"timeout after {job.timeout:g}s (shard worker killed)"
+            else:
+                message = str(error)
+            self._finish(job, FAILED, error=message)
             return
         result = task_result.value
         if self._cache is not None:
             self._cache.put(job.key, result)
         self._finish(job, DONE, result=result)
 
-    def _execute(self, job: Job):
-        """Thread-side: funnel the job through the runtime executor."""
-        task = Task(key=job.id, fn=self._runner, args=(job.request,), retries=0)
-        return self._executor.run_one(task)
+    def _execute(self, job: Job, shard: ProcessShard | None = None,
+                 progress_path: str | None = None):
+        """Thread-side: funnel the job through its executor."""
+        if shard is None:
+            task = Task(key=job.id, fn=self._runner, args=(job.request,),
+                        retries=0)
+            return self._executor.run_one(task)
+        return shard.execute(
+            self._runner, job.request, key=job.id,
+            timeout=job.timeout, progress_path=progress_path,
+        )
+
+    async def _pump_progress(self, job: Job, path: str) -> None:
+        """Poll the job's progress file into its event stream.
+
+        Sleeps in ``progress_poll`` slices but wakes immediately on the
+        job's done event, so a finished job never waits out a poll
+        interval before its worker slot frees up.
+        """
+        done = self._done_events[job.id]
+        offset = 0
+        try:
+            while not job.terminal:
+                offset = self._publish_progress(job, path, offset)
+                try:
+                    await asyncio.wait_for(done.wait(), self.config.progress_poll)
+                except asyncio.TimeoutError:
+                    pass
+            self._publish_progress(job, path, offset)
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def _publish_progress(self, job: Job, path: str, offset: int) -> int:
+        samples, offset = read_new_progress(path, offset)
+        for sample in samples:
+            self._events.publish(job.id, "progress", progress=sample)
+            obs.counter("serve/progress_events").inc()
+        return offset
 
     @staticmethod
     def _abandon(exec_future) -> None:
-        """Detach from a thread we cannot stop; swallow its outcome."""
+        """Detach from an execution we no longer await; swallow its
+        outcome."""
         exec_future.add_done_callback(
             lambda f: f.exception() if not f.cancelled() else None
         )

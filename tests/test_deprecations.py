@@ -1,12 +1,20 @@
-"""The PR-5 deprecation shims: warn exactly once per use, still delegate.
+"""Deprecation shims: warn (or mark) per use, still delegate.
 
-Two shims are under contract here:
+Three shims are under contract here:
 
 * ``api.explore(rng=...)`` — the pre-rename seed keyword;
 * bare report attribute access on :class:`api.RouteResult`
-  (``result.hof`` instead of ``result.route_report.hof``).
+  (``result.hof`` instead of ``result.route_report.hof``);
+* the pre-``/v1`` unversioned HTTP routes of the job server, which
+  answer identically to their ``/v1`` successors but stamp a
+  ``Deprecation: true`` header plus a ``Link: ...successor-version``
+  pointer at the replacement path.
 """
 
+import asyncio
+import http.client
+import json
+import threading
 import warnings
 from types import SimpleNamespace
 
@@ -89,3 +97,100 @@ class TestRouteResultShim:
     def test_missing_attribute_still_raises(self, result):
         with pytest.raises(AttributeError):
             result.not_a_metric
+
+
+def _fake_placement(request):
+    return {"design": request["design"], "hpwl": 7.0}
+
+
+class TestHttpV1Shims:
+    """The unversioned HTTP routes answer through the /v1 shims."""
+
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.serve import HttpServer, PlacementService, ServiceConfig
+
+        started = threading.Event()
+        box = {}
+
+        def thread_main():
+            async def amain():
+                service = PlacementService(
+                    ServiceConfig(workers=1, capacity=4), runner=_fake_placement
+                )
+                await service.start()
+                http_server = HttpServer(service, port=0)
+                box["addr"] = await http_server.start()
+                box["stop"] = asyncio.Event()
+                started.set()
+                await box["stop"].wait()
+                await http_server.close()
+                await service.stop()
+
+            box["loop"] = asyncio.new_event_loop()
+            box["loop"].run_until_complete(amain())
+            box["loop"].close()
+
+        thread = threading.Thread(target=thread_main, daemon=True)
+        thread.start()
+        assert started.wait(10)
+        yield box["addr"]
+        box["loop"].call_soon_threadsafe(box["stop"].set)
+        thread.join(10)
+
+    @staticmethod
+    def request(addr, method, path, payload=None):
+        conn = http.client.HTTPConnection(*addr, timeout=10)
+        try:
+            body = None if payload is None else json.dumps(payload)
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            return (
+                response.status,
+                dict(response.getheaders()),
+                json.loads(response.read().decode("utf-8")),
+            )
+        finally:
+            conn.close()
+
+    def test_unversioned_get_marks_deprecation_and_successor(self, server):
+        status, headers, payload = self.request(server, "GET", "/healthz")
+        assert status == 200 and payload["ok"]
+        assert headers.get("Deprecation") == "true"
+        assert headers.get("Link") == '</v1/healthz>; rel="successor-version"'
+
+    def test_v1_route_carries_no_deprecation_header(self, server):
+        status, headers, payload = self.request(server, "GET", "/v1/healthz")
+        assert status == 200 and payload["ok"]
+        assert "Deprecation" not in headers
+        assert "Link" not in headers
+
+    def test_shim_payload_matches_v1(self, server):
+        _, _, old = self.request(server, "GET", "/metrics")
+        _, _, new = self.request(server, "GET", "/v1/metrics")
+        assert old.keys() == new.keys()
+        assert old["capacity"] == new["capacity"]
+
+    def test_old_submit_and_poll_still_work_end_to_end(self, server):
+        status, headers, job = self.request(
+            server, "POST", "/jobs", {"design": "OR1200"}
+        )
+        assert status == 202
+        assert headers.get("Deprecation") == "true"
+        for _ in range(200):
+            status, _, job = self.request(server, "GET", f"/jobs/{job['id']}")
+            if job["state"] == "done":
+                break
+        assert job["state"] == "done"
+        assert job["result"]["hpwl"] == 7.0
+
+    def test_shimmed_errors_keep_their_status_codes(self, server):
+        status, headers, payload = self.request(server, "GET", "/jobs/job-404")
+        assert status == 404
+        assert "error" in payload
+        assert headers.get("Deprecation") == "true"
+
+    def test_unknown_path_is_a_plain_404_without_shim(self, server):
+        status, headers, _ = self.request(server, "GET", "/v2/jobs")
+        assert status == 404
+        assert "Deprecation" not in headers

@@ -181,6 +181,95 @@ class TestExecutorPool:
             executor.map(_boom, [1])
 
 
+def _pid(x=None):
+    return os.getpid()
+
+
+class TestExecutorShard:
+    """persistent=True + force_pool=True: the serving-shard configuration."""
+
+    def _shard(self, **kw):
+        kw.setdefault("jobs", 1)
+        kw.setdefault("retries", 0)
+        return TaskExecutor(persistent=True, force_pool=True, **kw)
+
+    def test_force_pool_runs_out_of_process(self):
+        executor = self._shard()
+        try:
+            result = executor.run_one(Task("p", _pid))
+            assert result.ok
+            assert result.value != os.getpid()
+        finally:
+            executor.close()
+
+    def test_persistent_pool_reuses_worker_across_runs(self):
+        executor = self._shard()
+        try:
+            executor.warm()
+            first = executor.run_one(Task("a", _pid))
+            second = executor.run_one(Task("b", _pid))
+            assert first.ok and second.ok
+            assert first.value == second.value
+        finally:
+            executor.close()
+
+    def test_non_persistent_pool_forks_fresh_workers(self):
+        executor = TaskExecutor(jobs=1, retries=0, force_pool=True)
+        first = executor.run_one(Task("a", _pid))
+        second = executor.run_one(Task("b", _pid))
+        assert first.ok and second.ok
+        assert first.value != second.value
+
+    def test_abort_fails_in_flight_task_and_shard_recovers(self):
+        import threading
+
+        executor = self._shard()
+        try:
+            executor.warm()
+            box = {}
+
+            def run():
+                box["r"] = executor.run_one(Task("hung", _sleep_forever, (1,)))
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            time.sleep(0.3)
+            executor.abort()
+            thread.join(timeout=15)
+            assert not thread.is_alive()
+            assert not box["r"].ok
+            assert isinstance(box["r"].error, WorkerCrashError)
+            # The shard recycles: the next submit runs in a fresh worker.
+            after = executor.run_one(Task("next", _pid))
+            assert after.ok
+        finally:
+            executor.close()
+
+    def test_timeout_recycles_persistent_shard(self):
+        executor = self._shard()
+        try:
+            hung = executor.run_one(Task("hung", _sleep_forever, (1,), timeout=0.3))
+            assert isinstance(hung.error, TaskTimeoutError)
+            after = executor.run_one(Task("next", _double, (21,)))
+            assert after.ok
+            assert after.value == 42
+        finally:
+            executor.close()
+
+    def test_abort_and_close_are_idempotent(self):
+        executor = self._shard()
+        executor.abort()  # nothing in flight, nothing retained
+        executor.warm()
+        executor.close()
+        executor.close()
+        executor.abort()
+
+    def test_warm_is_noop_without_persistence(self):
+        executor = TaskExecutor(jobs=1)
+        executor.warm()
+        assert executor._pool is None
+
+
 class TestArtifactCache:
     def test_roundtrip_and_counters(self, tmp_path):
         cache = ArtifactCache(str(tmp_path))

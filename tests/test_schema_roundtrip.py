@@ -12,7 +12,12 @@ from repro.placer import PlacementParams
 from repro.router import RouterParams
 from repro.router.cost import CostParams
 from repro.runtime import stable_hash
-from repro.schema import SCHEMA_VERSION, SchemaError
+from repro.schema import (
+    SCHEMA_VERSION,
+    JobEvent,
+    JobProgress,
+    SchemaError,
+)
 from repro.verify import LEVELS
 
 fast_settings = settings(
@@ -110,6 +115,105 @@ class TestRandomizedRoundTrips:
     @fast_settings
     def test_strategy_params_round_trip(self, params):
         assert StrategyParams.from_dict(params.to_dict()) == params
+
+
+metric_values = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.integers(-(2**31), 2**31),
+    st.booleans(),
+)
+
+job_progress = st.builds(
+    JobProgress,
+    stage=st.sampled_from(["gp", "padding", "route"]),
+    step=st.integers(0, 10_000),
+    metrics=st.dictionaries(
+        st.sampled_from(["hpwl", "overflow", "round", "gp_iteration"]),
+        metric_values,
+        max_size=4,
+    ),
+)
+
+job_events = st.one_of(
+    st.builds(
+        JobEvent,
+        seq=st.integers(0, 2**31),
+        kind=st.just("state"),
+        job_id=st.uuids().map(str),
+        ts=st.floats(0, 2e9, allow_nan=False),
+        state=st.sampled_from(["queued", "running", "done", "failed", "cancelled"]),
+        progress=st.none(),
+    ),
+    st.builds(
+        JobEvent,
+        seq=st.integers(0, 2**31),
+        kind=st.just("progress"),
+        job_id=st.uuids().map(str),
+        ts=st.floats(0, 2e9, allow_nan=False),
+        state=st.none(),
+        progress=job_progress,
+    ),
+)
+
+
+class TestJobEventRoundTrips:
+    @given(event=job_events)
+    @fast_settings
+    def test_event_round_trips_bit_identically(self, event):
+        assert JobEvent.from_dict(event.to_dict()) == event
+
+    @given(event=job_events)
+    @fast_settings
+    def test_event_survives_json(self, event):
+        wire = json.loads(json.dumps(event.to_dict()))
+        rebuilt = JobEvent.from_dict(wire)
+        assert rebuilt == event
+        if event.kind == "progress":
+            assert isinstance(rebuilt.progress, JobProgress)
+
+    @given(progress=job_progress)
+    @fast_settings
+    def test_progress_round_trips(self, progress):
+        assert JobProgress.from_dict(progress.to_dict()) == progress
+
+    def test_event_version_stamped_and_nested(self):
+        event = JobEvent(
+            seq=0, kind="progress", job_id="j", ts=1.0,
+            progress=JobProgress(stage="gp", step=3, metrics={"hpwl": 5.0}),
+        )
+        wire = event.to_dict()
+        assert wire["schema_version"] == SCHEMA_VERSION
+        assert wire["progress"]["schema_version"] == SCHEMA_VERSION
+
+    def test_unknown_event_key_rejected(self):
+        wire = JobEvent(seq=0, kind="state", job_id="j", ts=0.0, state="done").to_dict()
+        wire["sequence"] = 1
+        with pytest.raises(SchemaError, match="sequence"):
+            JobEvent.from_dict(wire)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SchemaError, match="kind"):
+            JobEvent(seq=0, kind="telemetry", job_id="j", ts=0.0)
+
+    def test_state_event_requires_state(self):
+        with pytest.raises(SchemaError, match="state"):
+            JobEvent(seq=0, kind="state", job_id="j", ts=0.0)
+
+    def test_progress_event_requires_payload(self):
+        with pytest.raises(SchemaError, match="progress"):
+            JobEvent(seq=1, kind="progress", job_id="j", ts=0.0)
+
+    def test_bad_stage_and_step_rejected(self):
+        with pytest.raises(SchemaError, match="stage"):
+            JobProgress(stage="detailed", step=0)
+        with pytest.raises(SchemaError, match="step"):
+            JobProgress(stage="gp", step=-1)
+
+    def test_unsupported_event_version_rejected(self):
+        wire = JobEvent(seq=0, kind="state", job_id="j", ts=0.0, state="done").to_dict()
+        wire["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="schema_version"):
+            JobEvent.from_dict(wire)
 
 
 class TestBoundaryValidation:

@@ -348,6 +348,329 @@ class TestConcurrentSubmissions:
         assert len(job_spans) == len(accepted)
 
 
+class TestEventStream:
+    """Lifecycle events publish per job and stream via wait/follow."""
+
+    def test_state_events_bracket_the_run(self):
+        async def main():
+            service = await make_service(quick_runner).start()
+            client = ServiceClient(service)
+            await client.run("OR1200", wait_timeout=10)
+            job = service.jobs()[0]
+            events = service.events(job.id)
+            assert [e.kind for e in events] == ["state"] * 3
+            assert [e.state for e in events] == [QUEUED, RUNNING, DONE]
+            assert [e.seq for e in events] == [0, 1, 2]
+            assert all(e.job_id == job.id for e in events)
+            # `after` slices strictly past the cursor.
+            assert [e.seq for e in service.events(job.id, after=1)] == [2]
+            assert service.events(job.id, after=99) == []
+            await service.stop()
+
+        run_async(main())
+
+    def test_cache_hit_skips_running(self, tmp_path):
+        async def main():
+            service = await make_service(
+                quick_runner, cache_dir=str(tmp_path / "cache")
+            ).start()
+            first = service.submit(make_request("OR1200"))
+            await service.wait(first.id, timeout=10)
+            hit = service.submit(make_request("OR1200"))
+            assert hit.cache_hit
+            states = [e.state for e in service.events(hit.id)]
+            assert states == [QUEUED, DONE]
+            await service.stop()
+
+        run_async(main())
+
+    def test_events_unknown_job(self):
+        async def main():
+            service = await make_service(quick_runner).start()
+            with pytest.raises(UnknownJobError):
+                service.events("job-404")
+            await service.stop()
+
+        run_async(main())
+
+    def test_wait_events_long_polls_until_new_events(self):
+        release = threading.Event()
+
+        def gated(request):
+            release.wait(5)
+            return {"hpwl": 1.0}
+
+        async def main():
+            service = await make_service(gated).start()
+            job = service.submit(make_request("OR1200"))
+            seen, done = await service.wait_events(job.id, after=-1, timeout=5)
+            assert seen and not done
+            after = seen[-1].seq
+            release.set()
+            collected = list(seen)
+            while not done:
+                fresh, done = await service.wait_events(
+                    job.id, after=after, timeout=5
+                )
+                collected.extend(fresh)
+                if fresh:
+                    after = fresh[-1].seq
+            assert [e.state for e in collected] == [QUEUED, RUNNING, DONE]
+            await service.stop()
+
+        run_async(main())
+
+    def test_service_client_follow_ends_at_terminal_event(self):
+        async def main():
+            service = await make_service(quick_runner).start()
+            client = ServiceClient(service)
+            job = await client.submit("OR1200")
+            events = [e async for e in client.follow(job.id, timeout=10)]
+            assert events[-1].kind == "state"
+            assert events[-1].state == DONE
+            assert [e.state for e in events] == [QUEUED, RUNNING, DONE]
+            await service.stop()
+
+        run_async(main())
+
+    def test_service_client_run_invokes_progress_callback(self):
+        async def main():
+            service = await make_service(quick_runner).start()
+            client = ServiceClient(service)
+            seen = []
+            result = await client.run("OR1200", wait_timeout=10,
+                                      progress=seen.append)
+            assert result["hpwl"] == 42.0
+            assert [e.state for e in seen] == [QUEUED, RUNNING, DONE]
+            await service.stop()
+
+        run_async(main())
+
+
+class TestCoalescing:
+    """Duplicate in-flight configs share one execution."""
+
+    def test_duplicate_inflight_attaches_and_mirrors_result(self):
+        release = threading.Event()
+        calls = []
+
+        def gated(request):
+            calls.append(request["design"])
+            release.wait(5)
+            return {"design": request["design"], "hpwl": 1.0}
+
+        async def main():
+            service = await make_service(gated).start()
+            primary = service.submit(make_request("OR1200"))
+            follower = service.submit(make_request("OR1200"))
+            straggler = service.submit(make_request("OR1200"))
+            assert not primary.coalesced
+            assert follower.coalesced and straggler.coalesced
+            assert follower.key == primary.key
+            # Followers consume no queue slot.
+            assert service.metrics()["queue_depth"] <= 1
+            assert service.counts["coalesced"] == 2
+            release.set()
+            jobs = [
+                await service.wait(job.id, timeout=10)
+                for job in (primary, follower, straggler)
+            ]
+            assert all(job.state == DONE for job in jobs)
+            assert follower.result == primary.result
+            assert len(calls) == 1  # one execution served all three
+            await service.stop()
+
+        run_async(main())
+
+    def test_coalesced_duplicates_admitted_at_capacity(self):
+        release = threading.Event()
+
+        def gated(request):
+            release.wait(5)
+            return {}
+
+        async def main():
+            service = await make_service(gated, capacity=1).start()
+            running = service.submit(make_request("OR1200"))
+            await asyncio.sleep(0.05)  # worker picks it up, freeing the slot
+            queued = service.submit(make_request("OR1200", flow="replace"))
+            with pytest.raises(QueueFullError):
+                service.submit(make_request("OR1200", flow="wirelength"))
+            # ... but a duplicate of in-flight work still gets in.
+            dup = service.submit(make_request("OR1200"))
+            assert dup.coalesced
+            release.set()
+            for job in (running, queued, dup):
+                assert (await service.wait(job.id, timeout=10)).state == DONE
+            await service.stop()
+
+        run_async(main())
+
+    def test_failed_primary_promotes_first_follower(self):
+        calls = []
+
+        def flaky(request):
+            calls.append(request["design"])
+            if len(calls) == 1:
+                raise RuntimeError("transient placement failure")
+            return {"hpwl": 2.0}
+
+        async def main():
+            service = await make_service(flaky).start()
+            primary = service.submit(make_request("OR1200"))
+            follower = service.submit(make_request("OR1200"))
+            done = await service.wait(follower.id, timeout=10)
+            assert service.status(primary.id).state == FAILED
+            # The follower reran the work instead of inheriting the failure.
+            assert done.state == DONE
+            assert done.result == {"hpwl": 2.0}
+            assert not done.coalesced
+            assert len(calls) == 2
+            await service.stop()
+
+        run_async(main())
+
+
+class TestFairnessAndShedding:
+    def test_round_robin_interleaves_clients(self):
+        release = threading.Event()
+        order = []
+
+        def gated(request):
+            order.append(request["config"]["seed"])
+            release.wait(10)
+            return {}
+
+        async def main():
+            service = await make_service(gated, capacity=8).start()
+            blocker = service.submit(make_request("OR1200", client_id="z"))
+            await asyncio.sleep(0.05)  # blocker occupies the single worker
+            submitted = []
+            # Client "a" floods first; "b" arrives after — round-robin
+            # must still interleave them instead of draining "a" first.
+            for seed in (1, 2, 3):
+                submitted.append(service.submit(make_request(
+                    "OR1200", config=api.RunConfig(seed=seed),
+                    client_id="a")))
+            for seed in (101, 102, 103):
+                submitted.append(service.submit(make_request(
+                    "OR1200", config=api.RunConfig(seed=seed),
+                    client_id="b")))
+            release.set()
+            for job in [blocker, *submitted]:
+                assert (await service.wait(job.id, timeout=10)).state == DONE
+            dispatched = order[1:]  # drop the blocker
+            clients = ["a" if seed < 100 else "b" for seed in dispatched]
+            assert sorted(clients) == ["a", "a", "a", "b", "b", "b"]
+            # Every adjacent pair holds one job of each client.
+            for i in (0, 2, 4):
+                assert set(clients[i:i + 2]) == {"a", "b"}
+            await service.stop()
+
+        run_async(main())
+
+    def test_client_weights_skew_dispatch(self):
+        release = threading.Event()
+        order = []
+
+        def gated(request):
+            order.append(request["config"]["seed"])
+            release.wait(10)
+            return {}
+
+        async def main():
+            service = await make_service(
+                gated, capacity=8, client_weights={"a": 2, "b": 1}
+            ).start()
+            blocker = service.submit(make_request("OR1200", client_id="z"))
+            await asyncio.sleep(0.05)
+            submitted = []
+            for seed in (1, 2, 3, 4):
+                submitted.append(service.submit(make_request(
+                    "OR1200", config=api.RunConfig(seed=seed),
+                    client_id="a")))
+            for seed in (101, 102):
+                submitted.append(service.submit(make_request(
+                    "OR1200", config=api.RunConfig(seed=seed),
+                    client_id="b")))
+            release.set()
+            for job in [blocker, *submitted]:
+                assert (await service.wait(job.id, timeout=10)).state == DONE
+            clients = ["a" if seed < 100 else "b" for seed in order[1:]]
+            # Weight 2 lets "a" dispatch twice per cycle: among the first
+            # three picks "a" appears twice, yet "b" is never starved.
+            assert clients[:3].count("a") == 2
+            assert "b" in clients[:3]
+            await service.stop()
+
+        run_async(main())
+
+    def test_high_priority_submission_sheds_lowest_queued(self):
+        release = threading.Event()
+        order = []
+
+        def gated(request):
+            order.append(request["config"]["seed"])
+            release.wait(10)
+            return {}
+
+        async def main():
+            service = await make_service(gated, capacity=2).start()
+            blocker = service.submit(make_request(
+                "OR1200", config=api.RunConfig(seed=99)))
+            await asyncio.sleep(0.05)
+            low_old = service.submit(make_request(
+                "OR1200", config=api.RunConfig(seed=1)))
+            low_new = service.submit(make_request(
+                "OR1200", config=api.RunConfig(seed=2)))
+            assert service.metrics()["queue_depth"] == 2  # full
+
+            urgent = service.submit(make_request(
+                "OR1200", config=api.RunConfig(seed=7), priority=5))
+            # The newest of the equal-priority queued jobs was displaced;
+            # long-waiting work keeps its place.
+            victim = service.status(low_new.id)
+            assert victim.state == CANCELLED
+            assert "load-shed" in victim.error
+            assert "priority-5" in victim.error
+            assert service.counts["shed"] == 1
+            assert service.status(low_old.id).state == QUEUED
+
+            release.set()
+            for job in (blocker, low_old, urgent):
+                assert (await service.wait(job.id, timeout=10)).state == DONE
+            # Priority also orders dispatch: the urgent job ran before
+            # the surviving priority-0 job.
+            assert order.index(7) < order.index(1)
+            await service.stop()
+
+        run_async(main())
+
+    def test_equal_priority_is_rejected_not_shed(self):
+        release = threading.Event()
+
+        def gated(request):
+            release.wait(10)
+            return {}
+
+        async def main():
+            service = await make_service(gated, capacity=1).start()
+            running = service.submit(make_request("OR1200"))
+            await asyncio.sleep(0.05)  # worker picks it up, freeing the slot
+            queued = service.submit(make_request("OR1200", flow="replace"))
+            with pytest.raises(QueueFullError):
+                service.submit(make_request("OR1200", flow="wirelength"))
+            assert service.counts["shed"] == 0
+            assert service.counts["rejected"] == 1
+            assert service.status(queued.id).state == QUEUED
+            release.set()
+            for job in (running, queued):
+                assert (await service.wait(job.id, timeout=10)).state == DONE
+            await service.stop()
+
+        run_async(main())
+
+
 class TestHttpEndpoints:
     @staticmethod
     def serve_in_thread(runner, config=None):
@@ -452,6 +775,36 @@ class TestHttpEndpoints:
         try:
             with pytest.raises(JobFailedError, match="kaboom"):
                 client.run("OR1200", wait_timeout=10, poll=0.02)
+        finally:
+            shutdown()
+
+    def test_http_events_and_follow(self):
+        from repro.serve import JobEvent
+
+        client, shutdown = self.serve_in_thread(quick_runner)
+        try:
+            job = client.submit("OR1200")
+            events = list(client.follow(job["id"], timeout=10))
+            assert all(isinstance(e, JobEvent) for e in events)
+            assert [e.state for e in events] == ["queued", "running", "done"]
+            # The non-blocking read replays the same history...
+            replay = client.events(job["id"])
+            assert [e.seq for e in replay] == [e.seq for e in events]
+            # ...and `after` resumes past a cursor.
+            assert client.events(job["id"], after=events[-1].seq) == []
+            with pytest.raises(UnknownJobError):
+                client.events("job-404")
+        finally:
+            shutdown()
+
+    def test_http_run_with_progress_callback(self):
+        client, shutdown = self.serve_in_thread(quick_runner)
+        try:
+            seen = []
+            result = client.run("OR1200", wait_timeout=10,
+                                progress=seen.append)
+            assert result["hpwl"] == 42.0
+            assert seen and seen[-1].state == "done"
         finally:
             shutdown()
 
