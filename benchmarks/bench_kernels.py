@@ -15,7 +15,11 @@ The tentpole acceptance bar (gated by ``check_regression.py``) is a
   rasterization (``rect_area``), the two per-bin loop nests of
   ``placer/density.py``.
 
-``rudy`` and ``maze`` are recorded for visibility alongside.
+``rudy`` and ``maze`` are recorded for visibility alongside, as are the
+round-2 kernels: ``abacus`` (suffix-scan cluster-merge trials of the
+Abacus legalizer) and ``steiner`` (batched per-net RSMT construction on
+a netlist-like degree mix).  Their speedups are regression-checked
+against the committed baseline rather than floored.
 
 Usage::
 
@@ -40,12 +44,16 @@ FULL = dict(
     rudy_nets=120_000, rudy_grid=128,
     density_cells=100_000, density_dim=256, density_fixed=616,
     maze_routes=40, maze_grid=64,
+    abacus_clusters=600, abacus_trials=400,
+    steiner_nets=20_000,
 )
 QUICK = dict(
     demand_rects=20_000, demand_grid=96,
     rudy_nets=15_000, rudy_grid=96,
     density_cells=15_000, density_dim=128, density_fixed=110,
     maze_routes=10, maze_grid=48,
+    abacus_clusters=200, abacus_trials=80,
+    steiner_nets=3_000,
 )
 
 
@@ -198,11 +206,79 @@ def bench_maze(cfg, repeats):
     )
 
 
+def bench_abacus(cfg, repeats):
+    """Deep cluster-merge trials on a fully packed Abacus row.
+
+    A high-utilization row — clusters legalized back-to-back with no
+    gaps — so every trial insertion cascades through the whole chain,
+    the workload the suffix-scan formulation wins on.
+    """
+    rng = np.random.default_rng(4)
+    n = cfg["abacus_clusters"]
+    w = rng.uniform(1.0, 4.0, n)
+    x = np.cumsum(w) - w
+    xlo, xhi = 0.0, float(x[-1] + w[-1] + 50.0)
+    e = rng.uniform(0.5, 3.0, n)
+    q = e * (x + rng.uniform(-2.0, 2.0, n))
+    trials = [
+        (
+            float(rng.uniform(1.0, 3.0)),           # width
+            float(rng.uniform(0.5, 2.0)),           # weight
+            float(rng.uniform(xlo, x[n // 4])),     # target_x, forces merges
+        )
+        for _ in range(cfg["abacus_trials"])
+    ]
+
+    def run_all(mod):
+        return [
+            mod.abacus_trial(e, q, w, x, n, xlo, xhi, xhi - xlo, tw, te, tx)
+            for tw, te, tx in trials
+        ]
+
+    for ref_t, vec_t in zip(run_all(reference), run_all(vectorized)):
+        assert (ref_t is None) == (vec_t is None)
+        if ref_t is None:
+            continue
+        if abs(ref_t[0] - vec_t[0]) > 1e-6 or ref_t[1] != vec_t[1]:
+            raise AssertionError(f"abacus: trials disagree ({ref_t} vs {vec_t})")
+    return (
+        best_of(lambda: run_all(reference), max(repeats // 2, 1)),
+        best_of(lambda: run_all(vectorized), repeats),
+    )
+
+
+def bench_steiner(cfg, repeats):
+    """Batched RSMT over a netlist-like degree mix (mostly 2-3 pins)."""
+    rng = np.random.default_rng(5)
+    n = cfg["steiner_nets"]
+    # Typical netlists are dominated by 2-3 pin nets with a fanout tail.
+    deg = np.clip(rng.geometric(0.55, n) + 1, 2, 12)
+    start = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg, out=start[1:])
+    total = int(start[-1])
+    x = rng.integers(0, 512, total).astype(np.float64)
+    y = rng.integers(0, 512, total).astype(np.float64)
+
+    for ref_t, vec_t in zip(
+        reference.steiner_batch(x, y, start, 64),
+        vectorized.steiner_batch(x, y, start, 64),
+    ):
+        for a, b in zip(ref_t, vec_t):
+            if not np.array_equal(a, b):
+                raise AssertionError("steiner: backends disagree")
+    return (
+        best_of(lambda: reference.steiner_batch(x, y, start, 64), max(repeats // 2, 1)),
+        best_of(lambda: vectorized.steiner_batch(x, y, start, 64), repeats),
+    )
+
+
 BENCHES = {
     "demand": bench_demand,
     "rudy": bench_rudy,
     "density": bench_density,
     "maze": bench_maze,
+    "abacus": bench_abacus,
+    "steiner": bench_steiner,
 }
 
 

@@ -1,0 +1,163 @@
+"""Benchmark zero-copy shared-memory design transfer to shard workers.
+
+Runs the same job stream through one :class:`repro.serve.shards.ProcessShard`
+twice.  Each job evaluates HPWL on a mid-size design; the only difference
+between the modes is how the design reaches the worker process:
+
+* ``pickle`` — the request carries the fully pickled design, so every
+  submit pays serialize + IPC + deserialize for the whole netlist (the
+  pre-shm wire cost, measured honestly per job).
+* ``shm`` — the design is published once into
+  :mod:`repro.runtime.shm`; every request carries only the ~500-byte
+  handle and the worker attaches read-only views (memoized after the
+  first job).
+
+Headline metrics: ``shm_latency_speedup`` (per-job p50 submit-to-result,
+pickle over shm — floored at >= 2x by ``check_regression.py``) and
+``shm_speedup`` (jobs/sec ratio).  The one-time publish cost and the
+wire sizes are reported for context.
+
+Writes ``benchmarks/out/BENCH_shm.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shm.py [--jobs N]
+        [--design NAME] [--scale S] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import time
+
+from repro.benchgen import make_design
+from repro.runtime import shm
+from repro.serve.shards import ProcessShard
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def shm_job(request):
+    """Picklable worker body: materialize the design, score it.
+
+    ``_shm`` requests attach the published segment (zero-copy);
+    ``design_blob`` requests unpickle the netlist shipped in the
+    request — the per-job cost the shared-memory path removes.
+    """
+    handle = request.get("_shm")
+    if handle is not None:
+        design = shm.attach_design(shm.SharedDesignHandle.from_dict(handle))
+    else:
+        design = pickle.loads(request["design_blob"])
+    return {"hpwl": design.hpwl(), "cells": design.num_cells}
+
+
+def run_mode(shard: ProcessShard, requests: list) -> dict:
+    """Execute the stream sequentially, timing each job."""
+    latencies = []
+    start = time.perf_counter()
+    for i, request in enumerate(requests):
+        t0 = time.perf_counter()
+        result = shard.execute(shm_job, request, key=f"job-{i}")
+        latencies.append(time.perf_counter() - t0)
+        if not result.ok:
+            raise RuntimeError(f"bench job failed: {result.error!r}")
+    wall = time.perf_counter() - start
+    latencies.sort()
+    return {
+        "wall_seconds": wall,
+        "jobs_per_sec": len(requests) / wall,
+        "p50_seconds": latencies[len(latencies) // 2],
+        "p99_seconds": latencies[min(len(latencies) - 1,
+                                     int(len(latencies) * 0.99))],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=40, help="jobs per mode")
+    parser.add_argument("--design", default="OR1200")
+    parser.add_argument("--scale", type=float, default=0.04,
+                        help="benchmark-generation scale (design size)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fewer jobs")
+    parser.add_argument("--out", default=os.path.join(OUT_DIR, "BENCH_shm.json"))
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.jobs = min(args.jobs, 12)
+
+    design = make_design(args.design, args.scale)
+    blob = pickle.dumps(design, protocol=pickle.HIGHEST_PROTOCOL)
+    t0 = time.perf_counter()
+    shared = shm.publish_design(design)
+    publish_seconds = time.perf_counter() - t0
+    handle_dict = shared.handle.to_dict()
+    handle_bytes = len(pickle.dumps(handle_dict, protocol=pickle.HIGHEST_PROTOCOL))
+    print(f"{args.design} scale {args.scale:g}: {design.num_cells} cells, "
+          f"pickle {len(blob)} B vs handle {handle_bytes} B "
+          f"(publish {publish_seconds * 1e3:.1f} ms)")
+
+    results = {}
+    try:
+        shard = ProcessShard(0)
+        try:
+            shard.warm()
+            # One warmup job per mode: fork/attach costs land here, not
+            # in the measured stream.
+            shard.execute(shm_job, {"design_blob": blob}, key="warm-pickle")
+            shard.execute(shm_job, {"_shm": handle_dict}, key="warm-shm")
+            for mode in ("pickle", "shm"):
+                request = (
+                    {"design_blob": blob} if mode == "pickle"
+                    else {"_shm": handle_dict}
+                )
+                results[mode] = run_mode(shard, [dict(request) for _ in range(args.jobs)])
+                r = results[mode]
+                print(f"  {mode:6s}: {r['wall_seconds']:.3f}s wall, "
+                      f"{r['jobs_per_sec']:.1f} jobs/s, "
+                      f"p50 {r['p50_seconds'] * 1e3:.2f} ms, "
+                      f"p99 {r['p99_seconds'] * 1e3:.2f} ms")
+        finally:
+            shard.close()
+    finally:
+        shared.release()
+
+    latency_speedup = results["pickle"]["p50_seconds"] / results["shm"]["p50_seconds"]
+    throughput_speedup = (
+        results["shm"]["jobs_per_sec"] / results["pickle"]["jobs_per_sec"]
+    )
+    print(f"shared memory vs pickling: {latency_speedup:.2f}x p50 latency, "
+          f"{throughput_speedup:.2f}x jobs/sec")
+
+    report = {
+        "bench": "shm",
+        "design": args.design,
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "quick": args.quick,
+        "design_cells": design.num_cells,
+        "blob_bytes": len(blob),
+        "handle_bytes": handle_bytes,
+        "publish_seconds": round(publish_seconds, 5),
+        "pickle_jobs_per_sec": round(results["pickle"]["jobs_per_sec"], 2),
+        "shm_jobs_per_sec": round(results["shm"]["jobs_per_sec"], 2),
+        "pickle_p50_seconds": round(results["pickle"]["p50_seconds"], 5),
+        "shm_p50_seconds": round(results["shm"]["p50_seconds"], 5),
+        "pickle_p99_seconds": round(results["pickle"]["p99_seconds"], 5),
+        "shm_p99_seconds": round(results["shm"]["p99_seconds"], 5),
+        "shm_latency_speedup": round(latency_speedup, 2),
+        "shm_speedup": round(throughput_speedup, 2),
+    }
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

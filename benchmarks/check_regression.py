@@ -10,9 +10,10 @@ Reads each ``BENCH_*.json`` produced by the scripts in this directory
 * every ``*_speedup`` metric must satisfy
   ``fresh >= baseline / (1 + budget)``,
 * the kernel report must additionally clear the absolute tentpole
-  floors: ``demand_speedup >= 3`` and ``density_speedup >= 3`` — these
-  are enforced even without a baseline, since they are ratios of the
-  same workload on the same machine.
+  floors: ``demand_speedup >= 3`` and ``density_speedup >= 3``, and the
+  shared-memory report ``shm_latency_speedup >= 2`` — these are
+  enforced even without a baseline, since they are ratios of the same
+  workload on the same machine.
 
 Comparisons against a baseline only run when the two reports describe
 the same workload (the config keys match); a ``--quick`` CI run checked
@@ -24,6 +25,7 @@ baseline is a failure (the benchmark silently stopped running).
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py [--budget 0.25]
+        [--only BENCH_kernels.json BENCH_shm.json]
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ CONFIG_KEYS = {
     "BENCH_kernels.json": ("quick", "config"),
     "BENCH_eco.json": ("design", "scale", "seed", "edits", "quick"),
     "BENCH_serve.json": ("jobs", "hogs", "quick"),
+    "BENCH_shm.json": ("design", "scale", "jobs", "quick"),
 }
 
 #: absolute speedup floors (report file -> {metric: floor}), checked on
@@ -54,6 +57,10 @@ FLOORS = {
     # double thread-mode jobs/sec on the hog-mix workload (timeouts
     # that kill the worker reclaim the core; thread mode cannot).
     "BENCH_serve.json": {"shard_speedup": 2.0},
+    # Zero-copy acceptance bar: handing shard workers a shared-memory
+    # handle must at least halve the p50 submit-to-result latency vs
+    # shipping the pickled design in every request.
+    "BENCH_shm.json": {"shm_latency_speedup": 2.0},
 }
 
 SECONDS_GRACE = 0.05
@@ -114,10 +121,23 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--out-dir", default=os.path.join(HERE, "out"))
     parser.add_argument("--baseline-dir", default=os.path.join(HERE, "baselines"))
+    parser.add_argument(
+        "--only", nargs="+", metavar="BENCH_x.json",
+        help="gate only these reports (the always-on CI perf lane "
+             "regenerates a subset; default: every known report)",
+    )
     args = parser.parse_args(argv)
 
+    names = sorted(CONFIG_KEYS)
+    if args.only:
+        unknown = [n for n in args.only if n not in CONFIG_KEYS]
+        if unknown:
+            print(f"error: unknown report(s): {', '.join(unknown)}")
+            return 2
+        names = sorted(args.only)
+
     failures = 0
-    for name in sorted(CONFIG_KEYS):
+    for name in names:
         fresh_path = os.path.join(args.out_dir, name)
         base_path = os.path.join(args.baseline_dir, name)
         has_baseline = os.path.exists(base_path)

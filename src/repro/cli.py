@@ -89,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="summarize a repro.obs trace")
     report.add_argument("trace", help="path to a JSONL trace file")
+    report.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N most expensive stages (by total wall-clock)",
+    )
 
     serve = sub.add_parser("serve", help="run the placement job server")
     serve.add_argument("--host", default="127.0.0.1")
@@ -433,7 +437,7 @@ def cmd_suite(args) -> int:
 def cmd_report(args) -> int:
     from .obs.report import report_file
 
-    print(report_file(args.trace))
+    print(report_file(args.trace, top=args.top))
     return 0
 
 

@@ -17,7 +17,7 @@ import numpy as np
 from .. import kernels, obs
 from ..netlist.design import Design
 from ..router.grid import RoutingGrid
-from ..rsmt import build_rsmt
+from ..rsmt import build_rsmt_batch
 
 
 @dataclass
@@ -75,26 +75,64 @@ def build_topologies(
         px, py = design.pin_positions()
         pgx, pgy = grid.gcell_of(px, py)
         flat = pgx * grid.ny + pgy
-        topologies = []
+        m = design.num_nets
+        # Per-net Gcell dedup in one global sort: composite keys
+        # (net, gcell) sort duplicates together, so each net's unique
+        # Gcells come out as a contiguous ascending run — the same
+        # values the historical per-net ``np.unique`` produced.
+        deg = np.diff(design.net_start)
+        net_of = np.repeat(np.arange(m, dtype=np.int64), deg)
+        span_sz = np.int64(grid.nx) * np.int64(grid.ny)
+        skey = np.sort(net_of * span_sz + flat[design.net_pins])
+        keep = np.ones(len(skey), dtype=bool)
+        keep[1:] = skey[1:] != skey[:-1]
+        ukey = skey[keep]
+        unet = ukey // span_sz
+        ucell = ukey % span_sz
+        counts = np.bincount(unet, minlength=m)
+        ustart = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(counts, out=ustart[1:])
+        # Nets with < 2 distinct Gcells are local: pin penalty only.
+        eligible = np.flatnonzero(counts >= 2)
+
         reused = 0
-        for net in range(design.num_nets):
-            pins = design.pins_of_net(net)
-            if len(pins) < 2:
-                continue
-            cells = np.unique(flat[pins])
-            if len(cells) < 2:
-                # All pins share one Gcell: a local net, pin penalty only.
-                continue
+        slots = []  # (net, cached NetTopology | None, cells.tobytes())
+        pending = []
+        for net in eligible.tolist():
+            cells = ucell[ustart[net] : ustart[net + 1]]
             key = cells.tobytes()
             if cache is not None:
                 hit = cache.get(net)
                 if hit is not None and hit[0] == key:
-                    topologies.append(hit[1])
+                    slots.append((net, hit[1], key))
                     reused += 1
                     continue
-            gx_pts = cells // grid.ny
-            gy_pts = cells % grid.ny
-            topo = build_rsmt(gx_pts.astype(float), gy_pts.astype(float))
+            pending.append(net)
+            slots.append((net, None, key))
+
+        built = []
+        if pending:
+            pend = np.asarray(pending, dtype=np.int64)
+            lens = counts[pend]
+            bstart = np.zeros(len(pend) + 1, dtype=np.int64)
+            np.cumsum(lens, out=bstart[1:])
+            gather = np.repeat(ustart[pend] - bstart[:-1], lens) + np.arange(
+                bstart[-1]
+            )
+            cells_sel = ucell[gather]
+            built = build_rsmt_batch(
+                (cells_sel // grid.ny).astype(np.float64),
+                (cells_sel % grid.ny).astype(np.float64),
+                bstart,
+            )
+
+        topologies = []
+        built_iter = iter(built)
+        for net, cached_topo, key in slots:
+            if cached_topo is not None:
+                topologies.append(cached_topo)
+                continue
+            topo = next(built_iter)
             gx = np.round(topo.x).astype(np.int64)
             gy = np.round(topo.y).astype(np.int64)
             point_of = {

@@ -40,6 +40,7 @@ from ..runtime import (
     Telemetry,
     stable_hash,
 )
+from ..runtime import shm
 from .metrics import PlacerMetrics
 
 
@@ -122,15 +123,23 @@ def suite_cell_key(
     return stable_hash(payload)
 
 
-def run_benchmark(name: str, flow, config: SuiteRunConfig, flow_name: str) -> PlacerMetrics:
+def run_benchmark(
+    name: str,
+    flow,
+    config: SuiteRunConfig,
+    flow_name: str,
+    design=None,
+) -> PlacerMetrics:
     """Place + route one benchmark with one flow.
 
     Thin wrapper over :func:`repro.api.run`: the facade generates the
     design, times the flow call, and routes the result; this adapter
-    repackages the outcome as a :class:`PlacerMetrics` row.
+    repackages the outcome as a :class:`PlacerMetrics` row.  When
+    ``design`` is given (the zero-copy shared-memory path) it is placed
+    directly instead of regenerating ``name``.
     """
     result = api.run(
-        name,
+        design if design is not None else name,
         flow=flow,
         config=api.RunConfig(
             scale=config.scale,
@@ -170,6 +179,29 @@ def _default_flow_cell(
     """
     _, flow = api.resolve_flow(flow_name, strategy=strategy)
     return run_benchmark(name, flow, config, flow_name)
+
+
+def _shared_flow_cell(
+    handle_dict: dict, name: str, flow_name: str, config: SuiteRunConfig, strategy
+) -> PlacerMetrics:
+    """Picklable task body: attach the parent-published shared design.
+
+    The parent generated ``name`` once and published its arrays into
+    shared memory; the worker maps them read-only instead of
+    regenerating the benchmark.  A failed attach (segment evicted or
+    unlinked) falls back to the by-name path — same result, just
+    slower.
+    """
+    from ..runtime import shm as shm_runtime
+
+    _, flow = api.resolve_flow(flow_name, strategy=strategy)
+    try:
+        design = shm_runtime.attach_design(
+            shm_runtime.SharedDesignHandle.from_dict(handle_dict)
+        )
+    except shm_runtime.SharedMemoryError:
+        design = None
+    return run_benchmark(name, flow, config, flow_name, design=design)
 
 
 def _row_record(key: str, row: PlacerMetrics) -> dict:
@@ -293,6 +325,22 @@ def run_suite(
         if executor is None:
             executor = TaskExecutor(jobs=jobs, retries=retries, telemetry=telemetry)
         key_to_cell = {keys[cell]: cell for cell in remainder}
+
+        # Zero-copy fan-out: with a worker pool and the default flows,
+        # generate each benchmark once here and publish its arrays to
+        # shared memory; workers attach instead of regenerating the
+        # design per (benchmark, flow) cell.  Custom flows keep the
+        # pickling path (their callables cross the boundary anyway).
+        shared = None
+        if (
+            not custom_flows
+            and getattr(executor, "jobs", 1) > 1
+            and shm.available()
+        ):
+            shared = shm.SharedDesignCache(
+                capacity=max(len({cell[0] for cell in remainder}), 1)
+            )
+
         tasks = []
         for cell in remainder:
             name, flow_name = cell
@@ -303,11 +351,22 @@ def run_suite(
                     args=(name, flows[flow_name], config, flow_name),
                 )
             else:
-                task = Task(
-                    key=keys[cell],
-                    fn=_default_flow_cell,
-                    args=(name, flow_name, config, strategy),
+                handle = (
+                    shared.handle_for(name, config.scale, config.seed)
+                    if shared is not None else None
                 )
+                if handle is not None:
+                    task = Task(
+                        key=keys[cell],
+                        fn=_shared_flow_cell,
+                        args=(handle.to_dict(), name, flow_name, config, strategy),
+                    )
+                else:
+                    task = Task(
+                        key=keys[cell],
+                        fn=_default_flow_cell,
+                        args=(name, flow_name, config, strategy),
+                    )
             tasks.append(task)
 
         def on_result(result) -> None:
@@ -323,7 +382,11 @@ def run_suite(
                 raise result.error
             settle(key_to_cell[result.key], result.key, result.value, journal_it=True)
 
-        executor.run(tasks, on_result=on_result)
+        try:
+            executor.run(tasks, on_result=on_result)
+        finally:
+            if shared is not None:
+                shared.close()
 
     ordered = [rows[cell] for cell in cells]
     illegal = [row for row in ordered if getattr(row, "violations", 0)]

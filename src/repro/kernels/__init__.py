@@ -27,6 +27,11 @@ Kernel inventory (full contracts in the backend docstrings):
   overlap area of fixed rectangles.
 * ``maze_search(gx0, gy0, gx1, gy1, cost_h, cost_v, xlo, xhi, ylo,
   yhi)`` — windowed cheapest path with run-based turn accounting.
+* ``abacus_trial(e, q, w, x, n, xlo, xhi, seg_width, width, weight,
+  target_x)`` — non-mutating Abacus AddCell/Collapse trial insertion
+  over a segment's cluster arrays.
+* ``steiner_batch(x, y, start, max_degree)`` — per-net RSMT
+  construction over CSR-packed point sets.
 """
 
 from __future__ import annotations
@@ -106,3 +111,13 @@ def rect_area(*args, **kwargs):
 def maze_search(*args, **kwargs):
     """Windowed cheapest-path maze search (active backend)."""
     return _MODULES[_active].maze_search(*args, **kwargs)
+
+
+def abacus_trial(*args, **kwargs):
+    """Abacus trial insertion into a row segment (active backend)."""
+    return _MODULES[_active].abacus_trial(*args, **kwargs)
+
+
+def steiner_batch(*args, **kwargs):
+    """Batched per-net RSMT construction (active backend)."""
+    return _MODULES[_active].steiner_batch(*args, **kwargs)

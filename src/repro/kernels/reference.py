@@ -197,3 +197,73 @@ def _reconstruct(goal, came, ny: int):
         np.unique(np.asarray(h_cells, dtype=np.int64)),
         np.unique(np.asarray(v_cells, dtype=np.int64)),
     )
+
+
+# ----------------------------------------------------------------------
+# Abacus trial insertion (legalizer cluster dynamic program)
+# ----------------------------------------------------------------------
+
+
+def abacus_trial(e, q, w, x, n, xlo, xhi, seg_width, width, weight, target_x):
+    """Trial Abacus insertion into one row segment.
+
+    The segment's cluster state is given as parallel arrays ``e`` (total
+    weight), ``q`` (weighted target sum), ``w`` (total width), ``x``
+    (clamped optimal start), of which the first ``n`` entries are valid
+    and ordered left to right.  A new cell of ``width`` / ``weight``
+    targeting left edge ``target_x`` is merged backwards through the
+    classic AddCell / Collapse recurrence without mutating the state.
+
+    Returns:
+        ``(x_left, merges)`` — the final left edge the new cell would
+        get and the number of existing clusters the insertion collapses
+        — or ``None`` when the (merged) cluster cannot fit the segment.
+    """
+    if width > seg_width + 1e-9:
+        return None
+    xi = min(max(target_x, xlo), xhi - width)
+    ce, cq, cw = weight, weight * xi, width
+    i = n - 1
+    while True:
+        xc = min(max(cq / ce, xlo), xhi - cw)
+        if i < 0:
+            break
+        if x[i] + w[i] <= xc + 1e-9:
+            break
+        ce_new = e[i] + ce
+        cq_new = q[i] + cq - ce * w[i]
+        cw_new = w[i] + cw
+        if cw_new > seg_width + 1e-9:
+            return None
+        ce, cq, cw = ce_new, cq_new, cw_new
+        i -= 1
+    xc = min(max(cq / ce, xlo), xhi - cw)
+    return (xc + cw - width, n - 1 - i)
+
+
+# ----------------------------------------------------------------------
+# Batched RSMT construction (per-net Steiner trees)
+# ----------------------------------------------------------------------
+
+
+def steiner_batch(x, y, start, max_degree):
+    """Per-net RSMT over CSR-packed point sets — the historical loop.
+
+    ``x`` / ``y`` hold the concatenated (deduplicated) points of every
+    net; ``start`` is the CSR offset array (length ``nets + 1``).
+
+    Returns:
+        One ``(px, py, is_pin, edges)`` tuple per net, matching
+        :func:`repro.rsmt.build_rsmt` on each slice.
+    """
+    from ..rsmt.steiner import build_rsmt
+
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    start = np.asarray(start, dtype=np.int64)
+    out = []
+    for i in range(len(start) - 1):
+        lo, hi = int(start[i]), int(start[i + 1])
+        topo = build_rsmt(x[lo:hi], y[lo:hi], steinerize_max_degree=max_degree)
+        out.append((topo.x, topo.y, topo.is_pin, topo.edges))
+    return out

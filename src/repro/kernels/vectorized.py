@@ -334,3 +334,222 @@ def _as_routes(h_cells, v_cells):
         np.unique(np.asarray(h_cells, dtype=np.int64)),
         np.unique(np.asarray(v_cells, dtype=np.int64)),
     )
+
+
+# ----------------------------------------------------------------------
+# Abacus trial insertion (legalizer cluster dynamic program)
+# ----------------------------------------------------------------------
+
+# Below this cluster count the scalar recurrence beats the array setup;
+# the vectorized scan takes over on deep merge chains.
+_ABACUS_SCALAR_MAX = 8
+
+
+def abacus_trial(e, q, w, x, n, xlo, xhi, seg_width, width, weight, target_x):
+    """Trial Abacus insertion into one row segment (suffix-scan form).
+
+    Same contract as the reference: non-mutating AddCell / Collapse
+    merge of a new cell into the cluster arrays ``e, q, w, x`` (first
+    ``n`` valid), returning ``(x_left, merges)`` or ``None``.
+
+    Instead of iterating the merge recurrence, the merged cluster's
+    ``(E, Q, W)`` after ``s`` collapses is expressed in closed form from
+    prefix/suffix sums, every candidate stop position is evaluated at
+    once, and the first self-consistent stop wins — identical to the
+    scalar loop's fixed point, computed in O(n) numpy instead of O(s)
+    Python iterations.
+    """
+    if width > seg_width + 1e-9:
+        return None
+    if n < _ABACUS_SCALAR_MAX:
+        from .reference import abacus_trial as _scalar
+
+        return _scalar(e, q, w, x, n, xlo, xhi, seg_width, width, weight,
+                       target_x)
+    xi = min(max(target_x, xlo), xhi - width)
+    e = e[:n]
+    q = q[:n]
+    w = w[:n]
+    x = x[:n]
+    cw = np.cumsum(w)
+    totw = cw[-1]
+    cw_before = cw - w  # exclusive prefix: total width left of cluster j
+    # Suffix sums indexed by k = n - s (k = n means "no merges yet"):
+    #   A[k] = sum(q[k:]),  C[k] = sum(e[k:]),  Bv[k] = sum((e*cw_before)[k:])
+    A = np.zeros(n + 1)
+    A[:n] = np.cumsum(q[::-1])[::-1]
+    C = np.zeros(n + 1)
+    C[:n] = np.cumsum(e[::-1])[::-1]
+    Bv = np.zeros(n + 1)
+    Bv[:n] = np.cumsum((e * cw_before)[::-1])[::-1]
+    cwb = np.concatenate([cw_before, [totw]])
+    s = np.arange(n + 1)
+    k = n - s
+    # Closed form of the merge recurrence after s collapses:
+    #   E(s) = C[k] + weight
+    #   W(s) = (totw - cwb[k]) + width
+    #   Q(s) = A[k] - Bv[k] + C[k]*cwb[k] + weight*xi - weight*(totw - cwb[k])
+    E = C[k] + weight
+    W = (totw - cwb[k]) + width
+    Q = A[k] - Bv[k] + C[k] * cwb[k] + weight * xi - weight * (totw - cwb[k])
+    xc = np.minimum(np.maximum(Q / E, xlo), xhi - W)
+    stop = np.empty(n + 1, dtype=bool)
+    stop[n] = True
+    left = n - 1 - s[:n]  # cluster the s-merge state would collapse next
+    stop[:n] = x[left] + w[left] <= xc[:n] + 1e-9
+    s_star = int(np.argmax(stop))
+    overflow = W > seg_width + 1e-9
+    overflow[0] = False  # s = 0 is covered by the entry width check
+    if overflow[: s_star + 1].any():
+        return None
+    return (float(xc[s_star] + W[s_star]) - width, s_star)
+
+
+# ----------------------------------------------------------------------
+# Batched RSMT construction (per-net Steiner trees)
+# ----------------------------------------------------------------------
+
+_NO_EDGES = np.zeros((0, 2), dtype=np.int64)
+_NO_EDGES.setflags(write=False)
+_EDGE_2 = np.array([[0, 1]], dtype=np.int64)
+_EDGE_2.setflags(write=False)
+_STAR_3 = np.array([[0, 3], [1, 3], [2, 3]], dtype=np.int64)
+_STAR_3.setflags(write=False)
+_PINS_3S = np.array([True, True, True, False])
+_PINS_3S.setflags(write=False)
+
+
+def _all_pins(d):
+    flags = np.ones(d, dtype=bool)
+    flags.setflags(write=False)
+    return flags
+
+
+def _prim_batch(dist):
+    """Prim MSTs of a ``(B, n, n)`` distance tensor, scalar tie-breaks.
+
+    Batched transcription of :func:`repro.rsmt.rmst.rmst_edges`: the
+    same masked argmin (lowest index wins ties) and the same
+    strictly-closer parent update, applied to all ``B`` nets per step.
+    """
+    batch, n, _ = dist.shape
+    in_tree = np.zeros((batch, n), dtype=bool)
+    in_tree[:, 0] = True
+    best = dist[:, 0, :].copy()
+    parent = np.zeros((batch, n), dtype=np.int64)
+    edges = np.zeros((batch, n - 1, 2), dtype=np.int64)
+    rows = np.arange(batch)
+    for k in range(n - 1):
+        masked = np.where(in_tree, np.inf, best)
+        j = np.argmin(masked, axis=1)
+        edges[:, k, 0] = parent[rows, j]
+        edges[:, k, 1] = j
+        in_tree[rows, j] = True
+        dj = dist[rows, j, :]
+        closer = dj < best
+        parent = np.where(closer, j[:, None], parent)
+        best = np.minimum(best, dj)
+    return edges
+
+
+def steiner_batch(x, y, start, max_degree):
+    """Per-net RSMT over CSR-packed point sets, grouped by degree.
+
+    Degree groups dominate the work differently, so each gets its own
+    formulation:
+
+    * ``d <= 1`` — points only, no edges.
+    * ``d == 2`` — the single edge, no tree search needed.
+    * ``d == 3`` — batched Prim plus the exact closed form: the
+      rectilinear median of three points is the optimal Steiner point;
+      when it coincides with the path's middle vertex the MST is already
+      optimal (the reference's zero-gain rejection), otherwise the
+      median star replaces the path.
+    * ``4 <= d <= max_degree`` — batched Prim for the MST (the O(n^2)
+      part), then the reference's Steinerization per net.
+    * ``d > max_degree`` — batched Prim only (matching the reference's
+      plain-RMST cutoff).
+
+    Returns ``(px, py, is_pin, edges)`` per net, in net order.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    start = np.asarray(start, dtype=np.int64)
+    deg = np.diff(start)
+    out = [None] * len(deg)
+    for d in np.unique(deg).tolist():
+        idx = np.flatnonzero(deg == d)
+        lo = start[idx]
+        if d <= 1:
+            for i, l in zip(idx.tolist(), lo.tolist()):
+                out[i] = (x[l:l + d], y[l:l + d], _all_pins(d), _NO_EDGES)
+            continue
+        if d == 2:
+            pins = _all_pins(2)
+            for i, l in zip(idx.tolist(), lo.tolist()):
+                out[i] = (x[l:l + 2], y[l:l + 2], pins, _EDGE_2)
+            continue
+        gather = lo[:, None] + np.arange(d)[None, :]
+        px = x[gather]
+        py = y[gather]
+        dist = (
+            np.abs(px[:, :, None] - px[:, None, :])
+            + np.abs(py[:, :, None] - py[:, None, :])
+        )
+        edges = _prim_batch(dist)
+        if d == 3:
+            _emit_degree3(out, idx, px, py, edges)
+            continue
+        if d > max_degree:
+            pins = _all_pins(d)
+            for b, i in enumerate(idx.tolist()):
+                out[i] = (px[b], py[b], pins, edges[b])
+            continue
+        from ..rsmt.steiner import _adjacency, _finalize, _steinerize
+
+        for b, i in enumerate(idx.tolist()):
+            pxl = list(px[b])
+            pyl = list(py[b])
+            adjacency = _adjacency(d, edges[b])
+            _steinerize(pxl, pyl, adjacency, num_pins=d)
+            topo = _finalize(pxl, pyl, adjacency, num_pins=d)
+            out[i] = (topo.x, topo.y, topo.is_pin, topo.edges)
+    return out
+
+
+def _emit_degree3(out, idx, px, py, edges):
+    """Exact three-point RSMTs from the batched MST paths.
+
+    The middle vertex is the one with MST degree 2; the componentwise
+    median of the three points is the unique optimal Steiner point, and
+    its insertion gain equals its distance to the middle vertex — so a
+    star is emitted exactly when that distance clears the reference's
+    ``1e-9`` gain threshold.  Non-star nets keep the MST path with
+    edges in the reference's canonical (sorted) emission order.
+    """
+    batch = len(idx)
+    rows = np.arange(batch)
+    occ = edges.reshape(batch, 4)
+    counts = (occ[:, :, None] == np.arange(3)[None, None, :]).sum(axis=1)
+    mid = np.argmax(counts, axis=1)
+    sx = px.sum(axis=1) - px.min(axis=1) - px.max(axis=1)
+    sy = py.sum(axis=1) - py.min(axis=1) - py.max(axis=1)
+    gain = np.abs(sx - px[rows, mid]) + np.abs(sy - py[rows, mid])
+    star = gain > 1e-9
+    # Canonical path edges: each (a, b) with a < b, rows in lex order.
+    path = np.sort(edges, axis=2)
+    swap = (path[:, 0, 0] > path[:, 1, 0]) | (
+        (path[:, 0, 0] == path[:, 1, 0]) & (path[:, 0, 1] > path[:, 1, 1])
+    )
+    path[swap] = path[swap][:, ::-1, :]
+    pins3 = _all_pins(3)
+    for b, i in enumerate(idx.tolist()):
+        if star[b]:
+            out[i] = (
+                np.append(px[b], sx[b]),
+                np.append(py[b], sy[b]),
+                _PINS_3S,
+                _STAR_3,
+            )
+        else:
+            out[i] = (px[b], py[b], pins3, path[b])

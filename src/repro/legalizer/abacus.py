@@ -14,34 +14,49 @@ the extra width becomes distributed white space.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from .. import obs
+from .. import kernels, obs
 from ..netlist.design import Design
 from .rows import SegmentIndex
 
 
-@dataclass
-class _Cluster:
-    """An Abacus cluster: maximal run of abutting cells in a segment."""
-
-    e: float  # total weight
-    q: float  # sum of e_i * (target_i - offset_i)
-    w: float  # total width
-    x: float  # optimal (clamped) start position
-    cells: list = field(default_factory=list)  # (cell, width, target_x)
-
-
 class _SegmentState:
+    """Cluster state of one row segment, as parallel arrays.
+
+    Clusters (maximal runs of abutting cells) are stored left to right
+    in ``e`` (total weight), ``q`` (weighted target sum), ``w`` (total
+    width), ``x`` (clamped optimal start); only the first ``n`` entries
+    are valid.  The array layout feeds :func:`repro.kernels.abacus_trial`
+    directly, so the hot trial-insertion scan runs on the active kernel
+    backend while the (once-per-cell) commit stays scalar and therefore
+    backend-independent.
+    """
+
+    __slots__ = ("segment", "n", "e", "q", "w", "x", "cells", "used")
+
     def __init__(self, segment) -> None:
         self.segment = segment
-        self.clusters: list = []
+        self.n = 0
+        self.e = np.zeros(8)
+        self.q = np.zeros(8)
+        self.w = np.zeros(8)
+        self.x = np.zeros(8)
+        self.cells: list = []  # per-cluster lists of (cell, width, target_x)
         self.used = 0.0
 
     def free(self) -> float:
         return self.segment.width - self.used
+
+    def _reserve(self) -> None:
+        if self.n == len(self.e):
+            for name in ("e", "q", "w", "x"):
+                old = getattr(self, name)
+                grown = np.zeros(2 * len(old))
+                grown[: self.n] = old
+                setattr(self, name, grown)
 
 
 @dataclass
@@ -129,10 +144,15 @@ def _legalize_abacus(
                 for state in states.get(row, []):
                     if state.free() < w_sites - 1e-9:
                         continue
-                    trial = _trial_insert(state, w_sites, _weight(design, cell), tx, site)
+                    seg = state.segment
+                    trial = kernels.abacus_trial(
+                        state.e, state.q, state.w, state.x, state.n,
+                        seg.xlo, seg.xhi, seg.width,
+                        w_sites, _weight(design, cell), tx,
+                    )
                     if trial is None:
                         continue
-                    x_final = trial
+                    x_final = trial[0]
                     cost = (x_final - tx) ** 2 + dy * dy
                     if best is None or cost < best[0]:
                         best = (cost, state, row, x_final)
@@ -163,50 +183,36 @@ def _weight(design: Design, cell: int) -> float:
     return float(design.w[cell] * design.h[cell])
 
 
-def _trial_insert(state: _SegmentState, width, weight, target_x, site) -> "float | None":
-    """Final left-edge position the new cell would get, or ``None``."""
-    seg = state.segment
-    if width > seg.width + 1e-9:
-        return None
-    x = min(max(target_x, seg.xlo), seg.xhi - width)
-    e, q, w = weight, weight * x, width
-    i = len(state.clusters) - 1
-    while True:
-        xc = min(max(q / e, seg.xlo), seg.xhi - w)
-        if i < 0:
-            break
-        prev = state.clusters[i]
-        if prev.x + prev.w <= xc + 1e-9:
-            break
-        e_new = prev.e + e
-        q_new = prev.q + q - e * prev.w
-        w_new = prev.w + w
-        if w_new > seg.width + 1e-9:
-            return None
-        e, q, w = e_new, q_new, w_new
-        i -= 1
-    xc = min(max(q / e, seg.xlo), seg.xhi - w)
-    return xc + w - width  # left edge of the inserted (last) cell
-
-
 def _commit_insert(state: _SegmentState, cell, width, weight, target_x) -> None:
-    """Mutating version of the Abacus AddCell / Collapse step."""
+    """Mutating Abacus AddCell / Collapse step.
+
+    Runs once per placed cell (the trial scan already found the row), so
+    it stays a scalar loop over the cluster arrays — identical state on
+    every kernel backend.
+    """
     seg = state.segment
-    x = min(max(target_x, seg.xlo), seg.xhi - width)
-    cluster = _Cluster(e=weight, q=weight * x, w=width, x=x, cells=[(cell, width, target_x)])
-    cluster.x = min(max(cluster.q / cluster.e, seg.xlo), seg.xhi - cluster.w)
-    state.clusters.append(cluster)
-    while len(state.clusters) >= 2:
-        last = state.clusters[-1]
-        prev = state.clusters[-2]
-        if prev.x + prev.w <= last.x + 1e-9:
+    state._reserve()
+    i = state.n
+    x0 = min(max(target_x, seg.xlo), seg.xhi - width)
+    state.e[i] = weight
+    state.q[i] = weight * x0
+    state.w[i] = width
+    state.x[i] = min(max(state.q[i] / state.e[i], seg.xlo), seg.xhi - width)
+    state.cells.append([(cell, width, target_x)])
+    state.n = i + 1
+    while state.n >= 2:
+        i = state.n - 1
+        p = i - 1
+        if state.x[p] + state.w[p] <= state.x[i] + 1e-9:
             break
-        prev.e += last.e
-        prev.q += last.q - last.e * prev.w
-        prev.w += last.w
-        prev.cells.extend(last.cells)
-        state.clusters.pop()
-        prev.x = min(max(prev.q / prev.e, seg.xlo), seg.xhi - prev.w)
+        state.e[p] += state.e[i]
+        state.q[p] += state.q[i] - state.e[i] * state.w[p]
+        state.w[p] += state.w[i]
+        state.cells[p].extend(state.cells.pop())
+        state.n = p + 1
+        state.x[p] = min(
+            max(state.q[p] / state.e[p], seg.xlo), seg.xhi - state.w[p]
+        )
 
 
 def _finalize(design: Design, states, index: SegmentIndex, widths, site) -> tuple:
@@ -217,12 +223,12 @@ def _finalize(design: Design, states, index: SegmentIndex, widths, site) -> tupl
     for row, seg_states in states.items():
         y = index.row_ys[row]
         for state in seg_states:
-            for cluster in state.clusters:
+            for ci in range(state.n):
                 xs = state.segment.xlo + math.floor(
-                    (cluster.x - state.segment.xlo) / site + 1e-9
+                    (state.x[ci] - state.segment.xlo) / site + 1e-9
                 ) * site
                 cursor = xs
-                for cell, width, _target in cluster.cells:
+                for cell, width, _target in state.cells[ci]:
                     old_x, old_y = design.x[cell], design.y[cell]
                     # Center the actual cell in its (possibly padded)
                     # footprint, snapped so the cell edge stays on a site.

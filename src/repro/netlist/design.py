@@ -76,6 +76,7 @@ class Design:
         pin_dx: np.ndarray,
         pin_dy: np.ndarray,
         blockages: list | None = None,
+        cell_pin_index: tuple | None = None,
     ) -> None:
         self.name = name
         self.technology = technology
@@ -95,7 +96,12 @@ class Design:
         self.pin_dx = np.asarray(pin_dx, dtype=np.float64)
         self.pin_dy = np.asarray(pin_dy, dtype=np.float64)
         self.blockages = list(blockages or [])
-        self._cellpin_start, self._cellpin_list = self._build_cell_pin_index()
+        if cell_pin_index is not None:
+            # Zero-copy construction (repro.runtime.shm): reuse a
+            # prebuilt CSR index instead of re-sorting the pins.
+            self._cellpin_start, self._cellpin_list = cell_pin_index
+        else:
+            self._cellpin_start, self._cellpin_list = self._build_cell_pin_index()
         self._check_consistency()
 
     # ------------------------------------------------------------------

@@ -22,7 +22,7 @@ import numpy as np
 
 from .. import obs
 from ..netlist.design import Design
-from ..rsmt import build_rsmt
+from ..rsmt import build_rsmt_batch
 from .cost import CostModel, CostParams
 from .grid import DemandMaps, RoutingGrid, build_grid
 from .maze import maze_route
@@ -143,24 +143,59 @@ def build_net_segments(
     """
     px, py = design.pin_positions()
     gx, gy = grid.gcell_of(px, py)
-    net_ids = range(design.num_nets) if nets is None else nets
+    if nets is None:
+        net_ids = np.arange(design.num_nets, dtype=np.int64)
+    else:
+        net_ids = np.asarray(list(nets), dtype=np.int64)
+    if len(net_ids) == 0:
+        return [], np.zeros(0, dtype=np.int64)
+    # Batch the per-net work: gather each net's pins, dedup their Gcells
+    # with one composite-key sort (gcell order matches the historical
+    # per-net ``np.unique`` since ``gy < ny``), and build every RSMT in
+    # one dispatch to the active kernel backend.
+    s = design.net_start[net_ids]
+    lens = design.net_start[net_ids + 1] - s
+    total = int(lens.sum())
+    off = np.zeros(len(net_ids) + 1, dtype=np.int64)
+    np.cumsum(lens, out=off[1:])
+    gather = np.repeat(s - off[:-1], lens) + np.arange(total)
+    pins_sel = design.net_pins[gather]
+    local = np.repeat(np.arange(len(net_ids), dtype=np.int64), lens)
+    span_sz = np.int64(grid.nx) * np.int64(grid.ny)
+    flat = gx[pins_sel] * grid.ny + gy[pins_sel]
+    skey = np.sort(local * span_sz + flat)
+    keep = np.ones(len(skey), dtype=bool)
+    keep[1:] = skey[1:] != skey[:-1]
+    ukey = skey[keep]
+    ulocal = ukey // span_sz
+    ucell = ukey % span_sz
+    counts = np.bincount(ulocal, minlength=len(net_ids))
+    ustart = np.zeros(len(net_ids) + 1, dtype=np.int64)
+    np.cumsum(counts, out=ustart[1:])
+    eligible = np.flatnonzero(counts >= 2)
+    if len(eligible) == 0:
+        return [], np.zeros(0, dtype=np.int64)
+    blens = counts[eligible]
+    bstart = np.zeros(len(eligible) + 1, dtype=np.int64)
+    np.cumsum(blens, out=bstart[1:])
+    pick = np.repeat(ustart[eligible] - bstart[:-1], blens) + np.arange(
+        bstart[-1]
+    )
+    cells_sel = ucell[pick]
+    topos = build_rsmt_batch(
+        (cells_sel // grid.ny).astype(np.float64),
+        (cells_sel % grid.ny).astype(np.float64),
+        bstart,
+    )
     segments = []
     seg_net = []
-    for net in net_ids:
-        pins = design.pins_of_net(net)
-        if len(pins) < 2:
-            continue
-        pts = np.unique(
-            np.stack([gx[pins], gy[pins]], axis=1), axis=0
-        )
-        if len(pts) < 2:
-            continue
-        topo = build_rsmt(pts[:, 0].astype(float), pts[:, 1].astype(float))
+    for li, topo in zip(eligible.tolist(), topos):
+        net = int(net_ids[li])
         tx = np.round(topo.x).astype(np.int64)
         ty = np.round(topo.y).astype(np.int64)
         for a, b in topo.edges:
             segments.append((int(tx[a]), int(ty[a]), int(tx[b]), int(ty[b])))
-            seg_net.append(int(net))
+            seg_net.append(net)
     return segments, np.asarray(seg_net, dtype=np.int64)
 
 

@@ -1,5 +1,6 @@
 """Rectilinear Steiner minimal tree engine (FLUTE substitute)."""
 
+from .batch import build_rsmt_batch
 from .rmst import manhattan_matrix, rmst_edges, tree_length
 from .steiner import build_rsmt
 from .topology import Topology
@@ -7,6 +8,7 @@ from .topology import Topology
 __all__ = [
     "Topology",
     "build_rsmt",
+    "build_rsmt_batch",
     "manhattan_matrix",
     "rmst_edges",
     "tree_length",

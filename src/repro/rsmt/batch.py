@@ -1,0 +1,45 @@
+"""Batched RSMT construction over many nets at once.
+
+The congestion estimator and the evaluation router both decompose every
+net of the design per round; calling :func:`repro.rsmt.build_rsmt` in a
+Python loop makes tree construction the dominant cost of both.  This
+module packs all point sets into one CSR batch and dispatches to
+:func:`repro.kernels.steiner_batch`, whose vectorized backend groups
+nets by degree and runs Prim on whole ``(batch, n, n)`` tensors.
+
+The reference backend is the historical per-net loop, so
+``REPRO_KERNELS=reference`` reproduces the old behavior exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import kernels
+from .topology import Topology
+
+
+def build_rsmt_batch(x, y, start, steinerize_max_degree: int = 64) -> list:
+    """Near-minimal RSMTs for CSR-packed per-net point sets.
+
+    Args:
+        x, y: concatenated point coordinates of every net.  Each net's
+            points must be deduplicated (both call sites dedup Gcells
+            before building trees).
+        start: CSR offsets, length ``nets + 1``; net ``i`` owns points
+            ``start[i]:start[i + 1]``.
+        steinerize_max_degree: per-net cutoff above which the plain RMST
+            is kept (same contract as :func:`repro.rsmt.build_rsmt`).
+
+    Returns:
+        One :class:`Topology` per net, in net order, equal to calling
+        :func:`build_rsmt` on each slice.
+    """
+    start = np.asarray(start, dtype=np.int64)
+    parts = kernels.steiner_batch(
+        np.asarray(x, dtype=np.float64),
+        np.asarray(y, dtype=np.float64),
+        start,
+        steinerize_max_degree,
+    )
+    return [Topology(px, py, is_pin, edges) for px, py, is_pin, edges in parts]

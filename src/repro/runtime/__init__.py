@@ -25,6 +25,14 @@ from .errors import (
     WorkerCrashError,
 )
 from .executor import Task, TaskExecutor, TaskResult
+from .shm import (
+    SharedDesign,
+    SharedDesignCache,
+    SharedDesignHandle,
+    SharedMemoryError,
+    attach_design,
+    publish_design,
+)
 from .progress import (
     CACHE_HIT,
     CACHE_MISS,
@@ -51,6 +59,10 @@ __all__ = [
     "POOL_RESTARTED",
     "RunEvent",
     "RuntimeTaskError",
+    "SharedDesign",
+    "SharedDesignCache",
+    "SharedDesignHandle",
+    "SharedMemoryError",
     "TASK_FAILED",
     "TASK_FINISHED",
     "TASK_INLINE",
@@ -63,6 +75,8 @@ __all__ = [
     "TaskTimeoutError",
     "Telemetry",
     "WorkerCrashError",
+    "attach_design",
     "console_sink",
+    "publish_design",
     "stable_hash",
 ]

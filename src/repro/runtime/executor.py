@@ -51,6 +51,7 @@ import traceback
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from .. import obs
 from .errors import TaskExecutionError, TaskTimeoutError, WorkerCrashError
 from .progress import (
     POOL_RESTARTED,
@@ -271,14 +272,18 @@ class TaskExecutor:
 
     def _split_picklable(self, tasks: list) -> tuple:
         pool_tasks, inline_tasks = [], []
-        for task in tasks:
-            try:
-                pickle.dumps((task.fn, task.args, task.kwargs))
-            except (pickle.PicklingError, TypeError, AttributeError):
-                self._emit(TASK_INLINE, task.key, detail="unpicklable payload")
-                inline_tasks.append(task)
-            else:
-                pool_tasks.append(task)
+        payload_bytes = 0
+        with obs.span("runtime/ipc/pickle_check", tasks=len(tasks)) as span:
+            for task in tasks:
+                try:
+                    blob = pickle.dumps((task.fn, task.args, task.kwargs))
+                except (pickle.PicklingError, TypeError, AttributeError):
+                    self._emit(TASK_INLINE, task.key, detail="unpicklable payload")
+                    inline_tasks.append(task)
+                else:
+                    payload_bytes += len(blob)
+                    pool_tasks.append(task)
+            span.set(bytes=payload_bytes)
         return pool_tasks, inline_tasks
 
     def _make_pool(self) -> cf.ProcessPoolExecutor:

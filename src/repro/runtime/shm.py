@@ -1,0 +1,458 @@
+"""Zero-copy design sharing across worker processes.
+
+Every cross-process job used to pay a full pickle of the
+:class:`~repro.netlist.design.Design` (or regenerated it from scratch
+inside the worker).  The netlist already holds structure-of-arrays
+numpy views, so this module publishes them once into a
+``multiprocessing.shared_memory`` segment and hands workers a tiny
+picklable :class:`SharedDesignHandle`; :func:`attach_design` rebuilds a
+read-only-topology ``Design`` over views of the segment — no copy of
+the sizes, masks, pin offsets, or net CSR, only a private copy of the
+mutable position arrays.
+
+Lifecycle rules (pinned by ``tests/test_shm.py``):
+
+* The **publishing process owns the segment**.  :class:`SharedDesign`
+  is refcounted (:meth:`~SharedDesign.acquire` /
+  :meth:`~SharedDesign.release`); the segment is unlinked when the
+  count reaches zero, at :meth:`~SharedDesign.close`, or — for
+  anything still owned at interpreter exit — by an ``atexit`` sweep.
+  A publisher killed hard is covered by the stdlib resource tracker
+  (a separate process), so ``/dev/shm`` never accumulates segments.
+* **Workers attach untracked.**  A worker registers nothing with its
+  resource tracker (``track=False`` on new Pythons, registration
+  suppressed during attach elsewhere), so a worker that exits — or is
+  SIGKILLed mid-job — can never unlink a segment the parent still
+  serves from.
+* **Fallback is transparent.**  Publish/attach failures raise
+  :class:`SharedMemoryError`; every integration point (suite workers,
+  serve shards) catches it and falls back to the pickling /
+  regenerate-by-name path, so shared memory is an optimization, never
+  a requirement.
+
+Attach results are memoized per worker process (keyed by segment name,
+small FIFO), so a persistent shard worker maps each design once and
+serves every later job from the existing mapping.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import secrets
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+
+try:  # pragma: no cover - exercised only where the module is missing
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: Array fields published into the segment, in layout order.  The
+#: position arrays are included so an attached design starts from the
+#: published placement; ``attach_design`` copies them (they mutate).
+_ARRAY_FIELDS = (
+    "w", "h", "x", "y", "movable", "is_macro",
+    "net_start", "net_pins", "pin_cell", "pin_net", "pin_dx", "pin_dy",
+)
+
+#: Cell->pin CSR index, shared so workers skip the rebuild sort.
+_INDEX_FIELDS = ("_cellpin_start", "_cellpin_list")
+
+_ALIGN = 64
+
+
+class SharedMemoryError(RuntimeError):
+    """Publish or attach failed; callers fall back to pickling."""
+
+
+def available() -> bool:
+    """Whether POSIX shared memory is usable on this platform."""
+    return _shared_memory is not None
+
+
+@dataclass(frozen=True)
+class SharedDesignHandle:
+    """Picklable pointer to a published design.
+
+    Attributes:
+        segment: shared-memory segment name.
+        arrays: ``field -> (offset, dtype string, length)`` table.
+        meta_offset, meta_size: pickled metadata blob (names,
+            technology, die, blockages) inside the segment.
+        nbytes: total segment payload size.
+    """
+
+    segment: str
+    arrays: tuple
+    meta_offset: int
+    meta_size: int
+    nbytes: int
+
+    def to_dict(self) -> dict:
+        """JSON-safe wire form (for request payloads)."""
+        return {
+            "segment": self.segment,
+            "arrays": [list(row) for row in self.arrays],
+            "meta_offset": self.meta_offset,
+            "meta_size": self.meta_size,
+            "nbytes": self.nbytes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SharedDesignHandle":
+        return cls(
+            segment=payload["segment"],
+            arrays=tuple(
+                (field, int(offset), dtype, int(length))
+                for field, offset, dtype, length in payload["arrays"]
+            ),
+            meta_offset=int(payload["meta_offset"]),
+            meta_size=int(payload["meta_size"]),
+            nbytes=int(payload["nbytes"]),
+        )
+
+
+#: Segments owned (published) by this process, for the atexit sweep.
+_OWNED: dict = {}
+
+
+def _sweep_owned() -> None:  # pragma: no cover - runs at interpreter exit
+    for shared in list(_OWNED.values()):
+        shared._unlink(force=True)
+
+
+atexit.register(_sweep_owned)
+
+
+class SharedDesign:
+    """Owner-side view of a published design segment.
+
+    Reference counted: :func:`publish_design` returns it with one
+    reference held by the publisher.  :meth:`acquire` / :meth:`release`
+    let several consumers (e.g. cached service entries) share one
+    segment; the segment is unlinked when the last reference drops or
+    on :meth:`close`.
+    """
+
+    def __init__(self, shm, handle: SharedDesignHandle) -> None:
+        self._shm = shm
+        self.handle = handle
+        self._refs = 1
+        self._closed = False
+        _OWNED[handle.segment] = self
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.nbytes
+
+    def acquire(self) -> "SharedDesign":
+        if self._closed:
+            raise SharedMemoryError(f"segment {self.handle.segment} already unlinked")
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        self._refs -= 1
+        if self._refs <= 0:
+            self._unlink()
+
+    def close(self) -> None:
+        """Force the segment away regardless of outstanding references."""
+        self._unlink()
+
+    def _unlink(self, force: bool = False) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        _OWNED.pop(self.handle.segment, None)
+        for op in (self._shm.close, self._shm.unlink):
+            try:
+                op()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "SharedDesign":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def publish_design(design) -> SharedDesign:
+    """Copy ``design``'s SoA arrays into a fresh shared-memory segment.
+
+    Returns a :class:`SharedDesign` owned by the calling process.
+
+    Raises:
+        SharedMemoryError: shared memory unavailable or the segment
+            could not be created/populated (callers fall back to
+            pickling).
+    """
+    if _shared_memory is None:
+        raise SharedMemoryError("multiprocessing.shared_memory is unavailable")
+    arrays = []
+    offset = 0
+    specs = []
+    for field in _ARRAY_FIELDS + _INDEX_FIELDS:
+        arr = np.ascontiguousarray(getattr(design, field))
+        arrays.append(arr)
+        specs.append((field, offset, arr.dtype.str, len(arr)))
+        offset += (arr.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+    meta = pickle.dumps(
+        {
+            "name": design.name,
+            "technology": design.technology,
+            "die": design.die,
+            "cell_names": design.cell_names,
+            "net_names": design.net_names,
+            "blockages": design.blockages,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    meta_offset = offset
+    total = offset + len(meta)
+    name = f"repro_{os.getpid()}_{secrets.token_hex(6)}"
+    with obs.span("runtime/ipc/publish", design=design.name, bytes=total):
+        try:
+            shm = _shared_memory.SharedMemory(name=name, create=True, size=max(total, 1))
+        except (OSError, ValueError) as exc:
+            raise SharedMemoryError(f"cannot create shared segment: {exc}") from exc
+        try:
+            for (field, off, dtype, length), arr in zip(specs, arrays):
+                view = np.ndarray(length, dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
+                view[:] = arr
+            shm.buf[meta_offset:meta_offset + len(meta)] = meta
+        except BaseException:
+            shm.close()
+            try:
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+            raise
+    handle = SharedDesignHandle(
+        segment=name,
+        arrays=tuple(specs),
+        meta_offset=meta_offset,
+        meta_size=len(meta),
+        nbytes=total,
+    )
+    return SharedDesign(shm, handle)
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _open_untracked(segment: str):
+    """Attach a segment without registering it with the resource tracker.
+
+    The stdlib tracker assumes whoever maps a segment co-owns it and
+    unlinks "leaked" segments when the registering process exits — a
+    worker attaching read-only must never trigger that.  Python >= 3.13
+    has ``track=False``; earlier versions attach with registration
+    suppressed (unregister-after-attach would collide with the
+    publisher's own unlink-time unregister in the shared tracker).
+    """
+    try:
+        return _shared_memory.SharedMemory(name=segment, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return _shared_memory.SharedMemory(name=segment)
+        finally:
+            resource_tracker.register = original
+
+
+#: Per-process attach memo: segment name -> (shm, meta, field -> array).
+_ATTACHED: dict = {}
+_ATTACH_CAPACITY = 4
+
+
+def _evict_attached() -> None:
+    while len(_ATTACHED) > _ATTACH_CAPACITY:
+        name = next(iter(_ATTACHED))
+        shm, _meta, _views = _ATTACHED.pop(name)
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+
+
+def _map_segment(handle: SharedDesignHandle) -> tuple:
+    cached = _ATTACHED.get(handle.segment)
+    if cached is not None:
+        return cached
+    if _shared_memory is None:
+        raise SharedMemoryError("multiprocessing.shared_memory is unavailable")
+    try:
+        shm = _open_untracked(handle.segment)
+    except (OSError, ValueError) as exc:
+        raise SharedMemoryError(
+            f"cannot attach segment {handle.segment!r}: {exc}"
+        ) from exc
+    views = {}
+    for field, offset, dtype, length in handle.arrays:
+        view = np.ndarray(length, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        views[field] = view
+    meta = pickle.loads(
+        bytes(shm.buf[handle.meta_offset:handle.meta_offset + handle.meta_size])
+    )
+    _ATTACHED[handle.segment] = (shm, meta, views)
+    _evict_attached()
+    return _ATTACHED[handle.segment]
+
+
+def attach_design(handle: SharedDesignHandle):
+    """Rebuild a ``Design`` over the published segment.
+
+    Topology arrays are zero-copy read-only views of the segment; the
+    position arrays are private copies (each attach starts from the
+    published placement and mutates freely).  The mapping is cached per
+    process, so repeated attaches of the same segment only pay the
+    position copy.
+
+    Raises:
+        SharedMemoryError: the segment is gone or unmappable (the
+            publisher unlinked it, or shared memory is unavailable).
+    """
+    from ..netlist.design import Design
+
+    with obs.span("runtime/ipc/attach", segment=handle.segment,
+                  bytes=handle.nbytes):
+        _shm, meta, views = _map_segment(handle)
+        design = Design(
+            name=meta["name"],
+            technology=meta["technology"],
+            die=meta["die"],
+            cell_names=meta["cell_names"],
+            w=views["w"],
+            h=views["h"],
+            x=views["x"],
+            y=views["y"],
+            movable=views["movable"],
+            is_macro=views["is_macro"],
+            net_names=meta["net_names"],
+            net_start=views["net_start"],
+            net_pins=views["net_pins"],
+            pin_cell=views["pin_cell"],
+            pin_net=views["pin_net"],
+            pin_dx=views["pin_dx"],
+            pin_dy=views["pin_dy"],
+            blockages=meta["blockages"],
+            cell_pin_index=(views["_cellpin_start"], views["_cellpin_list"]),
+        )
+        # Pin the mapping to the design's lifetime: the buffer views
+        # above are only valid while the SharedMemory object is open.
+        design._shm_segment = _shm
+    return design
+
+
+def detach_all() -> None:
+    """Drop this process's attach memo (close every cached mapping)."""
+    while _ATTACHED:
+        _name, (shm, _meta, _views) = _ATTACHED.popitem()
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+
+
+class SharedDesignCache:
+    """Publish-once cache for services handing the same design to many jobs.
+
+    Keyed by ``(design name, scale, seed)``; a miss generates the design
+    through ``provider`` (default: :func:`repro.benchgen.make_design`)
+    and publishes it.  Bounded FIFO — evicted entries release their
+    segment reference.  :meth:`close` releases everything.
+    """
+
+    def __init__(self, provider=None, capacity: int = 4) -> None:
+        self._provider = provider
+        self._capacity = max(int(capacity), 1)
+        self._entries: dict = {}
+        self._lock = threading.Lock()
+        self.publishes = 0
+        self.hits = 0
+
+    def _make(self, name: str, scale: float, seed: int):
+        if self._provider is not None:
+            return self._provider(name, scale, seed)
+        from ..benchgen import make_design
+
+        return make_design(name, scale, seed=seed)
+
+    def handle_for(self, name: str, scale: float, seed: int):
+        """The (cached) handle for a design identity, or ``None``.
+
+        Publish failures are swallowed — the caller's pickling fallback
+        is always correct, and a dead ``/dev/shm`` should not fail jobs.
+        """
+        if not available():
+            return None
+        key = (name, float(scale), int(seed))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry.handle
+        # Generate + publish outside the lock: a multi-second design
+        # build must not serialize unrelated shard threads.
+        try:
+            shared = publish_design(self._make(name, scale, seed))
+        except Exception:
+            return None
+        with self._lock:
+            if key in self._entries:  # racing thread published first
+                self.hits += 1
+                shared.release()
+                return self._entries[key].handle
+            self._entries[key] = shared
+            self.publishes += 1
+            while len(self._entries) > self._capacity:
+                oldest = next(iter(self._entries))
+                self._entries.pop(oldest).release()
+            return shared.handle
+
+    def handle_for_request(self, request: dict):
+        """Handle for a normalized service request (or ``None``).
+
+        Design identity (scale/seed defaults) is resolved through
+        :class:`repro.api.RunConfig` so the published design is exactly
+        the one the worker would regenerate from the same request.
+        """
+        name = request.get("design")
+        if not isinstance(name, str):
+            return None
+        from .. import api
+
+        try:
+            config = api.RunConfig.from_dict(request.get("config") or {})
+        except Exception:
+            return None
+        return self.handle_for(name, config.scale, config.seed)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "publishes": self.publishes,
+                "hits": self.hits,
+                "bytes": sum(e.nbytes for e in self._entries.values()),
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            while self._entries:
+                _key, shared = self._entries.popitem()
+                shared.release()

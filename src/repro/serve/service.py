@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..runtime import ArtifactCache, Task, TaskExecutor, TaskTimeoutError, stable_hash
+from ..runtime import shm as shm_runtime
 from ..runtime.cache import MISSING
 from .events import EventLog, read_new_progress
 from .jobs import (
@@ -84,12 +85,28 @@ def execute_request(request: dict) -> dict:
     :class:`repro.api.RunConfig` from the wire dict, places through
     :func:`repro.api.run`, and returns the JSON-safe
     :meth:`~repro.api.RunResult.to_summary`.
+
+    When the service published the design to shared memory, the request
+    carries a ``_shm`` handle and the worker attaches a zero-copy view
+    instead of regenerating the benchmark from its name; a stale or
+    unmappable handle falls back to the by-name path (the handle never
+    changes *what* runs, only how the design reaches the worker).
     """
     from .. import api
 
+    request = dict(request)
+    handle = request.pop("_shm", None)
+    design = request["design"]
+    if handle is not None:
+        try:
+            design = shm_runtime.attach_design(
+                shm_runtime.SharedDesignHandle.from_dict(handle)
+            )
+        except shm_runtime.SharedMemoryError:
+            design = request["design"]
     config = api.RunConfig.from_dict(request.get("config") or {})
     result = api.run(
-        request["design"],
+        design,
         flow=request.get("flow", "puffer"),
         config=config,
         route=bool(request.get("route", False)),
@@ -120,6 +137,14 @@ class ServiceConfig:
         progress_dir: directory for per-job progress files (shard mode);
             ``None`` creates (and owns) a temporary directory.
         progress_poll: parent-side poll interval for progress files.
+        shared_memory: publish each job's design once into
+            :mod:`repro.runtime.shm` and hand shard workers a zero-copy
+            handle instead of regenerating the benchmark per job.
+            ``None`` (the default) auto-enables for shard mode with the
+            default runner; ``True`` forces it on for custom runners
+            that understand the injected ``_shm`` request key; ``False``
+            disables it.  Thread mode never uses it (no process
+            boundary to cross).
     """
 
     workers: int = 2
@@ -131,6 +156,7 @@ class ServiceConfig:
     client_weights: dict | None = field(default=None)
     progress_dir: str | None = None
     progress_poll: float = 0.04
+    shared_memory: bool | None = None
 
 
 class PlacementService:
@@ -167,6 +193,14 @@ class PlacementService:
         )
         self._executor = TaskExecutor(jobs=1, retries=0)
         self._shards = [ProcessShard(i) for i in range(self.config.shards)]
+        use_shm = self.config.shared_memory
+        if use_shm is None:
+            use_shm = bool(self._shards) and runner is None
+        self._shared_designs = (
+            shm_runtime.SharedDesignCache()
+            if use_shm and self._shards and shm_runtime.available()
+            else None
+        )
         self._progress_dir = self.config.progress_dir
         self._owns_progress_dir = False
         if self._shards and self._progress_dir is None:
@@ -238,6 +272,8 @@ class PlacementService:
         self._workers = []
         for shard in self._shards:
             shard.close()
+        if self._shared_designs is not None:
+            self._shared_designs.close()
         if self._owns_progress_dir and self._progress_dir:
             shutil.rmtree(self._progress_dir, ignore_errors=True)
 
@@ -403,6 +439,10 @@ class PlacementService:
             "shards": [shard.describe() for shard in self._shards],
             "counters": dict(self.counts),
             "cache": self._cache.stats() if self._cache is not None else None,
+            "shared_designs": (
+                self._shared_designs.stats()
+                if self._shared_designs is not None else None
+            ),
         }
         if obs.is_enabled():
             payload["obs"] = obs.get_tracer().metrics()
@@ -622,8 +662,18 @@ class PlacementService:
             task = Task(key=job.id, fn=self._runner, args=(job.request,),
                         retries=0)
             return self._executor.run_one(task)
+        request = job.request
+        if self._shared_designs is not None:
+            # Publish-once (off the event loop — this thread), then ship
+            # the tiny handle instead of letting the worker regenerate
+            # the design.  A publish failure degrades silently: the
+            # request goes out unmodified and the worker falls back.
+            handle = self._shared_designs.handle_for_request(request)
+            if handle is not None:
+                request = dict(request)
+                request["_shm"] = handle.to_dict()
         return shard.execute(
-            self._runner, job.request, key=job.id,
+            self._runner, request, key=job.id,
             timeout=job.timeout, progress_path=progress_path,
         )
 

@@ -392,3 +392,176 @@ class TestMazeEquivalence:
         vec_cost = _route_cost(vec, cost_h, cost_v)
         assert vec_cost == pytest.approx(ref_cost, rel=1e-9)
         assert ref_cost < 100.0  # both detoured over the top
+
+
+# ----------------------------------------------------------------------
+# Abacus trial insertion (legalizer round-2 kernel)
+# ----------------------------------------------------------------------
+
+
+def _random_abacus_state(rng, n):
+    """A legal row-segment cluster state: packed left-to-right with
+    random gaps inside a segment that sometimes barely fits."""
+    w = rng.uniform(0.5, 4.0, n)
+    total = w.sum()
+    slack = float(rng.uniform(0.0, total * 0.5 + 1.0))
+    gaps = rng.uniform(0.0, 1.0, n)
+    gaps *= slack * rng.random() / max(gaps.sum(), 1e-12)
+    x = np.cumsum(gaps) + np.cumsum(w) - w
+    xlo = 0.0
+    seg_width = total + slack
+    e = rng.uniform(0.1, 5.0, n)
+    q = e * (x + rng.uniform(-3.0, 3.0, n))
+    return e, q, w, x, xlo, xlo + seg_width, seg_width
+
+
+class TestAbacusEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_rows(self, seed):
+        """Exact (x_left, merges) agreement on random legal states, both
+        above and below the vectorized backend's scalar-fallback size."""
+        rng = np.random.default_rng(seed)
+        checked_none = checked_some = 0
+        for _ in range(60):
+            n = int(rng.integers(1, 40))
+            e, q, w, x, xlo, xhi, seg_width = _random_abacus_state(rng, n)
+            width = float(rng.uniform(0.5, 6.0))
+            weight = float(rng.uniform(0.1, 4.0))
+            target = float(rng.uniform(xlo - 5.0, xhi + 5.0))
+            ref, vec = both_backends(
+                lambda: kernels.abacus_trial(
+                    e, q, w, x, n, xlo, xhi, seg_width, width, weight, target
+                )
+            )
+            assert (ref is None) == (vec is None)
+            if ref is None:
+                checked_none += 1
+                continue
+            checked_some += 1
+            assert vec[0] == pytest.approx(ref[0], abs=1e-9)
+            assert vec[1] == ref[1]
+        # The draw must exercise both outcomes or it proves nothing.
+        assert checked_none > 0 and checked_some > 0
+
+    def test_deep_merge_chain(self):
+        """A fully packed row collapses the whole chain; the suffix-scan
+        backend must stop at the same merge count."""
+        rng = np.random.default_rng(99)
+        n = 50
+        w = rng.uniform(1.0, 3.0, n)
+        x = np.cumsum(w) - w
+        e = rng.uniform(0.5, 2.0, n)
+        q = e * x
+        xhi = float(x[-1] + w[-1] + 100.0)
+        ref, vec = both_backends(
+            lambda: kernels.abacus_trial(
+                e, q, w, x, n, 0.0, xhi, xhi, 2.0, 1.0, 0.0
+            )
+        )
+        assert ref is not None and vec is not None
+        assert vec[1] == ref[1] == n
+        assert vec[0] == pytest.approx(ref[0], abs=1e-9)
+
+    def test_overflowing_cell_rejected(self):
+        e = np.array([1.0])
+        q = np.array([2.0])
+        w = np.array([4.0])
+        x = np.array([2.0])
+        ref, vec = both_backends(
+            lambda: kernels.abacus_trial(
+                e, q, w, x, 1, 0.0, 8.0, 8.0, 10.0, 1.0, 0.0
+            )
+        )
+        assert ref is None and vec is None
+
+    def test_empty_segment(self):
+        z = np.zeros(0)
+        ref, vec = both_backends(
+            lambda: kernels.abacus_trial(z, z, z, z, 0, 0.0, 10.0, 10.0, 2.0, 1.0, 3.5)
+        )
+        assert ref == vec == (3.5, 0)
+
+
+# ----------------------------------------------------------------------
+# Batched Steiner construction (RSMT round-2 kernel)
+# ----------------------------------------------------------------------
+
+
+def _random_net_batch(rng, max_deg=14, grid=12):
+    batch = int(rng.integers(1, 20))
+    degrees = rng.integers(1, max_deg, batch)
+    start = np.zeros(batch + 1, dtype=np.int64)
+    np.cumsum(degrees, out=start[1:])
+    x = rng.integers(0, grid, start[-1]).astype(np.float64)
+    y = rng.integers(0, grid, start[-1]).astype(np.float64)
+    return x, y, start
+
+
+class TestSteinerEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_nets(self, seed):
+        """Bit-exact topology agreement (points, pin flags, edge lists)
+        across the degree mix, duplicate pin Gcells included."""
+        rng = np.random.default_rng(seed)
+        for _ in range(40):
+            x, y, start = _random_net_batch(rng)
+            ref, vec = both_backends(
+                lambda: kernels.steiner_batch(x, y, start, 64)
+            )
+            assert len(ref) == len(vec) == len(start) - 1
+            for r, v in zip(ref, vec):
+                for a, b in zip(r, v):
+                    np.testing.assert_array_equal(b, a)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_degree_cap_skips_steinerization(self, seed):
+        """Nets above max_degree take the plain-MST path in both
+        backends and still agree exactly."""
+        rng = np.random.default_rng(seed)
+        for _ in range(20):
+            x, y, start = _random_net_batch(rng)
+            ref, vec = both_backends(
+                lambda: kernels.steiner_batch(x, y, start, 4)
+            )
+            for r, v in zip(ref, vec):
+                for a, b in zip(r, v):
+                    np.testing.assert_array_equal(b, a)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batch_matches_single_net_builder(self, seed):
+        """build_rsmt_batch is a drop-in for per-net build_rsmt under
+        either backend."""
+        from repro.rsmt import build_rsmt_batch
+        from repro.rsmt.steiner import build_rsmt
+
+        rng = np.random.default_rng(seed)
+        degrees = rng.integers(2, 10, 12)
+        start = np.zeros(13, dtype=np.int64)
+        np.cumsum(degrees, out=start[1:])
+        x = rng.integers(0, 30, start[-1]).astype(np.float64)
+        y = rng.integers(0, 30, start[-1]).astype(np.float64)
+        for backend in kernels.BACKENDS:
+            with kernels.using(backend):
+                topologies = build_rsmt_batch(x, y, start)
+                for i, topo in enumerate(topologies):
+                    single = build_rsmt(
+                        x[start[i] : start[i + 1]], y[start[i] : start[i + 1]]
+                    )
+                    np.testing.assert_array_equal(topo.x, single.x)
+                    np.testing.assert_array_equal(topo.y, single.y)
+                    np.testing.assert_array_equal(topo.is_pin, single.is_pin)
+                    np.testing.assert_array_equal(topo.edges, single.edges)
+
+    def test_trivial_degrees(self):
+        """Degree-0/1/2 nets: no tree, no tree, one edge."""
+        x = np.array([3.0, 5.0, 9.0])
+        y = np.array([2.0, 7.0, 7.0])
+        start = np.array([0, 0, 1, 3], dtype=np.int64)
+        ref, vec = both_backends(lambda: kernels.steiner_batch(x, y, start, 64))
+        for out in (ref, vec):
+            assert len(out[0][3]) == 0  # empty net: no edges
+            assert len(out[1][3]) == 0  # single pin: no edges
+            np.testing.assert_array_equal(out[2][3], [[0, 1]])
+        for r, v in zip(ref, vec):
+            for a, b in zip(r, v):
+                np.testing.assert_array_equal(b, a)

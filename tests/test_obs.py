@@ -264,3 +264,73 @@ class TestFlowIntegration:
         (record,) = tracer.ring
         assert record["name"] == "runtime/task_finished"
         assert record["attrs"]["key"] == "k"
+
+
+class TestReportTopAndIpc:
+    """The --top stage filter and the serialization-vs-compute split."""
+
+    @staticmethod
+    def _span(name, dur, parent=0, **attrs):
+        record = {"type": "span", "name": name, "parent": parent, "dur": dur}
+        if attrs:
+            record["attrs"] = attrs
+        return record
+
+    def _trace(self):
+        return [
+            self._span("flow", 10.0),
+            self._span("flow/gp", 6.0, parent=1),
+            self._span("flow/legalize", 3.0, parent=1),
+            self._span("runtime/ipc/publish", 0.5, parent=1, bytes=1000),
+            self._span("runtime/ipc/attach", 0.25, parent=1, bytes=1000),
+            self._span("flow/route", 0.25, parent=1),
+        ]
+
+    def test_top_keeps_most_expensive_in_flow_order(self):
+        summary = summarize_trace(self._trace(), top=2)
+        assert [s["name"] for s in summary["spans"]] == ["flow", "flow/gp"]
+        assert summary["span_count"] == 6  # the unfiltered total
+
+    def test_top_none_and_large_top_keep_everything(self):
+        assert len(summarize_trace(self._trace())["spans"]) == 6
+        assert len(summarize_trace(self._trace(), top=99)["spans"]) == 6
+
+    def test_pct_is_relative_to_root_wall_clock(self):
+        summary = summarize_trace(self._trace())
+        by_name = {s["name"]: s for s in summary["spans"]}
+        assert summary["root_total"] == pytest.approx(10.0)
+        assert by_name["flow"]["pct"] == pytest.approx(100.0)
+        assert by_name["flow/gp"]["pct"] == pytest.approx(60.0)
+        assert by_name["runtime/ipc/publish"]["pct"] == pytest.approx(5.0)
+
+    def test_ipc_split_sums_spans_and_bytes(self):
+        ipc = summarize_trace(self._trace())["ipc"]
+        assert ipc["serialization"] == pytest.approx(0.75)
+        assert ipc["compute"] == pytest.approx(9.25)
+        assert ipc["bytes"] == 2000
+        assert ipc["pct"] == pytest.approx(7.5)
+
+    def test_no_ipc_spans_means_no_split(self):
+        records = [self._span("flow", 1.0)]
+        assert summarize_trace(records)["ipc"] is None
+        assert "serialization vs compute" not in render_report(records)
+
+    def test_render_mentions_hidden_spans_and_split(self):
+        text = render_report(self._trace(), top=2)
+        assert "... 4 more spans (raise --top to show)" in text
+        assert "serialization vs compute" in text
+        assert "2000 payload bytes" in text
+        assert "flow/legalize" not in text
+
+    def test_report_file_round_trip(self, tmp_path):
+        import json
+
+        from repro.obs.report import report_file
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(r) for r in self._trace()) + "\n"
+        )
+        text = report_file(path, top=1)
+        assert "flow" in text
+        assert "% root" in text

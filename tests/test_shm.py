@@ -1,0 +1,275 @@
+"""Lifecycle and equivalence tests for :mod:`repro.runtime.shm`.
+
+The contract under test: a published design attaches bit-identically
+(in-process and across a worker-process boundary), handles stay tiny
+and picklable, and — the part that actually bites in production — no
+``/dev/shm`` segment outlives its owner, whether the owner exits
+normally, the consumer worker is SIGKILLed mid-attach, or the executor
+is torn down. Publish/attach failures degrade to the pickling path
+instead of failing jobs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import shm
+
+pytestmark = pytest.mark.skipif(
+    not shm.available(), reason="POSIX shared memory unavailable"
+)
+
+SHM_DIR = "/dev/shm"
+
+
+def _segment_exists(segment: str) -> bool:
+    if not os.path.isdir(SHM_DIR):  # non-Linux: fall back to attach probe
+        try:
+            shm._open_untracked(segment).close()
+            return True
+        except (OSError, ValueError):
+            return False
+    return os.path.exists(os.path.join(SHM_DIR, segment))
+
+
+def _leaked_segments() -> list:
+    if not os.path.isdir(SHM_DIR):
+        return []
+    return [name for name in os.listdir(SHM_DIR) if name.startswith("repro_")]
+
+
+def _attach_job(request):
+    """Picklable worker body: attach the handle, score the design."""
+    design = shm.attach_design(shm.SharedDesignHandle.from_dict(request["_shm"]))
+    assert not design.net_pins.flags.writeable  # zero-copy topology view
+    design.x += 1.0  # positions are private copies: mutation must work
+    design.x -= 1.0
+    return {"hpwl": design.hpwl(), "pid": os.getpid()}
+
+
+class TestPublishAttach:
+    def test_round_trip_is_bit_identical(self, tiny_design):
+        with shm.publish_design(tiny_design) as shared:
+            attached = shm.attach_design(shared.handle)
+            assert attached.name == tiny_design.name
+            assert attached.cell_names == tiny_design.cell_names
+            for field in ("x", "y", "w", "h", "net_start", "net_pins",
+                          "pin_cell", "pin_net", "pin_dx", "pin_dy"):
+                np.testing.assert_array_equal(
+                    getattr(attached, field), getattr(tiny_design, field)
+                )
+            assert attached.hpwl() == tiny_design.hpwl()
+            shm.detach_all()
+
+    def test_topology_views_are_read_only_positions_private(self, tiny_design):
+        with shm.publish_design(tiny_design) as shared:
+            attached = shm.attach_design(shared.handle)
+            with pytest.raises(ValueError):
+                attached.net_pins[0] = 0
+            attached.x[0] += 5.0  # must not write through to the segment
+            again = shm.attach_design(shared.handle)
+            assert again.x[0] == tiny_design.x[0]
+            shm.detach_all()
+
+    def test_handle_is_tiny_and_picklable(self, tiny_design):
+        with shm.publish_design(tiny_design) as shared:
+            wire = pickle.dumps(shared.handle.to_dict())
+            assert len(wire) < 2048
+            restored = shm.SharedDesignHandle.from_dict(pickle.loads(wire))
+            assert restored == shared.handle
+            shm.detach_all()
+
+    def test_attach_memo_reuses_mapping(self, tiny_design):
+        with shm.publish_design(tiny_design) as shared:
+            first = shm.attach_design(shared.handle)
+            second = shm.attach_design(shared.handle)
+            # Same underlying buffer (memoized mapping), distinct copies
+            # of the mutable position arrays.
+            assert np.shares_memory(first.net_pins, second.net_pins)
+            assert not np.shares_memory(first.x, second.x)
+            shm.detach_all()
+
+
+class TestLifecycle:
+    def test_release_unlinks_segment(self, tiny_design):
+        shared = shm.publish_design(tiny_design)
+        segment = shared.handle.segment
+        assert _segment_exists(segment)
+        shared.release()
+        assert not _segment_exists(segment)
+
+    def test_refcount_unlinks_on_last_release(self, tiny_design):
+        shared = shm.publish_design(tiny_design)
+        segment = shared.handle.segment
+        shared.acquire()
+        shared.release()
+        assert _segment_exists(segment)  # one reference still held
+        shared.release()
+        assert not _segment_exists(segment)
+        with pytest.raises(shm.SharedMemoryError):
+            shared.acquire()
+
+    def test_close_forces_unlink_and_release_is_safe_after(self, tiny_design):
+        shared = shm.publish_design(tiny_design)
+        shared.acquire()
+        shared.close()
+        assert not _segment_exists(shared.handle.segment)
+        shared.release()  # double teardown must be a no-op
+
+    def test_normal_interpreter_exit_sweeps_owned_segments(self, tmp_path):
+        """A process that publishes and exits without releasing must
+        leave no segment behind (the atexit sweep)."""
+        marker = tmp_path / "segment_name"
+        code = (
+            "from repro.benchgen import make_design\n"
+            "from repro.runtime import shm\n"
+            "shared = shm.publish_design(make_design('OR1200', 0.001))\n"
+            f"open({str(marker)!r}, 'w').write(shared.handle.segment)\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        subprocess.run([sys.executable, "-c", code], check=True, env=env,
+                       cwd=os.path.dirname(os.path.dirname(__file__)))
+        segment = marker.read_text().strip()
+        assert segment
+        assert not _segment_exists(segment)
+
+    def test_worker_sigkill_leaves_no_segment(self, tiny_design):
+        """SIGKILL the attached worker process: the owner's unlink must
+        still win — no orphaned /dev/shm entry, no tracker interference."""
+        from repro.serve.shards import ProcessShard
+
+        before = set(_leaked_segments())
+        shared = shm.publish_design(tiny_design)
+        segment = shared.handle.segment
+        shard = ProcessShard(0)
+        try:
+            shard.warm()
+            request = {"_shm": shared.handle.to_dict()}
+            result = shard.execute(_attach_job, request, key="attach")
+            assert result.ok, result.error
+            assert result.value["hpwl"] == tiny_design.hpwl()
+            worker_pid = result.value["pid"]
+            assert worker_pid != os.getpid()
+            os.kill(worker_pid, signal.SIGKILL)
+            deadline = time.time() + 10.0
+            while time.time() < deadline:
+                try:
+                    os.kill(worker_pid, 0)
+                    time.sleep(0.05)
+                except ProcessLookupError:
+                    break
+        finally:
+            shard.close()
+            shared.release()
+        assert not _segment_exists(segment)
+        assert set(_leaked_segments()) <= before
+
+    def test_executor_shutdown_leaves_no_segment(self, tiny_design):
+        """Normal executor teardown with a still-attached worker."""
+        from repro.serve.shards import ProcessShard
+
+        before = set(_leaked_segments())
+        shared = shm.publish_design(tiny_design)
+        segment = shared.handle.segment
+        shard = ProcessShard(0)
+        try:
+            shard.warm()
+            request = {"_shm": shared.handle.to_dict()}
+            for key in ("first", "second"):  # second hits the attach memo
+                result = shard.execute(_attach_job, request, key=key)
+                assert result.ok, result.error
+                assert result.value["hpwl"] == tiny_design.hpwl()
+        finally:
+            shard.close()
+            shared.release()
+        assert not _segment_exists(segment)
+        assert set(_leaked_segments()) <= before
+
+
+class TestFallback:
+    def test_attach_after_unlink_raises(self, tiny_design):
+        shared = shm.publish_design(tiny_design)
+        handle = shared.handle
+        shared.release()
+        shm.detach_all()
+        with pytest.raises(shm.SharedMemoryError):
+            shm.attach_design(handle)
+
+    def test_cache_returns_none_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(shm, "_shared_memory", None)
+        cache = shm.SharedDesignCache()
+        assert cache.handle_for("OR1200", 0.001, 0) is None
+
+    def test_cache_swallows_publish_failure(self):
+        def boom(name, scale, seed):
+            raise RuntimeError("generator exploded")
+
+        cache = shm.SharedDesignCache(provider=boom)
+        assert cache.handle_for("OR1200", 0.001, 0) is None
+        assert cache.stats()["publishes"] == 0
+
+    def test_request_without_design_name_is_skipped(self):
+        cache = shm.SharedDesignCache()
+        assert cache.handle_for_request({}) is None
+        assert cache.handle_for_request({"design": 42}) is None
+
+
+class TestSharedDesignCache:
+    def test_publish_once_then_hits(self, tiny_design):
+        calls = []
+
+        def provider(name, scale, seed):
+            calls.append((name, scale, seed))
+            return tiny_design
+
+        cache = shm.SharedDesignCache(provider=provider)
+        try:
+            first = cache.handle_for("tiny", 0.004, 0)
+            second = cache.handle_for("tiny", 0.004, 0)
+            assert first is not None and second is first
+            assert calls == [("tiny", 0.004, 0)]
+            stats = cache.stats()
+            assert stats["publishes"] == 1
+            assert stats["hits"] == 1
+            assert stats["bytes"] > 0
+        finally:
+            cache.close()
+        assert not _segment_exists(first.segment)
+
+    def test_request_resolves_config_defaults(self, tiny_design):
+        """Identity comes from RunConfig: an empty config and the
+        explicit defaults are the same cache entry."""
+        from repro import api
+
+        cache = shm.SharedDesignCache(provider=lambda *a: tiny_design)
+        try:
+            defaults = api.RunConfig()
+            a = cache.handle_for_request({"design": "tiny", "config": {}})
+            b = cache.handle_for_request({
+                "design": "tiny",
+                "config": {"scale": defaults.scale, "seed": defaults.seed},
+            })
+            assert a is not None and b is a
+            assert cache.stats()["publishes"] == 1
+        finally:
+            cache.close()
+
+    def test_capacity_eviction_releases_segment(self, tiny_design):
+        cache = shm.SharedDesignCache(provider=lambda *a: tiny_design,
+                                      capacity=1)
+        try:
+            first = cache.handle_for("a", 0.004, 0)
+            second = cache.handle_for("b", 0.004, 0)
+            assert not _segment_exists(first.segment)  # evicted -> unlinked
+            assert _segment_exists(second.segment)
+        finally:
+            cache.close()
+        assert not _segment_exists(second.segment)
