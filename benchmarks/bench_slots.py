@@ -1,0 +1,129 @@
+"""Benchmark the fixed-slot placement pipeline on the committed example.
+
+Ingests the Yosys example netlist (``examples/mos6502_mapped.json``),
+builds the slot grid, and compares three assignments of the same design:
+
+* ``random`` — uniform assignment over fitting free slots, no
+  refinement (the quality baseline a structured-ASIC flow must beat);
+* ``greedy`` — the I/O-driven seed-and-grow initial assignment;
+* ``greedy + SA`` — the full :func:`repro.slots.place_slots` pipeline
+  with simulated-annealing refinement over incremental HPWL deltas.
+
+Headline metric: ``sa_hpwl_speedup`` — random-assignment HPWL over the
+refined pipeline's HPWL.  It is a deterministic quality ratio (fixed
+seeds, same machine-independent arithmetic), floored at >= 1.5x by
+``check_regression.py``; the stage wall-clock timings ride along for
+the ``*_seconds`` budget comparison.
+
+Writes ``benchmarks/out/BENCH_slots.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_slots.py [--netlist PATH]
+        [--seed N] [--sa-iters N] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.netlist import load_yosys
+from repro.slots import (
+    SlotParams,
+    apply_assignment,
+    generate_slots,
+    greedy_assignment,
+    random_assignment,
+    sa_refine,
+)
+
+HERE = os.path.dirname(__file__)
+OUT_DIR = os.path.join(HERE, "out")
+DEFAULT_NETLIST = os.path.join(HERE, "..", "examples", "mos6502_mapped.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--netlist", default=DEFAULT_NETLIST,
+                        help="Yosys write_json netlist to place")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sa-iters", type=int, default=None,
+                        help="SA iterations (default scales with the design)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: capped SA iterations")
+    parser.add_argument("--out", default=os.path.join(OUT_DIR, "BENCH_slots.json"))
+    args = parser.parse_args(argv)
+    sa_iters = args.sa_iters
+    if args.quick and sa_iters is None:
+        sa_iters = 6000
+
+    t0 = time.perf_counter()
+    design = load_yosys(args.netlist)
+    ingest_seconds = time.perf_counter() - t0
+    name = os.path.basename(args.netlist)
+    print(f"{design.name}: {design.num_cells} cells, {design.num_nets} nets "
+          f"(ingest {ingest_seconds * 1e3:.1f} ms)")
+
+    t0 = time.perf_counter()
+    grid = generate_slots(design, seed=args.seed)
+    grid_seconds = time.perf_counter() - t0
+
+    # Random baseline: same grid, no refinement.
+    baseline = random_assignment(design, grid, seed=args.seed)
+    apply_assignment(design, grid, baseline)
+    hpwl_random = design.hpwl()
+    print(f"  random          : HPWL {hpwl_random:10.1f}")
+
+    t0 = time.perf_counter()
+    assignment = greedy_assignment(design, grid, seed=args.seed)
+    apply_assignment(design, grid, assignment)
+    greedy_seconds = time.perf_counter() - t0
+    hpwl_greedy = design.hpwl()
+    print(f"  greedy          : HPWL {hpwl_greedy:10.1f} "
+          f"({greedy_seconds:.3f}s)")
+
+    params = SlotParams(sa_iters=sa_iters)
+    t0 = time.perf_counter()
+    stats = sa_refine(design, grid, assignment, params, seed=args.seed)
+    sa_seconds = time.perf_counter() - t0
+    hpwl_final = design.hpwl()
+    print(f"  greedy + SA     : HPWL {hpwl_final:10.1f} "
+          f"({sa_seconds:.3f}s, {stats.accepted}/{stats.iterations} accepted)")
+
+    greedy_speedup = hpwl_random / hpwl_greedy
+    sa_speedup = hpwl_random / hpwl_final
+    print(f"HPWL vs random baseline: greedy {greedy_speedup:.2f}x, "
+          f"greedy+SA {sa_speedup:.2f}x")
+
+    report = {
+        "bench": "slots",
+        "netlist": name,
+        "seed": args.seed,
+        "quick": args.quick,
+        "sa_iters": stats.iterations,
+        "cells": design.num_cells,
+        "slots": grid.num_slots,
+        "ingest_seconds": round(ingest_seconds, 5),
+        "grid_seconds": round(grid_seconds, 5),
+        "greedy_seconds": round(greedy_seconds, 5),
+        "sa_seconds": round(sa_seconds, 5),
+        "sa_accepted": stats.accepted,
+        "hpwl_random": round(hpwl_random, 2),
+        "hpwl_greedy": round(hpwl_greedy, 2),
+        "hpwl_final": round(hpwl_final, 2),
+        "greedy_hpwl_speedup": round(greedy_speedup, 3),
+        "sa_hpwl_speedup": round(sa_speedup, 3),
+    }
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

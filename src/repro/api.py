@@ -45,6 +45,12 @@ from .netlist.design import Design
 from .placer import PlacementParams
 from .router import GlobalRouter, RouterParams
 from .schema import dataclass_from_dict, dataclass_to_dict
+from .slots import SlotParams
+
+#: Placement modes :func:`run` understands.  ``"standard"`` places
+#: continuously with the configured flow; ``"slots"`` assigns cells to a
+#: pre-fabricated slot grid (:func:`repro.slots.place_slots`).
+MODES = ("standard", "slots")
 
 
 class UnknownFlowError(ValueError):
@@ -67,6 +73,35 @@ class UnknownFlowError(ValueError):
 def flow_puffer(design, placement=None, strategy=None):
     """The PUFFER flow (routability padding + inherited legalization)."""
     return PufferPlacer(design, strategy=strategy, placement=placement).run()
+
+
+def flow_slots(design, placement=None, params=None, seed=0):
+    """The fixed-slot flow (``mode="slots"``): grid, greedy seed, SA.
+
+    ``placement`` is accepted for flow-signature compatibility and
+    ignored — slot assignment has its own :class:`repro.slots.SlotParams`.
+    """
+    from .slots import place_slots
+
+    del placement
+    return place_slots(design, params=params, seed=seed)
+
+
+def resolve_design(design, scale: float = 0.004, seed: int = 0):
+    """Resolve a design argument into a :class:`~repro.netlist.design.Design`.
+
+    A :class:`Design` passes through.  A string ending in ``.json`` is
+    loaded as a Yosys ``write_json`` netlist
+    (:func:`repro.netlist.load_yosys`); any other string is a suite
+    benchmark name generated at ``scale`` / ``seed``.
+    """
+    if not isinstance(design, str):
+        return design
+    if design.endswith(".json"):
+        from .netlist import load_yosys
+
+        return load_yosys(design)
+    return make_design(design, scale, seed=seed)
 
 
 #: Canonical flow name -> module-level flow function.  Every function is
@@ -139,6 +174,11 @@ class RunConfig:
         placement: global-placement engine parameters.
         router: evaluation-router parameters.
         strategy: PUFFER strategy parameters (``None`` = defaults).
+        mode: placement mode — ``"standard"`` (default) runs the
+            configured flow; ``"slots"`` runs fixed-slot assignment
+            (:func:`repro.slots.place_slots`), ignoring ``flow``.
+        slots: fixed-slot parameters (``None`` = defaults; only
+            meaningful with ``mode="slots"``).
         verify: invariant-checker level — ``"off"`` (default),
             ``"cheap"`` (placement legality + padding accounting), or
             ``"full"`` (adds netlist integrity and routing accounting).
@@ -158,6 +198,8 @@ class RunConfig:
     placement: PlacementParams = field(default_factory=PlacementParams)
     router: RouterParams = field(default_factory=RouterParams)
     strategy: StrategyParams | None = None
+    mode: str = "standard"
+    slots: SlotParams | None = None
     verify: str = "off"
 
     def __post_init__(self) -> None:
@@ -167,6 +209,12 @@ class RunConfig:
             raise ValueError(
                 f"unknown verify level {self.verify!r}; expected one of {LEVELS}"
             )
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown placement mode {self.mode!r}; expected one of {MODES}"
+            )
+        if self.slots is not None:
+            self.slots.validate()
 
     def to_dict(self) -> dict:
         """JSON-safe wire dict; nested params carry their own versions."""
@@ -188,6 +236,7 @@ class RunConfig:
                 "placement": PlacementParams.from_dict,
                 "router": RouterParams.from_dict,
                 "strategy": StrategyParams.from_dict,
+                "slots": SlotParams.from_dict,
             },
         )
 
@@ -239,6 +288,15 @@ class RunResult:
                 "ok": bool(self.verify_report.ok),
                 "errors": len(self.verify_report.errors),
                 "warnings": len(self.verify_report.warnings),
+            }
+        sa = getattr(self.flow_result, "sa", None)
+        if getattr(self.flow_result, "slot_assignment", None) is not None:
+            summary["slots"] = {
+                "hpwl_initial": float(self.flow_result.hpwl_initial),
+                "hpwl_final": float(self.flow_result.hpwl_final),
+                "num_slots": int(self.flow_result.slot_grid.num_slots),
+                "sa_iterations": 0 if sa is None else int(sa.iterations),
+                "sa_accepted": 0 if sa is None else int(sa.accepted),
             }
         return summary
 
@@ -314,9 +372,12 @@ def run(
 
     Args:
         design: a :class:`~repro.netlist.design.Design` (placed in
-            place) or a suite benchmark name (generated from
-            ``config.scale`` / ``config.seed``).
-        flow: flow name, Table-II alias, or custom callable.
+            place), a suite benchmark name (generated from
+            ``config.scale`` / ``config.seed``), or a path to a Yosys
+            ``*_mapped.json`` netlist (loaded via
+            :func:`repro.netlist.load_yosys`).
+        flow: flow name, Table-II alias, or custom callable (ignored
+            when ``config.mode == "slots"``).
         config: run configuration (defaults throughout when omitted).
         trace: observability target — a trace-file path or a
             :class:`repro.obs.Tracer`; the whole run executes under
@@ -339,12 +400,18 @@ def run(
     verify = config.verify if verify is None else verify
     if verify not in LEVELS:
         raise ValueError(f"unknown verify level {verify!r}; expected one of {LEVELS}")
-    flow_name, flow_fn = resolve_flow(flow, strategy=config.strategy)
+    if config.mode == "slots":
+        flow_name = "slots"
+        flow_fn = functools.partial(
+            flow_slots, params=config.slots, seed=config.seed
+        )
+    else:
+        flow_name, flow_fn = resolve_flow(flow, strategy=config.strategy)
     with obs.tracing(trace):
         with obs.span("api/run", flow=flow_name) as run_span:
             if isinstance(design, str):
                 run_span.set(design=design)
-                design = make_design(design, config.scale, seed=config.seed)
+                design = resolve_design(design, config.scale, config.seed)
             start = time.perf_counter()
             flow_result = flow_fn(design, config.placement)
             place_seconds = time.perf_counter() - start
@@ -394,6 +461,8 @@ def _verify_run(design, config: RunConfig, flow_result, route_report, level: str
         grid=getattr(route_report, "grid", None),
         demand=getattr(route_report, "demand", None),
         route_report=route_report,
+        slot_grid=getattr(flow_result, "slot_grid", None),
+        slot_assignment=getattr(flow_result, "slot_assignment", None),
     )
     return run_checkers(ctx, level=level)
 
@@ -522,6 +591,7 @@ def explore(
 __all__ = [
     "FLOWS",
     "FLOW_ALIASES",
+    "MODES",
     "RouteResult",
     "RunConfig",
     "RunResult",
@@ -529,6 +599,8 @@ __all__ = [
     "UnknownFlowError",
     "explore",
     "flow_puffer",
+    "flow_slots",
+    "resolve_design",
     "resolve_flow",
     "route",
     "run",

@@ -3,8 +3,11 @@
 Commands:
 
 * ``generate``  — synthesize a suite benchmark and save it (Bookshelf).
+* ``ingest``    — load a Yosys ``write_json`` netlist, report its
+  structure, and optionally save it (Bookshelf).
 * ``place``     — place a design (puffer / wirelength / replace /
-  commercial flows) and save the result.
+  commercial flows) and save the result; ``--mode slots`` runs the
+  fixed-slot assignment pipeline instead of continuous placement.
 * ``route``     — route a placed design and report HOF/VOF/WL.
 * ``explore``   — run the strategy exploration on a small design.
 * ``suite``     — the Table-II comparison across the benchmark suite.
@@ -42,6 +45,7 @@ from . import api, kernels
 from .benchgen import make_design, suite_names
 from .netlist import load_design, save_design
 from .placer import PlacementParams
+from .slots import SlotParams
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,11 +60,32 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=0.004)
     generate.add_argument("--out", required=True, help="output directory")
 
+    ingest = sub.add_parser("ingest", help="load a Yosys write_json netlist")
+    ingest.add_argument("netlist", help="path to a Yosys *_mapped.json file")
+    ingest.add_argument("--top", default=None,
+                        help="module to ingest (default: the top attribute)")
+    ingest.add_argument("--lib", default=None, metavar="PATH",
+                        help="JSON cell-size table overriding the built-in "
+                        "liberty-lite widths")
+    ingest.add_argument("--utilization", type=float, default=0.7,
+                        help="target utilization when sizing the die")
+    ingest.add_argument("--out", help="directory to save the design (Bookshelf)")
+
     place = sub.add_parser("place", help="place a design")
-    place.add_argument("design", choices=suite_names())
+    place.add_argument(
+        "design",
+        help="suite benchmark name or path to a Yosys *_mapped.json netlist",
+    )
     place.add_argument("--scale", type=float, default=0.004)
     place.add_argument("--flow", choices=list(api.FLOWS), default="puffer")
+    place.add_argument("--mode", choices=list(api.MODES), default="standard",
+                       help="'slots' assigns cells to a fixed slot grid "
+                       "instead of placing continuously")
+    place.add_argument("--seed", type=int, default=0)
     place.add_argument("--max-iters", type=int, default=900)
+    place.add_argument("--sa-iters", type=int, default=None,
+                       help="slots mode: SA refinement iterations "
+                       "(default scales with the design)")
     place.add_argument("--out", help="directory to save the placed design")
     place.add_argument("--route", action="store_true", help="evaluate with the router")
     _add_runtime_args(place, jobs=False, verify=True)
@@ -122,8 +147,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     submit = sub.add_parser("submit", help="submit a job to a running server")
-    submit.add_argument("design", choices=suite_names())
+    submit.add_argument(
+        "design",
+        help="suite benchmark name or path to a Yosys *_mapped.json netlist "
+        "(the path must be readable by the server)",
+    )
     submit.add_argument("--flow", choices=list(api.FLOWS), default="puffer")
+    submit.add_argument("--mode", choices=list(api.MODES), default="standard",
+                        help="'slots' runs fixed-slot assignment")
     submit.add_argument("--scale", type=float, default=0.004)
     submit.add_argument("--seed", type=int, default=0)
     submit.add_argument("--max-iters", type=int, default=900)
@@ -307,10 +338,43 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_ingest(args) -> int:
+    from .netlist import CellLibrary, load_yosys, validate_design
+
+    library = CellLibrary.from_json(args.lib) if args.lib else None
+    design = load_yosys(
+        args.netlist,
+        top=args.top,
+        library=library,
+        utilization=args.utilization,
+    )
+    movable = int(design.movable.sum())
+    die = design.die
+    print(
+        f"{design.name}: {design.num_cells} cells "
+        f"({movable} movable, {design.num_cells - movable} terminals), "
+        f"{design.num_nets} nets, {design.num_pins} pins"
+    )
+    print(f"die {die.xhi - die.xlo:g} x {die.yhi - die.ylo:g}")
+    report = validate_design(design)
+    print(report)
+    if args.out:
+        save_design(design, args.out)
+        print(f"saved to {args.out}")
+    return 0 if report.ok else 1
+
+
 def cmd_place(args) -> int:
     config = api.RunConfig(
         scale=args.scale,
+        seed=args.seed,
         placement=PlacementParams(max_iters=args.max_iters),
+        mode=args.mode,
+        slots=(
+            SlotParams(sa_iters=args.sa_iters)
+            if args.mode == "slots" and args.sa_iters is not None
+            else None
+        ),
         verify=args.verify,
     )
     result = api.run(
@@ -321,7 +385,7 @@ def cmd_place(args) -> int:
         route=args.route,
         verify_legal=True,
     )
-    print(f"{args.flow}: HPWL {result.hpwl:.6g}, legal={result.legality.ok}")
+    print(f"{result.flow}: HPWL {result.hpwl:.6g}, legal={result.legality.ok}")
     if args.route:
         print(result.route_report.summary())
     verify_ok = True
@@ -540,6 +604,7 @@ def cmd_submit(args) -> int:
         scale=args.scale,
         seed=args.seed,
         placement=PlacementParams(max_iters=args.max_iters),
+        mode=args.mode,
     )
     client = HttpServiceClient(args.host, args.port)
     try:
@@ -783,6 +848,7 @@ def main(argv=None) -> int:
         kernels.use(args.kernels)
     handlers = {
         "generate": cmd_generate,
+        "ingest": cmd_ingest,
         "place": cmd_place,
         "route": cmd_route,
         "explore": cmd_explore,

@@ -20,9 +20,11 @@ from .transform import (
     remove_cell,
 )
 from .validate import ValidationReport, check_legal, validate_design
+from .yosys import CellLibrary, load_yosys
 
 __all__ = [
     "Blockage",
+    "CellLibrary",
     "Design",
     "DesignBuilder",
     "HORIZONTAL",
@@ -40,6 +42,7 @@ __all__ = [
     "default_metal_stack",
     "extract_window",
     "load_design",
+    "load_yosys",
     "mirror_horizontal",
     "reduced_metal_stack",
     "remove_cell",

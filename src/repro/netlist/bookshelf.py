@@ -125,11 +125,26 @@ def _write_tech(design: Design, base: str) -> None:
 
 
 def _data_lines(path: str):
+    """Yield ``(lineno, line)`` for non-blank, non-comment lines.
+
+    Line numbers are 1-based positions in the raw file so parse errors
+    can point at the offending line even with comments interleaved.
+    """
     with open(path) as f:
-        for raw in f:
+        for lineno, raw in enumerate(f, start=1):
             line = raw.strip()
             if line and not line.startswith("#"):
-                yield line
+                yield lineno, line
+
+
+def _header_count(path: str, lineno: int, tokens: list) -> int:
+    """Parse the count from a ``<Key> : <N>`` header line."""
+    try:
+        return int(tokens[2])
+    except (IndexError, ValueError):
+        raise ValueError(
+            f"{path}:{lineno}: malformed header line {' '.join(tokens)!r}"
+        ) from None
 
 
 def _read_tech(path: str):
@@ -138,7 +153,7 @@ def _read_tech(path: str):
     die = None
     site_width = row_height = gcell = None
     routing_start = 1
-    for line in _data_lines(path):
+    for _lineno, line in _data_lines(path):
         tokens = line.split()
         if tokens[0] == "Die":
             die = Rect(*(float(t) for t in tokens[2:6]))
@@ -167,10 +182,13 @@ def _read_tech(path: str):
 
 
 def _read_nodes(path: str, builder: DesignBuilder) -> None:
-    for line in _data_lines(path):
-        if line.startswith("NumNodes"):
-            continue
+    declared = None
+    count = 0
+    for lineno, line in _data_lines(path):
         tokens = line.split()
+        if tokens[0] == "NumNodes":
+            declared = _header_count(path, lineno, tokens)
+            continue
         name, width, height = tokens[0], float(tokens[1]), float(tokens[2])
         flags = tokens[3:]
         builder.add_cell(
@@ -180,33 +198,96 @@ def _read_nodes(path: str, builder: DesignBuilder) -> None:
             movable="terminal" not in flags,
             macro="macro" in flags,
         )
+        count += 1
+    if declared is not None and count != declared:
+        raise ValueError(
+            f"{path}: NumNodes declares {declared} cells but {count} were found"
+            " (truncated or padded file?)"
+        )
 
 
 def _read_nets(path: str, builder: DesignBuilder) -> None:
+    declared_nets = declared_pins = None
     current_net = None
-    for line in _data_lines(path):
-        if line.startswith(("NumNets", "NumPins")):
-            continue
+    current_degree = 0
+    current_pins = 0
+    net_lineno = 0
+    num_nets = 0
+    num_pins = 0
+
+    def _check_current_degree() -> None:
+        if current_net is not None and current_pins != current_degree:
+            raise ValueError(
+                f"{path}:{net_lineno}: NetDegree declares {current_degree} pins"
+                f" but {current_pins} were found (truncated file?)"
+            )
+
+    for lineno, line in _data_lines(path):
         tokens = line.split()
+        if tokens[0] in ("NumNets", "NumPins"):
+            count = _header_count(path, lineno, tokens)
+            if tokens[0] == "NumNets":
+                declared_nets = count
+            else:
+                declared_pins = count
+            continue
         if tokens[0] == "NetDegree":
-            current_net = builder.add_net(tokens[3])
+            _check_current_degree()
+            current_degree = _header_count(path, lineno, tokens)
+            name = tokens[3] if len(tokens) > 3 else f"net{num_nets}"
+            current_net = builder.add_net(name)
+            current_pins = 0
+            net_lineno = lineno
+            num_nets += 1
         else:
             if current_net is None:
-                raise ValueError(f"{path}: pin line before any NetDegree")
-            cell = builder.cell_id(tokens[0])
+                raise ValueError(f"{path}:{lineno}: pin line before any NetDegree")
+            try:
+                cell = builder.cell_id(tokens[0])
+            except KeyError:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown cell {tokens[0]!r} in pin line"
+                ) from None
             builder.add_pin(cell, current_net, float(tokens[1]), float(tokens[2]))
+            current_pins += 1
+            num_pins += 1
+    _check_current_degree()
+    if declared_nets is not None and num_nets != declared_nets:
+        raise ValueError(
+            f"{path}: NumNets declares {declared_nets} nets but {num_nets}"
+            " were found (truncated file?)"
+        )
+    if declared_pins is not None and num_pins != declared_pins:
+        raise ValueError(
+            f"{path}: NumPins declares {declared_pins} pins but {num_pins}"
+            " were found (truncated file?)"
+        )
 
 
 def _read_pl(path: str, design: Design) -> None:
     index = {name: i for i, name in enumerate(design.cell_names)}
     x = design.x.copy()
     y = design.y.copy()
-    for line in _data_lines(path):
-        if line.startswith("NumNodes"):
-            continue
+    declared = None
+    count = 0
+    for lineno, line in _data_lines(path):
         tokens = line.split()
-        i = index[tokens[0]]
+        if tokens[0] == "NumNodes":
+            declared = _header_count(path, lineno, tokens)
+            continue
+        try:
+            i = index[tokens[0]]
+        except KeyError:
+            raise ValueError(
+                f"{path}:{lineno}: unknown cell {tokens[0]!r} in placement line"
+            ) from None
         x[i] = float(tokens[1])
         y[i] = float(tokens[2])
+        count += 1
+    if declared is not None and count != declared:
+        raise ValueError(
+            f"{path}: NumNodes declares {declared} placements but {count}"
+            " were found (truncated file?)"
+        )
     design.x[:] = np.asarray(x)
     design.y[:] = np.asarray(y)

@@ -119,7 +119,7 @@ def check_legal(
         if missite.any():
             report.errors.append(f"{int(missite.sum())} cells not site-aligned")
 
-    overlaps = _count_row_overlaps(xlo, xhi, ylo, tolerance)
+    overlaps = _count_row_overlaps(xlo, xhi, ylo, tolerance, die.ylo, tech.row_height)
     if overlaps:
         report.errors.append(f"{overlaps} overlapping cell pairs within rows")
 
@@ -140,12 +140,22 @@ def check_legal(
 
 
 def _count_row_overlaps(
-    xlo: np.ndarray, xhi: np.ndarray, ylo: np.ndarray, tolerance: float
+    xlo: np.ndarray,
+    xhi: np.ndarray,
+    ylo: np.ndarray,
+    tolerance: float,
+    die_ylo: float,
+    row_height: float,
 ) -> int:
-    """Number of overlapping cell pairs among cells sharing a row."""
+    """Number of overlapping cell pairs among cells sharing a row.
+
+    Cells are grouped by row *index* — ``round((ylo - die_ylo) /
+    row_height)`` — rather than by exact bottom-y, so sub-tolerance y
+    jitter (e.g. 1e-9 from float round-trips) cannot split one physical
+    row into two groups and hide an overlap.
+    """
     overlaps = 0
-    rows = np.round(ylo / max(ylo.max(), 1.0) * 1e9)  # group by identical ylo
-    rows = ylo  # exact grouping on bottom y
+    rows = np.round((ylo - die_ylo) / row_height)
     order = np.lexsort((xlo, rows))
     prev_row = None
     prev_xhi = -np.inf
@@ -161,9 +171,20 @@ def _count_row_overlaps(
 
 
 def _free_area(design: Design) -> float:
-    """Die area minus the area of fixed objects (approximate: no dedup)."""
+    """Die area minus the area of fixed objects (approximate: no dedup).
+
+    Subtracts fixed-cell area plus the die-clipped area of placement
+    blockages — blockages on layers below ``routing_layers_start``
+    obstruct placement sites, not just routing tracks — so utilization
+    checks can fire on blockage-heavy designs.
+    """
     area = design.die.area
     fixed = ~design.movable
     if fixed.any():
         area -= float((design.w[fixed] * design.h[fixed]).sum())
+    routing_start = design.technology.routing_layers_start
+    for blk in design.blockages:
+        if blk.layer >= routing_start:
+            continue
+        area -= blk.rect.overlap_area(design.die)
     return area

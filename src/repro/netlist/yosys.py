@@ -1,0 +1,353 @@
+"""Yosys-JSON netlist frontend.
+
+Parses the ``write_json`` output of a technology-mapped Yosys run (a
+``*_mapped.json`` file) into a :class:`repro.netlist.design.Design`:
+
+* module **cells** become movable standard cells sized by a liberty-lite
+  :class:`CellLibrary` table (mapped cell type → footprint width in
+  sites, one row tall);
+* ``connections`` **bit ids** become nets (string constants ``"0"`` /
+  ``"1"`` / ``"x"`` are power/ground/dontcare ties and produce no net);
+* module **ports** become fixed one-site terminals spread around the
+  die boundary, one per bit;
+* the die is sized from the movable area at a target utilization, the
+  same way :mod:`repro.benchgen` sizes synthetic designs.
+
+The parser is strict: structural problems raise ``ValueError`` naming
+the file and the JSON path that failed, never ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass, field
+
+from .builder import DesignBuilder
+from .design import Design
+from .geometry import Rect
+from .technology import Technology
+
+#: Footprint width in sites for common mapped-cell function bases.
+#: Values are honest relative footprints (an inverter is one site, a
+#: flip-flop several), not any foundry's real numbers.
+_BASE_WIDTHS = {
+    "a": 3,
+    "and": 3,
+    "aoi": 3,
+    "buf": 2,
+    "clkbuf": 2,
+    "clkinv": 1,
+    "conb": 1,
+    "dff": 6,
+    "dfrtp": 7,
+    "dfstp": 7,
+    "dfxtp": 6,
+    "dlxtp": 5,
+    "dlrtp": 6,
+    "ebuf": 3,
+    "einv": 2,
+    "fa": 8,
+    "ha": 5,
+    "inv": 1,
+    "latch": 5,
+    "maj": 5,
+    "mux": 4,
+    "nand": 2,
+    "nor": 2,
+    "o": 3,
+    "or": 3,
+    "sdf": 8,
+    "tie": 1,
+    "xnor": 4,
+    "xor": 4,
+}
+
+_TYPE_RE = re.compile(r"^([a-z]+)(\d*)(?:.*?)(?:_(\d+))?$")
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """Liberty-lite cell-size table: mapped cell type → width in sites.
+
+    Exact entries in :attr:`widths` win; otherwise the width is inferred
+    from the type name (vendor prefix up to ``__`` stripped, function
+    base looked up in a built-in table, fanin and drive strength adding
+    sites), falling back to :attr:`default_width`.  All cells are one
+    row tall.
+
+    Example:
+        >>> lib = CellLibrary()
+        >>> lib.width_sites("sky130_fd_sc_hd__inv_1")
+        1
+        >>> lib.width_sites("sky130_fd_sc_hd__dfxtp_2") > 4
+        True
+    """
+
+    widths: dict = field(default_factory=dict)
+    default_width: int = 4
+
+    def width_sites(self, cell_type: str) -> int:
+        """Footprint width in sites for ``cell_type`` (always >= 1)."""
+        if cell_type in self.widths:
+            return max(int(self.widths[cell_type]), 1)
+        return max(self._infer(cell_type), 1)
+
+    def _infer(self, cell_type: str) -> int:
+        base = cell_type.rsplit("__", 1)[-1].lower().lstrip("$\\_")
+        if base in self.widths:
+            return int(self.widths[base])
+        m = _TYPE_RE.match(base)
+        if m is None:
+            return self.default_width
+        func, fanin, drive = m.group(1), m.group(2), m.group(3)
+        width = _BASE_WIDTHS.get(func)
+        if width is None:
+            return self.default_width
+        if fanin:
+            width += max(int(fanin) - 2, 0)
+        if drive:
+            width += max(int(drive) - 1, 0)
+        return min(width, 16)
+
+    @classmethod
+    def from_json(cls, path: str) -> "CellLibrary":
+        """Load a table from JSON: ``{"default_width": N, "widths": {...}}``.
+
+        Raises:
+            ValueError: on malformed JSON or unknown keys.
+        """
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: expected a JSON object")
+        unknown = set(data) - {"default_width", "widths"}
+        if unknown:
+            raise ValueError(f"{path}: unknown keys {sorted(unknown)}")
+        widths = data.get("widths", {})
+        if not isinstance(widths, dict):
+            raise ValueError(f"{path}: 'widths' must be an object")
+        return cls(
+            widths={str(k): int(v) for k, v in widths.items()},
+            default_width=int(data.get("default_width", 4)),
+        )
+
+
+def load_yosys(
+    path: str,
+    *,
+    top: str | None = None,
+    library: CellLibrary | None = None,
+    technology: Technology | None = None,
+    utilization: float = 0.7,
+    name: str | None = None,
+) -> Design:
+    """Load a Yosys ``write_json`` netlist into a :class:`Design`.
+
+    Args:
+        path: the ``*_mapped.json`` file.
+        top: module to elaborate; defaults to the module carrying the
+            Yosys ``top`` attribute, else the one with the most cells.
+        library: liberty-lite size table (default :class:`CellLibrary`).
+        technology: placement fabric (default :class:`Technology` with
+            the standard metal stack).
+        utilization: movable-area / die-area target used to size the die.
+        name: design name (defaults to the top module name).
+
+    Returns:
+        An unplaced :class:`Design` — movable cells at the die center,
+        port terminals fixed on the boundary.
+
+    Raises:
+        ValueError: on malformed JSON or netlist structure; the message
+            names the file and the offending element.
+    """
+    if not 0.0 < utilization < 1.0:
+        raise ValueError(f"utilization must be in (0, 1), got {utilization}")
+    library = library or CellLibrary()
+    technology = technology or Technology()
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from None
+
+    modules = data.get("modules") if isinstance(data, dict) else None
+    if not isinstance(modules, dict) or not modules:
+        raise ValueError(f"{path}: no 'modules' object — not a Yosys JSON netlist?")
+    top_name, module = _pick_top(path, modules, top)
+
+    ports = _get_dict(path, module, top_name, "ports")
+    cells = _get_dict(path, module, top_name, "cells")
+    netnames = _get_dict(path, module, top_name, "netnames")
+
+    # ------------------------------------------------------------------
+    # Collect cells and the bit ids they touch.
+    # ------------------------------------------------------------------
+    cell_specs = []  # (name, width, [(port, bit)])
+    used_bits = set()
+    for cell_name, cell in cells.items():
+        if not isinstance(cell, dict):
+            raise ValueError(f"{path}: cell {cell_name!r} is not an object")
+        cell_type = cell.get("type")
+        if not isinstance(cell_type, str):
+            raise ValueError(f"{path}: cell {cell_name!r} has no 'type'")
+        connections = cell.get("connections", {})
+        if not isinstance(connections, dict):
+            raise ValueError(f"{path}: cell {cell_name!r}: 'connections' not an object")
+        pins = []
+        for port_name, bits in connections.items():
+            for bit in _iter_bits(path, f"cell {cell_name!r} port {port_name!r}", bits):
+                pins.append((port_name, bit))
+                used_bits.add(bit)
+        width = library.width_sites(cell_type) * technology.site_width
+        cell_specs.append((cell_name, width, pins))
+
+    # ------------------------------------------------------------------
+    # Collect port terminals (one per bit, in declaration order).
+    # ------------------------------------------------------------------
+    terminals = []  # (terminal_name, bit)
+    for port_name, port in ports.items():
+        if not isinstance(port, dict):
+            raise ValueError(f"{path}: port {port_name!r} is not an object")
+        direction = port.get("direction")
+        if direction not in ("input", "output", "inout"):
+            raise ValueError(
+                f"{path}: port {port_name!r} has bad direction {direction!r}"
+            )
+        bits = port.get("bits", [])
+        wide = isinstance(bits, list) and len(bits) > 1
+        for i, bit in enumerate(_iter_bits(path, f"port {port_name!r}", bits)):
+            terminals.append((f"{port_name}[{i}]" if wide else port_name, bit))
+            used_bits.add(bit)
+
+    if not cell_specs:
+        raise ValueError(f"{path}: module {top_name!r} has no cells")
+
+    # ------------------------------------------------------------------
+    # Die sizing (benchgen-style: square-ish, whole rows and Gcells),
+    # with enough boundary room for every terminal.
+    # ------------------------------------------------------------------
+    tech = technology
+    movable_area = sum(w * tech.row_height for _n, w, _p in cell_specs)
+    side = math.sqrt(movable_area / utilization)
+    min_side = (len(terminals) / 4 + 2) * 2 * tech.site_width
+    side = max(side, min_side, 2 * tech.row_height)
+    height = math.ceil(side / tech.row_height) * tech.row_height
+    width = math.ceil(side / tech.gcell_size) * tech.gcell_size
+    height = math.ceil(height / tech.gcell_size) * tech.gcell_size
+    die = Rect(0.0, 0.0, float(width), float(height))
+
+    builder = DesignBuilder(name or top_name, tech, die)
+
+    # Nets in ascending bit order so ingestion is deterministic even if
+    # the JSON serializer reordered objects.
+    bit_names = _bit_names(netnames)
+    net_of_bit = {}
+    seen_names = set()
+    for bit in sorted(used_bits):
+        net_name = bit_names.get(bit, f"net{bit}")
+        if net_name in seen_names:
+            net_name = f"{net_name}.bit{bit}"
+        seen_names.add(net_name)
+        net_of_bit[bit] = builder.add_net(net_name)
+
+    term_ids = _place_terminals(builder, die, tech, terminals)
+    for (term_name, bit), cell_id in zip(terminals, term_ids):
+        builder.add_pin(cell_id, net_of_bit[bit])
+
+    for cell_name, cell_w, pins in cell_specs:
+        cell_id = builder.add_cell(cell_name, cell_w, tech.row_height)
+        span = max(len(pins), 1)
+        for j, (_port, bit) in enumerate(pins):
+            dx = ((j + 0.5) / span - 0.5) * cell_w * 0.8
+            builder.add_pin(cell_id, net_of_bit[bit], dx, 0.0)
+
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Pieces
+# ----------------------------------------------------------------------
+
+
+def _pick_top(path: str, modules: dict, top: str | None):
+    """The module to elaborate: explicit, attribute-marked, or largest."""
+    if top is not None:
+        if top not in modules:
+            raise ValueError(
+                f"{path}: no module {top!r}; available: {', '.join(sorted(modules))}"
+            )
+        return top, modules[top]
+    for mod_name, module in modules.items():
+        attrs = module.get("attributes", {}) if isinstance(module, dict) else {}
+        flag = attrs.get("top", 0)
+        truthy = flag not in (0, "", None) and set(str(flag)) != {"0"}
+        if truthy:
+            return mod_name, module
+    mod_name = max(
+        modules,
+        key=lambda m: len(modules[m].get("cells", {}))
+        if isinstance(modules[m], dict)
+        else -1,
+    )
+    return mod_name, modules[mod_name]
+
+
+def _get_dict(path: str, module: dict, top_name: str, key: str) -> dict:
+    value = module.get(key, {}) if isinstance(module, dict) else None
+    if not isinstance(value, dict):
+        raise ValueError(f"{path}: module {top_name!r}: {key!r} is not an object")
+    return value
+
+
+def _iter_bits(path: str, where: str, bits):
+    """Integer net bits of a ``bits`` list; constants yield nothing."""
+    if not isinstance(bits, list):
+        raise ValueError(f"{path}: {where}: bits is not a list")
+    for bit in bits:
+        if isinstance(bit, bool) or not isinstance(bit, (int, str)):
+            raise ValueError(f"{path}: {where}: bad bit {bit!r}")
+        if isinstance(bit, int):
+            yield bit
+        # String bits are constants ("0", "1", "x", "z"): no net.
+
+
+def _bit_names(netnames: dict) -> dict:
+    """Map bit id → human name from the module's ``netnames`` (first wins)."""
+    names = {}
+    for net_name, info in netnames.items():
+        bits = info.get("bits", []) if isinstance(info, dict) else []
+        if not isinstance(bits, list):
+            continue
+        wide = len(bits) > 1
+        for i, bit in enumerate(bits):
+            if isinstance(bit, int) and not isinstance(bit, bool) and bit not in names:
+                names[bit] = f"{net_name}[{i}]" if wide else net_name
+    return names
+
+
+def _place_terminals(builder: DesignBuilder, die: Rect, tech: Technology, terminals):
+    """Fixed one-site terminals round-robin over the four die sides."""
+    ids = []
+    count = len(terminals)
+    for k, (term_name, _bit) in enumerate(terminals):
+        side = k % 4
+        t = (k // 4 + 0.5) / max(count // 4, 1)
+        w = h = tech.site_width
+        if side == 0:
+            x, y = die.xlo + w / 2, die.ylo + t * die.height
+        elif side == 1:
+            x, y = die.xhi - w / 2, die.ylo + t * die.height
+        elif side == 2:
+            x, y = die.xlo + t * die.width, die.ylo + h / 2
+        else:
+            x, y = die.xlo + t * die.width, die.yhi - h / 2
+        x = min(max(x, die.xlo + w / 2), die.xhi - w / 2)
+        y = min(max(y, die.ylo + h / 2), die.yhi - h / 2)
+        ids.append(builder.add_cell(term_name, w, h, x=x, y=y, movable=False))
+    return ids

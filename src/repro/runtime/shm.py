@@ -372,7 +372,8 @@ class SharedDesignCache:
     """Publish-once cache for services handing the same design to many jobs.
 
     Keyed by ``(design name, scale, seed)``; a miss generates the design
-    through ``provider`` (default: :func:`repro.benchgen.make_design`)
+    through ``provider`` (default: :func:`repro.api.resolve_design`,
+    which handles both suite names and Yosys ``*.json`` netlist paths)
     and publishes it.  Bounded FIFO — evicted entries release their
     segment reference.  :meth:`close` releases everything.
     """
@@ -388,9 +389,9 @@ class SharedDesignCache:
     def _make(self, name: str, scale: float, seed: int):
         if self._provider is not None:
             return self._provider(name, scale, seed)
-        from ..benchgen import make_design
+        from ..api import resolve_design
 
-        return make_design(name, scale, seed=seed)
+        return resolve_design(name, scale, seed)
 
     def handle_for(self, name: str, scale: float, seed: int):
         """The (cached) handle for a design identity, or ``None``.

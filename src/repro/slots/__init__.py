@@ -1,0 +1,39 @@
+"""Structured-ASIC fixed-slot placement.
+
+Cells are assigned to pre-fabricated legal slots instead of being
+placed continuously: :func:`generate_slots` derives the slot grid from
+the technology and the design's cell-width histogram,
+:func:`greedy_assignment` seeds an initial assignment growing inward
+from the fixed terminals, and :func:`sa_refine` polishes it with
+simulated annealing over incremental HPWL deltas.  :func:`place_slots`
+runs the whole pipeline (the ``mode="slots"`` path of
+:class:`repro.api.RunConfig`).
+"""
+
+from .assign import (
+    SaStats,
+    SlotPlacementResult,
+    apply_assignment,
+    greedy_assignment,
+    place_slots,
+    random_assignment,
+    sa_refine,
+    slot_position,
+)
+from .grid import SlotGrid, generate_slots, movable_std_cells
+from .params import SlotParams
+
+__all__ = [
+    "SaStats",
+    "SlotGrid",
+    "SlotParams",
+    "SlotPlacementResult",
+    "apply_assignment",
+    "generate_slots",
+    "greedy_assignment",
+    "movable_std_cells",
+    "place_slots",
+    "random_assignment",
+    "sa_refine",
+    "slot_position",
+]

@@ -1,0 +1,411 @@
+"""Slot assignment: greedy seed-and-grow plus simulated annealing.
+
+The assignment problem maps every movable standard cell onto exactly
+one free slot that is at least as wide as the cell.  The greedy pass
+grows inward from the fixed boundary terminals, placing each cell on
+the nearest fitting slot to the median of its already-placed neighbors;
+the annealing pass then refines with relocate / swap moves scored by
+:class:`repro.dplace.IncrementalHpwl` deltas.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+from ..dplace import IncrementalHpwl
+from ..netlist.design import Design
+from .grid import SlotGrid, generate_slots, movable_std_cells
+from .params import SlotParams
+
+#: Nets wider than this are skipped when building the greedy adjacency
+#: (clock/reset-class nets connect everything and carry no locality).
+MAX_ADJ_DEGREE = 32
+
+#: Retry budget when sampling a fitting free slot for an SA relocate.
+_SA_SLOT_TRIES = 12
+
+
+def slot_position(design: Design, grid: SlotGrid, cell: int, slot: int) -> tuple:
+    """Center position of ``cell`` when left-aligned into ``slot``."""
+    x = float(grid.x[slot]) + float(design.w[cell]) / 2.0
+    y = float(grid.y[slot]) + float(design.h[cell]) / 2.0
+    return x, y
+
+
+def apply_assignment(design: Design, grid: SlotGrid, assignment: np.ndarray) -> None:
+    """Write slot positions into ``design`` for every assigned cell."""
+    for cell in np.flatnonzero(assignment >= 0):
+        x, y = slot_position(design, grid, int(cell), int(assignment[cell]))
+        design.x[cell] = x
+        design.y[cell] = y
+
+
+class _FreeSlots:
+    """Free-slot index: nearest fitting slot to a target point.
+
+    Slots are bucketed by ``(width class, row)`` with a bisect-sorted
+    x-center list per bucket; lookup scans width classes that fit and
+    rows outward from the target, pruning once the row distance alone
+    exceeds the best cost found.
+    """
+
+    def __init__(self, grid: SlotGrid, free_ids) -> None:
+        self.grid = grid
+        self.widths = np.unique(grid.w)
+        self.row_y = {}
+        self.buckets = {}
+        self._slot_key = {}
+        for slot in free_ids:
+            self.add(int(slot))
+
+    def add(self, slot: int) -> None:
+        grid = self.grid
+        row = int(grid.row[slot])
+        self.row_y[row] = float(grid.y[slot]) + grid.row_height / 2.0
+        key = (float(grid.w[slot]), row)
+        bucket = self.buckets.setdefault(key, [])
+        cx = float(grid.x[slot]) + float(grid.w[slot]) / 2.0
+        bisect.insort(bucket, (cx, slot))
+        self._slot_key[slot] = (key, cx)
+
+    def remove(self, slot: int) -> None:
+        key, cx = self._slot_key.pop(slot)
+        bucket = self.buckets[key]
+        bucket.pop(bisect.bisect_left(bucket, (cx, slot)))
+
+    def __contains__(self, slot: int) -> bool:
+        return slot in self._slot_key
+
+    def __len__(self) -> int:
+        return len(self._slot_key)
+
+    def nearest(self, min_width: float, tx: float, ty: float) -> int | None:
+        """Nearest free slot to ``(tx, ty)`` in the tightest fitting class.
+
+        Width classes are tried smallest-first and a wider class is only
+        consulted when every tighter fitting class is empty — greedily
+        handing wide slots to narrow cells would strand the wide cells
+        that are their only legal hosts.
+        """
+        rows = sorted(self.row_y, key=lambda r: abs(self.row_y[r] - ty))
+        for width in self.widths:
+            if width < min_width - 1e-9:
+                continue
+            slot = self._nearest_in_class(float(width), rows, tx, ty)
+            if slot is not None:
+                return slot
+        return None
+
+    def _nearest_in_class(self, width: float, rows: list, tx: float, ty: float):
+        best_cost = math.inf
+        best_slot = None
+        for row in rows:
+            dy = abs(self.row_y[row] - ty)
+            if dy >= best_cost:
+                break  # rows are distance-sorted: nothing closer left
+            bucket = self.buckets.get((width, row))
+            if not bucket:
+                continue
+            i = bisect.bisect_left(bucket, (tx, -1))
+            for j in (i - 1, i):
+                if 0 <= j < len(bucket):
+                    cx, slot = bucket[j]
+                    cost = abs(cx - tx) + dy
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_slot = slot
+        return best_slot
+
+
+def _adjacency(design: Design) -> list:
+    """Per-cell neighbor lists over nets of degree <= MAX_ADJ_DEGREE."""
+    neighbors: list = [[] for _ in range(design.num_cells)]
+    for net in range(design.num_nets):
+        pins = design.pins_of_net(net)
+        if not 2 <= len(pins) <= MAX_ADJ_DEGREE:
+            continue
+        cells = np.unique(design.pin_cell[pins])
+        for c in cells:
+            others = cells[cells != c]
+            neighbors[int(c)].extend(int(o) for o in others)
+    return neighbors
+
+
+def _greedy_order(design: Design, cells: np.ndarray, neighbors: list) -> list:
+    """BFS levels from the fixed boundary, high-degree cells first."""
+    degree = np.bincount(design.pin_cell, minlength=design.num_cells)
+    movable_set = set(int(c) for c in cells)
+    fixed = np.flatnonzero(~design.movable)
+    seen = set()
+    frontier = []
+    for f in fixed:
+        for n in neighbors[int(f)]:
+            if n in movable_set and n not in seen:
+                seen.add(n)
+                frontier.append(n)
+    order = []
+    frontier.sort(key=lambda c: (-int(degree[c]), c))
+    queue = deque(frontier)
+    order.extend(frontier)
+    while queue:
+        level = []
+        for _ in range(len(queue)):
+            c = queue.popleft()
+            for n in neighbors[c]:
+                if n in movable_set and n not in seen:
+                    seen.add(n)
+                    level.append(n)
+        level.sort(key=lambda c: (-int(degree[c]), c))
+        order.extend(level)
+        queue.extend(level)
+    rest = sorted(
+        (int(c) for c in cells if int(c) not in seen),
+        key=lambda c: (-int(degree[c]), c),
+    )
+    order.extend(rest)
+    return order
+
+
+def greedy_assignment(design: Design, grid: SlotGrid, seed: int = 0) -> np.ndarray:
+    """Seed-and-grow initial assignment driven by the net-box objective.
+
+    Cells are visited in BFS order from the fixed terminals; each goes
+    to the nearest free fitting slot to the median position of its
+    already-placed neighbors (die center when none are placed yet).
+
+    Returns:
+        Per-cell slot ids (``-1`` for fixed cells and macros).
+    """
+    del seed  # deterministic; kept for signature parity with random_assignment
+    cells = movable_std_cells(design)
+    neighbors = _adjacency(design)
+    order = _greedy_order(design, cells, neighbors)
+    free = _FreeSlots(grid, range(grid.num_slots))
+    assignment = np.full(design.num_cells, -1, dtype=np.int64)
+    placed_pos: dict = {}
+    for f in np.flatnonzero(~design.movable):
+        placed_pos[int(f)] = (float(design.x[f]), float(design.y[f]))
+    center = design.die.center
+    for cell in order:
+        anchors = [placed_pos[n] for n in neighbors[cell] if n in placed_pos]
+        if anchors:
+            tx = float(np.median([a[0] for a in anchors]))
+            ty = float(np.median([a[1] for a in anchors]))
+        else:
+            tx, ty = center.x, center.y
+        slot = free.nearest(float(design.w[cell]), tx, ty)
+        if slot is None:
+            raise ValueError(
+                f"no free slot fits cell {design.cell_names[cell]!r}"
+                f" (width {design.w[cell]})"
+            )
+        free.remove(slot)
+        assignment[cell] = slot
+        placed_pos[cell] = slot_position(design, grid, cell, slot)
+    return assignment
+
+
+def random_assignment(design: Design, grid: SlotGrid, seed: int = 0) -> np.ndarray:
+    """Uniform random assignment over fitting free slots (bench baseline).
+
+    Cells are processed widest-first so narrow cells cannot strand a
+    wide one; within a width the choice is uniform over free fitting
+    slots.
+    """
+    rng = np.random.default_rng(seed)
+    cells = movable_std_cells(design)
+    order = sorted((int(c) for c in cells), key=lambda c: (-design.w[c], c))
+    slot_w = grid.w
+    free_mask = np.ones(grid.num_slots, dtype=bool)
+    assignment = np.full(design.num_cells, -1, dtype=np.int64)
+    for cell in order:
+        candidates = np.flatnonzero(free_mask & (slot_w >= design.w[cell] - 1e-9))
+        if len(candidates) == 0:
+            raise ValueError(
+                f"no free slot fits cell {design.cell_names[cell]!r}"
+                f" (width {design.w[cell]})"
+            )
+        slot = int(rng.choice(candidates))
+        free_mask[slot] = False
+        assignment[cell] = slot
+    return assignment
+
+
+@dataclass
+class SaStats:
+    """Annealing telemetry."""
+
+    iterations: int = 0
+    accepted: int = 0
+    relocations: int = 0
+    swaps: int = 0
+    start_temp: float = 0.0
+    final_temp: float = 0.0
+
+
+def sa_refine(
+    design: Design,
+    grid: SlotGrid,
+    assignment: np.ndarray,
+    params: SlotParams,
+    seed: int = 0,
+) -> SaStats:
+    """Simulated-annealing refinement with incremental HPWL deltas.
+
+    Mutates ``assignment`` and the design positions in place.  Moves are
+    single-cell relocations to a free fitting slot or mutual-fit pair
+    swaps, Metropolis-accepted on the exact
+    :class:`~repro.dplace.IncrementalHpwl` delta under geometric
+    cooling.
+    """
+    rng = np.random.default_rng(seed)
+    cells = movable_std_cells(design)
+    apply_assignment(design, grid, assignment)
+    inc = IncrementalHpwl(design)
+    iters = params.sa_iters
+    if iters is None:
+        iters = int(min(max(60 * len(cells), 2000), 120_000))
+    stats = SaStats(iterations=iters)
+    if iters == 0 or len(cells) < 2:
+        return stats
+
+    assigned = [int(c) for c in cells if assignment[c] >= 0]
+    free_ids = sorted(set(range(grid.num_slots)) - {int(assignment[c]) for c in assigned})
+    temp = params.sa_temp or _calibrate_temp(design, grid, assigned, inc, rng)
+    cooling = params.sa_cooling or (1e-3) ** (1.0 / max(iters, 1))
+    stats.start_temp = temp
+    best_total = inc.total
+    best_assignment = assignment.copy()
+
+    for _ in range(iters):
+        if rng.random() < params.sa_swap_prob:
+            a, b = rng.integers(0, len(assigned), size=2)
+            if a == b:
+                continue
+            ca, cb = assigned[int(a)], assigned[int(b)]
+            sa_, sb = int(assignment[ca]), int(assignment[cb])
+            if grid.w[sb] < design.w[ca] - 1e-9 or grid.w[sa_] < design.w[cb] - 1e-9:
+                continue
+            moves = {
+                ca: slot_position(design, grid, ca, sb),
+                cb: slot_position(design, grid, cb, sa_),
+            }
+            delta = inc.delta(moves)
+            if delta < 0 or rng.random() < math.exp(-delta / max(temp, 1e-12)):
+                inc.commit(moves)
+                assignment[ca], assignment[cb] = sb, sa_
+                stats.accepted += 1
+                stats.swaps += 1
+                if inc.total < best_total:
+                    best_total = inc.total
+                    best_assignment = assignment.copy()
+        elif free_ids:
+            cell = assigned[int(rng.integers(0, len(assigned)))]
+            slot = None
+            for _try in range(_SA_SLOT_TRIES):
+                cand = free_ids[int(rng.integers(0, len(free_ids)))]
+                if grid.w[cand] >= design.w[cell] - 1e-9:
+                    slot = cand
+                    break
+            if slot is None:
+                continue
+            moves = {cell: slot_position(design, grid, cell, slot)}
+            delta = inc.delta(moves)
+            if delta < 0 or rng.random() < math.exp(-delta / max(temp, 1e-12)):
+                inc.commit(moves)
+                old = int(assignment[cell])
+                assignment[cell] = slot
+                free_ids[free_ids.index(slot)] = old
+                stats.accepted += 1
+                stats.relocations += 1
+                if inc.total < best_total:
+                    best_total = inc.total
+                    best_assignment = assignment.copy()
+        temp *= cooling
+    stats.final_temp = temp
+    if inc.total > best_total:
+        # The walk ended above its best visited state: restore it.
+        assignment[:] = best_assignment
+        apply_assignment(design, grid, assignment)
+    return stats
+
+
+def _calibrate_temp(design, grid, assigned, inc, rng) -> float:
+    """Initial temperature: a twentieth of the mean |ΔHPWL| of sampled moves.
+
+    Refinement starts from a structured assignment, so the walk must
+    stay near it — a temperature at the full mean delta (the classic
+    from-scratch choice) would scramble the greedy solution faster than
+    the cooling schedule can recover it.
+    """
+    deltas = []
+    for _ in range(48):
+        cell = assigned[int(rng.integers(0, len(assigned)))]
+        slot = int(rng.integers(0, grid.num_slots))
+        if grid.w[slot] < design.w[cell] - 1e-9:
+            continue
+        deltas.append(abs(inc.delta({cell: slot_position(design, grid, cell, slot)})))
+    return 0.05 * float(np.mean(deltas)) if deltas else 1.0
+
+
+@dataclass
+class SlotPlacementResult:
+    """Outcome of :func:`place_slots`.
+
+    Attributes:
+        slot_grid: the generated :class:`~repro.slots.grid.SlotGrid`.
+        slot_assignment: per-cell slot ids (``-1`` for fixed / macro).
+        hpwl_initial: HPWL after the initial assignment.
+        hpwl_final: HPWL after annealing refinement.
+        sa: annealing telemetry.
+    """
+
+    slot_grid: SlotGrid
+    slot_assignment: np.ndarray
+    hpwl_initial: float
+    hpwl_final: float
+    sa: SaStats
+
+
+def place_slots(
+    design: Design, params: SlotParams | None = None, seed: int = 0
+) -> SlotPlacementResult:
+    """Fixed-slot placement: grid, initial assignment, SA refinement.
+
+    Deterministic for a fixed ``(design, params, seed)``; the design's
+    positions are mutated in place.
+    """
+    params = params or SlotParams()
+    params.validate()
+    with obs.span("slots/place", cells=int(design.movable.sum())) as sp:
+        with obs.span("slots/grid"):
+            grid = generate_slots(design, margin=params.margin, seed=seed)
+        with obs.span("slots/initial", strategy=params.initial):
+            if params.initial == "random":
+                assignment = random_assignment(design, grid, seed=seed)
+            else:
+                assignment = greedy_assignment(design, grid, seed=seed)
+            apply_assignment(design, grid, assignment)
+        hpwl_initial = design.hpwl()
+        with obs.span("slots/sa"):
+            stats = sa_refine(design, grid, assignment, params, seed=seed)
+        hpwl_final = design.hpwl()
+        sp.set(
+            slots=grid.num_slots,
+            hpwl_initial=hpwl_initial,
+            hpwl_final=hpwl_final,
+            sa_accepted=stats.accepted,
+        )
+    return SlotPlacementResult(
+        slot_grid=grid,
+        slot_assignment=assignment,
+        hpwl_initial=hpwl_initial,
+        hpwl_final=hpwl_final,
+        sa=stats,
+    )

@@ -1,0 +1,211 @@
+"""Slot-grid generation for structured-ASIC placement.
+
+A structured ASIC pre-fabricates legal cell sites ("slots"); placement
+degenerates to an assignment problem.  :func:`generate_slots` derives a
+slot grid from the design's own technology and cell-width histogram:
+each distinct movable-cell width gets ``ceil(margin * count)`` slots,
+interleaved across the rows so every width class is available near any
+die region, packed around fixed objects and placement blockages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist.design import Design
+from ..netlist.geometry import Rect
+
+
+@dataclass
+class SlotGrid:
+    """A fixed library of legal standard-cell slots.
+
+    Arrays are parallel, sorted by ``(row, x)``.
+
+    Attributes:
+        x: slot left edges (site-aligned).
+        y: slot bottoms (row-aligned).
+        w: slot widths (whole sites).
+        row: row index of each slot.
+        die: the die the grid was generated for.
+        row_height: the fabric's row height (every slot is one row tall).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    w: np.ndarray
+    row: np.ndarray
+    die: Rect
+    row_height: float
+
+    @property
+    def num_slots(self) -> int:
+        """Number of slots in the grid."""
+        return len(self.x)
+
+    def rect(self, i: int) -> Rect:
+        """Outline of slot ``i``."""
+        return Rect(
+            float(self.x[i]),
+            float(self.y[i]),
+            float(self.x[i] + self.w[i]),
+            float(self.y[i] + self.row_height),
+        )
+
+    def centers(self) -> tuple:
+        """``(cx, cy)`` arrays of every slot's center."""
+        return self.x + self.w / 2.0, self.y + self.row_height / 2.0
+
+
+def movable_std_cells(design: Design) -> np.ndarray:
+    """Indices of movable standard cells (the slot-assignment domain)."""
+    return np.flatnonzero(design.movable & ~design.is_macro)
+
+
+def generate_slots(design: Design, margin: float = 1.15, seed: int = 0) -> SlotGrid:
+    """Derive a deterministic slot grid for ``design``.
+
+    Slot widths follow the movable-cell width histogram with ``margin``
+    head-room per class; the width multiset is shuffled (seeded) and
+    packed row by row into the free intervals left by fixed objects and
+    sub-routing-layer blockages, which interleaves the classes across
+    the die.
+
+    Raises:
+        ValueError: when cells are not one row tall, or when the packed
+            grid cannot host every cell (nested Hall condition — for
+            each width ``w``, cells at least ``w`` wide need at least as
+            many slots at least ``w`` wide).
+    """
+    tech = design.technology
+    site = tech.site_width
+    rh = tech.row_height
+    die = design.die
+    cells = movable_std_cells(design)
+    if len(cells) == 0:
+        raise ValueError("design has no movable standard cells to slot")
+    if np.abs(design.h[cells] - rh).max() > 1e-6:
+        raise ValueError("slot mode requires movable cells one row tall")
+
+    cell_sites = np.ceil(design.w[cells] / site - 1e-9).astype(np.int64)
+    classes, counts = np.unique(cell_sites, return_counts=True)
+    slot_widths: list = []
+    for width_sites, count in zip(classes, counts):
+        slot_widths += [int(width_sites)] * math.ceil(margin * int(count))
+    rng = np.random.default_rng(seed)
+    rng.shuffle(slot_widths)
+
+    segments = _free_segments(design, die, site, rh)
+    xs, ys, ws, rows = _pack(slot_widths, segments, site, die, rh)
+
+    _check_capacity(classes, counts, np.asarray(ws, dtype=np.int64))
+
+    order = np.lexsort((np.asarray(xs), np.asarray(rows)))
+    return SlotGrid(
+        x=np.asarray(xs, dtype=np.float64)[order],
+        y=np.asarray(ys, dtype=np.float64)[order],
+        w=np.asarray(ws, dtype=np.float64)[order] * site,
+        row=np.asarray(rows, dtype=np.int64)[order],
+        die=die,
+        row_height=rh,
+    )
+
+
+def _free_segments(design: Design, die: Rect, site: float, rh: float) -> list:
+    """Per-row free x intervals ``[(row, xlo, xhi), ...]`` in sites.
+
+    A row's span is blocked by any fixed cell, macro, or placement
+    blockage (layer below ``routing_layers_start``) overlapping it.
+    """
+    routing_start = design.technology.routing_layers_start
+    obstacles = []
+    for i in np.flatnonzero(~design.movable | design.is_macro):
+        obstacles.append(design.cell_rect(int(i)))
+    for blk in design.blockages:
+        if blk.layer < routing_start:
+            clipped = blk.rect.intersection(die)
+            if clipped is not None:
+                obstacles.append(clipped)
+
+    num_rows = int(math.floor((die.yhi - die.ylo) / rh + 1e-9))
+    segments = []
+    for r in range(num_rows):
+        ylo = die.ylo + r * rh
+        yhi = ylo + rh
+        blocked = sorted(
+            (max(o.xlo, die.xlo), min(o.xhi, die.xhi))
+            for o in obstacles
+            if o.ylo < yhi - 1e-9 and o.xlo < o.xhi and ylo < o.yhi - 1e-9
+        )
+        cursor = die.xlo
+        for bxlo, bxhi in blocked:
+            if bxlo > cursor:
+                segments.append((r, cursor, bxlo))
+            cursor = max(cursor, bxhi)
+        if cursor < die.xhi:
+            segments.append((r, cursor, die.xhi))
+    # Snap segment starts up to the site grid relative to the die edge.
+    snapped = []
+    for r, xlo, xhi in segments:
+        start = die.xlo + math.ceil((xlo - die.xlo) / site - 1e-9) * site
+        if xhi - start >= site:
+            snapped.append((r, start, xhi))
+    return snapped
+
+
+def _pack(slot_widths: list, segments: list, site: float, die: Rect, rh: float):
+    """Pack the width multiset into free segments, row-interleaved.
+
+    Each slot is offered to the rows in cyclic order starting one past
+    the previous placement, so consecutive entries of the (shuffled)
+    width list land in different rows and every region of the die sees
+    every width class.  Slots that fit nowhere are dropped — the margin
+    head-room absorbs that, and the capacity check catches a genuine
+    shortfall.
+    """
+    xs: list = []
+    ys: list = []
+    ws: list = []
+    rows: list = []
+    # Per-row segment cursors: row -> list of [cursor, end].
+    by_row: dict = {}
+    for r, xlo, xhi in segments:
+        by_row.setdefault(r, []).append([xlo, xhi])
+    row_ids = sorted(by_row)
+    if not row_ids:
+        return xs, ys, ws, rows
+    pointer = 0
+    for width_sites in slot_widths:
+        width = width_sites * site
+        for attempt in range(len(row_ids)):
+            r = row_ids[(pointer + attempt) % len(row_ids)]
+            placed = False
+            for seg in by_row[r]:
+                if seg[0] + width <= seg[1] + 1e-9:
+                    xs.append(seg[0])
+                    ys.append(die.ylo + r * rh)
+                    ws.append(int(width_sites))
+                    rows.append(r)
+                    seg[0] += width
+                    placed = True
+                    break
+            if placed:
+                pointer = (pointer + attempt + 1) % len(row_ids)
+                break
+    return xs, ys, ws, rows
+
+
+def _check_capacity(classes: np.ndarray, counts: np.ndarray, slot_sites: np.ndarray):
+    """Nested Hall condition: wide cells must find enough wide slots."""
+    for width in classes[::-1]:
+        need = int(counts[classes >= width].sum())
+        have = int((slot_sites >= width).sum())
+        if have < need:
+            raise ValueError(
+                f"slot grid too small: {need} cells need width >= {int(width)}"
+                f" sites but only {have} such slots fit the die"
+                " (lower utilization or raise the margin)"
+            )

@@ -1,0 +1,68 @@
+"""Tunable parameters of the fixed-slot placement mode."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..schema import dataclass_from_dict, dataclass_to_dict
+
+#: Valid initial-assignment strategies.
+INITIAL_STRATEGIES = ("greedy", "random")
+
+
+@dataclass
+class SlotParams:
+    """Knobs of :func:`repro.slots.place_slots`.
+
+    Attributes:
+        margin: slot-count head-room per width class — the grid carries
+            ``ceil(margin * cells)`` slots of each width so the
+            assignment problem never becomes a perfect matching.
+        initial: initial-assignment strategy — ``"greedy"`` (I/O-driven
+            seed-and-grow toward the median of placed neighbors) or
+            ``"random"`` (uniform over fitting free slots; the
+            benchmark baseline).
+        sa_iters: simulated-annealing refinement iterations; ``None``
+            scales with the cell count (clamped to [2000, 120000]),
+            ``0`` disables refinement.
+        sa_swap_prob: probability that an SA move swaps two assigned
+            cells instead of relocating one cell to a free slot.
+        sa_temp: initial annealing temperature; ``None`` calibrates
+            from the mean |ΔHPWL| of sampled random moves.
+        sa_cooling: per-iteration geometric cooling factor; ``None``
+            derives a schedule ending near ``1e-3 * sa_temp``.
+    """
+
+    margin: float = 1.15
+    initial: str = "greedy"
+    sa_iters: int | None = None
+    sa_swap_prob: float = 0.5
+    sa_temp: float | None = None
+    sa_cooling: float | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-safe wire dict (see :mod:`repro.schema`)."""
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SlotParams":
+        """Rebuild from :meth:`to_dict`; unknown keys raise ``SchemaError``."""
+        return dataclass_from_dict(cls, data)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range settings."""
+        if self.margin < 1.0:
+            raise ValueError(f"margin must be >= 1.0, got {self.margin}")
+        if self.initial not in INITIAL_STRATEGIES:
+            raise ValueError(
+                f"unknown initial strategy {self.initial!r}; "
+                f"expected one of {INITIAL_STRATEGIES}"
+            )
+        if self.sa_iters is not None and self.sa_iters < 0:
+            raise ValueError("sa_iters must be non-negative")
+        if not 0.0 <= self.sa_swap_prob <= 1.0:
+            raise ValueError("sa_swap_prob must be in [0, 1]")
+        if self.sa_temp is not None and self.sa_temp <= 0.0:
+            raise ValueError("sa_temp must be positive")
+        if self.sa_cooling is not None and not 0.0 < self.sa_cooling <= 1.0:
+            raise ValueError("sa_cooling must be in (0, 1]")

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.netlist import load_design, save_design
+from repro.netlist import (
+    DesignBuilder,
+    Rect,
+    Technology,
+    load_design,
+    save_design,
+)
 
 
 def assert_designs_equal(a, b):
@@ -61,3 +67,57 @@ class TestRoundTrip:
         save_design(tiny_design, str(tmp_path))
         for ext in (".aux", ".nodes", ".nets", ".pl", ".tech"):
             assert (tmp_path / f"{tiny_design.name}{ext}").exists()
+
+
+class TestDegenerateRoundTrip:
+    """Round-trips on designs at the edges of the format."""
+
+    def test_zero_net_design(self, tmp_path):
+        b = DesignBuilder("nonets", Technology(), Rect(0, 0, 32, 32))
+        b.add_cell("c0", 2, 8, x=4, y=4)
+        b.add_cell("c1", 2, 8, x=8, y=4)
+        design = b.build()
+        save_design(design, str(tmp_path))
+        loaded = load_design(str(tmp_path), "nonets")
+        assert_designs_equal(design, loaded)
+        assert loaded.num_nets == 0
+        assert loaded.num_pins == 0
+
+    def test_macro_only_design(self, tmp_path):
+        b = DesignBuilder("macros", Technology(), Rect(0, 0, 64, 64))
+        a = b.add_cell("m0", 16, 16, x=16, y=16, movable=False, macro=True)
+        c = b.add_cell("m1", 16, 16, x=48, y=48, movable=False, macro=True)
+        n = b.add_net("n0")
+        b.add_pin(a, n)
+        b.add_pin(c, n)
+        design = b.build()
+        save_design(design, str(tmp_path))
+        loaded = load_design(str(tmp_path), "macros")
+        assert_designs_equal(design, loaded)
+        assert not loaded.movable.any()
+        assert loaded.is_macro.all()
+
+    def test_comment_and_blank_interleaved_files(self, tiny_design, tmp_path):
+        save_design(tiny_design, str(tmp_path))
+        for ext in (".nodes", ".nets", ".pl", ".tech"):
+            path = tmp_path / f"{tiny_design.name}{ext}"
+            lines = path.read_text().splitlines()
+            noisy = ["# leading comment", ""]
+            for line in lines:
+                noisy += [line, "  # inline-ish comment", ""]
+            path.write_text("\n".join(noisy) + "\n")
+        loaded = load_design(str(tmp_path), tiny_design.name)
+        assert_designs_equal(tiny_design, loaded)
+
+    def test_save_load_save_bit_identity(self, small_design, tmp_path):
+        # Hypothesis-style fixpoint: serializing the loaded design must
+        # reproduce the first serialization byte-for-byte.
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        save_design(small_design, str(first))
+        loaded = load_design(str(first), small_design.name)
+        save_design(loaded, str(second))
+        for ext in (".aux", ".nodes", ".nets", ".pl", ".tech"):
+            a = (first / f"{small_design.name}{ext}").read_bytes()
+            b = (second / f"{small_design.name}{ext}").read_bytes()
+            assert a == b, f"{ext} not bit-identical after save->load->save"

@@ -37,7 +37,7 @@ class TestLoadFailures:
         path.write_text(
             "NumNets : 1\nNumPins : 1\nNetDegree : 1 n0\n  GHOST 0 0\n"
         )
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match=r"\.nets:4: unknown cell 'GHOST'"):
             load_design(str(tmp_path), design.name)
 
     def test_unknown_cell_in_pl_raises(self, saved, tmp_path):
@@ -45,7 +45,65 @@ class TestLoadFailures:
         path = tmp_path / f"{design.name}.pl"
         original = path.read_text()
         path.write_text(original + "GHOST 1 1\n")
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match=r"\.pl:\d+: unknown cell 'GHOST'"):
+            load_design(str(tmp_path), design.name)
+
+    def test_truncated_net_pins_raises(self, saved, tmp_path):
+        # A net declaring 3 pins but carrying only 2 must not load.
+        design, _ = saved
+        path = tmp_path / f"{design.name}.nets"
+        path.write_text(
+            "NumNets : 1\nNumPins : 3\nNetDegree : 3 n0\n  c0 0 0\n  c1 0 0\n"
+        )
+        with pytest.raises(ValueError, match=r"NetDegree declares 3 pins but 2"):
+            load_design(str(tmp_path), design.name)
+
+    def test_truncated_mid_file_net_raises(self, saved, tmp_path):
+        design, _ = saved
+        path = tmp_path / f"{design.name}.nets"
+        path.write_text(
+            "NumNets : 2\nNumPins : 4\n"
+            "NetDegree : 2 n0\n  c0 0 0\n"
+            "NetDegree : 2 n1\n  c0 0 0\n  c1 0 0\n"
+        )
+        with pytest.raises(ValueError, match=r"\.nets:3: NetDegree declares 2"):
+            load_design(str(tmp_path), design.name)
+
+    def test_num_nets_mismatch_raises(self, saved, tmp_path):
+        design, _ = saved
+        path = tmp_path / f"{design.name}.nets"
+        path.write_text("NumNets : 2\nNumPins : 2\nNetDegree : 2 n0\n  c0 0 0\n  c1 0 0\n")
+        with pytest.raises(ValueError, match=r"NumNets declares 2 nets but 1"):
+            load_design(str(tmp_path), design.name)
+
+    def test_num_pins_mismatch_raises(self, saved, tmp_path):
+        design, _ = saved
+        path = tmp_path / f"{design.name}.nets"
+        path.write_text("NumNets : 1\nNumPins : 5\nNetDegree : 2 n0\n  c0 0 0\n  c1 0 0\n")
+        with pytest.raises(ValueError, match=r"NumPins declares 5 pins but 2"):
+            load_design(str(tmp_path), design.name)
+
+    def test_truncated_nodes_raises(self, saved, tmp_path):
+        design, _ = saved
+        path = tmp_path / f"{design.name}.nodes"
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the last cell
+        with pytest.raises(ValueError, match=r"NumNodes declares \d+ cells"):
+            load_design(str(tmp_path), design.name)
+
+    def test_truncated_pl_raises(self, saved, tmp_path):
+        design, _ = saved
+        path = tmp_path / f"{design.name}.pl"
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match=r"NumNodes declares \d+ placements"):
+            load_design(str(tmp_path), design.name)
+
+    def test_malformed_header_raises(self, saved, tmp_path):
+        design, _ = saved
+        path = tmp_path / f"{design.name}.nets"
+        path.write_text("NumNets : banana\n")
+        with pytest.raises(ValueError, match=r"\.nets:1: malformed header"):
             load_design(str(tmp_path), design.name)
 
     def test_comments_and_blank_lines_ignored(self, saved, tmp_path):

@@ -1,0 +1,85 @@
+"""End-to-end tests over the committed 6502-class example netlist."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.netlist import load_yosys
+from repro.slots import SlotParams
+
+REPO = Path(__file__).resolve().parents[1]
+EXAMPLE = REPO / "examples" / "mos6502_mapped.json"
+GENERATOR = REPO / "examples" / "make_mos6502.py"
+
+
+def test_example_is_committed():
+    assert EXAMPLE.is_file(), "examples/mos6502_mapped.json missing"
+
+
+def test_generator_reproduces_committed_file():
+    spec = importlib.util.spec_from_file_location("make_mos6502", GENERATOR)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    regenerated = json.dumps(module.build(), indent=1, sort_keys=False) + "\n"
+    assert regenerated == EXAMPLE.read_text()
+
+
+def test_ingest_cli(capsys):
+    assert main(["ingest", str(EXAMPLE)]) == 0
+    out = capsys.readouterr().out
+    assert "mos6502" in out
+    assert "terminals" in out
+
+
+def test_ingest_structure():
+    design = load_yosys(str(EXAMPLE))
+    assert design.name == "mos6502"
+    assert int(design.movable.sum()) == 468
+    assert design.num_cells - int(design.movable.sum()) == 44  # port bits
+    assert design.num_nets > 400
+    # Registers made it through: every DFF output bit got a net.
+    assert any(name.startswith("IR") for name in design.net_names)
+
+
+def test_place_slots_cli_verify_full(capsys):
+    code = main(
+        [
+            "place",
+            str(EXAMPLE),
+            "--mode",
+            "slots",
+            "--sa-iters",
+            "2000",
+            "--verify",
+            "full",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "slots:" in out
+    assert "legal=True" in out
+    assert "0 errors" in out
+
+
+def test_api_slots_run_deterministic():
+    config = api.RunConfig(mode="slots", slots=SlotParams(sa_iters=1000))
+    r1 = api.run(str(EXAMPLE), config=config)
+    r2 = api.run(str(EXAMPLE), config=config)
+    np.testing.assert_array_equal(
+        r1.flow_result.slot_assignment, r2.flow_result.slot_assignment
+    )
+    assert r1.hpwl == r2.hpwl
+    assert r1.flow == "slots"
+    summary = r1.to_summary()
+    assert summary["slots"]["hpwl_final"] == pytest.approx(r1.hpwl)
+
+
+def test_api_standard_mode_ignores_slots_flow():
+    config = api.RunConfig(mode="standard")
+    with pytest.raises(api.UnknownFlowError):
+        api.run("OR1200", flow="slots-is-not-a-flow", config=config)

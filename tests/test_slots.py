@@ -1,0 +1,257 @@
+"""Tests for the fixed-slot placement subsystem (:mod:`repro.slots`)."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import DesignBuilder, Rect, Technology, check_legal
+from repro.slots import (
+    SlotParams,
+    apply_assignment,
+    generate_slots,
+    greedy_assignment,
+    movable_std_cells,
+    place_slots,
+    random_assignment,
+    sa_refine,
+)
+from repro.verify import VerifyContext
+from repro.verify.checkers import check_slot_assignment
+
+
+def _make_design(num_cells=14, seed=3, die_w=48.0, rows=4, macro=False):
+    """A small netlist: boundary terminals, mixed-width cells, chain nets."""
+    rng = np.random.default_rng(seed)
+    tech = Technology()
+    rh = tech.row_height
+    die = Rect(0.0, 0.0, die_w, rows * rh)
+    b = DesignBuilder("slotty", tech, die)
+    left = b.add_cell("t_left", 1, 1, x=die.xlo + 0.5, y=die.height / 2,
+                      movable=False)
+    right = b.add_cell("t_right", 1, 1, x=die.xhi - 0.5, y=die.height / 2,
+                       movable=False)
+    if macro:
+        b.add_cell("block", 8.0, 2 * rh, x=die_w / 2, y=rh, movable=False,
+                   macro=True)
+    cells = [
+        b.add_cell(f"c{i}", float(rng.choice([2, 3, 6])), rh)
+        for i in range(num_cells)
+    ]
+    chain = [left] + cells + [right]
+    for i in range(len(chain) - 1):
+        net = b.add_net(f"n{i}")
+        b.add_pin(chain[i], net)
+        b.add_pin(chain[i + 1], net)
+    for j in range(num_cells):
+        net = b.add_net(f"r{j}")
+        b.add_pin(cells[int(rng.integers(num_cells))], net)
+        b.add_pin(cells[int(rng.integers(num_cells))], net)
+    return b.build()
+
+
+class TestSlotGrid:
+    def test_slots_inside_die_and_site_aligned(self):
+        design = _make_design()
+        grid = generate_slots(design)
+        tech = design.technology
+        die = design.die
+        assert grid.num_slots > 0
+        assert np.all(grid.x >= die.xlo - 1e-9)
+        assert np.all(grid.x + grid.w <= die.xhi + 1e-9)
+        assert np.all(grid.y >= die.ylo - 1e-9)
+        assert np.all(grid.y + grid.row_height <= die.yhi + 1e-9)
+        # Site / row alignment comes for free from the packing.
+        assert np.allclose((grid.x - die.xlo) % tech.site_width, 0.0)
+        assert np.allclose((grid.y - die.ylo) % tech.row_height, 0.0)
+
+    def test_no_overlaps_within_rows(self):
+        design = _make_design()
+        grid = generate_slots(design)
+        for r in np.unique(grid.row):
+            mask = grid.row == r
+            order = np.argsort(grid.x[mask])
+            xs = grid.x[mask][order]
+            ws = grid.w[mask][order]
+            assert np.all(xs[1:] >= xs[:-1] + ws[:-1] - 1e-9)
+
+    def test_capacity_per_width_class(self):
+        design = _make_design()
+        grid = generate_slots(design)
+        cells = movable_std_cells(design)
+        for width in np.unique(design.w[cells]):
+            need = int((design.w[cells] >= width).sum())
+            have = int((grid.w >= width - 1e-9).sum())
+            assert have >= need
+
+    def test_deterministic(self):
+        design = _make_design()
+        g1 = generate_slots(design, seed=5)
+        g2 = generate_slots(design, seed=5)
+        np.testing.assert_array_equal(g1.x, g2.x)
+        np.testing.assert_array_equal(g1.w, g2.w)
+
+    def test_avoids_macros(self):
+        design = _make_design(macro=True)
+        grid = generate_slots(design)
+        block = design.cell_rect(int(design.cell_names.index("block")))
+        for i in range(grid.num_slots):
+            rect = grid.rect(i)
+            assert rect.overlap_area(block) == pytest.approx(0.0)
+
+    def test_too_small_die_raises(self):
+        design = _make_design(num_cells=30, die_w=16.0, rows=1)
+        with pytest.raises(ValueError, match="slot grid too small"):
+            generate_slots(design)
+
+    def test_multi_row_cell_rejected(self):
+        tech = Technology()
+        b = DesignBuilder("tall", tech, Rect(0, 0, 32, 4 * tech.row_height))
+        b.add_cell("t", 1, 1, x=0.5, y=0.5, movable=False)
+        b.add_cell("big", 4, 2 * tech.row_height)
+        design = b.build()
+        with pytest.raises(ValueError, match="one row tall"):
+            generate_slots(design)
+
+
+def _assert_injective_total(design, grid, assignment):
+    cells = movable_std_cells(design)
+    slots = assignment[cells]
+    assert np.all(slots >= 0)
+    assert np.all(slots < grid.num_slots)
+    assert len(np.unique(slots)) == len(slots)
+    assert np.all(design.w[cells] <= grid.w[slots] + 1e-9)
+
+
+class TestAssignment:
+    def test_greedy_injective_and_fitting(self):
+        design = _make_design()
+        grid = generate_slots(design)
+        assignment = greedy_assignment(design, grid)
+        _assert_injective_total(design, grid, assignment)
+
+    def test_greedy_deterministic(self):
+        design = _make_design()
+        grid = generate_slots(design)
+        a1 = greedy_assignment(design, grid)
+        a2 = greedy_assignment(design, grid)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_random_injective_and_fitting(self):
+        design = _make_design()
+        grid = generate_slots(design)
+        assignment = random_assignment(design, grid, seed=1)
+        _assert_injective_total(design, grid, assignment)
+
+    def test_applied_assignment_is_legal(self):
+        design = _make_design()
+        grid = generate_slots(design)
+        assignment = greedy_assignment(design, grid)
+        apply_assignment(design, grid, assignment)
+        assert check_legal(design).ok
+
+    def test_sa_never_worse_than_start(self):
+        design = _make_design(num_cells=20, die_w=64.0)
+        grid = generate_slots(design)
+        assignment = greedy_assignment(design, grid)
+        apply_assignment(design, grid, assignment)
+        start = design.hpwl()
+        sa_refine(design, grid, assignment, SlotParams(sa_iters=3000), seed=2)
+        assert design.hpwl() <= start + 1e-9
+        _assert_injective_total(design, grid, assignment)
+        assert check_legal(design).ok
+
+
+class TestPlaceSlots:
+    def test_end_to_end(self):
+        design = _make_design()
+        result = place_slots(design, seed=0)
+        assert result.hpwl_final <= result.hpwl_initial + 1e-9
+        assert result.hpwl_final == pytest.approx(design.hpwl())
+        _assert_injective_total(design, result.slot_grid, result.slot_assignment)
+        assert check_legal(design).ok
+
+    def test_deterministic(self):
+        d1, d2 = _make_design(), _make_design()
+        r1 = place_slots(d1, seed=4)
+        r2 = place_slots(d2, seed=4)
+        np.testing.assert_array_equal(r1.slot_assignment, r2.slot_assignment)
+        assert r1.hpwl_final == r2.hpwl_final
+
+    def test_zero_sa_iters_keeps_initial(self):
+        design = _make_design()
+        result = place_slots(design, SlotParams(sa_iters=0))
+        assert result.hpwl_final == result.hpwl_initial
+        assert result.sa.accepted == 0
+
+    def test_random_initial_strategy(self):
+        design = _make_design()
+        result = place_slots(design, SlotParams(initial="random", sa_iters=500))
+        _assert_injective_total(design, result.slot_grid, result.slot_assignment)
+
+
+class TestSlotParams:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"margin": 0.5},
+            {"initial": "psychic"},
+            {"sa_iters": -1},
+            {"sa_swap_prob": 1.5},
+            {"sa_temp": 0.0},
+            {"sa_cooling": 0.0},
+        ],
+    )
+    def test_validate_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            SlotParams(**kwargs).validate()
+
+    def test_round_trip(self):
+        params = SlotParams(margin=1.3, sa_iters=77)
+        assert SlotParams.from_dict(params.to_dict()) == params
+
+
+class TestChecker:
+    def _context(self):
+        design = _make_design()
+        result = place_slots(design, SlotParams(sa_iters=200))
+        ctx = VerifyContext(
+            design=design,
+            slot_grid=result.slot_grid,
+            slot_assignment=result.slot_assignment,
+        )
+        return design, result, ctx
+
+    def test_clean_run_passes(self):
+        _design, _result, ctx = self._context()
+        assert check_slot_assignment(ctx) == []
+
+    def test_skipped_without_inputs(self):
+        design = _make_design()
+        assert check_slot_assignment(VerifyContext(design=design)) == []
+
+    def test_duplicate_slot_detected(self):
+        design, result, ctx = self._context()
+        cells = movable_std_cells(design)
+        result.slot_assignment[cells[1]] = result.slot_assignment[cells[0]]
+        messages = [v.message for v in check_slot_assignment(ctx)]
+        assert any("more than one cell" in m for m in messages)
+
+    def test_unassigned_cell_detected(self):
+        design, result, ctx = self._context()
+        cells = movable_std_cells(design)
+        result.slot_assignment[cells[0]] = -1
+        messages = [v.message for v in check_slot_assignment(ctx)]
+        assert any("without a slot" in m for m in messages)
+
+    def test_drifted_position_detected(self):
+        design, result, ctx = self._context()
+        cells = movable_std_cells(design)
+        design.x[cells[0]] += 3.0
+        messages = [v.message for v in check_slot_assignment(ctx)]
+        assert any("not at their slot position" in m for m in messages)
+
+    def test_out_of_range_slot_detected(self):
+        design, result, ctx = self._context()
+        cells = movable_std_cells(design)
+        result.slot_assignment[cells[0]] = result.slot_grid.num_slots + 7
+        messages = [v.message for v in check_slot_assignment(ctx)]
+        assert any("outside the grid" in m for m in messages)

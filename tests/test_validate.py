@@ -86,3 +86,42 @@ class TestCheckLegal:
     def test_same_x_different_rows_ok(self):
         d = build([(1, 4, 2), (1, 12, 2)])
         assert check_legal(d).ok
+
+    def test_overlap_with_sub_tolerance_y_jitter_detected(self):
+        # Two overlapping cells whose bottoms differ by 1e-9: exact-float
+        # ylo grouping used to split them into separate "rows" and miss
+        # the overlap entirely.
+        d = build([(1.0, 4, 2), (2.0, 4 + 1e-9, 2)])
+        report = check_legal(d)
+        assert any("overlap" in e for e in report.errors)
+
+
+class TestFreeArea:
+    def test_placement_blockage_counts_against_free_area(self):
+        # Movable area (192) fits the bare die (256) but not the half
+        # left free by a layer-0 (below routing_layers_start) blockage.
+        tech = Technology()
+        b = DesignBuilder("v", tech, Rect(0, 0, 16, 16))
+        for i in range(3):
+            b.add_cell(f"c{i}", 8, tech.row_height)
+        b.add_blockage(Rect(0, 8, 16, 16), layer=0)
+        report = validate_design(b.build())
+        assert any("exceeds free die area" in e for e in report.errors)
+
+    def test_routing_blockage_does_not_reduce_free_area(self):
+        tech = Technology()
+        b = DesignBuilder("v", tech, Rect(0, 0, 16, 16))
+        for i in range(3):
+            b.add_cell(f"c{i}", 8, tech.row_height)
+        b.add_blockage(Rect(0, 8, 16, 16), layer=tech.routing_layers_start)
+        assert validate_design(b.build()).ok
+
+    def test_blockage_area_clipped_to_die(self):
+        # A placement blockage hanging past the die edge only counts its
+        # in-die part (128 of 768); movable area 96 still fits the rest.
+        tech = Technology()
+        b = DesignBuilder("v", tech, Rect(0, 0, 16, 16))
+        for i in range(3):
+            b.add_cell(f"c{i}", 4, tech.row_height)
+        b.add_blockage(Rect(-16, 8, 32, 24), layer=0)
+        assert validate_design(b.build()).ok
