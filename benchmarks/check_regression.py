@@ -45,6 +45,7 @@ CONFIG_KEYS = {
     "BENCH_serve.json": ("jobs", "hogs", "quick"),
     "BENCH_shm.json": ("design", "scale", "jobs", "quick"),
     "BENCH_slots.json": ("netlist", "seed", "quick", "sa_iters"),
+    "BENCH_explore.json": ("quick", "budget", "shards", "eval_ms", "seed"),
 }
 
 #: absolute speedup floors (report file -> {metric: floor}), checked on
@@ -67,6 +68,11 @@ FLOORS = {
     # quality ratio (fixed seeds), not a timing, so it holds on any
     # machine; the measured value is ~2.4x full / ~2.1x quick.
     "BENCH_slots.json": {"sa_hpwl_speedup": 1.5},
+    # Distributed-exploration acceptance bar: wave-submitting TPE
+    # batches across the service shards must at least double the serial
+    # trials/sec.  Per-trial latency is a fixed synthetic sleep, so the
+    # ratio is machine-independent up to service overhead.
+    "BENCH_explore.json": {"explore_speedup": 2.0},
 }
 
 SECONDS_GRACE = 0.05

@@ -32,7 +32,7 @@ import time
 import warnings
 from dataclasses import dataclass, field
 
-from . import obs
+from . import obs, schema
 from .baselines import (
     place_commercial_like,
     place_replace_like,
@@ -533,6 +533,274 @@ def suite(
 #: Sentinel distinguishing "``rng`` not passed" from any real seed value.
 _UNSET = object()
 
+#: Transfer-prior modes an :class:`ExploreConfig` accepts.
+PRIOR_MODES = ("auto", "off")
+
+
+@dataclass
+class ExploreConfig:
+    """Everything one strategy exploration depends on.
+
+    The typed counterpart of :func:`explore`'s historical loose kwargs,
+    mirroring :class:`RunConfig`: :meth:`to_dict` / :meth:`from_dict`
+    round-trip losslessly (``schema_version``-stamped, unknown keys
+    rejected) and :func:`repro.runtime.cache.stable_hash` of
+    :meth:`to_dict` is a reproducible cross-process key.  This is the
+    wire format of ``POST /v1/explorations``.
+
+    Attributes:
+        design: suite benchmark name (or Yosys ``.json`` path) to
+            explore on.
+        scale: benchmark-generation scale.
+        budget: global-stage evaluation budget (paper ``TC``).
+        group_evals: per-group budget per round (``None`` derives
+            ``max(budget // 3, 3)``, as the CLI always has).
+        patience: early-stop limit per stage (``None`` derives
+            ``max(budget // 3, 3)``).
+        max_group_rounds: cap on sweeps over the parameter groups.
+        seed: exploration RNG seed.
+        batch_size: TPE candidates evaluated per round; ``1`` is
+            bit-identical to the strictly-serial protocol.
+        wl_weight: wirelength tiebreak weight of the objective.
+        priors: transfer-prior mode — ``"auto"`` seeds the global TPE
+            stage from completed explorations on similar designs when a
+            prior store is available, ``"off"`` never does.
+        prior_limit: maximum prior observations replayed.
+    """
+
+    design: str = "OR1200"
+    scale: float = 0.008
+    budget: int = 12
+    group_evals: int | None = None
+    patience: int | None = None
+    max_group_rounds: int = 1
+    seed: int = 7
+    batch_size: int = 1
+    wl_weight: float = 0.02
+    priors: str = "auto"
+    prior_limit: int = 32
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.design, str) or not self.design:
+            raise ValueError(f"design must be a non-empty string, got {self.design!r}")
+        if not self.scale > 0:
+            raise ValueError(f"scale must be positive, got {self.scale!r}")
+        if not isinstance(self.budget, int) or self.budget < 1:
+            raise ValueError(f"budget must be a positive int, got {self.budget!r}")
+        for name in ("group_evals", "patience"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, int) or value < 1):
+                raise ValueError(f"{name} must be None or a positive int, got {value!r}")
+        if not isinstance(self.max_group_rounds, int) or self.max_group_rounds < 1:
+            raise ValueError(
+                f"max_group_rounds must be a positive int, got {self.max_group_rounds!r}"
+            )
+        if not isinstance(self.batch_size, int) or self.batch_size < 1:
+            raise ValueError(f"batch_size must be a positive int, got {self.batch_size!r}")
+        if self.priors not in PRIOR_MODES:
+            raise ValueError(
+                f"unknown priors mode {self.priors!r}; expected one of {PRIOR_MODES}"
+            )
+        if not isinstance(self.prior_limit, int) or self.prior_limit < 0:
+            raise ValueError(
+                f"prior_limit must be a non-negative int, got {self.prior_limit!r}"
+            )
+
+    @property
+    def resolved_group_evals(self) -> int:
+        return self.group_evals if self.group_evals is not None else max(self.budget // 3, 3)
+
+    @property
+    def resolved_patience(self) -> int:
+        return self.patience if self.patience is not None else max(self.budget // 3, 3)
+
+    def to_dict(self) -> dict:
+        """JSON-safe wire dict (``schema_version``-stamped)."""
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExploreConfig":
+        """Rebuild from :meth:`to_dict`.
+
+        Raises:
+            repro.schema.SchemaError: on unknown keys or an unsupported
+                ``schema_version``.
+            ValueError: on out-of-range values (via ``__post_init__``).
+        """
+        return dataclass_from_dict(cls, data)
+
+
+class _RecordingEvaluator:
+    """Wrap a batch evaluator, recording every candidate as a wire Trial.
+
+    The wrapper is loss- and RNG-transparent: it forwards each batch
+    unchanged and returns the inner losses unchanged, so wrapping does
+    not perturb the exploration.  Per-trial measurements come from the
+    inner evaluator's ``last_details`` when it publishes them
+    (:func:`repro.core.exploration.make_batch_evaluator` and the serve
+    tier's ``DistributedEvaluator`` both do).
+    """
+
+    def __init__(self, inner, on_trial=None) -> None:
+        self.inner = inner
+        self.on_trial = on_trial
+        self.trials: list = []
+        self.stage = "global"
+
+    def set_stage(self, stage: str) -> None:
+        self.stage = stage
+
+    def __call__(self, batch: list) -> list:
+        losses = self.inner(batch)
+        details = getattr(self.inner, "last_details", None)
+        if not details or len(details) != len(batch):
+            details = [None] * len(batch)
+        for params, loss, detail in zip(batch, losses, details):
+            detail = detail or {}
+            trial = schema.Trial(
+                index=len(self.trials),
+                stage=self.stage,
+                params={key: value for key, value in params.items()},
+                loss=float(loss),
+                overflow=detail.get("overflow"),
+                wirelength=detail.get("wirelength"),
+                cached=bool(detail.get("cached", False)),
+            )
+            self.trials.append(trial)
+            if self.on_trial is not None:
+                self.on_trial(trial)
+        return losses
+
+
+@dataclass
+class ExplorationOutcome:
+    """What :func:`run_exploration` returns.
+
+    Attributes:
+        config: the :class:`ExploreConfig` that ran.
+        report: the live :class:`repro.core.exploration.ExplorationReport`
+            (holds ``StrategyParams`` and the final ``Space``).
+        wire: the :class:`repro.schema.ExplorationReport` wire record,
+            trials included — what the ``/v1/explorations`` resource
+            serves.
+    """
+
+    config: ExploreConfig
+    report: object
+    wire: schema.ExplorationReport
+
+    @property
+    def trials(self) -> list:
+        return self.wire.trials
+
+
+def _wire_exploration_report(design: str, report, trials: list) -> schema.ExplorationReport:
+    """Flatten a live exploration report into its wire record."""
+    return schema.ExplorationReport(
+        design=design,
+        params=report.params.to_dict(),
+        best_loss=float(report.best_loss),
+        best_params={key: value for key, value in report.best_params.items()},
+        evaluations=int(report.evaluations),
+        group_rounds=int(report.group_rounds),
+        history=[[stage, float(loss)] for stage, loss in report.history],
+        trials=list(trials),
+    )
+
+
+def run_exploration(
+    config: ExploreConfig | None = None,
+    *,
+    evaluator=None,
+    on_trial=None,
+    priors=None,
+    trace=None,
+) -> ExplorationOutcome:
+    """Drive one full strategy exploration under a typed config.
+
+    The engine under both :func:`explore` power users and the
+    ``/v1/explorations`` service resource: builds the placement
+    objective, wraps the evaluator so every candidate is recorded as a
+    :class:`repro.schema.Trial` (streamed through ``on_trial`` as it
+    completes), optionally seeds the global TPE stage from a
+    :class:`repro.tpe.TransferPriors` store, and returns both the live
+    report and its wire form.
+
+    Args:
+        config: the :class:`ExploreConfig` (defaults throughout).
+        evaluator: optional batch evaluator (``list[params] ->
+            list[loss]``); defaults to a local
+            :func:`~repro.core.exploration.make_batch_evaluator` over
+            the objective.  The serve tier passes its
+            ``DistributedEvaluator`` here.
+        on_trial: optional callable receiving each completed
+            :class:`repro.schema.Trial` in evaluation order.
+        priors: optional :class:`repro.tpe.TransferPriors`; consulted
+            (and updated with this run's trials) unless
+            ``config.priors == "off"``.  Seeding changes the TPE RNG
+            stream, so bit-identity comparisons must run without it.
+        trace: observability target (path or tracer).
+
+    Returns:
+        An :class:`ExplorationOutcome`.
+    """
+    from .core.exploration import (
+        SuiteDesignFactory,
+        make_batch_evaluator,
+        make_placement_objective,
+        strategy_exploration,
+    )
+    from .core.strategy import default_space
+
+    config = config or ExploreConfig()
+    objective = make_placement_objective(
+        SuiteDesignFactory(config.design, config.scale), wl_weight=config.wl_weight
+    )
+    recorder = _RecordingEvaluator(
+        evaluator if evaluator is not None else make_batch_evaluator(objective),
+        on_trial=on_trial,
+    )
+    use_priors = priors is not None and config.priors != "off"
+    warm_start = None
+    features = None
+    space = default_space()
+    if use_priors:
+        from .tpe import design_features
+
+        features = design_features(resolve_design(config.design, config.scale, config.seed))
+        warm_start = priors.load(space, features, limit=config.prior_limit) or None
+    with obs.tracing(trace):
+        with obs.span(
+            "explore/run",
+            design=config.design,
+            budget=config.budget,
+            batch_size=config.batch_size,
+        ) as run_span:
+            report = strategy_exploration(
+                objective,
+                space=space,
+                global_evals=config.budget,
+                group_evals=config.resolved_group_evals,
+                patience=config.resolved_patience,
+                max_group_rounds=config.max_group_rounds,
+                rng=config.seed,
+                batch_size=config.batch_size,
+                evaluator=recorder,
+                warm_start=warm_start,
+                on_stage=recorder.set_stage,
+            )
+            run_span.set(
+                best_loss=float(report.best_loss),
+                evaluations=int(report.evaluations),
+                warm_trials=0 if warm_start is None else len(warm_start),
+            )
+    if use_priors:
+        priors.save(
+            space, features, [(trial.params, trial.loss) for trial in recorder.trials]
+        )
+    wire = _wire_exploration_report(config.design, report, recorder.trials)
+    return ExplorationOutcome(config=config, report=report, wire=wire)
+
 
 def explore(
     design: str = "OR1200",
@@ -544,6 +812,7 @@ def explore(
     trace=None,
     batch_size: int = 1,
     evaluator=None,
+    config: ExploreConfig | None = None,
 ):
     """Strategy exploration (paper Sec. III-C) through the facade.
 
@@ -557,6 +826,9 @@ def explore(
         trace: observability target (path or tracer).
         batch_size: TPE candidates per round.
         evaluator: optional parallel batch evaluator.
+        config: a full :class:`ExploreConfig`; when given it wins over
+            the individual kwargs.  (Callers wanting trial streams or
+            transfer priors use :func:`run_exploration` directly.)
 
     Returns:
         The :class:`repro.core.exploration.ExplorationReport`.
@@ -574,24 +846,37 @@ def explore(
             stacklevel=2,
         )
         seed = rng
-    objective = make_placement_objective(SuiteDesignFactory(design, scale))
+    if config is None:
+        config = ExploreConfig(
+            design=design,
+            scale=scale,
+            budget=budget,
+            seed=seed,
+            batch_size=batch_size,
+        )
+    objective = make_placement_objective(
+        SuiteDesignFactory(config.design, config.scale), wl_weight=config.wl_weight
+    )
     with obs.tracing(trace):
         return strategy_exploration(
             objective,
-            global_evals=budget,
-            group_evals=max(budget // 3, 3),
-            patience=max(budget // 3, 3),
-            max_group_rounds=1,
-            rng=seed,
-            batch_size=batch_size,
+            global_evals=config.budget,
+            group_evals=config.resolved_group_evals,
+            patience=config.resolved_patience,
+            max_group_rounds=config.max_group_rounds,
+            rng=config.seed,
+            batch_size=config.batch_size,
             evaluator=evaluator,
         )
 
 
 __all__ = [
+    "ExplorationOutcome",
+    "ExploreConfig",
     "FLOWS",
     "FLOW_ALIASES",
     "MODES",
+    "PRIOR_MODES",
     "RouteResult",
     "RunConfig",
     "RunResult",
@@ -604,6 +889,7 @@ __all__ = [
     "resolve_flow",
     "route",
     "run",
+    "run_exploration",
     "suite",
     "table2_flows",
 ]

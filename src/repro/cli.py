@@ -99,8 +99,25 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--design", default="OR1200", choices=suite_names())
     explore.add_argument("--scale", type=float, default=0.008)
     explore.add_argument("--budget", type=int, default=12)
+    explore.add_argument("--seed", type=int, default=7,
+                         help="exploration RNG seed")
+    explore.add_argument("--batch-size", type=int, default=None,
+                         help="TPE candidates per round (default: --jobs; "
+                         "1 is the bit-exact serial protocol)")
+    explore.add_argument("--priors", choices=list(api.PRIOR_MODES),
+                         default="auto",
+                         help="transfer-prior warm start from completed "
+                         "explorations when a cache is available "
+                         "(ignored with --resume: journal replay needs "
+                         "the original candidate stream)")
+    explore.add_argument("--follow", action="store_true",
+                         help="print every trial as it completes")
+    explore.add_argument("--server", action="store_true",
+                         help="run the exploration on a running repro serve "
+                         "endpoint (--host/--port) instead of locally")
     explore.add_argument("--out", help="write the explored parameters as JSON")
     _add_runtime_args(explore)
+    _add_server_args(explore)
 
     suite = sub.add_parser("suite", help="Table-II comparison")
     suite.add_argument("--scale", type=float, default=0.004)
@@ -411,67 +428,148 @@ def cmd_route(args) -> int:
     return 0
 
 
-def cmd_explore(args) -> int:
-    from .core.exploration import (
-        SuiteDesignFactory,
-        make_batch_evaluator,
-        make_placement_objective,
-    )
-    from .runtime import ArtifactCache, Journal, TaskExecutor, Telemetry
+def _format_trial(trial) -> str:
+    """One ``repro explore --follow`` line per completed trial."""
+    flags = []
+    if trial.cached:
+        flags.append("cached")
+    if trial.overflow is None and trial.wirelength is None:
+        flags.append("failed")
+    suffix = f" ({', '.join(flags)})" if flags else ""
+    return f"[{trial.index}] {trial.stage:14s} loss {trial.loss:.4f}{suffix}"
 
-    telemetry = Telemetry()
-    evaluator = None
-    batch_size = 1
-    if args.jobs > 1 or args.cache_dir or args.resume:
-        objective = make_placement_objective(
-            SuiteDesignFactory(args.design, args.scale)
-        )
+
+def _print_exploration_params(params: dict, out: str | None) -> None:
+    values = {k: v for k, v in params.items() if k != "schema_version"}
+    print(json.dumps(values, indent=2))
+    if out:
+        with open(out, "w") as f:
+            json.dump(values, f, indent=2)
+
+
+def _explore_remote(args, config) -> int:
+    """``repro explore --server``: drive ``/v1/explorations`` remotely."""
+    from .serve import HttpServiceClient, ServeError
+
+    client = HttpServiceClient(args.host, args.port)
+    try:
+        exploration = client.create_exploration(config)
+    except (ServeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{exploration['id']} {exploration['state']}")
+    if args.follow:
+        for event in client.follow_exploration(exploration["id"]):
+            if event.kind == "trial":
+                print(_format_trial(event.trial), flush=True)
+            else:
+                print(f"state {event.state}", flush=True)
+        exploration = client.exploration(exploration["id"])
+    else:
+        exploration = client.wait_exploration(exploration["id"])
+    if exploration["state"] != "done":
+        print(f"error: {exploration.get('error') or exploration['state']}",
+              file=sys.stderr)
+        return 1
+    report = client.exploration_report(exploration["id"])
+    print(
+        f"explored {report['evaluations']} configurations; "
+        f"best objective {report['best_loss']:.3f}%"
+    )
+    _print_exploration_params(report["params"], args.out)
+    return 0
+
+
+def cmd_explore(args) -> int:
+    from .runtime import ArtifactCache, Journal, Telemetry
+    from .tpe import TransferPriors
+
+    config = api.ExploreConfig(
+        design=args.design,
+        scale=args.scale,
+        budget=args.budget,
+        seed=args.seed,
+        batch_size=args.batch_size or max(args.jobs, 1),
+        priors=args.priors,
+    )
+    if args.server:
+        return _explore_remote(args, config)
+
+    on_trial = (
+        (lambda trial: print(_format_trial(trial), flush=True))
+        if args.follow else None
+    )
+    journal = None
+    if args.cache_dir or args.resume:
         journal = Journal(_journal_path(args, "explore"))
         if not args.resume:
             journal.clear()
-        cache = (
-            ArtifactCache(args.cache_dir, telemetry=telemetry)
-            if args.cache_dir
-            else None
-        )
-        executor = (
-            TaskExecutor(jobs=args.jobs, telemetry=telemetry)
-            if args.jobs > 1
-            else None
-        )
-        evaluator = make_batch_evaluator(
-            objective, executor=executor, cache=cache, journal=journal
-        )
-        batch_size = max(args.jobs, 1)
+    # A resumed run replays its journal, which only hits when the TPE
+    # regenerates the original candidate stream — warm-start priors
+    # (possibly saved by the very run being resumed) would perturb it.
+    allow_priors = not args.resume
 
-    report = api.explore(
-        args.design,
-        scale=args.scale,
-        budget=args.budget,
-        seed=7,
-        trace=args.trace,
-        batch_size=batch_size,
-        evaluator=evaluator,
-    )
-    if evaluator is not None:
-        print(f"runtime: {telemetry.summary()}")
+    if args.jobs > 1:
+        # Distributed: trials run as jobs on a locally-hosted service
+        # with one process shard per worker (memoization, coalescing,
+        # and crash quarantine included).
+        from .serve import LocalServiceHost, ServiceConfig
+
+        host_config = ServiceConfig(
+            shards=args.jobs,
+            cache_dir=args.cache_dir,
+            capacity=max(2 * args.jobs, 8),
+        )
+        with LocalServiceHost(host_config) as host:
+            priors = (
+                TransferPriors(host.service._cache)
+                if allow_priors and host.service._cache is not None
+                else None
+            )
+            outcome = api.run_exploration(
+                config,
+                evaluator=host.evaluator(config, journal=journal),
+                on_trial=on_trial,
+                priors=priors,
+                trace=args.trace,
+            )
+    else:
+        from .core.exploration import (
+            SuiteDesignFactory,
+            make_batch_evaluator,
+            make_placement_objective,
+        )
+
+        telemetry = Telemetry()
+        evaluator = None
+        priors = None
+        if journal is not None:
+            objective = make_placement_objective(
+                SuiteDesignFactory(config.design, config.scale),
+                wl_weight=config.wl_weight,
+            )
+            cache = (
+                ArtifactCache(args.cache_dir, telemetry=telemetry)
+                if args.cache_dir else None
+            )
+            evaluator = make_batch_evaluator(
+                objective, cache=cache, journal=journal
+            )
+            if allow_priors and cache is not None:
+                priors = TransferPriors(cache)
+        outcome = api.run_exploration(
+            config, evaluator=evaluator, on_trial=on_trial, priors=priors,
+            trace=args.trace,
+        )
+        if evaluator is not None:
+            print(f"runtime: {telemetry.summary()}")
+
+    report = outcome.report
     print(
         f"explored {report.evaluations} configurations; "
         f"best objective {report.best_loss:.3f}%"
     )
-    values = {
-        name: getattr(report.params, name)
-        for name in (
-            "alpha_local_cg", "alpha_local_pin", "alpha_around_cg",
-            "alpha_around_pin", "alpha_pin_cg", "beta", "mu", "zeta",
-            "pu_low", "pu_high", "xi", "tau", "eta", "theta",
-            "kernel_size", "legalizer",
-        )
-    }
-    print(json.dumps(values, indent=2))
-    if args.out:
-        with open(args.out, "w") as f:
-            json.dump(values, f, indent=2)
+    _print_exploration_params(report.params.to_dict(), args.out)
     return 0
 
 

@@ -28,8 +28,18 @@ import numpy as np
 
 from .. import obs
 from ..runtime import MISSING, stable_hash
+from ..runtime.executor import Task
 from ..tpe import Choice, Space, TPESampler, minimize
 from .strategy import PARAM_GROUPS, StrategyParams, default_space
+
+#: Loss assigned to a trial whose evaluation raised.  Large but finite:
+#: ``inf`` would reach the TPE quantile split and risk NaN arithmetic,
+#: while any finite penalty just banishes the region from the good half.
+FAILED_TRIAL_LOSS = 1e18
+
+#: Internal marker for a raw evaluation that failed (fresh, or replayed
+#: from a ``failed`` journal record).
+_TRIAL_FAILED = object()
 
 
 @dataclass
@@ -169,6 +179,16 @@ def make_batch_evaluator(objective, executor=None, cache=None, journal=None):
     (``evaluate_raw`` / ``loss_from_raw`` / ``cache_key``) get caching
     and parent-side loss shaping; plain callables are mapped directly
     (and are never cached, since their configuration is unknown).
+
+    A trial whose evaluation raises does not abort the exploration: it
+    scores :data:`FAILED_TRIAL_LOSS` and — when a journal is attached —
+    leaves a ``failed`` record, so a ``--resume`` replays the failure
+    instead of re-running the poisoned params on every restart.
+
+    After each call the evaluator exposes ``evaluate.last_details``: one
+    dict per candidate (``overflow``/``wirelength``/``cached`` for
+    successes, ``failed``/``error`` for failures; ``None`` entries for
+    unstructured objectives).
     """
     raw_fn = getattr(objective, "evaluate_raw", None)
     key_fn = getattr(objective, "cache_key", None)
@@ -179,22 +199,28 @@ def make_batch_evaluator(objective, executor=None, cache=None, journal=None):
         for record in journal.records():
             if "overflow" in record and "wirelength" in record:
                 journaled[record["key"]] = (record["overflow"], record["wirelength"])
+            elif "failed" in record:
+                journaled[record["key"]] = _TRIAL_FAILED
 
     def evaluate(batch: list) -> list:
+        evaluate.last_details = [None] * len(batch)
         if not structured:
             if executor is None:
                 return [objective(params) for params in batch]
             return executor.map(objective, batch, key_prefix="trial")
         keys = [key_fn(params) for params in batch]
         raws: list = [None] * len(batch)
+        details: list = evaluate.last_details
         todo = []
         for i, key in enumerate(keys):
             if key is not None and key in journaled:
                 raws[i] = journaled[key]
+                details[i] = {"cached": True}
             elif key is not None and cache is not None:
                 value = cache.get(key)
                 if value is not MISSING:
                     raws[i] = tuple(value)
+                    details[i] = {"cached": True}
                 else:
                     todo.append(i)
             else:
@@ -202,12 +228,35 @@ def make_batch_evaluator(objective, executor=None, cache=None, journal=None):
         if todo:
             pending = [batch[i] for i in todo]
             if executor is None:
-                fresh = [raw_fn(params) for params in pending]
+                fresh = []
+                for params in pending:
+                    try:
+                        fresh.append(raw_fn(params))
+                    except Exception as exc:
+                        fresh.append(exc)
             else:
-                fresh = executor.map(raw_fn, pending, key_prefix="trial")
+                tasks = [
+                    Task(key=f"trial-{i}", fn=raw_fn, args=(params,))
+                    for i, params in enumerate(pending)
+                ]
+                fresh = [
+                    result.value if result.ok else result.error
+                    for result in executor.run(tasks)
+                ]
             for i, raw in zip(todo, fresh):
+                if isinstance(raw, BaseException):
+                    raws[i] = _TRIAL_FAILED
+                    details[i] = {"cached": False, "error": str(raw)}
+                    if keys[i] is not None and journal is not None:
+                        journal.append(
+                            {"key": keys[i],
+                             "failed": f"{type(raw).__name__}: {raw}"}
+                        )
+                        journaled[keys[i]] = _TRIAL_FAILED
+                    continue
                 raw = (float(raw[0]), float(raw[1]))
                 raws[i] = raw
+                details[i] = {"cached": False}
                 if keys[i] is None:
                     continue
                 if cache is not None:
@@ -217,8 +266,19 @@ def make_batch_evaluator(objective, executor=None, cache=None, journal=None):
                         {"key": keys[i], "overflow": raw[0], "wirelength": raw[1]}
                     )
                     journaled[keys[i]] = raw
-        return [loss_fn(raw) for raw in raws]
+        losses = []
+        for i, raw in enumerate(raws):
+            if raw is _TRIAL_FAILED:
+                losses.append(FAILED_TRIAL_LOSS)
+                details[i] = dict(details[i] or {}, failed=True)
+            else:
+                losses.append(loss_fn(raw))
+                details[i] = dict(
+                    details[i] or {}, overflow=raw[0], wirelength=raw[1]
+                )
+        return losses
 
+    evaluate.last_details = []
     return evaluate
 
 
@@ -254,6 +314,7 @@ def parameter_exploration(
     rng,
     batch_size: int = 1,
     evaluator=None,
+    warm_start=None,
 ) -> tuple:
     """Paper Algorithm 2 over the sub-space ``explore_names``.
 
@@ -268,6 +329,10 @@ def parameter_exploration(
         batch_size: SMBO batch size (1 = the bit-exact serial loop).
         evaluator: optional batch evaluator over *full* parameter dicts
             (see :func:`make_batch_evaluator`).
+        warm_start: prior ``(full_params, loss)`` observations seeding
+            the TPE good/bad split without being re-evaluated (transfer
+            priors from other designs); entries missing any explored
+            dimension are skipped, values are clipped into range.
 
     Returns:
         ``(new_space, stopped_early, result)`` where ``new_space`` has
@@ -275,6 +340,16 @@ def parameter_exploration(
         observations (Algorithm 2 line 14).
     """
     subspace = space.subspace(explore_names)
+    sub_start = None
+    if warm_start:
+        sub_start = []
+        for params, loss in warm_start:
+            if any(dim.name not in params for dim in subspace):
+                continue
+            sub_start.append((
+                {dim.name: dim.clip(params[dim.name]) for dim in subspace},
+                float(loss),
+            ))
 
     def sub_objective(sub_params: dict) -> float:
         full = dict(fixed)
@@ -298,6 +373,7 @@ def parameter_exploration(
         patience=patience,
         sampler=TPESampler(n_startup=max(3, max_evals // 8)),
         rng=rng,
+        warm_start=sub_start,
         batch_size=batch_size,
         evaluator=sub_evaluator,
     )
@@ -327,6 +403,8 @@ def strategy_exploration(
     rng=None,
     batch_size: int = 1,
     evaluator=None,
+    warm_start=None,
+    on_stage=None,
 ) -> ExplorationReport:
     """Paper Algorithm 3: global exploration, then grouped refinement.
 
@@ -350,6 +428,13 @@ def strategy_exploration(
         evaluator: optional batch evaluator over full parameter dicts
             (see :func:`make_batch_evaluator`); adds process-pool
             concurrency and cached/journaled evaluations.
+        warm_start: prior ``(full_params, loss)`` observations seeding
+            the *global* stage's TPE split (transfer priors from other
+            designs); the grouped refinements run on this design's own
+            observations only.
+        on_stage: optional callable receiving each stage name
+            (``"global"``, then group names) just before it runs —
+            used to label streamed trial records.
 
     Returns:
         An :class:`ExplorationReport`; ``report.params`` is the final
@@ -364,10 +449,12 @@ def strategy_exploration(
     best_params = None
 
     # Line 1-2: rough ranges from exploring everything simultaneously.
+    if on_stage is not None:
+        on_stage("global")
     with obs.span("explore/stage", stage="global") as stage_span:
         space, _early, result = parameter_exploration(
             objective, space, space.names(), {}, global_evals, patience, rng,
-            batch_size=batch_size, evaluator=evaluator,
+            batch_size=batch_size, evaluator=evaluator, warm_start=warm_start,
         )
         stage_span.set(best_loss=result.best.loss, evaluations=len(result.trials))
     evaluations += len(result.trials)
@@ -387,6 +474,8 @@ def strategy_exploration(
                 for name, value in space.midpoint().items()
                 if name not in names
             }
+            if on_stage is not None:
+                on_stage(group_name)
             with obs.span("explore/stage", stage=group_name) as stage_span:
                 space, early, result = parameter_exploration(
                     objective, space, names, fixed, group_evals, patience, rng,

@@ -107,8 +107,9 @@ def dataclass_from_dict(cls, data, nested: dict | None = None):
 
 #: Event kinds a job stream may carry.  ``state`` marks a lifecycle
 #: transition (queued/running/done/failed/cancelled); ``progress`` wraps
-#: a :class:`JobProgress` sample from inside the running placement.
-EVENT_KINDS = ("state", "progress")
+#: a :class:`JobProgress` sample from inside the running placement;
+#: ``trial`` wraps a completed exploration :class:`Trial`.
+EVENT_KINDS = ("state", "progress", "trial")
 
 #: Progress stages, mapping 1:1 onto the ``repro.obs`` span names the
 #: placement flow already emits.
@@ -150,6 +151,124 @@ class JobProgress:
         return dataclass_from_dict(cls, data)
 
 
+def _require_number(value, what: str) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SchemaError(f"{what} must be a number, got {value!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Trial:
+    """One completed exploration trial, on the wire.
+
+    Distinct from the in-memory :class:`repro.tpe.Trial` (which holds
+    live objects): this is the JSON-safe record streamed as a ``trial``
+    event from ``GET /v1/explorations/<id>/events`` and embedded in
+    :class:`ExplorationReport`.  ``stage`` names the exploration stage
+    that evaluated it (``global`` or a parameter-group name); ``params``
+    is the raw TPE suggestion (space-parameter dict); ``overflow`` /
+    ``wirelength`` are the router measurements when available (a failed
+    trial has neither, only its penalty ``loss``); ``cached`` marks a
+    submit-time memoization hit on the job server.
+    """
+
+    index: int
+    stage: str
+    params: dict
+    loss: float
+    overflow: float | None = None
+    wirelength: float | None = None
+    cached: bool = False
+
+    def __post_init__(self):
+        if not isinstance(self.index, int) or isinstance(self.index, bool) or self.index < 0:
+            raise SchemaError(f"trial index must be a non-negative int, got {self.index!r}")
+        if not isinstance(self.stage, str) or not self.stage:
+            raise SchemaError(f"trial stage must be a non-empty string, got {self.stage!r}")
+        if not isinstance(self.params, dict):
+            raise SchemaError(f"trial params must be a dict, got {type(self.params).__name__}")
+        _require_number(self.loss, "trial loss")
+        for name in ("overflow", "wirelength"):
+            value = getattr(self, name)
+            if value is not None:
+                _require_number(value, f"trial {name}")
+        if not isinstance(self.cached, bool):
+            raise SchemaError(f"trial cached flag must be a bool, got {self.cached!r}")
+
+    def to_dict(self) -> dict:
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data) -> "Trial":
+        return dataclass_from_dict(cls, data)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExplorationReport:
+    """The final result of one strategy exploration, on the wire.
+
+    The in-memory counterpart (:class:`repro.core.exploration`'s report)
+    holds live ``StrategyParams``/``Space`` objects; this one is what
+    ``GET /v1/explorations/<id>/report`` returns and what
+    ``api.run_exploration`` produces alongside it.  ``params`` is the
+    final chosen strategy as a ``StrategyParams.to_dict()`` payload;
+    ``best_params`` the best raw TPE suggestion; ``history`` a list of
+    ``[stage, loss]`` pairs (one per exploration stage, in order).
+    """
+
+    design: str
+    params: dict
+    best_loss: float
+    best_params: dict
+    evaluations: int
+    group_rounds: int
+    history: list = dataclasses.field(default_factory=list)
+    trials: list = dataclasses.field(default_factory=list)
+
+    def __post_init__(self):
+        if not isinstance(self.design, str) or not self.design:
+            raise SchemaError(
+                f"exploration design must be a non-empty string, got {self.design!r}"
+            )
+        for name in ("params", "best_params"):
+            if not isinstance(getattr(self, name), dict):
+                raise SchemaError(
+                    f"exploration {name} must be a dict, "
+                    f"got {type(getattr(self, name)).__name__}"
+                )
+        _require_number(self.best_loss, "exploration best_loss")
+        for name in ("evaluations", "group_rounds"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise SchemaError(
+                    f"exploration {name} must be a non-negative int, got {value!r}"
+                )
+        if not isinstance(self.history, (list, tuple)):
+            raise SchemaError("exploration history must be a list of [stage, loss] pairs")
+        history = []
+        for entry in self.history:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise SchemaError(
+                    f"exploration history entries must be [stage, loss] pairs, got {entry!r}"
+                )
+            history.append(list(entry))
+        # Normalize to lists so a JSON round trip compares bit-identical.
+        object.__setattr__(self, "history", history)
+        trials = list(self.trials) if isinstance(self.trials, (list, tuple)) else self.trials
+        if not isinstance(trials, list) or any(not isinstance(t, Trial) for t in trials):
+            raise SchemaError("exploration trials must be a list of Trial records")
+        object.__setattr__(self, "trials", trials)
+
+    def to_dict(self) -> dict:
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data) -> "ExplorationReport":
+        return dataclass_from_dict(
+            cls, data,
+            nested={"trials": lambda items: [Trial.from_dict(t) for t in items]},
+        )
+
+
 @dataclasses.dataclass(frozen=True)
 class JobEvent:
     """One entry in a job's ordered event stream.
@@ -157,7 +276,9 @@ class JobEvent:
     Events are totally ordered per job by ``seq`` (0-based, no gaps as
     published; clients resume with ``?after=<last seen seq>``).  A
     ``state`` event carries the new lifecycle state in ``state``; a
-    ``progress`` event carries a :class:`JobProgress` in ``progress``.
+    ``progress`` event carries a :class:`JobProgress` in ``progress``; a
+    ``trial`` event (exploration streams only) carries a :class:`Trial`
+    in ``trial``.
     """
 
     seq: int
@@ -166,6 +287,7 @@ class JobEvent:
     ts: float
     state: str | None = None
     progress: JobProgress | None = None
+    trial: Trial | None = None
 
     def __post_init__(self):
         if self.kind not in EVENT_KINDS:
@@ -178,6 +300,8 @@ class JobEvent:
             raise SchemaError("state events must carry a state")
         if self.kind == "progress" and self.progress is None:
             raise SchemaError("progress events must carry a progress payload")
+        if self.kind == "trial" and self.trial is None:
+            raise SchemaError("trial events must carry a trial payload")
 
     def to_dict(self) -> dict:
         return dataclass_to_dict(self)
@@ -185,7 +309,8 @@ class JobEvent:
     @classmethod
     def from_dict(cls, data) -> "JobEvent":
         return dataclass_from_dict(
-            cls, data, nested={"progress": JobProgress.from_dict}
+            cls, data,
+            nested={"progress": JobProgress.from_dict, "trial": Trial.from_dict},
         )
 
 
@@ -193,9 +318,11 @@ __all__ = [
     "EVENT_KINDS",
     "PROGRESS_STAGES",
     "SCHEMA_VERSION",
+    "ExplorationReport",
     "JobEvent",
     "JobProgress",
     "SchemaError",
+    "Trial",
     "dataclass_from_dict",
     "dataclass_to_dict",
 ]

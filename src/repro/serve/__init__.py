@@ -37,6 +37,16 @@ The service also hosts **stateful ECO sessions** (:mod:`repro.eco`):
 ``POST /v1/sessions`` converges a design once, ``POST
 /v1/sessions/<id>/deltas`` applies incremental edits against the
 retained state, and draining closes (GCs) every open session.
+
+**Strategy exploration is a first-class service workload**
+(:mod:`repro.serve.exploration`): ``POST /v1/explorations`` starts a
+TPE exploration whose trials run as ordinary jobs across the shards
+(inheriting memoization, coalescing, fairness, and crash quarantine),
+``GET /v1/explorations/<id>/events`` long-polls per-trial events, and
+``GET /v1/explorations/<id>/report`` serves the final
+:class:`repro.schema.ExplorationReport`.  Completed trials persist as
+:class:`repro.tpe.TransferPriors` in the service cache and warm-start
+later explorations on similar designs.
 """
 
 from ..schema import JobEvent, JobProgress
@@ -45,10 +55,21 @@ from .client import (
     HttpServiceClient,
     JobFailedError,
     ServiceClient,
+    make_exploration_request,
     make_request,
     make_session_request,
 )
 from .events import EventLog, ProgressWriter, read_new_progress
+from .exploration import (
+    EXPLORATION_STATES,
+    DistributedEvaluator,
+    Exploration,
+    ExplorationCancelledError,
+    ExplorationManager,
+    ExplorationStateError,
+    LocalServiceHost,
+    UnknownExplorationError,
+)
 from .http import HttpServer
 from .jobs import (
     CANCELLED,
@@ -83,7 +104,13 @@ __all__ = [
     "BaseClient",
     "CANCELLED",
     "DONE",
+    "DistributedEvaluator",
+    "EXPLORATION_STATES",
     "EventLog",
+    "Exploration",
+    "ExplorationCancelledError",
+    "ExplorationManager",
+    "ExplorationStateError",
     "FAILED",
     "FairQueue",
     "HttpServer",
@@ -95,6 +122,7 @@ __all__ = [
     "JobStateError",
     "JobStore",
     "DeltaJob",
+    "LocalServiceHost",
     "PlacementService",
     "ProcessShard",
     "ProgressWriter",
@@ -112,9 +140,11 @@ __all__ = [
     "SessionStateError",
     "TERMINAL",
     "UnknownDeltaError",
+    "UnknownExplorationError",
     "UnknownJobError",
     "UnknownSessionError",
     "execute_request",
+    "make_exploration_request",
     "make_request",
     "make_session_request",
     "read_new_progress",

@@ -103,6 +103,26 @@ def make_session_request(design: str, *, config=None, eco=None,
     return request
 
 
+def make_exploration_request(config=None, *, priority: int = 0,
+                             client_id: str | None = None) -> dict:
+    """Build the JSON-safe wire request both clients POST to
+    ``/v1/explorations``.  ``config`` may be a
+    :class:`repro.api.ExploreConfig` (serialized via ``to_dict``), an
+    already-serialized wire dict, or ``None`` (server defaults);
+    ``priority``/``client_id`` schedule the exploration's trial jobs.
+    """
+    if config is not None and hasattr(config, "to_dict"):
+        config = config.to_dict()
+    request: dict = {}
+    if config is not None:
+        request["config"] = config
+    if priority:
+        request["priority"] = int(priority)
+    if client_id is not None:
+        request["client_id"] = client_id
+    return request
+
+
 def _is_stream_end(event: JobEvent) -> bool:
     return event.kind == "state" and event.state in TERMINAL
 
@@ -267,6 +287,65 @@ class ServiceClient(BaseClient):
 
     def close_session(self, session_id: str):
         return self.service.sessions.close(session_id)
+
+    # -- strategy explorations -----------------------------------------
+
+    def create_exploration(self, config=None, *, priority: int = 0,
+                           client_id: str | None = None):
+        """Start an exploration; returns the live ``Exploration``."""
+        return self.service.explorations.create(
+            make_exploration_request(
+                config, priority=priority, client_id=client_id
+            )
+        )
+
+    def exploration(self, exploration_id: str):
+        return self.service.explorations.get(exploration_id)
+
+    def explorations(self, state: str | None = None) -> list:
+        return self.service.explorations.explorations(state)
+
+    def cancel_exploration(self, exploration_id: str):
+        return self.service.explorations.cancel(exploration_id)
+
+    async def wait_exploration(self, exploration_id: str,
+                               timeout: float | None = None):
+        """Await the exploration's terminal state and return it."""
+        return await self.service.explorations.wait(
+            exploration_id, timeout=timeout
+        )
+
+    def exploration_events(self, exploration_id: str, after: int = -1) -> list:
+        return self.service.explorations.events(exploration_id, after=after)
+
+    async def follow_exploration(self, exploration_id: str, *,
+                                 after: int = -1,
+                                 timeout: float | None = None):
+        """Async-iterate trial/state events until the terminal event."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            poll = 10.0
+            if deadline is not None:
+                poll = min(poll, deadline - time.monotonic())
+                if poll <= 0:
+                    raise TimeoutError(
+                        f"exploration {exploration_id} event stream still open"
+                    )
+            batch, _done = await self.service.explorations.wait_events(
+                exploration_id, after=after, timeout=poll
+            )
+            for event in batch:
+                yield event
+                if _is_stream_end(event):
+                    return
+            if batch:
+                after = batch[-1].seq
+
+    def exploration_report(self, exploration_id: str) -> dict:
+        """The finished exploration's wire report (raises
+        :class:`~repro.serve.exploration.ExplorationStateError` until
+        ``done``)."""
+        return self.service.explorations.report(exploration_id)
 
 
 class HttpServiceClient(BaseClient):
@@ -463,3 +542,84 @@ class HttpServiceClient(BaseClient):
         if record["state"] != DONE:
             raise JobFailedError(record)
         return record["result"]
+
+    # -- strategy explorations -----------------------------------------
+
+    def create_exploration(self, config=None, *, priority: int = 0,
+                           client_id: str | None = None) -> dict:
+        """POST the exploration; returns its wire dict (``running``)."""
+        return self._request(
+            "POST", "/v1/explorations",
+            make_exploration_request(
+                config, priority=priority, client_id=client_id
+            ),
+        )
+
+    def exploration(self, exploration_id: str) -> dict:
+        return self._request("GET", f"/v1/explorations/{exploration_id}")
+
+    def explorations(self, state: str | None = None) -> list:
+        path = (
+            "/v1/explorations" if state is None
+            else f"/v1/explorations?state={state}"
+        )
+        return self._request("GET", path)["explorations"]
+
+    def cancel_exploration(self, exploration_id: str) -> dict:
+        return self._request("DELETE", f"/v1/explorations/{exploration_id}")
+
+    def wait_exploration(self, exploration_id: str,
+                         timeout: float | None = None,
+                         poll: float = 0.25) -> dict:
+        """Poll until the exploration is terminal; returns its wire dict."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            exploration = self.exploration(exploration_id)
+            if exploration["state"] in ("done", "failed", "cancelled"):
+                return exploration
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"exploration {exploration_id} still {exploration['state']}"
+                )
+            time.sleep(poll)
+
+    def exploration_events(self, exploration_id: str, after: int = -1,
+                           wait: float | None = None) -> list:
+        """GET the exploration's events past ``after`` as typed
+        :class:`~repro.schema.JobEvent`; ``wait`` long-polls."""
+        path = f"/v1/explorations/{exploration_id}/events?after={after}"
+        timeout = None
+        if wait:
+            path += f"&wait={wait:g}"
+            timeout = self.timeout + wait
+        payload = self._request("GET", path, timeout=timeout)
+        return [JobEvent.from_dict(event) for event in payload["events"]]
+
+    def follow_exploration(self, exploration_id: str, *, after: int = -1,
+                           timeout: float | None = None, wait: float = 10.0):
+        """Yield trial/state events live (long-polling) until the
+        exploration's terminal state event."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            poll = wait
+            if deadline is not None:
+                poll = min(poll, deadline - time.monotonic())
+                if poll <= 0:
+                    raise TimeoutError(
+                        f"exploration {exploration_id} event stream still open"
+                    )
+            batch = self.exploration_events(
+                exploration_id, after=after, wait=max(poll, 0.05)
+            )
+            for event in batch:
+                yield event
+                if _is_stream_end(event):
+                    return
+            if batch:
+                after = batch[-1].seq
+
+    def exploration_report(self, exploration_id: str) -> dict:
+        """GET the finished report (409/``JobStateError`` until done)."""
+        return self._request(
+            "GET", f"/v1/explorations/{exploration_id}/report"
+        )

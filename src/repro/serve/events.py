@@ -123,12 +123,12 @@ class EventLog:
         self._events.setdefault(job_id, [])
 
     def publish(self, job_id: str, kind: str, state: str | None = None,
-                progress: JobProgress | None = None) -> JobEvent:
+                progress: JobProgress | None = None, trial=None) -> JobEvent:
         """Append one event (seq auto-assigned) and wake every waiter."""
         events = self._events.setdefault(job_id, [])
         event = JobEvent(
             seq=len(events), kind=kind, job_id=job_id, ts=time.time(),
-            state=state, progress=progress,
+            state=state, progress=progress, trial=trial,
         )
         events.append(event)
         for waiter in self._waiters.pop(job_id, []):

@@ -1,0 +1,710 @@
+"""Distributed strategy exploration: TPE trials as placement-service jobs.
+
+Strategy exploration (paper Sec. III-C) is embarrassingly parallel
+inside each TPE round — the sampler suggests ``batch_size`` candidates
+before any of them is evaluated — but the PR-3 evaluator only spread a
+batch over a local process pool.  This module re-platforms the
+evaluation onto :class:`repro.serve.service.PlacementService`, so every
+trial inherits the service's whole stack for free: execution shards,
+submit-time memoization and in-flight coalescing, the shared-design
+cache, fair queueing, and crash quarantine (a trial that kills its
+worker fails *that job*, not the exploration).
+
+Three layers:
+
+* :class:`DistributedEvaluator` — a drop-in ``list[params] ->
+  list[loss]`` batch evaluator (the contract of
+  :func:`repro.core.exploration.make_batch_evaluator`).  Each candidate
+  becomes one job request (``route=True``, the candidate's
+  :class:`~repro.core.strategy.StrategyParams` inside a
+  :class:`repro.api.RunConfig`); the whole wave is submitted before any
+  result is awaited, so trials saturate every shard.  Raw
+  ``(total_overflow, wirelength)`` results come back in suggestion
+  order and the loss is shaped *parent-side* with the same stateful
+  wirelength reference the serial objective uses — which is why
+  ``batch_size=1`` through this evaluator is bit-identical to the
+  serial loop.  A failed job scores
+  :data:`repro.core.exploration.FAILED_TRIAL_LOSS` (and leaves a
+  ``failed`` journal record when a journal is attached), never aborting
+  the exploration.
+* :class:`ExplorationManager` — the ``/v1/explorations`` resource:
+  creates explorations from :class:`repro.api.ExploreConfig` wire
+  payloads, drives :func:`repro.api.run_exploration` on a worker thread
+  with a :class:`DistributedEvaluator` over the owning service, streams
+  every completed trial as a ``kind="trial"``
+  :class:`repro.schema.JobEvent` through its own
+  :class:`~repro.serve.events.EventLog` (long-polled by
+  ``GET /v1/explorations/<id>/events``), and serves the final
+  :class:`repro.schema.ExplorationReport` wire record.  When the
+  service has an artifact cache, completed trials persist as
+  :class:`repro.tpe.TransferPriors` and warm-start later explorations
+  on similar designs.
+* :class:`LocalServiceHost` — a context manager booting a service (and
+  its event loop) on a helper thread so *synchronous* callers — the
+  ``repro explore --jobs N`` CLI and the explore benchmark — can use a
+  :class:`DistributedEvaluator` without owning an event loop.
+
+Cancellation is cooperative and best-effort: ``DELETE`` sets a flag the
+evaluator checks before every submit and between result waits; jobs
+already on the queue run to completion (they are plain service jobs and
+their results still land in the cache).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .. import obs
+from .client import JobFailedError, ServiceClient
+from .events import EventLog
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    RUNNING,
+    QueueFullError,
+    ServeError,
+    ServiceClosedError,
+)
+
+#: Exploration lifecycle states (no ``queued`` — trials start queueing
+#: the moment the exploration is created).
+EXPLORATION_STATES = (RUNNING, DONE, FAILED, CANCELLED)
+
+#: States an exploration never leaves.
+EXPLORATION_TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+#: Request keys accepted by ``POST /v1/explorations``.
+_EXPLORE_KEYS = frozenset({"config", "priority", "client_id"})
+
+#: In-band marker for a trial whose job failed (local to this module;
+#: the journal wire format matches ``make_batch_evaluator``'s).
+_FAILED = object()
+
+
+class UnknownExplorationError(ServeError, KeyError):
+    """An exploration id with no entry in the manager."""
+
+    def __init__(self, exploration_id: str, message: str | None = None) -> None:
+        self.exploration_id = exploration_id
+        self._message = message or f"unknown exploration {exploration_id!r}"
+        super().__init__(self._message)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes its argument; keep the message
+        # plain so it survives the HTTP error round-trip unmangled.
+        return self._message
+
+
+class ExplorationStateError(ServeError):
+    """An operation illegal in the exploration's current state."""
+
+
+class ExplorationCancelledError(ServeError):
+    """Raised inside the exploration thread after a cancel request."""
+
+
+class DistributedEvaluator:
+    """Evaluate TPE candidate batches as placement-service jobs.
+
+    A drop-in batch evaluator for :func:`repro.tpe.minimize` /
+    :func:`repro.api.run_exploration`: same call contract and the same
+    ``last_details`` protocol as
+    :func:`repro.core.exploration.make_batch_evaluator`, but each
+    candidate runs as one job through a service client — in-process
+    (:class:`~repro.serve.client.ServiceClient`, needs the service
+    ``loop``) or remote (:class:`~repro.serve.client.HttpServiceClient`).
+
+    Bit-identity with the serial loop holds because the evaluator is
+    pure transport: the sampler's suggestion RNG is untouched, raw
+    results are consumed in suggestion order, and the loss shaping
+    (including the first-evaluation wirelength reference) runs on this
+    side with the exact serial code path.
+
+    Args:
+        client: a :class:`~repro.serve.client.BaseClient`.
+        config: the :class:`repro.api.ExploreConfig` being explored —
+            provides the design, scale, and wirelength weight every
+            trial shares.
+        loop: the service's event loop, required when ``client`` is the
+            async in-process client (calls hop over via
+            ``run_coroutine_threadsafe``); ignored for sync clients.
+        journal: optional :class:`repro.runtime.Journal`; raw results
+            and failures are replayed/recorded exactly like the local
+            evaluator's, so ``--resume`` works across both.
+        timeout: per-trial wall-clock budget, seconds (becomes the job
+            timeout; ``None`` = unlimited).
+        priority: fair-queue priority of every submitted job.
+        client_id: fair-queue bucket of every submitted job.
+    """
+
+    def __init__(self, client, config, *, loop=None, journal=None,
+                 timeout: float | None = None, priority: int = 0,
+                 client_id: str = "explore") -> None:
+        from ..core.exploration import (
+            SuiteDesignFactory,
+            make_placement_objective,
+        )
+
+        self.client = client
+        self.config = config
+        self.loop = loop
+        self.journal = journal
+        self.timeout = timeout
+        self.priority = int(priority)
+        self.client_id = client_id
+        self.last_details: list = []
+        self.jobs_submitted = 0
+        self._cancelled = threading.Event()
+        # The parent-side twin of the serial objective: cache keys and
+        # stateful loss shaping, never evaluate_raw (the service does).
+        self._objective = make_placement_objective(
+            SuiteDesignFactory(config.design, config.scale),
+            wl_weight=config.wl_weight,
+        )
+        self._journaled: dict = {}
+        if journal is not None:
+            for record in journal.records():
+                if "overflow" in record and "wirelength" in record:
+                    self._journaled[record["key"]] = (
+                        record["overflow"], record["wirelength"],
+                    )
+                elif "failed" in record:
+                    self._journaled[record["key"]] = _FAILED
+
+    # -- cancellation --------------------------------------------------
+
+    def cancel(self) -> None:
+        """Request a cooperative stop: the next submit/wait checkpoint
+        raises :class:`ExplorationCancelledError`."""
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def _check_cancelled(self) -> None:
+        if self._cancelled.is_set():
+            raise ExplorationCancelledError("exploration cancelled")
+
+    # -- transport -----------------------------------------------------
+
+    def _call(self, method, *args, **kwargs):
+        """Invoke a client method, bridging async clients onto ``loop``."""
+        outcome = method(*args, **kwargs)
+        if asyncio.iscoroutine(outcome):
+            if self.loop is None:
+                outcome.close()
+                raise ValueError(
+                    "an async client needs the service event loop (loop=)"
+                )
+            return asyncio.run_coroutine_threadsafe(outcome, self.loop).result()
+        return outcome
+
+    @staticmethod
+    def _field(job, name: str):
+        """One accessor over in-process ``Job``s and HTTP wire dicts."""
+        if hasattr(job, name):
+            return getattr(job, name)
+        return job.get(name)
+
+    def _submit(self, params: dict):
+        """Submit one candidate, riding out backpressure.
+
+        A full queue is expected at ``batch_size > capacity``: earlier
+        jobs free their slots as they finish, so retrying after the
+        server's hint always converges.
+        """
+        from ..api import RunConfig
+        from ..core.strategy import StrategyParams
+
+        wire = RunConfig(
+            scale=self.config.scale,
+            strategy=StrategyParams.from_dict(params),
+        ).to_dict()
+        while True:
+            self._check_cancelled()
+            try:
+                job = self._call(
+                    self.client.submit, self.config.design, config=wire,
+                    route=True, timeout=self.timeout,
+                    priority=self.priority, client_id=self.client_id,
+                )
+            except QueueFullError as exc:
+                time.sleep(max(min(float(exc.retry_after or 0.5), 1.0), 0.05))
+                continue
+            self.jobs_submitted += 1
+            return job
+
+    def _wait_job(self, job_id: str):
+        """Await one job's terminal state in cancel-checkable slices."""
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
+        )
+        while True:
+            self._check_cancelled()
+            wait = 2.0
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} outlived the {self.timeout:g}s "
+                        f"trial budget"
+                    )
+                wait = min(wait, remaining)
+            try:
+                return self._call(self.client.wait, job_id, timeout=wait)
+            except (TimeoutError, asyncio.TimeoutError):
+                continue
+
+    def _evaluate_remote(self, pending: list) -> list:
+        """Submit a wave of candidates, then collect in suggestion order.
+
+        Returns one outcome per candidate: ``(raw, cache_hit)`` on
+        success, the exception on failure (never raises for a single
+        bad trial — only for cancellation).
+        """
+        jobs = []
+        for params in pending:
+            try:
+                jobs.append(self._submit(params))
+            except ExplorationCancelledError:
+                raise
+            except Exception as exc:
+                jobs.append(exc)
+        outcomes = []
+        for job in jobs:
+            if isinstance(job, BaseException):
+                outcomes.append(job)
+                continue
+            job_id = self._field(job, "id")
+            try:
+                final = self._wait_job(job_id)
+            except ExplorationCancelledError:
+                raise
+            except Exception as exc:
+                outcomes.append(exc)
+                continue
+            if self._field(final, "state") != DONE:
+                outcomes.append(JobFailedError(final))
+                continue
+            result = self._field(final, "result") or {}
+            route = result.get("route")
+            if not route:
+                outcomes.append(
+                    ServeError(f"job {job_id} returned no route report")
+                )
+                continue
+            raw = (float(route["total_overflow"]), float(route["wirelength"]))
+            outcomes.append((raw, bool(self._field(final, "cache_hit"))))
+        return outcomes
+
+    # -- the evaluator contract ----------------------------------------
+
+    def __call__(self, batch: list) -> list:
+        from ..core.exploration import FAILED_TRIAL_LOSS
+
+        self._check_cancelled()
+        self.last_details = [None] * len(batch)
+        details = self.last_details
+        keys = [self._objective.cache_key(params) for params in batch]
+        raws: list = [None] * len(batch)
+        todo = []
+        for i, key in enumerate(keys):
+            if key is not None and key in self._journaled:
+                raws[i] = self._journaled[key]
+                details[i] = {"cached": True}
+            else:
+                todo.append(i)
+        if todo:
+            outcomes = self._evaluate_remote([batch[i] for i in todo])
+            for i, outcome in zip(todo, outcomes):
+                if isinstance(outcome, BaseException):
+                    raws[i] = _FAILED
+                    details[i] = {"cached": False, "error": str(outcome)}
+                    if keys[i] is not None and self.journal is not None:
+                        self.journal.append(
+                            {"key": keys[i],
+                             "failed": f"{type(outcome).__name__}: {outcome}"}
+                        )
+                        self._journaled[keys[i]] = _FAILED
+                    continue
+                raw, cache_hit = outcome
+                raws[i] = raw
+                details[i] = {"cached": bool(cache_hit)}
+                if keys[i] is not None and self.journal is not None:
+                    self.journal.append(
+                        {"key": keys[i],
+                         "overflow": raw[0], "wirelength": raw[1]}
+                    )
+                    self._journaled[keys[i]] = raw
+        losses = []
+        for i, raw in enumerate(raws):
+            if raw is _FAILED:
+                losses.append(FAILED_TRIAL_LOSS)
+                details[i] = dict(details[i] or {}, failed=True)
+            else:
+                raw = (float(raw[0]), float(raw[1]))
+                losses.append(self._objective.loss_from_raw(raw))
+                details[i] = dict(
+                    details[i] or {}, overflow=raw[0], wirelength=raw[1]
+                )
+        return losses
+
+
+@dataclass
+class Exploration:
+    """One exploration and its lifecycle (the ``/v1/explorations`` row).
+
+    Attributes:
+        id: manager-unique identifier (``explore-N``).
+        config: the validated :class:`repro.api.ExploreConfig`.
+        state: current lifecycle state (:data:`EXPLORATION_STATES`).
+        report: the :class:`repro.schema.ExplorationReport` wire dict
+            once ``done``.
+        error: terminal error message once ``failed``.
+        trials: completed-trial count so far (grows live).
+        created_at / finished_at: ``time.time()`` stamps.
+    """
+
+    id: str
+    config: object
+    state: str = RUNNING
+    report: dict | None = None
+    error: str | None = None
+    trials: int = 0
+    created_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in EXPLORATION_TERMINAL
+
+    def to_wire(self) -> dict:
+        """The JSON-safe status dict served over HTTP.
+
+        The full report (trials included) stays behind
+        ``GET /v1/explorations/<id>/report``; status carries only its
+        headline numbers.
+        """
+        return {
+            "id": self.id,
+            "state": self.state,
+            "config": self.config.to_dict(),
+            "trials": self.trials,
+            "error": self.error,
+            "best_loss": None if self.report is None else self.report["best_loss"],
+            "evaluations": (
+                None if self.report is None else self.report["evaluations"]
+            ),
+            "created_at": self.created_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class ExplorationManager:
+    """Owner of every exploration a service runs (``/v1/explorations``).
+
+    Mirrors :class:`~repro.serve.sessions.SessionManager` structurally:
+    loop-confined, one asyncio task per exploration, its own
+    :class:`~repro.serve.events.EventLog` for long-polling, explicit
+    drain.  The exploration itself runs on an executor thread (the TPE
+    loop is synchronous); completed trials hop back to the loop via
+    ``call_soon_threadsafe`` to publish ``kind="trial"`` events.
+    """
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self._explorations: dict = {}
+        self._ids = itertools.count(1)
+        self._events = EventLog()
+        self._evaluators: dict = {}
+        self._tasks: set = set()
+        self._done_events: dict = {}
+        self._draining = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def create(self, request: dict) -> Exploration:
+        """Validate ``request`` and start an exploration (non-blocking).
+
+        The request is a JSON-safe dict: ``config`` (an
+        :meth:`repro.api.ExploreConfig.to_dict` payload, defaults when
+        omitted), plus scheduling hints ``priority`` and ``client_id``
+        applied to every trial job.
+
+        Raises:
+            ServiceClosedError: after :meth:`drain` began.
+            repro.schema.SchemaError / ValueError: invalid payloads.
+        """
+        from .. import api
+
+        with obs.span("serve/request", op="explore"):
+            if self._draining:
+                raise ServiceClosedError(
+                    "service is draining; not accepting explorations"
+                )
+            if not isinstance(request, dict):
+                raise ValueError(
+                    f"request must be a dict, got {type(request).__name__}"
+                )
+            unknown = set(request) - _EXPLORE_KEYS
+            if unknown:
+                raise ValueError(f"unknown request keys: {sorted(unknown)}")
+            config = api.ExploreConfig.from_dict(request.get("config") or {})
+            priority = request.get("priority", 0)
+            if not isinstance(priority, int) or isinstance(priority, bool):
+                raise ValueError("request 'priority' must be an int")
+            client_id = request.get("client_id", "explore")
+            if not isinstance(client_id, str) or not client_id:
+                raise ValueError("request 'client_id' must be a non-empty string")
+            exploration = Exploration(
+                id=f"explore-{next(self._ids)}", config=config
+            )
+            self._explorations[exploration.id] = exploration
+            self._done_events[exploration.id] = asyncio.Event()
+            self._events.register(exploration.id)
+            self._events.publish(exploration.id, "state", state=RUNNING)
+            obs.counter("explore/created").inc()
+            self._spawn(self._run(exploration, priority, client_id))
+            return exploration
+
+    def _spawn(self, coro) -> None:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, exploration: Exploration, priority: int,
+                   client_id: str) -> None:
+        from .. import api
+        from ..tpe import TransferPriors
+
+        loop = asyncio.get_running_loop()
+        evaluator = DistributedEvaluator(
+            ServiceClient(self.service), exploration.config, loop=loop,
+            priority=priority, client_id=client_id,
+        )
+        self._evaluators[exploration.id] = evaluator
+        # Priors live in the service's result cache, so explorations
+        # warm-start from every exploration this server ever completed.
+        priors = (
+            TransferPriors(self.service._cache)
+            if self.service._cache is not None else None
+        )
+
+        def on_trial(trial) -> None:
+            loop.call_soon_threadsafe(self._record_trial, exploration, trial)
+
+        def execute():
+            return api.run_exploration(
+                exploration.config, evaluator=evaluator,
+                on_trial=on_trial, priors=priors,
+            )
+
+        try:
+            outcome = await loop.run_in_executor(None, execute)
+        except ExplorationCancelledError:
+            self._finish(exploration, CANCELLED)
+        except Exception as exc:
+            if evaluator.cancelled:
+                # A drain/cancel can surface as a submit-time error
+                # before the next cooperative checkpoint fires.
+                self._finish(exploration, CANCELLED)
+            else:
+                self._finish(
+                    exploration, FAILED, error=f"{type(exc).__name__}: {exc}"
+                )
+        else:
+            exploration.report = outcome.wire.to_dict()
+            self._finish(exploration, DONE)
+        finally:
+            self._evaluators.pop(exploration.id, None)
+
+    def _record_trial(self, exploration: Exploration, trial) -> None:
+        if exploration.terminal:
+            return
+        exploration.trials += 1
+        self._events.publish(exploration.id, "trial", trial=trial)
+        obs.counter("explore/trials").inc()
+
+    def _finish(self, exploration: Exploration, state: str,
+                error: str | None = None) -> None:
+        exploration.state = state
+        exploration.error = error
+        exploration.finished_at = time.time()
+        self._events.publish(exploration.id, "state", state=state)
+        self._done_events[exploration.id].set()
+        obs.counter(f"explore/{state}").inc()
+
+    # -- queries -------------------------------------------------------
+
+    def get(self, exploration_id: str) -> Exploration:
+        """The exploration for ``exploration_id`` (raises
+        :class:`UnknownExplorationError`)."""
+        try:
+            return self._explorations[exploration_id]
+        except KeyError:
+            raise UnknownExplorationError(exploration_id) from None
+
+    def explorations(self, state: str | None = None) -> list:
+        """All explorations in creation order, optionally by state."""
+        items = list(self._explorations.values())
+        if state is not None:
+            items = [e for e in items if e.state == state]
+        return items
+
+    def events(self, exploration_id: str, after: int = -1) -> list:
+        """Events with ``seq > after`` (non-blocking)."""
+        self.get(exploration_id)  # raises UnknownExplorationError
+        return self._events.events(exploration_id, after)
+
+    async def wait_events(self, exploration_id: str, after: int = -1,
+                          timeout: float | None = 30.0) -> tuple:
+        """Long-poll for events past ``after``.
+
+        Returns ``(events, stream_done)`` exactly like
+        :meth:`repro.serve.service.PlacementService.wait_events`.
+        """
+        exploration = self.get(exploration_id)
+        fresh = self._events.events(exploration_id, after)
+        if not fresh and not exploration.terminal:
+            fresh = await self._events.wait(exploration_id, after, timeout)
+        return fresh, exploration.terminal
+
+    def report(self, exploration_id: str) -> dict:
+        """The finished exploration's wire report.
+
+        Raises:
+            ExplorationStateError: not ``done`` yet (HTTP 409) — failed
+                and cancelled explorations have no report either.
+        """
+        exploration = self.get(exploration_id)
+        if exploration.state != DONE:
+            raise ExplorationStateError(
+                f"exploration {exploration_id} is {exploration.state}; "
+                f"the report is available once done"
+            )
+        return exploration.report
+
+    def cancel(self, exploration_id: str) -> Exploration:
+        """Request a cooperative cancel (jobs already queued finish).
+
+        Raises:
+            UnknownExplorationError: no such exploration.
+            ExplorationStateError: already terminal.
+        """
+        exploration = self.get(exploration_id)
+        if exploration.terminal:
+            raise ExplorationStateError(
+                f"exploration {exploration_id} is already {exploration.state}"
+            )
+        evaluator = self._evaluators.get(exploration_id)
+        if evaluator is not None:
+            evaluator.cancel()
+        return exploration
+
+    async def wait(self, exploration_id: str,
+                   timeout: float | None = None) -> Exploration:
+        """Await an exploration's terminal state and return it."""
+        exploration = self.get(exploration_id)
+        await asyncio.wait_for(
+            self._done_events[exploration_id].wait(), timeout
+        )
+        return exploration
+
+    def counts(self) -> dict:
+        """``state -> count`` over every state (zeros included)."""
+        counts = dict.fromkeys(EXPLORATION_STATES, 0)
+        for exploration in self._explorations.values():
+            counts[exploration.state] += 1
+        return counts
+
+    async def drain(self) -> None:
+        """Stop intake, cancel live explorations, await their tasks."""
+        self._draining = True
+        for evaluator in list(self._evaluators.values()):
+            evaluator.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+
+class LocalServiceHost:
+    """A placement service on a private loop, for synchronous callers.
+
+    ``repro explore --jobs N`` and the explore benchmark want the
+    distributed evaluator without running a server or owning an event
+    loop; this context manager boots the loop on a daemon thread,
+    starts the service on it, and tears both down on exit::
+
+        with LocalServiceHost(ServiceConfig(shards=4)) as host:
+            evaluator = host.evaluator(config, journal=journal)
+            report = api.explore(config=config, evaluator=evaluator)
+
+    Attributes (inside the ``with`` block):
+        service: the started :class:`~repro.serve.service.PlacementService`.
+        client: an in-process :class:`~repro.serve.client.ServiceClient`.
+        loop: the hosted event loop (what :class:`DistributedEvaluator`
+            bridges its async calls onto).
+    """
+
+    def __init__(self, config=None, runner=None) -> None:
+        self.config = config
+        self.runner = runner
+        self.service = None
+        self.client = None
+        self.loop = None
+        self._thread = None
+
+    def __enter__(self) -> "LocalServiceHost":
+        from .service import PlacementService
+
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, name="repro-explore-host", daemon=True
+        )
+        self._thread.start()
+
+        async def boot():
+            service = PlacementService(self.config, runner=self.runner)
+            await service.start()
+            return service
+
+        self.service = asyncio.run_coroutine_threadsafe(
+            boot(), self.loop
+        ).result()
+        self.client = ServiceClient(self.service)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self.service.stop(), self.loop
+            ).result(timeout=60.0)
+        finally:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._thread.join(timeout=10.0)
+            self.loop.close()
+        return False
+
+    def evaluator(self, config, **kwargs) -> DistributedEvaluator:
+        """A :class:`DistributedEvaluator` over the hosted service."""
+        return DistributedEvaluator(
+            self.client, config, loop=self.loop, **kwargs
+        )
+
+
+__all__ = [
+    "EXPLORATION_STATES",
+    "EXPLORATION_TERMINAL",
+    "DistributedEvaluator",
+    "Exploration",
+    "ExplorationCancelledError",
+    "ExplorationManager",
+    "ExplorationStateError",
+    "LocalServiceHost",
+    "UnknownExplorationError",
+]

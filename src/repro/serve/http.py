@@ -24,6 +24,13 @@ DELETE ``/v1/sessions/<id>``          close a session (GC retained state)
 POST   ``/v1/sessions/<id>/deltas``   submit an incremental delta
 GET    ``/v1/sessions/<id>/deltas``   list the session's deltas
 GET    ``/v1/sessions/<id>/deltas/<did>`` one delta's status/result
+POST   ``/v1/explorations``           start a strategy exploration (``202``)
+GET    ``/v1/explorations``           list explorations (``?state=`` filters)
+GET    ``/v1/explorations/<id>``      one exploration's status
+DELETE ``/v1/explorations/<id>``      cancel an exploration (cooperative)
+GET    ``/v1/explorations/<id>/events`` the exploration's trial/state stream
+                                      (``?after=<seq>&wait=<s>`` long-polls)
+GET    ``/v1/explorations/<id>/report`` the finished report (409 until done)
 ====== ============================== ================================
 
 The pre-``/v1`` unversioned paths keep answering through a shim: the
@@ -49,6 +56,7 @@ import json
 from http import HTTPStatus
 
 from ..schema import SchemaError
+from .exploration import ExplorationStateError, UnknownExplorationError
 from .jobs import (
     JobStateError,
     QueueFullError,
@@ -85,6 +93,12 @@ ROUTES = (
     ("POST", "/v1/sessions/{session_id}/deltas", "submit_delta"),
     ("GET", "/v1/sessions/{session_id}/deltas", "list_deltas"),
     ("GET", "/v1/sessions/{session_id}/deltas/{delta_id}", "delta_status"),
+    ("POST", "/v1/explorations", "create_exploration"),
+    ("GET", "/v1/explorations", "list_explorations"),
+    ("GET", "/v1/explorations/{exploration_id}", "exploration_status"),
+    ("DELETE", "/v1/explorations/{exploration_id}", "cancel_exploration"),
+    ("GET", "/v1/explorations/{exploration_id}/events", "exploration_events"),
+    ("GET", "/v1/explorations/{exploration_id}/report", "exploration_report"),
 )
 
 
@@ -247,10 +261,11 @@ class HttpServer:
         except ServiceClosedError as exc:
             raise _HttpError(HTTPStatus.SERVICE_UNAVAILABLE, str(exc),
                              headers=dict(shim_headers)) from None
-        except (UnknownJobError, UnknownSessionError, UnknownDeltaError) as exc:
+        except (UnknownJobError, UnknownSessionError, UnknownDeltaError,
+                UnknownExplorationError) as exc:
             raise _HttpError(HTTPStatus.NOT_FOUND, str(exc),
                              headers=dict(shim_headers)) from None
-        except (JobStateError, SessionStateError) as exc:
+        except (JobStateError, SessionStateError, ExplorationStateError) as exc:
             raise _HttpError(HTTPStatus.CONFLICT, str(exc),
                              headers=dict(shim_headers)) from None
         except (SchemaError, ValueError, KeyError) as exc:
@@ -337,6 +352,49 @@ class HttpServer:
             params["session_id"], params["delta_id"]
         )
         return HTTPStatus.OK, delta.to_wire(), {}
+
+    async def _handle_create_exploration(self, params, query, body) -> tuple:
+        exploration = self.service.explorations.create(self._parse_body(body))
+        return HTTPStatus.ACCEPTED, exploration.to_wire(), {}
+
+    async def _handle_list_explorations(self, params, query, body) -> tuple:
+        state = _query_param(query, "state")
+        explorations = [
+            e.to_wire() for e in self.service.explorations.explorations(state)
+        ]
+        return HTTPStatus.OK, {"explorations": explorations}, {}
+
+    async def _handle_exploration_status(self, params, query, body) -> tuple:
+        exploration = self.service.explorations.get(params["exploration_id"])
+        return HTTPStatus.OK, exploration.to_wire(), {}
+
+    async def _handle_cancel_exploration(self, params, query, body) -> tuple:
+        exploration = self.service.explorations.cancel(params["exploration_id"])
+        return HTTPStatus.OK, exploration.to_wire(), {}
+
+    async def _handle_exploration_events(self, params, query, body) -> tuple:
+        exploration_id = params["exploration_id"]
+        after = _numeric_param(query, "after", int, -1)
+        wait = _numeric_param(query, "wait", float, 0.0)
+        if wait > 0:
+            events, done = await self.service.explorations.wait_events(
+                exploration_id, after=after, timeout=min(wait, MAX_EVENT_WAIT)
+            )
+        else:
+            events = self.service.explorations.events(exploration_id, after=after)
+            done = self.service.explorations.get(exploration_id).terminal
+        next_after = events[-1].seq if events else after
+        payload = {
+            "exploration_id": exploration_id,
+            "events": [event.to_dict() for event in events],
+            "next_after": next_after,
+            "stream_done": done,
+        }
+        return HTTPStatus.OK, payload, {}
+
+    async def _handle_exploration_report(self, params, query, body) -> tuple:
+        report = self.service.explorations.report(params["exploration_id"])
+        return HTTPStatus.OK, report, {}
 
     # ------------------------------------------------------------------
     # Plumbing

@@ -55,6 +55,7 @@ from ..runtime import ArtifactCache, Task, TaskExecutor, TaskTimeoutError, stabl
 from ..runtime import shm as shm_runtime
 from ..runtime.cache import MISSING
 from .events import EventLog, read_new_progress
+from .exploration import ExplorationManager
 from .jobs import (
     CANCELLED,
     DONE,
@@ -183,6 +184,7 @@ class PlacementService:
             raise ValueError("shards must be >= 0")
         self._runner = runner or execute_request
         self.sessions = SessionManager(engine_factory=session_engine_factory)
+        self.explorations = ExplorationManager(self)
         self._store = JobStore()
         self._queue = FairQueue(
             self.config.capacity, weights=self.config.client_weights
@@ -256,10 +258,13 @@ class PlacementService:
     async def drain(self) -> None:
         """Stop intake and wait for every accepted job to finish.
 
-        Open ECO sessions are closed (their retained state GC'd) —
-        incremental work cannot outlive the service that holds it.
+        Open ECO sessions are closed (their retained state GC'd) and
+        live explorations are cancelled at their next cooperative
+        checkpoint — incremental work cannot outlive the service that
+        holds it.
         """
         self._draining = True
+        await self.explorations.drain()
         self.sessions.close_all()
         await self._queue.join()
 
@@ -426,6 +431,7 @@ class PlacementService:
             "shards": [shard.describe() for shard in self._shards],
             "jobs": self._store.counts(),
             "sessions": self.sessions.counts(),
+            "explorations": self.explorations.counts(),
         }
 
     def metrics(self) -> dict:
@@ -438,6 +444,7 @@ class PlacementService:
             "workers": len(self._shards) or self.config.workers,
             "shards": [shard.describe() for shard in self._shards],
             "counters": dict(self.counts),
+            "explorations": self.explorations.counts(),
             "cache": self._cache.stats() if self._cache is not None else None,
             "shared_designs": (
                 self._shared_designs.stats()

@@ -3,6 +3,7 @@
 from .smbo import SMBOResult, Trial, minimize
 from .space import Choice, LogUniform, QUniform, Space, Uniform
 from .tpe import TPESampler
+from .transfer import TransferPriors, design_features, space_signature
 
 __all__ = [
     "Choice",
@@ -11,7 +12,10 @@ __all__ = [
     "SMBOResult",
     "Space",
     "TPESampler",
+    "TransferPriors",
     "Trial",
     "Uniform",
+    "design_features",
     "minimize",
+    "space_signature",
 ]

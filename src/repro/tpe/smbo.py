@@ -108,8 +108,16 @@ def minimize(
                     trial_span.set(loss=loss)
                 losses.append(loss)
         else:
-            with obs.span("tpe/batch", size=len(batch), index=len(trials)):
+            # A size-1 batch is a single trial: name its span so serial
+            # traces look the same with or without an evaluator attached.
+            single = len(batch) == 1
+            with obs.span(
+                "tpe/trial" if single else "tpe/batch",
+                size=len(batch), index=len(trials),
+            ) as batch_span:
                 losses = [float(loss) for loss in evaluator(batch)]
+                if single and len(losses) == 1:
+                    batch_span.set(loss=losses[0])
             if len(losses) != len(batch):
                 raise ValueError("evaluator returned a mismatched batch")
             for offset, loss in enumerate(losses):

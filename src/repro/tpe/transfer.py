@@ -1,0 +1,140 @@
+"""Cross-design transfer priors for strategy exploration.
+
+Exploration on a new design normally starts blind: the TPE sampler
+draws ``n_startup`` uniformly random configurations before its good/bad
+split has anything to model.  But completed explorations on *other*
+designs already know which regions of the strategy space tend to route
+well, and the paper's experiment A4 shows strategies transfer.  This
+module persists completed trials through a
+:class:`repro.runtime.ArtifactCache` and replays them as ``warm_start``
+observations (see :func:`repro.tpe.minimize`) — seeding the sampler
+without spending a single evaluation.
+
+Layout: one cache entry per *search-space signature* (so priors from an
+incompatible space are never replayed), holding a dict of
+``feature key -> [(params, loss), ...]`` buckets keyed by coarse design
+features (log2-bucketed cell/net counts, rounded utilization).  Loading
+prefers the bucket of the matching design class, then falls back to the
+other buckets, best losses first.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..runtime import MISSING, stable_hash
+
+#: Per-bucket retention cap: the best observations by loss are kept.
+BUCKET_LIMIT = 200
+
+
+def space_signature(space) -> list:
+    """A JSON-safe descriptor identifying a search space's shape.
+
+    Two spaces share priors only when every dimension matches in kind,
+    name, and bounds/options — replaying an observation into a space it
+    was not drawn from would teach the sampler the wrong geometry.
+    """
+    signature = []
+    for dim in space:
+        entry = {"kind": type(dim).__name__, "name": dim.name}
+        for attr in ("lo", "hi", "q"):
+            if hasattr(dim, attr):
+                entry[attr] = float(getattr(dim, attr))
+        if hasattr(dim, "options"):
+            entry["options"] = [str(option) for option in dim.options]
+        signature.append(entry)
+    return signature
+
+
+def design_features(design) -> dict:
+    """Coarse features bucketing designs with similar routability.
+
+    Buckets are deliberately wide (log2 on counts, 0.1 steps on
+    utilization): priors only *seed* the sampler, so near-miss matches
+    are still far better than starting blind.
+    """
+    die = design.die
+    die_area = max((die.xhi - die.xlo) * (die.yhi - die.ylo), 1e-12)
+    return {
+        "cells_log2": int(round(math.log2(max(design.num_cells, 1)))),
+        "nets_log2": int(round(math.log2(max(design.num_nets, 1)))),
+        "utilization": round(design.movable_area / die_area, 1),
+    }
+
+
+class TransferPriors:
+    """Persisted exploration observations, keyed by (space, features).
+
+    Args:
+        cache: an :class:`repro.runtime.ArtifactCache` (typically the
+            job server's result cache, so priors accumulate wherever
+            explorations run).
+    """
+
+    def __init__(self, cache) -> None:
+        self.cache = cache
+
+    def _key(self, space) -> str:
+        return stable_hash(
+            {"kind": "explore-priors", "space": space_signature(space)}
+        )
+
+    def _feature_key(self, features: dict) -> str:
+        return stable_hash(features)
+
+    def load(self, space, features: dict, limit: int = 32) -> list:
+        """Prior ``(params, loss)`` observations for this space.
+
+        Observations from the matching feature bucket come first; other
+        buckets fill the remainder, each sorted best-loss-first.
+        Returns at most ``limit`` entries (``[]`` when none exist).
+        """
+        index = self.cache.get(self._key(space))
+        if index is MISSING or not isinstance(index, dict):
+            return []
+        feature_key = self._feature_key(features)
+        observations = []
+        own = index.get(feature_key, [])
+        observations.extend(sorted(own, key=lambda entry: entry[1]))
+        for key in sorted(k for k in index if k != feature_key):
+            observations.extend(sorted(index[key], key=lambda entry: entry[1]))
+        return [
+            (dict(params), float(loss))
+            for params, loss in observations[:max(limit, 0)]
+        ]
+
+    def save(self, space, features: dict, observations: list) -> None:
+        """Merge completed ``(params, loss)`` trials into the store.
+
+        Read-modify-write on the space's index entry; the bucket keeps
+        its :data:`BUCKET_LIMIT` best observations.  Failed trials
+        (penalty losses) carry no transferable signal and are dropped.
+        """
+        from ..core.exploration import FAILED_TRIAL_LOSS
+
+        keep = [
+            (dict(params), float(loss))
+            for params, loss in observations
+            if float(loss) < FAILED_TRIAL_LOSS
+        ]
+        if not keep:
+            return
+        key = self._key(space)
+        index = self.cache.get(key)
+        if index is MISSING or not isinstance(index, dict):
+            index = {}
+        feature_key = self._feature_key(features)
+        bucket = list(index.get(feature_key, []))
+        bucket.extend(keep)
+        bucket.sort(key=lambda entry: entry[1])
+        index[feature_key] = bucket[:BUCKET_LIMIT]
+        self.cache.put(key, index)
+
+
+__all__ = [
+    "BUCKET_LIMIT",
+    "TransferPriors",
+    "design_features",
+    "space_signature",
+]

@@ -211,6 +211,16 @@ class TestCommands:
         params = json.loads(out_file.read_text())
         assert "mu" in params and "legalizer" in params
 
+    def test_explore_resume_is_byte_identical(self, tmp_path, capsys):
+        """--resume replays the journal; the saved transfer priors of
+        the first run must not perturb the resumed candidate stream."""
+        first, second = tmp_path / "p1.json", tmp_path / "p2.json"
+        argv = ["explore", "--design", "OR1200", "--scale", "0.0015",
+                "--budget", "3", "--cache-dir", str(tmp_path / "cache")]
+        assert run_cli(*argv, "--out", str(first)) == 0
+        assert run_cli(*argv, "--resume", "--out", str(second)) == 0
+        assert first.read_bytes() == second.read_bytes()
+
 
 class TestServeCommands:
     """submit/jobs drive a live (fake-runner) server over HTTP."""

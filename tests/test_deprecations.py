@@ -194,3 +194,16 @@ class TestHttpV1Shims:
         status, headers, _ = self.request(server, "GET", "/v2/jobs")
         assert status == 404
         assert "Deprecation" not in headers
+
+    def test_new_exploration_routes_shim_like_every_other_route(self, server):
+        """Resources added after the /v1 cut (PR 10's explorations)
+        inherit the same unversioned shim — no special-casing."""
+        status, headers, payload = self.request(server, "GET", "/explorations")
+        assert status == 200 and payload["explorations"] == []
+        assert headers.get("Deprecation") == "true"
+        assert headers.get("Link") == (
+            '</v1/explorations>; rel="successor-version"'
+        )
+        status, headers, _ = self.request(server, "GET", "/v1/explorations")
+        assert status == 200
+        assert "Deprecation" not in headers

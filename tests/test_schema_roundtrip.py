@@ -14,9 +14,11 @@ from repro.router.cost import CostParams
 from repro.runtime import stable_hash
 from repro.schema import (
     SCHEMA_VERSION,
+    ExplorationReport,
     JobEvent,
     JobProgress,
     SchemaError,
+    Trial,
 )
 from repro.verify import LEVELS
 
@@ -214,6 +216,188 @@ class TestJobEventRoundTrips:
         wire["schema_version"] = SCHEMA_VERSION + 1
         with pytest.raises(SchemaError, match="schema_version"):
             JobEvent.from_dict(wire)
+
+
+space_values = st.one_of(
+    finite,
+    st.integers(-(2**31), 2**31),
+    st.text(max_size=8),
+)
+
+param_dicts = st.dictionaries(
+    st.sampled_from(["alpha_local_cg", "beta", "mu", "xi", "legalizer"]),
+    space_values,
+    max_size=4,
+)
+
+explore_configs = st.builds(
+    api.ExploreConfig,
+    design=st.sampled_from(["OR1200", "CT_SCAN", "ASIC_ENTITY"]),
+    scale=positive,
+    budget=st.integers(1, 64),
+    group_evals=st.one_of(st.none(), st.integers(1, 32)),
+    patience=st.one_of(st.none(), st.integers(1, 32)),
+    max_group_rounds=st.integers(1, 4),
+    seed=st.integers(0, 2**31),
+    batch_size=st.integers(1, 16),
+    wl_weight=st.floats(0.0, 1.0),
+    priors=st.sampled_from(api.PRIOR_MODES),
+    prior_limit=st.integers(0, 256),
+)
+
+wire_trials = st.builds(
+    Trial,
+    index=st.integers(0, 2**31),
+    stage=st.sampled_from(["global", "formula", "schedule", "smoothing"]),
+    params=param_dicts,
+    loss=finite,
+    overflow=st.one_of(st.none(), finite),
+    wirelength=st.one_of(st.none(), finite),
+    cached=st.booleans(),
+)
+
+exploration_reports = st.builds(
+    ExplorationReport,
+    design=st.sampled_from(["OR1200", "DES_PERF"]),
+    params=param_dicts,
+    best_loss=finite,
+    best_params=param_dicts,
+    evaluations=st.integers(0, 10**6),
+    group_rounds=st.integers(0, 16),
+    history=st.lists(
+        st.tuples(
+            st.sampled_from(["global", "formula", "schedule"]), finite
+        ).map(list),
+        max_size=6,
+    ),
+    trials=st.lists(wire_trials, max_size=3),
+)
+
+trial_events = st.builds(
+    JobEvent,
+    seq=st.integers(0, 2**31),
+    kind=st.just("trial"),
+    job_id=st.uuids().map(str),
+    ts=st.floats(0, 2e9, allow_nan=False),
+    state=st.none(),
+    progress=st.none(),
+    trial=wire_trials,
+)
+
+
+class TestExplorationWireRoundTrips:
+    """PR-10 wire types: ExploreConfig, Trial, ExplorationReport."""
+
+    @given(config=explore_configs)
+    @fast_settings
+    def test_explore_config_round_trips_bit_identically(self, config):
+        assert api.ExploreConfig.from_dict(config.to_dict()) == config
+
+    @given(config=explore_configs)
+    @fast_settings
+    def test_explore_config_survives_json(self, config):
+        wire = json.loads(json.dumps(config.to_dict()))
+        assert api.ExploreConfig.from_dict(wire) == config
+
+    @given(config=explore_configs)
+    @fast_settings
+    def test_explore_config_stable_hash_reproducible(self, config):
+        """The transfer-prior / memo key survives serialization."""
+        wire = json.loads(json.dumps(config.to_dict()))
+        rebuilt = api.ExploreConfig.from_dict(wire)
+        assert stable_hash(config.to_dict()) == stable_hash(rebuilt.to_dict())
+
+    @given(trial=wire_trials)
+    @fast_settings
+    def test_trial_round_trips_bit_identically(self, trial):
+        assert Trial.from_dict(json.loads(json.dumps(trial.to_dict()))) == trial
+
+    @given(report=exploration_reports)
+    @fast_settings
+    def test_report_round_trips_with_nested_trials(self, report):
+        rebuilt = ExplorationReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        )
+        assert rebuilt == report
+        assert all(isinstance(t, Trial) for t in rebuilt.trials)
+
+    @given(event=trial_events)
+    @fast_settings
+    def test_trial_event_round_trips(self, event):
+        rebuilt = JobEvent.from_dict(json.loads(json.dumps(event.to_dict())))
+        assert rebuilt == event
+        assert isinstance(rebuilt.trial, Trial)
+
+    def test_explore_config_version_stamped(self):
+        wire = api.ExploreConfig().to_dict()
+        assert wire["schema_version"] == SCHEMA_VERSION
+
+    def test_explore_config_unknown_key_rejected(self):
+        with pytest.raises(SchemaError, match="budgett"):
+            api.ExploreConfig.from_dict({"budgett": 12})
+
+    def test_explore_config_unsupported_version_rejected(self):
+        wire = api.ExploreConfig().to_dict()
+        wire["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="schema_version"):
+            api.ExploreConfig.from_dict(wire)
+
+    def test_explore_config_semantic_validation_at_boundary(self):
+        with pytest.raises(ValueError, match="budget"):
+            api.ExploreConfig.from_dict({"budget": 0})
+        with pytest.raises(ValueError, match="priors"):
+            api.ExploreConfig.from_dict({"priors": "always"})
+        with pytest.raises(ValueError, match="batch_size"):
+            api.ExploreConfig(batch_size=0)
+
+    def test_trial_unknown_key_rejected(self):
+        wire = Trial(index=0, stage="global", params={}, loss=1.0).to_dict()
+        wire["cost"] = 2.0
+        with pytest.raises(SchemaError, match="cost"):
+            Trial.from_dict(wire)
+
+    def test_trial_validation(self):
+        with pytest.raises(SchemaError, match="index"):
+            Trial(index=-1, stage="global", params={}, loss=0.0)
+        with pytest.raises(SchemaError, match="stage"):
+            Trial(index=0, stage="", params={}, loss=0.0)
+        with pytest.raises(SchemaError, match="params"):
+            Trial(index=0, stage="global", params=[], loss=0.0)
+        with pytest.raises(SchemaError, match="loss"):
+            Trial(index=0, stage="global", params={}, loss="cheap")
+
+    def test_report_unknown_key_rejected(self):
+        wire = ExplorationReport(
+            design="OR1200", params={}, best_loss=0.0, best_params={},
+            evaluations=1, group_rounds=1,
+        ).to_dict()
+        wire["best"] = 0.0
+        with pytest.raises(SchemaError, match="best"):
+            ExplorationReport.from_dict(wire)
+
+    def test_report_unsupported_version_rejected(self):
+        wire = ExplorationReport(
+            design="OR1200", params={}, best_loss=0.0, best_params={},
+            evaluations=1, group_rounds=1,
+        ).to_dict()
+        wire["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="schema_version"):
+            ExplorationReport.from_dict(wire)
+
+    def test_report_history_normalized_to_lists(self):
+        """Tuple history entries compare bit-identical after JSON."""
+        report = ExplorationReport(
+            design="OR1200", params={}, best_loss=0.5, best_params={"mu": 2.0},
+            evaluations=3, group_rounds=1, history=[("global", 0.5)],
+        )
+        assert report.history == [["global", 0.5]]
+        assert ExplorationReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        ) == report
+
+    def test_trial_event_requires_payload(self):
+        with pytest.raises(SchemaError, match="trial"):
+            JobEvent(seq=0, kind="trial", job_id="explore-1", ts=0.0)
 
 
 class TestBoundaryValidation:
